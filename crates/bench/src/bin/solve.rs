@@ -1,0 +1,40 @@
+//! Runs a single benchmark under full guidance and prints the synthesized
+//! program — handy for inspecting solutions.
+//!
+//! ```text
+//! cargo run --release -p rbsyn-bench --bin solve -- A7 [timeout_secs]
+//! ```
+
+use rbsyn_core::{Options, Synthesizer};
+use rbsyn_suite::benchmark;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let id = args.next().unwrap_or_else(|| "S1".to_owned());
+    let timeout = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(60));
+    let Some(b) = benchmark(&id) else {
+        eprintln!("unknown benchmark {id:?} (try S1..S7, A1..A12)");
+        std::process::exit(2);
+    };
+    let (env, problem) = (b.build)();
+    let opts = Options { timeout: Some(timeout), ..(b.options)() };
+    match Synthesizer::new(env, problem, opts).run() {
+        Ok(r) => {
+            println!(
+                "{} ({}) solved in {:?} — {} candidates tested, size {}, paths {}",
+                b.id, b.name, r.stats.elapsed, r.stats.search.tested,
+                r.stats.solution_size, r.stats.solution_paths
+            );
+            println!("{}", r.program);
+        }
+        Err(e) => {
+            println!("{} failed: {e}", b.id);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1 of the paper.
+//!
+//! ```text
+//! RBSYN_RUNS=11 RBSYN_TIMEOUT_SECS=300 cargo run --release -p rbsyn-bench --bin table1
+//! ```
+
+use rbsyn_bench::harness::{format_table1, table1_rows, Config};
+
+fn main() {
+    let cfg = Config::from_env();
+    eprintln!(
+        "table1: {} runs/benchmark, {}s timeout, {} benchmarks",
+        cfg.runs,
+        cfg.timeout.as_secs(),
+        cfg.benchmarks().len()
+    );
+    let rows = table1_rows(&cfg);
+    print!("{}", format_table1(&rows));
+}

@@ -1,0 +1,402 @@
+//! Benchmark execution and table/figure assembly.
+
+use rbsyn_core::{Guidance, Options, SynthError, Synthesizer};
+use rbsyn_suite::{all_benchmarks, Benchmark};
+use rbsyn_ty::EffectPrecision;
+use std::time::Duration;
+
+/// Harness configuration (see crate docs for the environment variables).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Timed runs per configuration (paper: 11).
+    pub runs: usize,
+    /// Per-run timeout for full-guidance runs (paper: 300 s).
+    pub timeout: Duration,
+    /// Timeout for the guidance *ablations* (T-only / E-only / naive),
+    /// which mostly just burn their whole budget (paper: same 300 s; the
+    /// default here is small so `cargo bench` stays tractable — raise
+    /// `RBSYN_ABLATION_TIMEOUT_SECS` for paper-faithful runs).
+    pub ablation_timeout: Duration,
+    /// Timeout for the coarse effect-precision runs of Fig. 8
+    /// (`RBSYN_COARSE_TIMEOUT_SECS`).
+    pub coarse_timeout: Duration,
+    /// Benchmark ids to run (empty = all).
+    pub ids: Vec<String>,
+}
+
+impl Config {
+    /// Reads configuration from the environment.
+    pub fn from_env() -> Config {
+        let runs = std::env::var("RBSYN_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+        let env_secs = |name: &str| -> Option<Duration> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).map(Duration::from_secs)
+        };
+        let timeout = env_secs("RBSYN_TIMEOUT_SECS").unwrap_or(Duration::from_secs(60));
+        let ablation_timeout =
+            env_secs("RBSYN_ABLATION_TIMEOUT_SECS").unwrap_or_else(|| timeout.min(Duration::from_secs(8)));
+        let coarse_timeout =
+            env_secs("RBSYN_COARSE_TIMEOUT_SECS").unwrap_or_else(|| timeout.min(Duration::from_secs(20)));
+        let ids = std::env::var("RBSYN_BENCH_IDS")
+            .map(|v| v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect())
+            .unwrap_or_default();
+        Config { runs, timeout, ablation_timeout, coarse_timeout, ids }
+    }
+
+    /// The benchmarks selected by this configuration.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        let all = all_benchmarks();
+        if self.ids.is_empty() {
+            all
+        } else {
+            all.into_iter().filter(|b| self.ids.iter().any(|i| i == b.id)).collect()
+        }
+    }
+}
+
+/// One synthesis attempt.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Wall-clock time (capped near the timeout for failures).
+    pub time: Duration,
+    /// Solution body (compact) when synthesis succeeded.
+    pub solution: Option<String>,
+    /// Solution size / paths when available.
+    pub size: usize,
+    /// Paths through the synthesized method.
+    pub paths: usize,
+    /// Whether the run timed out (vs. failed outright).
+    pub timed_out: bool,
+}
+
+impl RunOutcome {
+    /// Did synthesis succeed?
+    pub fn succeeded(&self) -> bool {
+        self.solution.is_some()
+    }
+}
+
+/// Runs one benchmark once under the given guidance/precision.
+pub fn run_benchmark(
+    b: &Benchmark,
+    guidance: Guidance,
+    precision: EffectPrecision,
+    timeout: Duration,
+) -> RunOutcome {
+    let (env, problem) = (b.build)();
+    let opts = Options {
+        guidance,
+        precision,
+        timeout: Some(timeout),
+        ..(b.options)()
+    };
+    let started = std::time::Instant::now();
+    match Synthesizer::new(env, problem, opts).run() {
+        Ok(res) => RunOutcome {
+            time: started.elapsed(),
+            solution: Some(res.program.body.compact()),
+            size: res.stats.solution_size,
+            paths: res.stats.solution_paths,
+            timed_out: false,
+        },
+        Err(e) => RunOutcome {
+            time: started.elapsed(),
+            solution: None,
+            size: 0,
+            paths: 0,
+            timed_out: matches!(e, SynthError::Timeout),
+        },
+    }
+}
+
+/// Median and semi-interquartile range of a sample (Table 1's
+/// `median ± SIQR` over 11 runs).
+pub fn median_siqr(samples: &mut Vec<Duration>) -> (Duration, Duration) {
+    assert!(!samples.is_empty(), "median of an empty sample");
+    samples.sort();
+    let pick = |q: f64| -> Duration {
+        let pos = q * (samples.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+        let frac = pos - lo as f64;
+        let a = samples[lo].as_secs_f64();
+        let b = samples[hi].as_secs_f64();
+        Duration::from_secs_f64(a + (b - a) * frac)
+    };
+    let median = pick(0.5);
+    let q1 = pick(0.25);
+    let q3 = pick(0.75);
+    let siqr = Duration::from_secs_f64((q3.as_secs_f64() - q1.as_secs_f64()) / 2.0);
+    (median, siqr)
+}
+
+/// One Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Group label.
+    pub group: &'static str,
+    /// Benchmark id.
+    pub id: &'static str,
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Spec count.
+    pub specs: usize,
+    /// Assert min/max.
+    pub asserts: (usize, usize),
+    /// Paths through the original method.
+    pub orig_paths: usize,
+    /// Search-visible library methods.
+    pub lib_meths: usize,
+    /// Median time, full guidance; `None` = timeout/failure.
+    pub te_median: Option<Duration>,
+    /// SIQR for the full-guidance runs.
+    pub te_siqr: Duration,
+    /// Median with type guidance only.
+    pub t_only: Option<Duration>,
+    /// Median with effect guidance only.
+    pub e_only: Option<Duration>,
+    /// Median with neither.
+    pub neither: Option<Duration>,
+    /// Synthesized method size (AST nodes).
+    pub meth_size: usize,
+    /// Paths through the synthesized method.
+    pub syn_paths: usize,
+}
+
+fn median_of_mode(
+    b: &Benchmark,
+    guidance: Guidance,
+    cfg: &Config,
+) -> (Option<Duration>, Duration, usize, usize) {
+    let mut times = Vec::with_capacity(cfg.runs);
+    let mut size = 0;
+    let mut paths = 0;
+    for _ in 0..cfg.runs {
+        let out = run_benchmark(b, guidance, EffectPrecision::Precise, cfg.timeout);
+        if !out.succeeded() {
+            return (None, Duration::ZERO, 0, 0);
+        }
+        size = out.size;
+        paths = out.paths;
+        times.push(out.time);
+    }
+    let (median, siqr) = median_siqr(&mut times);
+    (Some(median), siqr, size, paths)
+}
+
+/// Computes every Table 1 row (this is the expensive call; honours
+/// `Config`).
+pub fn table1_rows(cfg: &Config) -> Vec<Table1Row> {
+    cfg.benchmarks()
+        .iter()
+        .map(|b| {
+            let (te_median, te_siqr, meth_size, syn_paths) =
+                median_of_mode(b, Guidance::both(), cfg);
+            // Ablations: a single run each (they either finish fast or time
+            // out; the paper reports medians with tiny SIQRs).
+            let one = |g: Guidance| {
+                let out = run_benchmark(b, g, EffectPrecision::Precise, cfg.ablation_timeout);
+                out.succeeded().then_some(out.time)
+            };
+            let asserts = (b.expected.asserts_min, b.expected.asserts_max);
+            Table1Row {
+                group: b.group.label(),
+                id: b.id,
+                name: b.name,
+                specs: b.expected.specs,
+                asserts,
+                orig_paths: b.expected.orig_paths,
+                lib_meths: b.lib_method_count(),
+                te_median,
+                te_siqr,
+                t_only: one(Guidance::types_only()),
+                e_only: one(Guidance::effects_only()),
+                neither: one(Guidance::neither()),
+                meth_size,
+                syn_paths,
+            }
+        })
+        .collect()
+}
+
+/// Formats a Table 1 row set as the paper's table.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let fmt_t = |t: &Option<Duration>| match t {
+        Some(d) => format!("{:.2}", d.as_secs_f64()),
+        None => "-".to_owned(),
+    };
+    let mut out = String::new();
+    out.push_str(
+        "Group      ID   Name                 Specs Asserts Orig  Lib   Time(s)        Types  Effects Neither  Size Paths\n",
+    );
+    out.push_str(
+        "                                            min-max Paths Meth  median±SIQR\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<4} {:<20} {:>5} {:>3}-{:<3} {:>5} {:>4}  {:>6}±{:<6} {:>6} {:>7} {:>7} {:>5} {:>5}\n",
+            r.group,
+            r.id,
+            r.name,
+            r.specs,
+            r.asserts.0,
+            r.asserts.1,
+            r.orig_paths,
+            r.lib_meths,
+            fmt_t(&r.te_median),
+            format!("{:.2}", r.te_siqr.as_secs_f64()),
+            fmt_t(&r.t_only),
+            fmt_t(&r.e_only),
+            fmt_t(&r.neither),
+            r.meth_size,
+            r.syn_paths,
+        ));
+    }
+    out
+}
+
+/// One Figure 7 series point: a benchmark solved at `time` under `mode`.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Guidance label.
+    pub mode: &'static str,
+    /// Sorted solve times (timeouts excluded) — the cactus plot series.
+    pub solve_times: Vec<Duration>,
+    /// Benchmarks attempted.
+    pub total: usize,
+}
+
+/// Computes the Fig. 7 cactus-plot series (one timed run per benchmark per
+/// mode).
+pub fn fig7_rows(cfg: &Config) -> Vec<Fig7Row> {
+    let benchmarks = cfg.benchmarks();
+    Guidance::all()
+        .into_iter()
+        .map(|g| {
+            let timeout = if g == Guidance::both() { cfg.timeout } else { cfg.ablation_timeout };
+            let mut times: Vec<Duration> = benchmarks
+                .iter()
+                .filter_map(|b| {
+                    let out = run_benchmark(b, g, EffectPrecision::Precise, timeout);
+                    out.succeeded().then_some(out.time)
+                })
+                .collect();
+            times.sort();
+            Fig7Row { mode: g.label(), solve_times: times, total: benchmarks.len() }
+        })
+        .collect()
+}
+
+/// Renders Fig. 7 as text: cumulative solved counts per mode.
+pub fn format_fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7: benchmarks solved (cumulative) vs time\n");
+    for r in rows {
+        out.push_str(&format!("{:<12} solved {:>2}/{}", r.mode, r.solve_times.len(), r.total));
+        let series: Vec<String> = r
+            .solve_times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("({:.2}s,{})", t.as_secs_f64(), i + 1))
+            .collect();
+        out.push_str(&format!("  [{}]\n", series.join(" ")));
+    }
+    out
+}
+
+/// One Figure 8 row: per-benchmark medians under the three precision
+/// levels.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Benchmark id.
+    pub id: &'static str,
+    /// Median solve time per precision (Precise, Class, Purity); `None` =
+    /// timeout.
+    pub times: [Option<Duration>; 3],
+}
+
+/// Computes Fig. 8 (one timed run per benchmark per precision level).
+pub fn fig8_rows(cfg: &Config) -> Vec<Fig8Row> {
+    cfg.benchmarks()
+        .iter()
+        .map(|b| {
+            let times = EffectPrecision::all().map(|p| {
+                let timeout = if p == EffectPrecision::Precise {
+                    cfg.timeout
+                } else {
+                    cfg.coarse_timeout
+                };
+                let out = run_benchmark(b, Guidance::both(), p, timeout);
+                out.succeeded().then_some(out.time)
+            });
+            Fig8Row { id: b.id, times }
+        })
+        .collect()
+}
+
+/// Renders Fig. 8 as text.
+pub fn format_fig8(rows: &[Fig8Row]) -> String {
+    let fmt = |t: &Option<Duration>| match t {
+        Some(d) => format!("{:>8.2}", d.as_secs_f64()),
+        None => format!("{:>8}", "timeout"),
+    };
+    let mut out = String::new();
+    out.push_str("Figure 8: synthesis time (s) vs effect-annotation precision\n");
+    out.push_str(&format!("{:<5} {:>8} {:>8} {:>8}\n", "ID", "Precise", "Class", "Purity"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<5} {} {} {}\n",
+            r.id,
+            fmt(&r.times[0]),
+            fmt(&r.times[1]),
+            fmt(&r.times[2])
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_siqr_basics() {
+        let mut s = vec![
+            Duration::from_millis(100),
+            Duration::from_millis(200),
+            Duration::from_millis(300),
+        ];
+        let (m, siqr) = median_siqr(&mut s);
+        assert_eq!(m, Duration::from_millis(200));
+        assert_eq!(siqr, Duration::from_millis(50));
+        let mut one = vec![Duration::from_millis(42)];
+        let (m1, s1) = median_siqr(&mut one);
+        assert_eq!(m1, Duration::from_millis(42));
+        assert_eq!(s1, Duration::ZERO);
+    }
+
+    #[test]
+    fn config_selection() {
+        let base = Config {
+            runs: 1,
+            timeout: Duration::from_secs(1),
+            ablation_timeout: Duration::from_secs(1),
+            coarse_timeout: Duration::from_secs(1),
+            ids: vec!["S1".into()],
+        };
+        assert_eq!(base.benchmarks().len(), 1);
+        let all = Config { ids: vec![], ..base };
+        assert_eq!(all.benchmarks().len(), 19);
+    }
+
+    #[test]
+    fn s1_runs_fast_under_harness() {
+        let b = rbsyn_suite::benchmark("S1").unwrap();
+        let out = run_benchmark(
+            &b,
+            Guidance::both(),
+            EffectPrecision::Precise,
+            Duration::from_secs(30),
+        );
+        assert!(out.succeeded());
+        assert_eq!(out.solution.as_deref(), Some("arg0"));
+    }
+}

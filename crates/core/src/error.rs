@@ -1,0 +1,49 @@
+//! Synthesis failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why synthesis stopped without a solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// Deadline exceeded (the experiment harness's per-run timeout).
+    Timeout,
+    /// The bounded search space was exhausted for one spec.
+    NoSolution {
+        /// Which spec could not be solved.
+        spec: String,
+    },
+    /// Per-spec solutions exist but no merged program passes every spec.
+    MergeFailed,
+    /// A needed branch condition could not be synthesized.
+    GuardNotFound,
+    /// The problem is malformed (no specs, bad arity, …).
+    BadProblem(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Timeout => write!(f, "synthesis timed out"),
+            SynthError::NoSolution { spec } => {
+                write!(f, "no candidate satisfies spec {spec:?} within the search bounds")
+            }
+            SynthError::MergeFailed => write!(f, "no merged program passes all specs"),
+            SynthError::GuardNotFound => write!(f, "no branch condition distinguishes the specs"),
+            SynthError::BadProblem(msg) => write!(f, "malformed synthesis problem: {msg}"),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        assert_eq!(SynthError::Timeout.to_string(), "synthesis timed out");
+        assert!(SynthError::NoSolution { spec: "s1".into() }.to_string().contains("s1"));
+    }
+}

@@ -1,0 +1,530 @@
+//! The work-list search of Algorithm 2.
+//!
+//! Candidates are `(c, e)` pairs: an expression with holes and the number
+//! of assertions its best evaluable ancestor passed. The list is ordered by
+//! `c` descending, then AST size ascending, then insertion order (§4).
+//! Evaluable expansions are run against the oracle immediately; failures
+//! with impure read effects are wrapped with an effect hole (S-Eff) and
+//! re-enqueued at their fresh assert count.
+
+use crate::error::SynthError;
+use crate::expand::{simplify, Expander};
+use crate::infer::{infer_ty, Gamma};
+use crate::options::Options;
+use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
+use rbsyn_lang::metrics::node_count;
+use rbsyn_lang::{EffectPair, EffectSet, Expr, Program, Symbol, Ty};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
+
+/// What the search asks of a fully concrete candidate.
+pub trait Oracle {
+    /// Tests a candidate program.
+    fn test(&self, env: &InterpEnv, program: &Program) -> OracleOutcome;
+}
+
+/// Outcome of one oracle query.
+#[derive(Clone, Debug)]
+pub struct OracleOutcome {
+    /// Did the candidate satisfy the oracle completely?
+    pub success: bool,
+    /// Units (assertions / specs) passed before stopping — the priority `c`.
+    pub passed: usize,
+    /// Effects of the failing assertion, when one failed with observable
+    /// reads (drives S-Eff).
+    pub effects: Option<EffectPair>,
+}
+
+/// Oracle for one spec (prepared once; see [`PreparedSpec`]): run it,
+/// report the failing assert's effects.
+pub struct SpecOracle {
+    prepared: PreparedSpec,
+}
+
+impl SpecOracle {
+    /// Prepares the spec's setup snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's own setup raises — that is a suite bug, not a
+    /// candidate failure.
+    pub fn new(env: &InterpEnv, spec: &Spec) -> SpecOracle {
+        let prepared = PreparedSpec::prepare(env, spec)
+            .unwrap_or_else(|e| panic!("spec {:?} setup failed: {e}", spec.name));
+        SpecOracle { prepared }
+    }
+}
+
+impl Oracle for SpecOracle {
+    fn test(&self, env: &InterpEnv, program: &Program) -> OracleOutcome {
+        match self.prepared.run(env, program) {
+            SpecOutcome::Passed { asserts } => OracleOutcome {
+                success: true,
+                passed: asserts,
+                effects: None,
+            },
+            SpecOutcome::Failed { passed, effects } => {
+                let has_reads = !effects.read.is_pure();
+                OracleOutcome {
+                    success: false,
+                    passed,
+                    effects: has_reads.then_some(effects),
+                }
+            }
+            SpecOutcome::SetupError(_) => OracleOutcome {
+                success: false,
+                passed: 0,
+                effects: None,
+            },
+        }
+    }
+}
+
+/// Oracle for branch conditions (§3.3): the boolean program must evaluate
+/// truthy under every `pos` setup and falsy under every `neg` setup.
+/// Effect guidance is never used here ("the asserted expression `x_r` is
+/// pure").
+pub struct GuardOracle {
+    checks: Vec<PreparedSpec>,
+}
+
+impl GuardOracle {
+    /// Builds the oracle from positive and negative spec setups.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a spec's own setup raises (a suite bug).
+    pub fn new(env: &InterpEnv, pos: &[&Spec], neg: &[&Spec]) -> GuardOracle {
+        let mut checks = Vec::new();
+        for s in pos {
+            let p = PreparedSpec::prepare(env, s)
+                .unwrap_or_else(|e| panic!("spec {:?} setup failed: {e}", s.name));
+            let xr = p.result_var();
+            checks.push(p.with_asserts(vec![Expr::Var(xr)]));
+        }
+        for s in neg {
+            let p = PreparedSpec::prepare(env, s)
+                .unwrap_or_else(|e| panic!("spec {:?} setup failed: {e}", s.name));
+            let xr = p.result_var();
+            checks.push(p.with_asserts(vec![Expr::Not(Box::new(Expr::Var(xr)))]));
+        }
+        GuardOracle { checks }
+    }
+}
+
+impl Oracle for GuardOracle {
+    fn test(&self, env: &InterpEnv, program: &Program) -> OracleOutcome {
+        let mut passed = 0;
+        for c in &self.checks {
+            if c.run(env, program).passed() {
+                passed += 1;
+            } else {
+                return OracleOutcome { success: false, passed, effects: None };
+            }
+        }
+        OracleOutcome { success: true, passed, effects: None }
+    }
+}
+
+/// Search-effort counters, accumulated across `generate` calls of one
+/// synthesis run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Work-list pops.
+    pub popped: u64,
+    /// Candidate expressions produced by expansion.
+    pub expanded: u64,
+    /// Evaluable candidates run against the oracle.
+    pub tested: u64,
+}
+
+struct WorkItem {
+    c: usize,
+    size: usize,
+    seq: u64,
+    expr: Expr,
+}
+
+impl PartialEq for WorkItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for WorkItem {}
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorkItem {
+    // BinaryHeap pops the maximum: prefer high passed-assert count, then
+    // small size, then FIFO.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.c
+            .cmp(&other.c)
+            .then(other.size.cmp(&self.size))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The result of a `generate` call, re-exported for harness code.
+pub type GenerateOutcome = Result<Expr, SynthError>;
+
+/// Algorithm 2: searches for an evaluable expression satisfying `oracle`,
+/// starting from `□:goal` under `params`.
+#[allow(clippy::too_many_arguments)]
+pub fn generate(
+    env: &InterpEnv,
+    method_name: &str,
+    params: &[(Symbol, Ty)],
+    goal: &Ty,
+    oracle: &dyn Oracle,
+    opts: &Options,
+    max_size: usize,
+    deadline: Option<Instant>,
+    stats: &mut SearchStats,
+) -> GenerateOutcome {
+    let mut out = generate_many(
+        env, method_name, params, goal, oracle, opts, max_size, deadline, stats, 1, u64::MAX,
+    )?;
+    Ok(out.remove(0))
+}
+
+/// Like [`generate`], but keeps searching after the first success until
+/// `max_solutions` oracle-passing expressions are found (or
+/// `extra_after_first` additional work-list pops elapse). Used by the merge
+/// to collect alternative branch conditions for backtracking.
+///
+/// Returns at least one solution on `Ok`; a timeout after the first
+/// solution returns the solutions found so far rather than failing.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_many(
+    env: &InterpEnv,
+    method_name: &str,
+    params: &[(Symbol, Ty)],
+    goal: &Ty,
+    oracle: &dyn Oracle,
+    opts: &Options,
+    max_size: usize,
+    deadline: Option<Instant>,
+    stats: &mut SearchStats,
+    max_solutions: usize,
+    extra_after_first: u64,
+) -> Result<Vec<Expr>, SynthError> {
+    let expander = Expander::new(&env.table, opts);
+    let mut gamma = Gamma::from_params(params);
+    let param_names: Vec<String> = params.iter().map(|(n, _)| n.as_str().to_owned()).collect();
+    let make_program = |body: &Expr| {
+        Program::new(
+            method_name,
+            param_names.iter().map(|s| s.as_str()),
+            body.clone(),
+        )
+    };
+
+    let mut heap: BinaryHeap<WorkItem> = BinaryHeap::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut seq = 0u64;
+    let root = Expr::Hole(goal.clone());
+    heap.push(WorkItem { c: 0, size: 1, seq, expr: root });
+
+    let mut solutions: Vec<Expr> = Vec::new();
+    let mut first_solution_at: Option<u64> = None;
+    let mut pops = 0u64;
+    while let Some(item) = heap.pop() {
+        stats.popped += 1;
+        pops += 1;
+        if stats.popped.is_multiple_of(64) {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return if solutions.is_empty() {
+                        Err(SynthError::Timeout)
+                    } else {
+                        Ok(solutions)
+                    };
+                }
+            }
+        }
+        if pops > opts.max_expansions {
+            break;
+        }
+        if let Some(at) = first_solution_at {
+            if pops > at + extra_after_first {
+                break;
+            }
+        }
+
+        let Some(expansions) = expander.expand_first(&item.expr, &mut gamma) else {
+            continue; // hole-free items never enter the list
+        };
+        for exp in expansions {
+            stats.expanded += 1;
+            let exp = simplify(exp);
+            // Type narrowing (§3.1): discard candidates with no typing
+            // derivation. Skipped when type guidance is off.
+            if opts.guidance.types && infer_ty(&env.table, &mut gamma, &exp).is_none() {
+                continue;
+            }
+            let key = exp.compact();
+            if !seen.insert(key) {
+                continue;
+            }
+            if exp.evaluable() {
+                stats.tested += 1;
+                let out = oracle.test(env, &make_program(&exp));
+                if out.success {
+                    solutions.push(exp);
+                    if solutions.len() >= max_solutions {
+                        return Ok(solutions);
+                    }
+                    first_solution_at.get_or_insert(pops);
+                    continue;
+                }
+                // S-Eff: wrap the failing candidate with an effect hole for
+                // the unmet read effect. Without effect guidance the wrap
+                // still happens, but unconstrained (◇:*).
+                if let Some(effects) = out.effects {
+                    let er = if opts.guidance.effects {
+                        effects.read
+                    } else {
+                        EffectSet::star()
+                    };
+                    let wrapped = wrap_with_effect(env, &mut gamma, &exp, er, goal, opts);
+                    if node_count(&wrapped) <= max_size && seen.insert(wrapped.compact()) {
+                        seq += 1;
+                        heap.push(WorkItem {
+                            c: out.passed,
+                            size: node_count(&wrapped),
+                            seq,
+                            expr: wrapped,
+                        });
+                    }
+                }
+            } else if node_count(&exp) <= max_size {
+                seq += 1;
+                heap.push(WorkItem { c: item.c, size: node_count(&exp), seq, expr: exp });
+            }
+        }
+    }
+    if solutions.is_empty() {
+        Err(SynthError::NoSolution { spec: method_name.to_owned() })
+    } else {
+        Ok(solutions)
+    }
+}
+
+/// S-Eff (Fig. 5): `e` becomes `let t = e in (◇:ε_r; □:τ)` where `τ` is
+/// `e`'s type.
+fn wrap_with_effect(
+    env: &InterpEnv,
+    gamma: &mut Gamma,
+    e: &Expr,
+    er: EffectSet,
+    goal: &Ty,
+    opts: &Options,
+) -> Expr {
+    let t = e.fresh_temp();
+    let ty = if opts.guidance.types {
+        infer_ty(&env.table, gamma, e).unwrap_or_else(|| goal.clone())
+    } else {
+        goal.clone()
+    };
+    Expr::Let {
+        var: t,
+        val: Box::new(e.clone()),
+        body: Box::new(Expr::Seq(vec![Expr::EffHole(er), Expr::Hole(ty)])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::SetupStep;
+    use rbsyn_lang::builder::*;
+    use rbsyn_lang::Value;
+    use rbsyn_stdlib::EnvBuilder;
+
+    fn blog_env() -> (InterpEnv, rbsyn_lang::ClassId) {
+        let mut b = EnvBuilder::with_stdlib();
+        let post = b.define_model(
+            "Post",
+            &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+        );
+        b.add_const(Value::Class(post));
+        (b.finish(), post)
+    }
+
+    fn gen(
+        env: &InterpEnv,
+        params: &[(Symbol, Ty)],
+        goal: Ty,
+        spec: &Spec,
+    ) -> GenerateOutcome {
+        let opts = Options::default();
+        let mut stats = SearchStats::default();
+        generate(
+            env, "m", params, &goal, &SpecOracle::new(env, spec), &opts, opts.max_size, None, &mut stats,
+        )
+    }
+
+    #[test]
+    fn synthesizes_identity_from_params() {
+        let (env, _) = blog_env();
+        // Spec: m("s") must return a truthy value whose == "s" holds.
+        let spec = Spec::new(
+            "returns its argument",
+            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("hello")] }],
+            vec![call(var("xr"), "==", [str_("hello")])],
+        );
+        let sol = gen(&env, &[("arg0".into(), Ty::Str)], Ty::Str, &spec).unwrap();
+        assert_eq!(sol.compact(), "arg0");
+    }
+
+    #[test]
+    fn synthesizes_constants() {
+        let (env, _) = blog_env();
+        let mut env = env;
+        env.table.add_const(Value::Bool(true));
+        env.table.add_const(Value::Bool(false));
+        let spec = Spec::new(
+            "returns false",
+            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![call(var("xr"), "==", [false_()])],
+        );
+        let sol = gen(&env, &[], Ty::Bool, &spec).unwrap();
+        assert_eq!(sol.compact(), "false");
+    }
+
+    #[test]
+    fn synthesizes_queries_with_hash_arguments() {
+        let (env, post) = blog_env();
+        // Seed a post, ask for the record with the given slug.
+        // Three rows so the target is neither first nor last — otherwise
+        // degenerate candidates like `Post.last` pass, exactly the
+        // seeding-sensitivity the paper's C4 step illustrates.
+        let mk = |author: &str, slug: &str| {
+            SetupStep::Exec(call(
+                cls(post),
+                "create",
+                [hash([("author", str_(author)), ("slug", str_(slug))])],
+            ))
+        };
+        let spec = Spec::new(
+            "finds by slug",
+            vec![
+                mk("alice", "s1"),
+                mk("bob", "s2"),
+                mk("carol", "s3"),
+                SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("s2")] },
+            ],
+            vec![call(call(var("xr"), "author", []), "==", [str_("bob")])],
+        );
+        let sol = gen(&env, &[("arg0".into(), Ty::Str)], Ty::Instance(post), &spec).unwrap();
+        // Accept any of the equivalent single-call solutions.
+        let s = sol.compact();
+        assert!(
+            s.contains("slug: arg0"),
+            "expected a slug-keyed query, got {s}"
+        );
+    }
+
+    #[test]
+    fn effect_guidance_fixes_failing_writes() {
+        let (env, post) = blog_env();
+        // Spec: after m(post_title), the seeded post's title must change.
+        let seed = SetupStep::Bind(
+            "p".into(),
+            call(cls(post), "create", [hash([("title", str_("Old")), ("slug", str_("s"))])]),
+        );
+        let spec = Spec::new(
+            "updates the title",
+            vec![
+                seed,
+                SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("New")] },
+            ],
+            vec![
+                call(call(var("p"), "title", []), "==", [str_("New")]),
+            ],
+        );
+        let sol = gen(&env, &[("arg0".into(), Ty::Str)], Ty::Instance(post), &spec).unwrap();
+        let s = sol.compact();
+        assert!(s.contains("title="), "expected a title write, got {s}");
+    }
+
+    #[test]
+    fn guard_oracle_distinguishes_setups() {
+        let (env, post) = blog_env();
+        let seeded = Spec::new(
+            "seeded",
+            vec![
+                SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("x"))])])),
+                SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            ],
+            vec![],
+        );
+        let empty = Spec::new(
+            "empty",
+            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![],
+        );
+        let oracle = GuardOracle::new(&env, &[&seeded], &[&empty]);
+        let opts = Options::default();
+        let mut stats = SearchStats::default();
+        let guard = generate(
+            &env, "m", &[], &Ty::Bool, &oracle, &opts, opts.max_guard_size, None, &mut stats,
+        )
+        .unwrap();
+        // Any emptiness test of the posts table is acceptable
+        // (`Post.count.positive?`, `Post.exists?(…)`, …); re-verify it
+        // against the oracle and check it queries Post.
+        assert!(guard.compact().contains("Post."), "got {}", guard.compact());
+        let p = Program::new("m", [], guard);
+        assert!(oracle.test(&env, &p).success);
+    }
+
+    #[test]
+    fn unsatisfiable_specs_exhaust() {
+        let (env, _) = blog_env();
+        let spec = Spec::new(
+            "impossible",
+            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![false_()],
+        );
+        let mut opts = Options::default();
+        opts.max_expansions = 2_000;
+        let mut stats = SearchStats::default();
+        let r = generate(
+            &env, "m", &[], &Ty::Bool, &SpecOracle::new(&env, &spec), &opts, 6, None, &mut stats,
+        );
+        assert!(matches!(r, Err(SynthError::NoSolution { .. })));
+        assert!(stats.tested > 0);
+    }
+
+    #[test]
+    fn deadline_is_respected() {
+        let (env, _) = blog_env();
+        let spec = Spec::new(
+            "impossible",
+            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![false_()],
+        );
+        let opts = Options::default();
+        let mut stats = SearchStats::default();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let r = generate(
+            &env, "m", &[], &Ty::Bool, &SpecOracle::new(&env, &spec), &opts, 20, Some(past),
+            &mut stats,
+        );
+        assert_eq!(r, Err(SynthError::Timeout));
+    }
+
+    #[test]
+    fn compact_rendering_of_class_consts() {
+        // The dedup key distinguishes class constants by name.
+        let (env, post) = blog_env();
+        let e = call(cls(post), "first", []);
+        assert_eq!(e.compact(), "Post.first");
+        let _ = env;
+    }
+}

@@ -1,0 +1,144 @@
+//! Synthesis goals: the `define :name, "(τ…) → τ", [consts] do … end` DSL
+//! of §4, as a builder.
+
+use rbsyn_interp::Spec;
+use rbsyn_lang::{Symbol, Ty, Value};
+
+/// A synthesis goal `⟨τ₁ → τ₂, Ψ⟩` (Fig. 3) plus the constant set `Σ` and a
+/// method name.
+#[derive(Clone, Debug)]
+pub struct SynthesisProblem {
+    /// Name of the method to synthesize.
+    pub name: String,
+    /// Parameter names and types (`arg0`, `arg1`, … by convention).
+    pub params: Vec<(Symbol, Ty)>,
+    /// Return type — the root hole's type.
+    pub ret: Ty,
+    /// The specs `Ψ` the method must satisfy.
+    pub specs: Vec<Spec>,
+    /// Constants `Σ` available to fill holes.
+    pub consts: Vec<Value>,
+}
+
+impl SynthesisProblem {
+    /// Starts a builder.
+    pub fn builder(name: &str) -> ProblemBuilder {
+        ProblemBuilder {
+            problem: SynthesisProblem {
+                name: name.to_owned(),
+                params: Vec::new(),
+                ret: Ty::Obj,
+                specs: Vec::new(),
+                consts: Vec::new(),
+            },
+        }
+    }
+
+    /// Parameter names in order.
+    pub fn param_names(&self) -> Vec<&str> {
+        self.params.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Basic well-formedness: at least one spec, each with a target call.
+    pub fn validate(&self) -> Result<(), crate::SynthError> {
+        if self.specs.is_empty() {
+            return Err(crate::SynthError::BadProblem("no specs".into()));
+        }
+        for s in &self.specs {
+            if s.result_var().is_none() {
+                return Err(crate::SynthError::BadProblem(format!(
+                    "spec {:?} never calls the target method",
+                    s.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`SynthesisProblem`].
+#[derive(Clone, Debug)]
+pub struct ProblemBuilder {
+    problem: SynthesisProblem,
+}
+
+impl ProblemBuilder {
+    /// Adds a parameter.
+    pub fn param(mut self, name: &str, ty: Ty) -> ProblemBuilder {
+        self.problem.params.push((Symbol::intern(name), ty));
+        self
+    }
+
+    /// Sets the return type.
+    pub fn returns(mut self, ty: Ty) -> ProblemBuilder {
+        self.problem.ret = ty;
+        self
+    }
+
+    /// Adds a spec.
+    pub fn spec(mut self, s: Spec) -> ProblemBuilder {
+        self.problem.specs.push(s);
+        self
+    }
+
+    /// Adds a constant to `Σ`.
+    pub fn constant(mut self, v: Value) -> ProblemBuilder {
+        self.problem.consts.push(v);
+        self
+    }
+
+    /// Adds the paper's base constant set: `true`, `false`, `0`, `1` and
+    /// the empty string (§5.1).
+    pub fn base_consts(mut self) -> ProblemBuilder {
+        for v in [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(1),
+            Value::str(""),
+        ] {
+            self.problem.consts.push(v);
+        }
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SynthesisProblem {
+        self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::SetupStep;
+    use rbsyn_lang::builder::*;
+
+    #[test]
+    fn builder_assembles_problems() {
+        let p = SynthesisProblem::builder("update_post")
+            .param("arg0", Ty::Str)
+            .param("arg1", Ty::Str)
+            .returns(Ty::Bool)
+            .base_consts()
+            .spec(Spec::new(
+                "s",
+                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("a"), str_("b")] }],
+                vec![var("xr")],
+            ))
+            .build();
+        assert_eq!(p.param_names(), vec!["arg0", "arg1"]);
+        assert_eq!(p.consts.len(), 5);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_empty_and_call_less_specs() {
+        let empty = SynthesisProblem::builder("m").build();
+        assert!(empty.validate().is_err());
+        let no_call = SynthesisProblem::builder("m")
+            .spec(Spec::new("s", vec![], vec![true_()]))
+            .build();
+        assert!(no_call.validate().is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! Merging per-spec solutions into one branching program (§3.3,
+//! Algorithm 1, rewrite rules (1)–(3) of Fig. 6 and pruning rules (4)–(7)
+//! of Fig. 13).
+//!
+//! A merge works over tuples `⟨e, b, Ψ⟩` — hypothesis "`if b then e`
+//! satisfies specs Ψ". Chains of tuples (one per `⊕`) are rewritten to
+//! fixpoint; implications between branch conditions are decided by the SAT
+//! solver over the conditions' boolean skeletons, exactly the heuristic
+//! encoding the paper describes.
+//!
+//! Because guard synthesis is an *oracle* search ("truthy under Ψ₁'s
+//! setups, falsy under Ψ₂'s"), the smallest oracle-passing condition can be
+//! semantically wrong for the final program (the paper's correctness story
+//! is precisely that such candidates are caught when the merged program is
+//! run against every spec, §3.4). The merge therefore keeps a small *set*
+//! of oracle-passing guards per strengthening request and backtracks over
+//! the choices (an odometer over the guard picks) until a merged program
+//! validates.
+
+use crate::error::SynthError;
+use crate::generate::{GuardOracle, Oracle, SearchStats};
+use crate::guards::{negate, search_guards};
+use crate::options::Options;
+use rbsyn_interp::{InterpEnv, PreparedSpec, Spec};
+use rbsyn_lang::{Expr, Program, Symbol, Ty, Value};
+use rbsyn_sat::{is_valid_implication, Formula};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A merge tuple `⟨e, b, Ψ⟩` (specs by index into the problem).
+#[derive(Clone, Debug)]
+pub struct Tuple {
+    /// Solution expression.
+    pub expr: Expr,
+    /// Branch condition.
+    pub cond: Expr,
+    /// Indices of the specs this tuple satisfies.
+    pub specs: Vec<usize>,
+}
+
+/// Maps branch conditions to SAT formulas: each distinct atomic condition
+/// becomes a fresh boolean variable; `!` and `∨` map to the connectives
+/// (§3.3 "Checking Implication").
+#[derive(Default)]
+pub struct CondEncoder {
+    atoms: HashMap<String, u32>,
+}
+
+impl CondEncoder {
+    /// Encodes a condition expression.
+    pub fn encode(&mut self, e: &Expr) -> Formula {
+        match e {
+            Expr::Lit(Value::Bool(true)) => Formula::True,
+            Expr::Lit(Value::Bool(false)) => Formula::False,
+            Expr::Not(b) => Formula::not(self.encode(b)),
+            Expr::Or(a, b) => Formula::or(self.encode(a), self.encode(b)),
+            atom => {
+                let key = atom.compact();
+                let next = self.atoms.len() as u32;
+                let id = *self.atoms.entry(key).or_insert(next);
+                Formula::Var(id)
+            }
+        }
+    }
+
+    /// `b₁ ⇒ b₂` on the boolean skeleton.
+    pub fn implies(&mut self, b1: &Expr, b2: &Expr) -> bool {
+        let (f1, f2) = (self.encode(b1), self.encode(b2));
+        is_valid_implication(&f1, &f2)
+    }
+
+    /// `b₁ ⇔ b₂`.
+    pub fn equiv(&mut self, b1: &Expr, b2: &Expr) -> bool {
+        self.implies(b1, b2) && self.implies(b2, b1)
+    }
+}
+
+/// A strengthening request: guard truthy on `pos` specs, falsy on `neg`.
+type GuardKey = (Vec<usize>, Vec<usize>);
+
+/// Cached per-request state: a prepared oracle and the searched guards.
+struct GuardSet {
+    oracle: GuardOracle,
+    searched: Vec<Expr>,
+}
+
+/// Everything the merge needs from the synthesis run.
+pub struct MergeCtx<'a> {
+    /// Interpreter environment.
+    pub env: &'a InterpEnv,
+    /// Method name.
+    pub name: &'a str,
+    /// Method parameters.
+    pub params: &'a [(Symbol, Ty)],
+    /// All specs of the problem.
+    pub specs: &'a [Spec],
+    /// Options (guard bounds).
+    pub opts: &'a Options,
+    /// Shared deadline.
+    pub deadline: Option<Instant>,
+    /// Shared search counters.
+    pub stats: &'a mut SearchStats,
+    /// Conditionals synthesized so far (negation-reuse pool, §4).
+    pub known_conds: Vec<Expr>,
+}
+
+/// How many oracle-passing guards to keep per strengthening request.
+const GUARDS_PER_REQUEST: usize = 5;
+/// How many guard-choice combinations to try per `⊕` order.
+const ATTEMPTS_PER_ORDER: usize = 64;
+
+impl MergeCtx<'_> {
+    fn program(&self, body: Expr) -> Program {
+        Program::new(self.name, self.params.iter().map(|(n, _)| n.as_str()), body)
+    }
+
+    fn prepared_specs(&self) -> Vec<PreparedSpec> {
+        self.specs
+            .iter()
+            .map(|s| {
+                PreparedSpec::prepare(self.env, s)
+                    .unwrap_or_else(|e| panic!("spec {:?} setup failed: {e}", s.name))
+            })
+            .collect()
+    }
+
+    /// The ordered guard candidates for a request: quick hits (constants,
+    /// known conditionals and their negations, plus `extra` — typically the
+    /// negation of the partner guard, §4) followed by searched guards.
+    fn guard_candidates(
+        &mut self,
+        key: &GuardKey,
+        extra: &[Expr],
+        cache: &mut HashMap<GuardKey, GuardSet>,
+    ) -> Result<Vec<Expr>, SynthError> {
+        if !cache.contains_key(key) {
+            let pos: Vec<&Spec> = key.0.iter().map(|i| &self.specs[*i]).collect();
+            let neg: Vec<&Spec> = key.1.iter().map(|i| &self.specs[*i]).collect();
+            let oracle = GuardOracle::new(self.env, &pos, &neg);
+            let searched = search_guards(
+                self.env,
+                self.name,
+                self.params,
+                &oracle,
+                GUARDS_PER_REQUEST,
+                self.opts,
+                self.deadline,
+                self.stats,
+            )?;
+            cache.insert(key.clone(), GuardSet { oracle, searched });
+        }
+        let set = &cache[key];
+        let mut out: Vec<Expr> = Vec::new();
+        let mut quick: Vec<Expr> =
+            vec![Expr::Lit(Value::Bool(true)), Expr::Lit(Value::Bool(false))];
+        quick.extend(extra.iter().cloned());
+        for k in &self.known_conds {
+            quick.push(k.clone());
+            quick.push(negate(k));
+        }
+        let param_names: Vec<&str> = self.params.iter().map(|(n, _)| n.as_str()).collect();
+        for q in quick {
+            if out.contains(&q) {
+                continue;
+            }
+            let p = Program::new(self.name, param_names.iter().copied(), q.clone());
+            if set.oracle.test(self.env, &p).success {
+                out.push(q);
+            }
+        }
+        for s in &set.searched {
+            if !out.contains(s) {
+                out.push(s.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Algorithm 1: try every `⊕` order (and, per order, a bounded number of
+/// guard choices), rewrite to fixpoint, keep the smallest merged program
+/// that passes all specs.
+pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Program, SynthError> {
+    if tuples.is_empty() {
+        return Err(SynthError::MergeFailed);
+    }
+    let trace = std::env::var("RBSYN_TRACE").is_ok();
+    let prepared = ctx.prepared_specs();
+    let passes_all = |ctx: &MergeCtx<'_>, body: &Expr| -> bool {
+        let p = ctx.program(body.clone());
+        prepared.iter().all(|s| s.run(ctx.env, &p).passed())
+    };
+
+    let mut guard_cache: HashMap<GuardKey, GuardSet> = HashMap::new();
+    let orders = permutations(tuples.len(), 720);
+    let mut best: Option<Expr> = None;
+    for order in orders {
+        let mut selector: HashMap<GuardKey, usize> = HashMap::new();
+        'attempts: for _attempt in 0..ATTEMPTS_PER_ORDER {
+            if let Some(d) = ctx.deadline {
+                if Instant::now() >= d {
+                    return Err(SynthError::Timeout);
+                }
+            }
+            let chain: Vec<Tuple> = order.iter().map(|&i| tuples[i].clone()).collect();
+            let (chain, used) = rewrite_chain(ctx, chain, &selector, &mut guard_cache)?;
+            let body = build_body(&chain, &mut CondEncoder::default());
+            let valid = passes_all(ctx, &body);
+            if trace {
+                let conds: Vec<String> = chain.iter().map(|t| t.cond.compact()).collect();
+                eprintln!(
+                    "[rbsyn] merge order {order:?} sel {:?}: conds [{}] → valid={valid}",
+                    selector.values().collect::<Vec<_>>(),
+                    conds.join(" | "),
+                );
+            }
+            if valid {
+                let sz = rbsyn_lang::metrics::node_count(&body);
+                match &best {
+                    Some(b) if rbsyn_lang::metrics::node_count(b) <= sz => {}
+                    _ => best = Some(body),
+                }
+                break 'attempts;
+            }
+            // Odometer over the guard choices this attempt consumed.
+            if !bump_selector(&mut selector, &used) {
+                break 'attempts;
+            }
+        }
+    }
+    match best {
+        Some(body) => Ok(ctx.program(body)),
+        None => Err(SynthError::MergeFailed),
+    }
+}
+
+/// Advances the guard-choice odometer: increments the *first* used key
+/// (the structurally dominant pick), carrying rightward; returns `false`
+/// when all combinations are exhausted.
+fn bump_selector(
+    selector: &mut HashMap<GuardKey, usize>,
+    used: &[(GuardKey, usize)],
+) -> bool {
+    for (key, len) in used.iter() {
+        let slot = selector.entry(key.clone()).or_insert(0);
+        if *slot + 1 < *len {
+            *slot += 1;
+            return true;
+        }
+        *slot = 0; // carry
+    }
+    false
+}
+
+/// Applies rules (1)–(7) until no rewrite fires (bounded for safety).
+/// Returns the rewritten chain plus the guard requests it consumed (with
+/// candidate-list lengths) for the odometer.
+fn rewrite_chain(
+    ctx: &mut MergeCtx<'_>,
+    mut chain: Vec<Tuple>,
+    selector: &HashMap<GuardKey, usize>,
+    guard_cache: &mut HashMap<GuardKey, GuardSet>,
+) -> Result<(Vec<Tuple>, Vec<(GuardKey, usize)>), SynthError> {
+    let mut enc = CondEncoder::default();
+    let mut used: Vec<(GuardKey, usize)> = Vec::new();
+    let pick = |ctx: &mut MergeCtx<'_>,
+                    key: GuardKey,
+                    extra: &[Expr],
+                    used: &mut Vec<(GuardKey, usize)>,
+                    cache: &mut HashMap<GuardKey, GuardSet>|
+     -> Result<Option<Expr>, SynthError> {
+        let cands = ctx.guard_candidates(&key, extra, cache)?;
+        if cands.is_empty() {
+            return Ok(None);
+        }
+        let idx = selector.get(&key).copied().unwrap_or(0).min(cands.len() - 1);
+        if !used.iter().any(|(k, _)| *k == key) {
+            used.push((key.clone(), cands.len()));
+        }
+        let g = cands[idx].clone();
+        if std::env::var("RBSYN_TRACE").is_ok() {
+            eprintln!(
+                "[rbsyn]   pick {key:?} idx {idx}/{} → {}",
+                cands.len(),
+                g.compact()
+            );
+        }
+        Ok(Some(g))
+    };
+
+    for _round in 0..24 {
+        let mut changed = false;
+        let mut i = 0;
+        while i + 1 < chain.len() {
+            let (a, b) = (chain[i].clone(), chain[i + 1].clone());
+            let merged_specs = || {
+                let mut s = a.specs.clone();
+                s.extend(b.specs.iter().copied());
+                s
+            };
+            if a.expr == b.expr {
+                let t = if enc.implies(&a.cond, &b.cond) {
+                    // Rule 1.
+                    Tuple { expr: a.expr.clone(), cond: a.cond.clone(), specs: merged_specs() }
+                } else {
+                    // Rule 2.
+                    Tuple {
+                        expr: a.expr.clone(),
+                        cond: Expr::Or(Box::new(a.cond.clone()), Box::new(b.cond.clone())),
+                        specs: merged_specs(),
+                    }
+                };
+                chain.splice(i..=i + 1, [t]);
+                changed = true;
+                continue;
+            }
+            // Rules 4/5: boolean-program collapse when b1 ≡ !b2.
+            let bool_pair = matches!(
+                (&a.expr, &b.expr),
+                (Expr::Lit(Value::Bool(true)), Expr::Lit(Value::Bool(false)))
+                    | (Expr::Lit(Value::Bool(false)), Expr::Lit(Value::Bool(true)))
+            );
+            if bool_pair && enc.equiv(&a.cond, &negate(&b.cond)) {
+                let expr = if matches!(a.expr, Expr::Lit(Value::Bool(true))) {
+                    a.cond.clone() // Rule 4
+                } else {
+                    b.cond.clone() // Rule 5
+                };
+                let t = Tuple {
+                    expr,
+                    cond: Expr::Or(Box::new(a.cond.clone()), Box::new(b.cond.clone())),
+                    specs: merged_specs(),
+                };
+                chain.splice(i..=i + 1, [t]);
+                changed = true;
+                continue;
+            }
+            // Rule 3: conditions do not distinguish differing solutions —
+            // strengthen both via guard synthesis.
+            if enc.implies(&a.cond, &b.cond) {
+                let k1: GuardKey = (a.specs.clone(), b.specs.clone());
+                let Some(b1) = pick(ctx, k1, &[], &mut used, guard_cache)? else {
+                    i += 1;
+                    continue;
+                };
+                // Try the negation first for the reverse guard (§4).
+                let k2: GuardKey = (b.specs.clone(), a.specs.clone());
+                let extra = [negate(&b1)];
+                let Some(b2) = pick(ctx, k2, &extra, &mut used, guard_cache)? else {
+                    i += 1;
+                    continue;
+                };
+                if chain[i].cond == b1 && chain[i + 1].cond == b2 {
+                    i += 1; // already strengthened; avoid a rewrite loop
+                    continue;
+                }
+                chain[i].cond = b1;
+                chain[i + 1].cond = b2;
+                changed = true;
+                continue;
+            }
+            // Rules 6/7: guess the negation of the neighbour's condition
+            // for a tuple whose own condition is still the trivial `true`
+            // (enables the if/else collapse). Restricted to unstrengthened
+            // tuples so Rule-3 picks are never clobbered.
+            if matches!(b.cond, Expr::Lit(Value::Bool(true)))
+                && !matches!(a.cond, Expr::Lit(Value::Bool(true)))
+            {
+                let bg = negate(&a.cond);
+                if guard_holds(ctx, &bg, &b.specs) {
+                    chain[i + 1].cond = bg;
+                    changed = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok((chain, used))
+}
+
+/// Does `bg` evaluate truthy under every setup of the given specs?
+fn guard_holds(ctx: &mut MergeCtx<'_>, bg: &Expr, specs: &[usize]) -> bool {
+    let p = ctx.program(bg.clone());
+    specs.iter().all(|&i| {
+        let spec = &ctx.specs[i];
+        let Some(xr) = spec.result_var() else { return false };
+        let check = spec.with_asserts(vec![Expr::Var(xr)]);
+        match PreparedSpec::prepare(ctx.env, &check) {
+            Ok(prepared) => prepared.run(ctx.env, &p).passed(),
+            Err(_) => false,
+        }
+    })
+}
+
+/// Builds `if b₁ then e₁ else if b₂ then e₂ … else nil`, with the
+/// Appendix A.4 simplifications: a tautological guard drops its
+/// conditional, and a final branch guarded by the negation of the previous
+/// condition becomes a plain `else`.
+fn build_body(chain: &[Tuple], enc: &mut CondEncoder) -> Expr {
+    // A tuple guarded by a tautology (e.g. the `b ∨ !b` rules 4/5 produce)
+    // needs no conditional at all.
+    fn is_taut(enc: &mut CondEncoder, e: &Expr) -> bool {
+        matches!(e, Expr::Lit(Value::Bool(true)))
+            || enc.implies(&Expr::Lit(Value::Bool(true)), e)
+    }
+    fn go(chain: &[Tuple], enc: &mut CondEncoder) -> Expr {
+        match chain {
+            [] => Expr::Lit(Value::Nil),
+            [t] if is_taut(enc, &t.cond) => t.expr.clone(),
+            [t, rest @ ..] => {
+                // `if b then e else if !b then e2 else nil` → else e2.
+                if let [next] = rest {
+                    if next.cond == negate(&t.cond) || negate(&next.cond) == t.cond {
+                        return Expr::If {
+                            cond: Box::new(t.cond.clone()),
+                            then: Box::new(t.expr.clone()),
+                            els: Box::new(next.expr.clone()),
+                        };
+                    }
+                }
+                Expr::If {
+                    cond: Box::new(t.cond.clone()),
+                    then: Box::new(t.expr.clone()),
+                    els: Box::new(go(rest, enc)),
+                }
+            }
+        }
+    }
+    go(chain, enc)
+}
+
+/// Deterministic permutations of `0..n`, capped.
+fn permutations(n: usize, cap: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut used = vec![false; n];
+    fn go(
+        n: usize,
+        cap: usize,
+        cur: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                go(n, cap, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    go(n, cap, &mut cur, &mut used, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_lang::builder::*;
+
+    #[test]
+    fn encoder_maps_atoms_consistently() {
+        let mut enc = CondEncoder::default();
+        let b = call(var("Post"), "exists?", []);
+        assert!(enc.implies(&b, &b));
+        assert!(enc.implies(&b, &or(b.clone(), var("other"))));
+        assert!(!enc.implies(&b, &var("other")));
+        assert!(enc.equiv(&not(not(b.clone())), &b));
+        assert!(enc.implies(&false_(), &b));
+        assert!(enc.implies(&b, &true_()));
+    }
+
+    #[test]
+    fn permutations_are_capped_and_deterministic() {
+        assert_eq!(permutations(3, 720).len(), 6);
+        assert_eq!(permutations(1, 720), vec![vec![0]]);
+        assert_eq!(permutations(7, 720).len(), 720);
+        assert_eq!(permutations(3, 720)[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn build_body_shapes() {
+        let mut enc = CondEncoder::default();
+        let t1 = Tuple { expr: int(1), cond: true_(), specs: vec![0] };
+        assert_eq!(build_body(&[t1.clone()], &mut enc).compact(), "1");
+        let b = var("b");
+        let t2 = Tuple { expr: int(1), cond: b.clone(), specs: vec![0] };
+        let t3 = Tuple { expr: int(2), cond: not(b.clone()), specs: vec![1] };
+        // Negated pair collapses to if/else.
+        assert_eq!(
+            build_body(&[t2.clone(), t3], &mut enc).compact(),
+            "if b then 1 else 2 end"
+        );
+        // Non-negated tail keeps the else-if chain with nil default.
+        let t4 = Tuple { expr: int(2), cond: var("c"), specs: vec![1] };
+        assert_eq!(
+            build_body(&[t2, t4], &mut enc).compact(),
+            "if b then 1 else if c then 2 else nil end end"
+        );
+    }
+
+    #[test]
+    fn tautological_guards_drop_the_conditional() {
+        let mut enc = CondEncoder::default();
+        let t = Tuple {
+            expr: var("e"),
+            cond: or(var("b"), not(var("b"))),
+            specs: vec![0, 1],
+        };
+        assert_eq!(build_body(&[t], &mut enc).compact(), "e");
+    }
+
+    #[test]
+    fn odometer_carries_and_terminates() {
+        let k1: GuardKey = (vec![0], vec![1]);
+        let k2: GuardKey = (vec![1], vec![0]);
+        let used = vec![(k1.clone(), 2), (k2.clone(), 2)];
+        let mut sel = HashMap::new();
+        // 2×2 grid: 3 bumps then exhaustion; the first key varies fastest.
+        assert!(bump_selector(&mut sel, &used));
+        assert_eq!(sel[&k1], 1);
+        assert!(bump_selector(&mut sel, &used));
+        assert_eq!((sel[&k1], sel[&k2]), (0, 1));
+        assert!(bump_selector(&mut sel, &used));
+        assert_eq!((sel[&k1], sel[&k2]), (1, 1));
+        assert!(!bump_selector(&mut sel, &used));
+    }
+}

@@ -1,0 +1,252 @@
+//! The top-level synthesis pipeline: per-spec solutions (with the §4
+//! solution-reuse optimization), then merging.
+
+use crate::error::SynthError;
+use crate::generate::{generate, SearchStats, SpecOracle};
+use crate::goal::SynthesisProblem;
+use crate::merge::{merge_program, MergeCtx, Tuple};
+use crate::options::Options;
+use rbsyn_interp::{run_spec, InterpEnv};
+use rbsyn_lang::builder::true_;
+use rbsyn_lang::metrics::{program_paths, program_size};
+use rbsyn_lang::Program;
+use std::time::{Duration, Instant};
+
+/// Search-effort and outcome statistics for one synthesis run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SynthStats {
+    /// Work-list counters, accumulated over every `generate` call.
+    pub search: SearchStats,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// AST node count of the solution (Table 1 "Meth Size").
+    pub solution_size: usize,
+    /// Control-flow paths through the solution (Table 1 "# Syn Paths").
+    pub solution_paths: usize,
+    /// Number of per-spec solution expressions before merging.
+    pub tuples: usize,
+}
+
+/// A successful synthesis: the program plus statistics.
+#[derive(Clone, Debug)]
+pub struct SynthResult {
+    /// The synthesized method.
+    pub program: Program,
+    /// Run statistics.
+    pub stats: SynthStats,
+}
+
+/// Drives the full pipeline for one [`SynthesisProblem`].
+pub struct Synthesizer {
+    env: InterpEnv,
+    problem: SynthesisProblem,
+    opts: Options,
+}
+
+impl Synthesizer {
+    /// Configures a run: installs the problem's constants `Σ` and the
+    /// requested effect precision into the class table.
+    pub fn new(mut env: InterpEnv, problem: SynthesisProblem, opts: Options) -> Synthesizer {
+        env.table.set_precision(opts.precision);
+        env.table.clear_consts();
+        for c in &problem.consts {
+            env.table.add_const(c.clone());
+        }
+        Synthesizer { env, problem, opts }
+    }
+
+    /// Read access to the configured environment (tests, harnesses).
+    pub fn env(&self) -> &InterpEnv {
+        &self.env
+    }
+
+    /// Runs synthesis to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::Timeout`] when the deadline passes,
+    /// [`SynthError::NoSolution`] when a spec cannot be solved within the
+    /// search bounds, [`SynthError::MergeFailed`] when no branch merge
+    /// passes every spec.
+    pub fn run(self) -> Result<SynthResult, SynthError> {
+        let Synthesizer { env, problem, opts } = self;
+        problem.validate()?;
+        let start = Instant::now();
+        let deadline = opts.timeout.map(|t| start + t);
+        let mut stats = SynthStats::default();
+
+        let trace = std::env::var("RBSYN_TRACE").is_ok();
+
+        // Phase 1: a solution expression per spec, reusing existing
+        // solutions when they already pass (§4: "when confronted with a new
+        // spec, RbSyn first tries existing solutions").
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let param_names: Vec<&str> = problem.params.iter().map(|(n, _)| n.as_str()).collect();
+        for (i, spec) in problem.specs.iter().enumerate() {
+            let reused = tuples.iter_mut().find(|t| {
+                let p =
+                    Program::new(problem.name.as_str(), param_names.iter().copied(), t.expr.clone());
+                run_spec(&env, spec, &p).passed()
+            });
+            if let Some(t) = reused {
+                if trace {
+                    eprintln!("[rbsyn] spec {i} {:?}: reused `{}`", spec.name, t.expr.compact());
+                }
+                t.specs.push(i);
+                continue;
+            }
+            let expr = generate(
+                &env,
+                &problem.name,
+                &problem.params,
+                &problem.ret,
+                &SpecOracle::new(&env, spec),
+                &opts,
+                opts.max_size,
+                deadline,
+                &mut stats.search,
+            )
+            .map_err(|e| match e {
+                SynthError::NoSolution { .. } => SynthError::NoSolution { spec: spec.name.clone() },
+                other => other,
+            })?;
+            if trace {
+                eprintln!(
+                    "[rbsyn] spec {i} {:?}: solved `{}` ({} tested, {:?})",
+                    spec.name,
+                    expr.compact(),
+                    stats.search.tested,
+                    start.elapsed()
+                );
+            }
+            tuples.push(Tuple { expr, cond: true_(), specs: vec![i] });
+        }
+        stats.tuples = tuples.len();
+
+        // Phase 2: merge into a single branching program (Algorithm 1).
+        let mut ctx = MergeCtx {
+            env: &env,
+            name: &problem.name,
+            params: &problem.params,
+            specs: &problem.specs,
+            opts: &opts,
+            deadline,
+            stats: &mut stats.search,
+            known_conds: Vec::new(),
+        };
+        let program = merge_program(&mut ctx, tuples)?;
+
+        stats.elapsed = start.elapsed();
+        stats.solution_size = program_size(&program);
+        stats.solution_paths = program_paths(&program);
+        Ok(SynthResult { program, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::SetupStep;
+    use rbsyn_lang::builder::*;
+    use rbsyn_lang::{Ty, Value};
+    use rbsyn_stdlib::EnvBuilder;
+
+    fn blog_env() -> (InterpEnv, rbsyn_lang::ClassId) {
+        let mut b = EnvBuilder::with_stdlib();
+        let post = b.define_model(
+            "Post",
+            &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+        );
+        (b.finish(), post)
+    }
+
+    #[test]
+    fn single_spec_single_solution() {
+        let (env, _) = blog_env();
+        let problem = SynthesisProblem::builder("m")
+            .returns(Ty::Bool)
+            .base_consts()
+            .spec(rbsyn_interp::Spec::new(
+                "returns false",
+                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+                vec![call(var("xr"), "==", [false_()])],
+            ))
+            .build();
+        let out = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+        assert_eq!(out.program.body.compact(), "false");
+        assert_eq!(out.stats.solution_paths, 1);
+        assert_eq!(out.stats.tuples, 1);
+    }
+
+    #[test]
+    fn solution_reuse_collapses_specs() {
+        let (env, _) = blog_env();
+        // Two specs satisfied by the same constant program.
+        let mk = |name: &str| {
+            rbsyn_interp::Spec::new(
+                name,
+                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+                vec![call(var("xr"), "==", [int(1)])],
+            )
+        };
+        let problem = SynthesisProblem::builder("m")
+            .returns(Ty::Int)
+            .base_consts()
+            .spec(mk("a"))
+            .spec(mk("b"))
+            .build();
+        let out = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+        assert_eq!(out.program.body.compact(), "1");
+        assert_eq!(out.stats.tuples, 1, "second spec reused the first solution");
+    }
+
+    #[test]
+    fn branching_solutions_get_merged_conditions() {
+        let (env, post) = blog_env();
+        // Spec 1: DB has a post by "alice" → return true.
+        // Spec 2: DB empty → return false.
+        let seeded = rbsyn_interp::Spec::new(
+            "seeded returns true",
+            vec![
+                SetupStep::Exec(call(cls(post), "create", [hash([("author", str_("alice"))])])),
+                SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            ],
+            vec![call(var("xr"), "==", [true_()])],
+        );
+        let empty = rbsyn_interp::Spec::new(
+            "empty returns false",
+            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![call(var("xr"), "==", [false_()])],
+        );
+        let problem = SynthesisProblem::builder("m")
+            .returns(Ty::Bool)
+            .base_consts()
+            .constant(Value::Class(post))
+            .spec(seeded)
+            .spec(empty)
+            .build();
+        let out = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+        // The merged program must be a single boolean expression or a
+        // conditional; either way it passes both specs and mentions the
+        // Post table.
+        let s = out.program.body.compact();
+        assert!(s.contains("Post."), "expected a Post query in {s}");
+    }
+
+    #[test]
+    fn timeout_surfaces() {
+        let (env, _) = blog_env();
+        let problem = SynthesisProblem::builder("m")
+            .returns(Ty::Bool)
+            .spec(rbsyn_interp::Spec::new(
+                "unsatisfiable",
+                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+                vec![false_()],
+            ))
+            .build();
+        let mut opts = Options::default();
+        opts.timeout = Some(Duration::from_millis(30));
+        let r = Synthesizer::new(env, problem, opts).run();
+        assert!(matches!(r, Err(SynthError::Timeout) | Err(SynthError::NoSolution { .. })));
+    }
+}

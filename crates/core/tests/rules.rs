@@ -1,0 +1,220 @@
+//! Rule-level integration tests for the synthesis engine: the S-Eff wrap
+//! shape (Fig. 5), narrowing-based pruning (§3.1), merge rules (Fig. 6 /
+//! Fig. 13) through `merge_program`, and guidance-mode behaviours.
+
+use rbsyn_core::generate::{SearchStats, SpecOracle};
+use rbsyn_core::merge::{merge_program, MergeCtx, Tuple};
+use rbsyn_core::{generate, Guidance, Options, SynthError};
+use rbsyn_interp::{run_spec, InterpEnv, SetupStep, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{Program, Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+fn blog() -> (InterpEnv, rbsyn_lang::ClassId) {
+    let mut b = EnvBuilder::with_stdlib();
+    let post = b.define_model(
+        "Post",
+        &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+    );
+    b.add_const(Value::Class(post));
+    b.add_const(Value::Bool(true));
+    b.add_const(Value::Bool(false));
+    (b.finish(), post)
+}
+
+fn write_title_spec(env: &InterpEnv, post: rbsyn_lang::ClassId) -> Spec {
+    let _ = env;
+    Spec::new(
+        "title becomes New",
+        vec![
+            SetupStep::Bind(
+                "p".into(),
+                call(
+                    cls(post),
+                    "create",
+                    [hash([("title", str_("Old")), ("slug", str_("s"))])],
+                ),
+            ),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![call(call(var("p"), "title", []), "==", [str_("New")])],
+    )
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "synthesis search; release-profile test")]
+fn s_eff_wrap_produces_let_effhole_hole_shape() {
+    // Synthesize against a spec whose only fix is a title write; the
+    // solution must have come through the S-Eff wrap, whose rendered form
+    // is `tN = …; ◇-filled write; hole-filled tail`.
+    let (env, post) = blog();
+    let spec = write_title_spec(&env, post);
+    let mut stats = SearchStats::default();
+    let opts = Options::default();
+    let sol = generate(
+        &env,
+        "m",
+        &[],
+        &Ty::Bool,
+        &SpecOracle::new(&env, &spec),
+        &opts,
+        opts.max_size,
+        None,
+        &mut stats,
+    )
+    .expect("a title-writing candidate exists");
+    let s = sol.compact();
+    assert!(s.contains("title="), "wrap must introduce the writer: {s}");
+    assert!(s.contains("\"New\"") || s.contains("t0"), "{s}");
+    // And the solution re-validates.
+    let p = Program::new("m", [], sol);
+    assert!(run_spec(&env, &spec, &p).passed());
+}
+
+#[test]
+fn type_guidance_prunes_untypable_candidates() {
+    // With type guidance the engine must never *test* an ill-typed
+    // candidate; we can observe this indirectly: an unsatisfiable Bool
+    // spec explores strictly fewer candidates under guidance than without.
+    let (env, _) = blog();
+    let spec = Spec::new(
+        "unsatisfiable",
+        vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+        vec![false_()],
+    );
+    let mut run = |guidance: Guidance| {
+        let mut opts = Options::with_guidance(guidance);
+        opts.max_expansions = 300;
+        let mut stats = SearchStats::default();
+        let r = generate(
+            &env,
+            "m",
+            &[],
+            &Ty::Bool,
+            &SpecOracle::new(&env, &spec),
+            &opts,
+            10,
+            None,
+            &mut stats,
+        );
+        assert!(matches!(r, Err(SynthError::NoSolution { .. })));
+        stats.tested
+    };
+    let typed = run(Guidance::both());
+    let untyped = run(Guidance::effects_only());
+    assert!(
+        typed < untyped,
+        "type guidance must shrink the tested set: {typed} vs {untyped}"
+    );
+}
+
+#[test]
+fn merge_rule_1_collapses_identical_solutions() {
+    let (env, post) = blog();
+    let spec_a = write_title_spec(&env, post);
+    let spec_b = write_title_spec(&env, post);
+    let specs = vec![spec_a, spec_b];
+    let solution = let_(
+        "t0",
+        call(cls(post), "find_by", [hash([("slug", str_("s"))])]),
+        seq([call(var("t0"), "title=", [str_("New")]), true_()]),
+    );
+    let tuples = vec![
+        Tuple { expr: solution.clone(), cond: true_(), specs: vec![0] },
+        Tuple { expr: solution, cond: true_(), specs: vec![1] },
+    ];
+    let opts = Options::default();
+    let mut stats = SearchStats::default();
+    let mut ctx = MergeCtx {
+        env: &env,
+        name: "m",
+        params: &[],
+        specs: &specs,
+        opts: &opts,
+        deadline: None,
+        stats: &mut stats,
+        known_conds: Vec::new(),
+    };
+    let program = merge_program(&mut ctx, tuples).expect("identical tuples merge");
+    // Rule 1: one branch, no conditional at all.
+    assert_eq!(rbsyn_lang::metrics::program_paths(&program), 1, "\n{program}");
+    assert!(!program.body.compact().starts_with("if "), "\n{program}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "guard search; release-profile test")]
+fn merge_strengthens_trivial_conditions_with_rule_3() {
+    // Two specs with different DB setups and contradictory expectations
+    // force Rule 3 to synthesize a distinguishing query.
+    let (env, post) = blog();
+    let seeded = Spec::new(
+        "seeded: return true",
+        vec![
+            SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("s"))])])),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![call(var("xr"), "==", [true_()])],
+    );
+    let empty = Spec::new(
+        "empty: return false",
+        vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+        vec![call(var("xr"), "==", [false_()])],
+    );
+    let specs = vec![seeded, empty];
+    let tuples = vec![
+        Tuple { expr: true_(), cond: true_(), specs: vec![0] },
+        Tuple { expr: false_(), cond: true_(), specs: vec![1] },
+    ];
+    let opts = Options::default();
+    let mut stats = SearchStats::default();
+    let mut ctx = MergeCtx {
+        env: &env,
+        name: "m",
+        params: &[],
+        specs: &specs,
+        opts: &opts,
+        deadline: None,
+        stats: &mut stats,
+        known_conds: Vec::new(),
+    };
+    let program = merge_program(&mut ctx, tuples).expect("rule 3 + rules 4/5 merge");
+    // Rules 4/5 then fold `if b then true else false` into `b` itself:
+    // single-path, single-line boolean program.
+    assert_eq!(rbsyn_lang::metrics::program_paths(&program), 1, "\n{program}");
+    let (env2, _) = {
+        let mut b = EnvBuilder::with_stdlib();
+        let p2 = b.define_model(
+            "Post",
+            &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+        );
+        (b.finish(), p2)
+    };
+    for s in &specs {
+        assert!(run_spec(&env2, s, &program).passed(), "{:?}\n{program}", s.name);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "brute-force mode; release-profile test")]
+fn effect_guidance_off_still_wraps_but_unconstrained() {
+    // T-only mode must still be able to synthesize writes (via ◇:*), just
+    // more slowly — here the problem is small enough to complete.
+    let (env, post) = blog();
+    let spec = write_title_spec(&env, post);
+    let mut opts = Options::with_guidance(Guidance::types_only());
+    opts.max_expansions = 2_000_000;
+    let mut stats = SearchStats::default();
+    let sol = generate(
+        &env,
+        "m",
+        &[],
+        &Ty::Bool,
+        &SpecOracle::new(&env, &spec),
+        &opts,
+        opts.max_size,
+        None,
+        &mut stats,
+    )
+    .expect("small enough for brute force");
+    assert!(sol.compact().contains("title="));
+}

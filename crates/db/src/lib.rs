@@ -1,0 +1,381 @@
+//! In-memory relational store backing the simulated ActiveRecord layer.
+//!
+//! The paper's benchmarks run against Rails apps whose state lives in a SQL
+//! database; RbSyn resets that database before every candidate run (§4,
+//! "hooks for resetting the global state"). This crate provides the
+//! equivalent substrate: typed tables with auto-increment primary keys,
+//! equality filtering (the only query shape ActiveRecord's hash conditions
+//! need), and cheap whole-database snapshots for candidate isolation.
+//!
+//! # Example
+//!
+//! ```
+//! use rbsyn_db::{Database, TableSchema};
+//! use rbsyn_lang::{Symbol, Value};
+//!
+//! let mut db = Database::new();
+//! let posts = db.create_table(TableSchema::new("posts", ["author", "title"]));
+//! let id = db.table_mut(posts).insert(vec![
+//!     (Symbol::intern("author"), Value::str("alice")),
+//!     (Symbol::intern("title"), Value::str("Hello")),
+//! ]);
+//! assert_eq!(
+//!     db.table(posts).get_value(id, Symbol::intern("title")),
+//!     Some(Value::str("Hello"))
+//! );
+//! ```
+
+use rbsyn_lang::{Symbol, Value};
+use std::fmt;
+
+/// Identifies a table within a [`Database`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TableId(pub u32);
+
+/// Primary key of a row.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RowId(pub i64);
+
+/// Column layout of a table. The `id` column is implicit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (by Rails convention the pluralized model name, but any
+    /// unique string works).
+    pub name: Symbol,
+    /// Column names, excluding `id`.
+    pub columns: Vec<Symbol>,
+}
+
+impl TableSchema {
+    /// Builds a schema from a table name and column names.
+    pub fn new<'a>(name: &str, columns: impl IntoIterator<Item = &'a str>) -> TableSchema {
+        TableSchema {
+            name: Symbol::intern(name),
+            columns: columns.into_iter().map(Symbol::intern).collect(),
+        }
+    }
+}
+
+/// A single row: primary key plus column values (parallel to the schema's
+/// column order; missing values are `nil`, as in a SQL `NULL`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Primary key.
+    pub id: RowId,
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Value of the `i`-th column.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+/// A table: schema plus rows in insertion order.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Column layout.
+    pub schema: TableSchema,
+    rows: Vec<Row>,
+    next_id: i64,
+}
+
+impl Table {
+    fn new(schema: TableSchema) -> Table {
+        Table { schema, rows: Vec::new(), next_id: 1 }
+    }
+
+    fn col_index(&self, column: Symbol) -> Option<usize> {
+        self.schema.columns.iter().position(|c| *c == column)
+    }
+
+    /// Does the table have this column (`id` counts)?
+    pub fn has_column(&self, column: Symbol) -> bool {
+        column.as_str() == "id" || self.col_index(column).is_some()
+    }
+
+    /// Inserts a row from `(column, value)` pairs; unmentioned columns are
+    /// `nil`. Returns the fresh primary key.
+    pub fn insert(&mut self, values: Vec<(Symbol, Value)>) -> RowId {
+        let id = RowId(self.next_id);
+        self.next_id += 1;
+        let mut row = Row {
+            id,
+            values: vec![Value::Nil; self.schema.columns.len()],
+        };
+        for (c, v) in values {
+            if let Some(i) = self.col_index(c) {
+                row.values[i] = v;
+            }
+        }
+        self.rows.push(row);
+        id
+    }
+
+    /// Reads one cell, materializing `id` as an integer value. `None` when
+    /// the row is gone or the column unknown.
+    pub fn get_value(&self, id: RowId, column: Symbol) -> Option<Value> {
+        let row = self.rows.iter().find(|r| r.id == id)?;
+        if column.as_str() == "id" {
+            return Some(Value::Int(row.id.0));
+        }
+        row.values.get(self.col_index(column)?).cloned()
+    }
+
+    /// Writes one cell. Returns `false` when the row or column is unknown.
+    pub fn set(&mut self, id: RowId, column: Symbol, value: Value) -> bool {
+        let Some(i) = self.col_index(column) else { return false };
+        match self.rows.iter_mut().find(|r| r.id == id) {
+            Some(row) => {
+                row.values[i] = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of rows matching all `(column, value)` equality conditions, in
+    /// insertion order. `id` conditions are supported.
+    pub fn select(&self, conds: &[(Symbol, Value)]) -> Vec<RowId> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                conds.iter().all(|(c, v)| {
+                    if c.as_str() == "id" {
+                        Value::Int(r.id.0) == *v
+                    } else {
+                        match self.col_index(*c) {
+                            Some(i) => r.values[i] == *v,
+                            None => false,
+                        }
+                    }
+                })
+            })
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// First row id matching the conditions.
+    pub fn first_where(&self, conds: &[(Symbol, Value)]) -> Option<RowId> {
+        self.select(conds).into_iter().next()
+    }
+
+    /// Number of rows matching the conditions (all rows for `&[]`).
+    pub fn count_where(&self, conds: &[(Symbol, Value)]) -> usize {
+        self.select(conds).len()
+    }
+
+    /// Deletes a row. Returns `true` when it existed.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let before = self.rows.len();
+        self.rows.retain(|r| r.id != id);
+        self.rows.len() != before
+    }
+
+    /// Does a row with this id exist?
+    pub fn exists(&self, id: RowId) -> bool {
+        self.rows.iter().any(|r| r.id == id)
+    }
+
+    /// All row ids, in insertion order.
+    pub fn ids(&self) -> Vec<RowId> {
+        self.rows.iter().map(|r| r.id).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A collection of tables; cloning snapshots the entire store, which is how
+/// candidate runs are isolated.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table and returns its id.
+    pub fn create_table(&mut self, schema: TableSchema) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table::new(schema));
+        id
+    }
+
+    /// Finds a table by name.
+    pub fn find_table(&self, name: &str) -> Option<TableId> {
+        let sym = Symbol::intern(name);
+        self.tables
+            .iter()
+            .position(|t| t.schema.name == sym)
+            .map(|i| TableId(i as u32))
+    }
+
+    /// Shared access to a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this database.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Mutable access to a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this database.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.0 as usize]
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Deletes all rows everywhere, keeping schemas and id counters — the
+    /// "clear the database" reset hook of §4.
+    pub fn clear_rows(&mut self) {
+        for t in &mut self.tables {
+            t.rows.clear();
+        }
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            writeln!(f, "{} ({} rows)", t.schema.name, t.rows.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posts_db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.create_table(TableSchema::new("posts", ["author", "title", "slug"]));
+        (db, t)
+    }
+
+    fn sv(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let (mut db, t) = posts_db();
+        let a = db.table_mut(t).insert(vec![(Symbol::intern("author"), sv("a"))]);
+        let b = db.table_mut(t).insert(vec![]);
+        assert_eq!(a, RowId(1));
+        assert_eq!(b, RowId(2));
+        assert_eq!(db.table(t).len(), 2);
+    }
+
+    #[test]
+    fn unmentioned_columns_default_to_nil() {
+        let (mut db, t) = posts_db();
+        let id = db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("x"))]);
+        assert_eq!(db.table(t).get_value(id, Symbol::intern("author")), Some(Value::Nil));
+        assert_eq!(db.table(t).get_value(id, Symbol::intern("title")), Some(sv("x")));
+    }
+
+    #[test]
+    fn id_column_materializes() {
+        let (mut db, t) = posts_db();
+        let id = db.table_mut(t).insert(vec![]);
+        assert_eq!(db.table(t).get_value(id, Symbol::intern("id")), Some(Value::Int(1)));
+        assert_eq!(db.table(t).get_value(RowId(99), Symbol::intern("id")), None);
+    }
+
+    #[test]
+    fn select_filters_by_equality() {
+        let (mut db, t) = posts_db();
+        let a = db.table_mut(t).insert(vec![
+            (Symbol::intern("author"), sv("alice")),
+            (Symbol::intern("slug"), sv("s1")),
+        ]);
+        let _b = db.table_mut(t).insert(vec![
+            (Symbol::intern("author"), sv("bob")),
+            (Symbol::intern("slug"), sv("s2")),
+        ]);
+        let c = db.table_mut(t).insert(vec![
+            (Symbol::intern("author"), sv("alice")),
+            (Symbol::intern("slug"), sv("s3")),
+        ]);
+        let alice = db.table(t).select(&[(Symbol::intern("author"), sv("alice"))]);
+        assert_eq!(alice, vec![a, c]);
+        let both = db.table(t).select(&[
+            (Symbol::intern("author"), sv("alice")),
+            (Symbol::intern("slug"), sv("s3")),
+        ]);
+        assert_eq!(both, vec![c]);
+        assert_eq!(db.table(t).first_where(&[]), Some(a));
+        assert_eq!(db.table(t).count_where(&[]), 3);
+        // Select by id works too.
+        assert_eq!(db.table(t).select(&[(Symbol::intern("id"), Value::Int(3))]), vec![c]);
+    }
+
+    #[test]
+    fn set_and_delete() {
+        let (mut db, t) = posts_db();
+        let id = db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("old"))]);
+        assert!(db.table_mut(t).set(id, Symbol::intern("title"), sv("new")));
+        assert_eq!(db.table(t).get_value(id, Symbol::intern("title")), Some(sv("new")));
+        assert!(!db.table_mut(t).set(id, Symbol::intern("nope"), sv("x")));
+        assert!(db.table_mut(t).delete(id));
+        assert!(!db.table(t).exists(id));
+        assert!(!db.table_mut(t).delete(id));
+    }
+
+    #[test]
+    fn snapshots_are_independent() {
+        let (mut db, t) = posts_db();
+        db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("x"))]);
+        let snapshot = db.clone();
+        db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("y"))]);
+        assert_eq!(db.table(t).len(), 2);
+        assert_eq!(snapshot.table(t).len(), 1);
+    }
+
+    #[test]
+    fn clear_rows_keeps_id_counter() {
+        let (mut db, t) = posts_db();
+        db.table_mut(t).insert(vec![]);
+        db.clear_rows();
+        assert!(db.table(t).is_empty());
+        let id = db.table_mut(t).insert(vec![]);
+        assert_eq!(id, RowId(2), "ids keep counting after reset, like a real sequence");
+    }
+
+    #[test]
+    fn find_table_by_name() {
+        let (db, t) = posts_db();
+        assert_eq!(db.find_table("posts"), Some(t));
+        assert_eq!(db.find_table("users"), None);
+    }
+
+    #[test]
+    fn has_column_includes_id() {
+        let (db, t) = posts_db();
+        assert!(db.table(t).has_column(Symbol::intern("id")));
+        assert!(db.table(t).has_column(Symbol::intern("slug")));
+        assert!(!db.table(t).has_column(Symbol::intern("nope")));
+    }
+}

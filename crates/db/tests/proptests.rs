@@ -1,0 +1,75 @@
+//! Property tests for the relational substrate.
+
+use proptest::prelude::*;
+use rbsyn_db::{Database, TableSchema};
+use rbsyn_lang::{Symbol, Value};
+
+fn fresh_db() -> (Database, rbsyn_db::TableId) {
+    let mut db = Database::new();
+    let t = db.create_table(TableSchema::new("rows", ["a", "b"]));
+    (db, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inserts_are_selectable_by_their_values(vals in prop::collection::vec(0i64..5, 1..12)) {
+        let (mut db, t) = fresh_db();
+        let a = Symbol::intern("a");
+        for v in &vals {
+            db.table_mut(t).insert(vec![(a, Value::Int(*v))]);
+        }
+        for v in 0..5 {
+            let expected = vals.iter().filter(|x| **x == v).count();
+            prop_assert_eq!(db.table(t).count_where(&[(a, Value::Int(v))]), expected);
+        }
+        prop_assert_eq!(db.table(t).len(), vals.len());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic(n in 1usize..20) {
+        let (mut db, t) = fresh_db();
+        let mut last = 0;
+        for _ in 0..n {
+            let id = db.table_mut(t).insert(vec![]);
+            prop_assert!(id.0 > last);
+            last = id.0;
+        }
+    }
+
+    #[test]
+    fn set_then_get_roundtrips(v in 0i64..100) {
+        let (mut db, t) = fresh_db();
+        let a = Symbol::intern("a");
+        let id = db.table_mut(t).insert(vec![]);
+        prop_assert!(db.table_mut(t).set(id, a, Value::Int(v)));
+        prop_assert_eq!(db.table(t).get_value(id, a), Some(Value::Int(v)));
+    }
+
+    #[test]
+    fn snapshots_never_observe_later_writes(v in 0i64..100) {
+        let (mut db, t) = fresh_db();
+        let a = Symbol::intern("a");
+        let id = db.table_mut(t).insert(vec![(a, Value::Int(v))]);
+        let snap = db.clone();
+        db.table_mut(t).set(id, a, Value::Int(v + 1));
+        prop_assert_eq!(snap.table(t).get_value(id, a), Some(Value::Int(v)));
+        prop_assert_eq!(db.table(t).get_value(id, a), Some(Value::Int(v + 1)));
+    }
+
+    #[test]
+    fn delete_removes_exactly_one(n in 1usize..10, k in 0usize..10) {
+        let (mut db, t) = fresh_db();
+        let ids: Vec<_> = (0..n).map(|_| db.table_mut(t).insert(vec![])).collect();
+        let victim = ids[k % n];
+        prop_assert!(db.table_mut(t).delete(victim));
+        prop_assert_eq!(db.table(t).len(), n - 1);
+        prop_assert!(!db.table(t).exists(victim));
+        for id in ids {
+            if id != victim {
+                prop_assert!(db.table(t).exists(id));
+            }
+        }
+    }
+}

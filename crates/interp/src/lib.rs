@@ -1,0 +1,27 @@
+//! The operational semantics of λ_syn (Fig. 9 and 10): a deterministic
+//! tree-walking interpreter with the two features the synthesis algorithm
+//! observes —
+//!
+//! * **assert counting** (`c` in Algorithm 2): how many postcondition
+//!   assertions a candidate passed, used to order the work list;
+//! * **effect collection** (E-MethCall / E-AssertFail): while a
+//!   postcondition runs, the read/write effects of every library call are
+//!   unioned; a failing assertion aborts with `err(ε_r, ε_w)`, which is what
+//!   drives effect-guided hole insertion (S-Eff).
+//!
+//! State is split into an immutable [`InterpEnv`] (class table, native
+//! method implementations, model↔table bindings, pristine database) shared
+//! across runs, and a per-run [`WorldState`] (database snapshot, heap,
+//! globals) that is rebuilt from the environment before every candidate
+//! evaluation — the paper's "reset the global state before any setup block"
+//! hook (§4).
+
+pub mod error;
+pub mod eval;
+pub mod spec;
+pub mod world;
+
+pub use error::RuntimeError;
+pub use eval::Evaluator;
+pub use spec::{run_spec, PreparedSpec, SetupStep, Spec, SpecOutcome};
+pub use world::{InterpEnv, NativeImpl, ObjData, WorldState};

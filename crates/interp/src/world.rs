@@ -1,0 +1,273 @@
+//! Worlds: the immutable interpretation environment and the mutable
+//! per-run state.
+
+use crate::error::RuntimeError;
+use rbsyn_db::{Database, RowId, TableId};
+use rbsyn_lang::{ClassId, ObjRef, Symbol, Value};
+use rbsyn_ty::{ClassTable, MethodKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Implementation of a native (library) method.
+///
+/// Natives are leaf operations — database queries, string/integer
+/// primitives, accessor reads/writes — so they receive the environment and
+/// raw state rather than a full evaluator.
+pub type NativeImpl = Arc<
+    dyn Fn(&InterpEnv, &mut WorldState, &Value, &[Value]) -> Result<Value, RuntimeError>
+        + Send
+        + Sync,
+>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct NativeKey(ClassId, MethodKind, Symbol);
+
+/// The immutable interpretation environment: type-and-effect annotations
+/// (the class table `CT`), native method bodies, model↔table bindings, and
+/// the pristine database every run starts from.
+#[derive(Clone)]
+pub struct InterpEnv {
+    /// Class table with annotations; also owns the class hierarchy.
+    pub table: ClassTable,
+    natives: HashMap<NativeKey, NativeImpl>,
+    models: HashMap<ClassId, TableId>,
+    /// Database template cloned into every fresh [`WorldState`].
+    pub db_template: Database,
+}
+
+impl InterpEnv {
+    /// Builds an environment over a class table and a database template.
+    pub fn new(table: ClassTable, db_template: Database) -> InterpEnv {
+        InterpEnv {
+            table,
+            natives: HashMap::new(),
+            models: HashMap::new(),
+            db_template,
+        }
+    }
+
+    /// Registers the body of a method; the annotation must be registered
+    /// separately in the class table (they are looked up independently so
+    /// annotation precision never changes behaviour, §5.4).
+    pub fn register_native(
+        &mut self,
+        owner: ClassId,
+        kind: MethodKind,
+        name: &str,
+        body: NativeImpl,
+    ) {
+        self.natives
+            .insert(NativeKey(owner, kind, Symbol::intern(name)), body);
+    }
+
+    /// Finds the body for `name` on `class`, walking the superclass chain.
+    pub fn find_native(
+        &self,
+        class: ClassId,
+        kind: MethodKind,
+        name: Symbol,
+    ) -> Option<&NativeImpl> {
+        for c in self.table.hierarchy.ancestry(class) {
+            if let Some(n) = self.natives.get(&NativeKey(c, kind, name)) {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// Binds a model class to its backing table.
+    pub fn register_model(&mut self, class: ClassId, table: TableId) {
+        self.models.insert(class, table);
+    }
+
+    /// Backing table of a model class, walking the superclass chain (STI-
+    /// style lookup; in practice each model has its own table).
+    pub fn model_table(&self, class: ClassId) -> Option<TableId> {
+        for c in self.table.hierarchy.ancestry(class) {
+            if let Some(t) = self.models.get(&c) {
+                return Some(*t);
+            }
+        }
+        None
+    }
+
+    /// The runtime class of a value (`Class` values dispatch as singletons
+    /// and have no instance class here).
+    pub fn value_class(&self, state: &WorldState, v: &Value) -> Option<ClassId> {
+        let h = &self.table.hierarchy;
+        Some(match v {
+            Value::Nil => h.nil_class(),
+            Value::Bool(_) => h.boolean(),
+            Value::Int(_) => h.integer(),
+            Value::Str(_) => h.string(),
+            Value::Sym(_) => h.symbol(),
+            Value::Hash(_) => h.hash(),
+            Value::Array(_) => h.array(),
+            Value::Obj(r) => state.obj(*r).class,
+            Value::Class(_) => return None,
+        })
+    }
+}
+
+/// A heap object `[A]`: its class, instance variables, and — for model
+/// instances — the database row it fronts.
+#[derive(Clone, Debug)]
+pub struct ObjData {
+    /// Class of the object.
+    pub class: ClassId,
+    /// Instance variables (non-model state).
+    pub ivars: HashMap<Symbol, Value>,
+    /// Model binding: reads/writes of column accessors go through this row.
+    pub row: Option<(TableId, RowId)>,
+}
+
+/// The mutable per-run state: a database snapshot, a heap, and globals.
+///
+/// Built fresh from the environment before each candidate run.
+#[derive(Clone)]
+pub struct WorldState {
+    /// The run's private database.
+    pub db: Database,
+    heap: Vec<ObjData>,
+    /// Global key-value state (simulates app-level singletons like
+    /// Discourse's site settings).
+    pub globals: HashMap<Symbol, Value>,
+}
+
+impl WorldState {
+    /// A fresh state from the environment's database template.
+    pub fn fresh(env: &InterpEnv) -> WorldState {
+        WorldState {
+            db: env.db_template.clone(),
+            heap: Vec::new(),
+            globals: HashMap::new(),
+        }
+    }
+
+    /// Allocates a heap object.
+    pub fn alloc(&mut self, data: ObjData) -> ObjRef {
+        let r = ObjRef(self.heap.len() as u32);
+        self.heap.push(data);
+        r
+    }
+
+    /// Allocates a model instance fronting `row` of `table`.
+    pub fn alloc_model(&mut self, class: ClassId, table: TableId, row: RowId) -> Value {
+        let r = self.alloc(ObjData {
+            class,
+            ivars: HashMap::new(),
+            row: Some((table, row)),
+        });
+        Value::Obj(r)
+    }
+
+    /// Shared access to a heap object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a reference into this heap.
+    pub fn obj(&self, r: ObjRef) -> &ObjData {
+        &self.heap[r.index()]
+    }
+
+    /// Mutable access to a heap object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a reference into this heap.
+    pub fn obj_mut(&mut self, r: ObjRef) -> &mut ObjData {
+        &mut self.heap[r.index()]
+    }
+
+    /// The database row a model value fronts, if any.
+    pub fn model_row(&self, v: &Value) -> Option<(TableId, RowId)> {
+        match v {
+            Value::Obj(r) => self.obj(*r).row,
+            _ => None,
+        }
+    }
+
+    /// Heap size (for tests).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_db::TableSchema;
+    use rbsyn_ty::ClassHierarchy;
+
+    fn env_with_post() -> (InterpEnv, ClassId, TableId) {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("ActiveRecord::Base", None);
+        let post = h.define("Post", Some(base));
+        let table = ClassTable::new(h);
+        let mut db = Database::new();
+        let posts = db.create_table(TableSchema::new("posts", ["title"]));
+        let mut env = InterpEnv::new(table, db);
+        env.register_model(post, posts);
+        (env, post, posts)
+    }
+
+    #[test]
+    fn fresh_state_clones_template() {
+        let (mut env, _, posts) = env_with_post();
+        env.db_template
+            .table_mut(posts)
+            .insert(vec![(Symbol::intern("title"), Value::str("seeded"))]);
+        let s1 = WorldState::fresh(&env);
+        let mut s2 = WorldState::fresh(&env);
+        s2.db.table_mut(posts).insert(vec![]);
+        assert_eq!(s1.db.table(posts).len(), 1);
+        assert_eq!(s2.db.table(posts).len(), 2);
+        assert_eq!(WorldState::fresh(&env).db.table(posts).len(), 1);
+    }
+
+    #[test]
+    fn model_alloc_binds_rows() {
+        let (env, post, posts) = env_with_post();
+        let mut state = WorldState::fresh(&env);
+        let row = state.db.table_mut(posts).insert(vec![]);
+        let v = state.alloc_model(post, posts, row);
+        assert_eq!(state.model_row(&v), Some((posts, row)));
+        assert_eq!(env.value_class(&state, &v), Some(post));
+    }
+
+    #[test]
+    fn value_classes() {
+        let (env, _, _) = env_with_post();
+        let state = WorldState::fresh(&env);
+        let h = &env.table.hierarchy;
+        assert_eq!(env.value_class(&state, &Value::Nil), Some(h.nil_class()));
+        assert_eq!(env.value_class(&state, &Value::Int(3)), Some(h.integer()));
+        assert_eq!(env.value_class(&state, &Value::Class(h.hash())), None);
+    }
+
+    #[test]
+    fn native_lookup_walks_ancestry() {
+        let (mut env, post, _) = env_with_post();
+        let base = env.table.hierarchy.find("ActiveRecord::Base").unwrap();
+        env.register_native(
+            base,
+            MethodKind::Singleton,
+            "exists?",
+            Arc::new(|_, _, _, _| Ok(Value::Bool(true))),
+        );
+        assert!(env
+            .find_native(post, MethodKind::Singleton, Symbol::intern("exists?"))
+            .is_some());
+        assert!(env
+            .find_native(post, MethodKind::Instance, Symbol::intern("exists?"))
+            .is_none());
+    }
+
+    #[test]
+    fn model_table_walks_ancestry() {
+        let (env, post, posts) = env_with_post();
+        assert_eq!(env.model_table(post), Some(posts));
+        let h = &env.table.hierarchy;
+        assert_eq!(env.model_table(h.integer()), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Ergonomic constructors for λ_syn expressions.
+//!
+//! Specs, benchmarks and tests build a lot of AST; these free functions keep
+//! that code close to the Ruby it transliterates:
+//!
+//! ```
+//! use rbsyn_lang::builder::*;
+//! // Post.where(slug: arg1).first
+//! let e = call(call(var("Post"), "where", [hash([("slug", var("arg1"))])]), "first", []);
+//! assert_eq!(e.compact(), "Post.where({slug: arg1}).first");
+//! ```
+
+use crate::ast::Expr;
+use crate::effects::EffectSet;
+use crate::types::Ty;
+use crate::value::{ClassId, Value};
+
+/// `nil` literal.
+pub fn nil() -> Expr {
+    Expr::Lit(Value::Nil)
+}
+
+/// `true` literal.
+pub fn true_() -> Expr {
+    Expr::Lit(Value::Bool(true))
+}
+
+/// `false` literal.
+pub fn false_() -> Expr {
+    Expr::Lit(Value::Bool(false))
+}
+
+/// Integer literal.
+pub fn int(i: i64) -> Expr {
+    Expr::Lit(Value::Int(i))
+}
+
+/// String literal.
+pub fn str_(s: &str) -> Expr {
+    Expr::Lit(Value::str(s))
+}
+
+/// Symbol literal `:s`.
+pub fn sym(s: &str) -> Expr {
+    Expr::Lit(Value::sym(s))
+}
+
+/// Class constant (e.g. the `Post` in `Post.where(...)`).
+pub fn cls(c: ClassId) -> Expr {
+    Expr::Lit(Value::Class(c))
+}
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// Method call `recv.meth(args…)`.
+pub fn call(recv: Expr, meth: &str, args: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::Call {
+        recv: Box::new(recv),
+        meth: meth.into(),
+        args: args.into_iter().collect(),
+    }
+}
+
+/// Statement sequence.
+pub fn seq(es: impl IntoIterator<Item = Expr>) -> Expr {
+    Expr::Seq(es.into_iter().collect())
+}
+
+/// `if cond then then_ else els end`.
+pub fn if_(cond: Expr, then_: Expr, els: Expr) -> Expr {
+    Expr::If {
+        cond: Box::new(cond),
+        then: Box::new(then_),
+        els: Box::new(els),
+    }
+}
+
+/// `let var = val in body` (rendered `var = val; body`).
+pub fn let_(name: &str, val: Expr, body: Expr) -> Expr {
+    Expr::Let {
+        var: name.into(),
+        val: Box::new(val),
+        body: Box::new(body),
+    }
+}
+
+/// Hash literal with symbol keys: `{k: v, …}`.
+pub fn hash<'a>(entries: impl IntoIterator<Item = (&'a str, Expr)>) -> Expr {
+    Expr::HashLit(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.into(), v))
+            .collect(),
+    )
+}
+
+/// Guard negation `!b`.
+pub fn not(b: Expr) -> Expr {
+    Expr::Not(Box::new(b))
+}
+
+/// Guard disjunction `a || b`.
+pub fn or(a: Expr, b: Expr) -> Expr {
+    Expr::Or(Box::new(a), Box::new(b))
+}
+
+/// Typed hole `□:τ`.
+pub fn hole(t: Ty) -> Expr {
+    Expr::Hole(t)
+}
+
+/// Effect hole `◇:ε`.
+pub fn effhole(e: EffectSet) -> Expr {
+    Expr::EffHole(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = if_(
+            call(
+                cls(ClassId::new(0, "Post".into())),
+                "exists?",
+                [hash([("author", var("arg0"))])],
+            ),
+            seq([let_("t0", nil(), var("t0"))]),
+            nil(),
+        );
+        assert!(e.compact().contains("exists?"));
+    }
+
+    #[test]
+    fn literal_builders() {
+        assert_eq!(nil().compact(), "nil");
+        assert_eq!(true_().compact(), "true");
+        assert_eq!(false_().compact(), "false");
+        assert_eq!(int(42).compact(), "42");
+        assert_eq!(str_("hi").compact(), "\"hi\"");
+        assert_eq!(sym("ok").compact(), ":ok");
+    }
+}

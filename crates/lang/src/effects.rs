@@ -1,0 +1,278 @@
+//! The effect syntax `ε ::= • | * | A.* | A.r | ε ∪ ε` of Fig. 3, plus the
+//! implementation's `self` regions (§4).
+//!
+//! An [`EffectSet`] is the canonical union-normal form: a sorted,
+//! deduplicated set of [`Effect`] atoms, with `•` (pure) represented by the
+//! empty set and `*` absorbing everything else. Subsumption `ε₁ ⊆ ε₂`
+//! consults the class lattice and therefore lives in `rbsyn-ty`; the purely
+//! syntactic operations (union, `self`-resolution, the precision-coarsening
+//! transforms of §5.4) live here.
+
+use crate::intern::Symbol;
+use crate::value::ClassId;
+use std::fmt;
+
+/// An atomic effect.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Effect {
+    /// `*` — may touch any state ("impure").
+    Star,
+    /// `A.*` — touches some state of class `A`.
+    ClassStar(ClassId),
+    /// `A.r` — touches the abstract region `r` of class `A`.
+    Region(ClassId, Symbol),
+    /// `self.*` — resolved to the receiver's class at the use site (§4).
+    SelfStar,
+    /// `self.r` — region `r` of the receiver's class.
+    SelfRegion(Symbol),
+}
+
+/// A canonical union of effect atoms; the empty set is `•` (pure).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct EffectSet {
+    atoms: Vec<Effect>,
+}
+
+impl EffectSet {
+    /// `•` — the pure effect.
+    pub fn pure_() -> EffectSet {
+        EffectSet { atoms: Vec::new() }
+    }
+
+    /// `*` — the top effect.
+    pub fn star() -> EffectSet {
+        EffectSet { atoms: vec![Effect::Star] }
+    }
+
+    /// A single-atom effect set.
+    pub fn single(e: Effect) -> EffectSet {
+        EffectSet { atoms: vec![e] }
+    }
+
+    /// Builds a canonical set from arbitrary atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Effect>) -> EffectSet {
+        let mut v: Vec<Effect> = atoms.into_iter().collect();
+        v.sort();
+        v.dedup();
+        if v.contains(&Effect::Star) {
+            return EffectSet::star();
+        }
+        EffectSet { atoms: v }
+    }
+
+    /// Is this `•`?
+    pub fn is_pure(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Is this exactly `*`?
+    pub fn is_star(&self) -> bool {
+        self.atoms == [Effect::Star]
+    }
+
+    /// The atoms, in canonical order.
+    pub fn atoms(&self) -> &[Effect] {
+        &self.atoms
+    }
+
+    /// `ε₁ ∪ ε₂`.
+    pub fn union(&self, other: &EffectSet) -> EffectSet {
+        EffectSet::from_atoms(self.atoms.iter().chain(other.atoms.iter()).copied())
+    }
+
+    /// Unions `other` into `self` in place.
+    pub fn union_in_place(&mut self, other: &EffectSet) {
+        if other.is_pure() {
+            return;
+        }
+        *self = self.union(other);
+    }
+
+    /// Resolves `self.*` / `self.r` atoms against the receiver class `c`
+    /// (the `self` region extension of §4).
+    pub fn resolve_self(&self, c: ClassId) -> EffectSet {
+        EffectSet::from_atoms(self.atoms.iter().map(|a| match a {
+            Effect::SelfStar => Effect::ClassStar(c),
+            Effect::SelfRegion(r) => Effect::Region(c, *r),
+            other => *other,
+        }))
+    }
+
+    /// Does any atom still mention `self`?
+    pub fn mentions_self(&self) -> bool {
+        self.atoms
+            .iter()
+            .any(|a| matches!(a, Effect::SelfStar | Effect::SelfRegion(_)))
+    }
+
+    /// §5.4 "Class Effects": drop region labels, keeping only class names
+    /// (`A.r` becomes `A.*`).
+    pub fn coarsen_to_class(&self) -> EffectSet {
+        EffectSet::from_atoms(self.atoms.iter().map(|a| match a {
+            Effect::Region(c, _) => Effect::ClassStar(*c),
+            Effect::SelfRegion(_) => Effect::SelfStar,
+            other => *other,
+        }))
+    }
+
+    /// §5.4 "Purity Effects": any impure effect becomes `*`.
+    pub fn coarsen_to_purity(&self) -> EffectSet {
+        if self.is_pure() {
+            EffectSet::pure_()
+        } else {
+            EffectSet::star()
+        }
+    }
+}
+
+impl FromIterator<Effect> for EffectSet {
+    fn from_iter<I: IntoIterator<Item = Effect>>(iter: I) -> EffectSet {
+        EffectSet::from_atoms(iter)
+    }
+}
+
+impl fmt::Display for EffectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pure() {
+            return write!(f, "•");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            match a {
+                Effect::Star => write!(f, "*")?,
+                Effect::ClassStar(c) => write!(f, "{c}.∗")?,
+                Effect::Region(c, r) => write!(f, "{c}.{r}")?,
+                Effect::SelfStar => write!(f, "self.∗")?,
+                Effect::SelfRegion(r) => write!(f, "self.{r}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A `⟨ε_r, ε_w⟩` read/write pair, as carried by method annotations and by
+/// `err(ε_r, ε_w)` evaluation results.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EffectPair {
+    /// Read effect `ε_r`.
+    pub read: EffectSet,
+    /// Write effect `ε_w`.
+    pub write: EffectSet,
+}
+
+impl EffectPair {
+    /// `⟨•, •⟩`.
+    pub fn pure_() -> EffectPair {
+        EffectPair::default()
+    }
+
+    /// Builds a pair.
+    pub fn new(read: EffectSet, write: EffectSet) -> EffectPair {
+        EffectPair { read, write }
+    }
+
+    /// Pointwise union (Fig. 3: `⟨ε¹_r,ε¹_w⟩ ∪ ⟨ε²_r,ε²_w⟩`).
+    pub fn union(&self, other: &EffectPair) -> EffectPair {
+        EffectPair {
+            read: self.read.union(&other.read),
+            write: self.write.union(&other.write),
+        }
+    }
+
+    /// Unions in place.
+    pub fn union_in_place(&mut self, other: &EffectPair) {
+        self.read.union_in_place(&other.read);
+        self.write.union_in_place(&other.write);
+    }
+
+    /// Is this `⟨•, •⟩`?
+    pub fn is_pure(&self) -> bool {
+        self.read.is_pure() && self.write.is_pure()
+    }
+
+    /// Resolves `self` atoms in both components.
+    pub fn resolve_self(&self, c: ClassId) -> EffectPair {
+        EffectPair {
+            read: self.read.resolve_self(c),
+            write: self.write.resolve_self(c),
+        }
+    }
+}
+
+impl fmt::Display for EffectPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.read, self.write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(c: u32) -> ClassId {
+        ClassId::new(c, Symbol::intern(&format!("C{c}")))
+    }
+
+    fn region(c: u32, r: &str) -> Effect {
+        Effect::Region(cid(c), Symbol::intern(r))
+    }
+
+    #[test]
+    fn pure_is_empty() {
+        assert!(EffectSet::pure_().is_pure());
+        assert!(!EffectSet::star().is_pure());
+        assert_eq!(EffectSet::pure_().to_string(), "•");
+    }
+
+    #[test]
+    fn star_absorbs() {
+        let e = EffectSet::from_atoms([Effect::Star, region(0, "title")]);
+        assert!(e.is_star());
+    }
+
+    #[test]
+    fn union_is_canonical() {
+        let a = EffectSet::from_atoms([region(0, "title"), region(1, "name")]);
+        let b = EffectSet::from_atoms([region(1, "name"), region(0, "title")]);
+        assert_eq!(a, b);
+        assert_eq!(a.union(&b), a);
+    }
+
+    #[test]
+    fn self_resolution() {
+        let e = EffectSet::from_atoms([Effect::SelfStar, Effect::SelfRegion(Symbol::intern("r"))]);
+        assert!(e.mentions_self());
+        let r = e.resolve_self(cid(3));
+        assert!(!r.mentions_self());
+        assert!(r.atoms().contains(&Effect::ClassStar(cid(3))));
+        assert!(r.atoms().contains(&region(3, "r")));
+    }
+
+    #[test]
+    fn class_coarsening_drops_regions() {
+        let e = EffectSet::from_atoms([region(2, "title")]);
+        assert_eq!(
+            e.coarsen_to_class(),
+            EffectSet::single(Effect::ClassStar(cid(2)))
+        );
+    }
+
+    #[test]
+    fn purity_coarsening() {
+        assert!(EffectSet::pure_().coarsen_to_purity().is_pure());
+        let e = EffectSet::from_atoms([region(2, "title")]);
+        assert!(e.coarsen_to_purity().is_star());
+    }
+
+    #[test]
+    fn pair_union_is_pointwise() {
+        let p1 = EffectPair::new(EffectSet::single(region(0, "a")), EffectSet::pure_());
+        let p2 = EffectPair::new(EffectSet::pure_(), EffectSet::single(region(0, "b")));
+        let u = p1.union(&p2);
+        assert_eq!(u.read, EffectSet::single(region(0, "a")));
+        assert_eq!(u.write, EffectSet::single(region(0, "b")));
+        assert!(EffectPair::pure_().is_pure());
+    }
+}

@@ -1,0 +1,164 @@
+//! Global string interner.
+//!
+//! Identifiers (variables, method names, hash keys, effect regions, class
+//! names) appear everywhere in the synthesizer's inner loop, so they are
+//! interned once into a [`Symbol`] — a `Copy` integer handle with O(1)
+//! equality and hashing. The interner is a process-wide table guarded by a
+//! [`parking_lot::RwLock`]; interning the same string twice returns the same
+//! handle for the lifetime of the process.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string.
+///
+/// Construct with [`Symbol::intern`] (or the `From<&str>` impl) and convert
+/// back with [`Symbol::as_str`]. Symbols are ordered by their *string*
+/// contents so that search exploration order is independent of interning
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use rbsyn_lang::Symbol;
+/// let a = Symbol::intern("title");
+/// let b = Symbol::intern("title");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "title");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its stable handle.
+    pub fn intern(s: &str) -> Symbol {
+        let lock = interner();
+        if let Some(&id) = lock.read().map.get(s) {
+            return Symbol(id);
+        }
+        let mut w = lock.write();
+        if let Some(&id) = w.map.get(s) {
+            return Symbol(id);
+        }
+        // Leaking is fine: the set of identifiers in a synthesis session is
+        // small and bounded by the library surface plus spec text.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = w.strings.len() as u32;
+        w.strings.push(leaked);
+        w.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// Raw handle; exposed for dense indexing in tables.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("foo"), Symbol::intern("bar"));
+    }
+
+    #[test]
+    fn roundtrips_contents() {
+        assert_eq!(Symbol::intern("Post.title").as_str(), "Post.title");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse order to make sure ordering ignores handles.
+        let z = Symbol::intern("zzz_order");
+        let a = Symbol::intern("aaa_order");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::intern("slug");
+        assert_eq!(s.to_string(), "slug");
+        assert_eq!(format!("{s:?}"), "Symbol(\"slug\")");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "x".into();
+        let b: Symbol = String::from("x").into();
+        assert_eq!(a, b);
+    }
+}

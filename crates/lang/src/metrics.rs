@@ -1,0 +1,140 @@
+//! Program metrics used by the search heuristics (§4) and by Table 1.
+//!
+//! * [`node_count`] — AST node count; the implementation's exploration
+//!   order prefers smaller programs ("Program size is calculated as the
+//!   number of AST nodes", §4), and Table 1's "Meth Size" column reports it
+//!   for the synthesized method.
+//! * [`call_size`] — the formal `size` of Fig. 12 (only method calls count);
+//!   used by the `maxSize` bound of Algorithm 2.
+//! * [`path_count`] — number of control-flow paths (1 for straight-line
+//!   code, summed over conditional branches); Table 1's "# Orig Paths" and
+//!   "# Syn Paths" columns.
+
+use crate::ast::{Expr, Program};
+
+/// Number of AST nodes in an expression. Every constructor — including
+/// literals, variables and holes — counts as one node; hash entries count
+/// their value expressions plus one node for the literal itself.
+pub fn node_count(e: &Expr) -> usize {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Hole(_) | Expr::EffHole(_) => 1,
+        Expr::Seq(es) => 1 + es.iter().map(node_count).sum::<usize>(),
+        Expr::Call { recv, args, .. } => {
+            1 + node_count(recv) + args.iter().map(node_count).sum::<usize>()
+        }
+        Expr::If { cond, then, els } => {
+            1 + node_count(cond) + node_count(then) + node_count(els)
+        }
+        Expr::Let { val, body, .. } => 1 + node_count(val) + node_count(body),
+        Expr::HashLit(entries) => 1 + entries.iter().map(|(_, v)| node_count(v)).sum::<usize>(),
+        Expr::Not(b) => 1 + node_count(b),
+        Expr::Or(a, b) => 1 + node_count(a) + node_count(b),
+    }
+}
+
+/// The formal `size` of Fig. 12: method calls contribute 1, everything else
+/// contributes the sum of its children (leaves contribute 0).
+pub fn call_size(e: &Expr) -> usize {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Hole(_) | Expr::EffHole(_) => 0,
+        Expr::Seq(es) => es.iter().map(call_size).sum(),
+        Expr::Call { recv, args, .. } => {
+            1 + call_size(recv) + args.iter().map(call_size).sum::<usize>()
+        }
+        Expr::If { cond, then, els } => call_size(cond) + call_size(then) + call_size(els),
+        Expr::Let { val, body, .. } => call_size(val) + call_size(body),
+        Expr::HashLit(entries) => entries.iter().map(|(_, v)| call_size(v)).sum(),
+        Expr::Not(b) => call_size(b),
+        Expr::Or(a, b) => call_size(a) + call_size(b),
+    }
+}
+
+/// Number of control-flow paths through an expression: conditionals sum
+/// over their branches, sequential composition multiplies.
+pub fn path_count(e: &Expr) -> usize {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Hole(_) | Expr::EffHole(_) => 1,
+        Expr::Seq(es) => es.iter().map(path_count).product(),
+        Expr::Call { recv, args, .. } => {
+            path_count(recv) * args.iter().map(path_count).product::<usize>()
+        }
+        Expr::If { cond, then, els } => {
+            path_count(cond) * (path_count(then) + path_count(els))
+        }
+        Expr::Let { val, body, .. } => path_count(val) * path_count(body),
+        Expr::HashLit(entries) => entries.iter().map(|(_, v)| path_count(v)).product(),
+        Expr::Not(b) => path_count(b),
+        Expr::Or(a, b) => path_count(a) * path_count(b),
+    }
+}
+
+/// [`node_count`] of a program body.
+pub fn program_size(p: &Program) -> usize {
+    node_count(&p.body)
+}
+
+/// [`path_count`] of a program body.
+pub fn program_paths(p: &Program) -> usize {
+    path_count(&p.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::types::Ty;
+
+    #[test]
+    fn node_count_counts_everything() {
+        // Post.where({slug: arg1}).first
+        let e = call(
+            call(var("Post"), "where", [hash([("slug", var("arg1"))])]),
+            "first",
+            [],
+        );
+        // first(1) + where(1) + Post(1) + hash(1) + arg1(1)
+        assert_eq!(node_count(&e), 5);
+    }
+
+    #[test]
+    fn call_size_matches_fig12() {
+        let e = call(
+            call(var("Post"), "where", [hash([("slug", var("arg1"))])]),
+            "first",
+            [],
+        );
+        assert_eq!(call_size(&e), 2); // where + first
+        assert_eq!(call_size(&var("x")), 0);
+        assert_eq!(call_size(&hole(Ty::Int)), 0);
+    }
+
+    #[test]
+    fn straight_line_code_has_one_path() {
+        let e = seq([int(1), call(var("x"), "m", []), var("x")]);
+        assert_eq!(path_count(&e), 1);
+    }
+
+    #[test]
+    fn conditionals_sum_paths() {
+        let one_if = if_(var("b"), int(1), int(0));
+        assert_eq!(path_count(&one_if), 2);
+        let nested = if_(var("b"), one_if.clone(), int(2));
+        assert_eq!(path_count(&nested), 3);
+        let sequenced = seq([one_if.clone(), one_if]);
+        assert_eq!(path_count(&sequenced), 4);
+    }
+
+    #[test]
+    fn program_metrics_delegate_to_body() {
+        let p = crate::Program::new("m", ["x"], if_(var("x"), int(1), int(0)));
+        assert_eq!(program_paths(&p), 2);
+        assert_eq!(program_size(&p), 4);
+    }
+
+    #[test]
+    fn let_and_guard_metrics() {
+        let e = let_("t0", int(1), not(or(var("t0"), false_())));
+        assert_eq!(node_count(&e), 6);
+        assert_eq!(path_count(&e), 1);
+    }
+}

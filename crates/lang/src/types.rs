@@ -1,0 +1,223 @@
+//! The type syntax `τ` of λ_syn (Fig. 3), extended with the forms the
+//! implementation needs (§4): finite hash types, singleton class types and
+//! symbol-literal types.
+//!
+//! Only the *syntax* lives here. Subtyping (`τ₁ ≤ τ₂`) requires the class
+//! lattice and is implemented in `rbsyn-ty`.
+
+use crate::intern::Symbol;
+use crate::value::ClassId;
+use std::fmt;
+
+/// One field of a finite hash type, e.g. the `title: ?Str` in
+/// `{author: ?Str, title: ?Str}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HashField {
+    /// Key symbol.
+    pub key: Symbol,
+    /// Value type.
+    pub ty: Ty,
+    /// Optional keys are written `?τ` in RDL; an optional key may be absent.
+    pub optional: bool,
+}
+
+/// A finite hash type `{k₁: τ₁, k₂: ?τ₂, …}` describing `Hash` instances
+/// with known symbol keys (RDL's finite hash types, §2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FiniteHash {
+    /// Fields in declaration order.
+    pub fields: Vec<HashField>,
+}
+
+impl FiniteHash {
+    /// Builds a finite hash type; fields are kept in the given order.
+    pub fn new(fields: Vec<HashField>) -> FiniteHash {
+        FiniteHash { fields }
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: Symbol) -> Option<&HashField> {
+        self.fields.iter().find(|f| f.key == key)
+    }
+
+    /// All keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.fields.iter().map(|f| f.key)
+    }
+}
+
+/// λ_syn types.
+///
+/// The class lattice has `Nil` as bottom and `Obj` as top (Fig. 3); the
+/// primitive classes (`Bool`, `Int`, `Str`, `Sym`, …) are immediate
+/// subclasses of `Obj`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// `Nil` — the class of `nil`; bottom of the lattice.
+    Nil,
+    /// Booleans (`TrueClass ∪ FalseClass`, collapsed).
+    Bool,
+    /// Integers.
+    Int,
+    /// Strings.
+    Str,
+    /// Any symbol.
+    Sym,
+    /// A specific symbol literal, e.g. `:title`. Subtype of [`Ty::Sym`];
+    /// used to type the key argument of `Hash#[]` during synthesis (§2.1).
+    SymLit(Symbol),
+    /// An instance of class `A` (covers user-defined and model classes).
+    Instance(ClassId),
+    /// The singleton type `Class<A>` of the class object itself, used to
+    /// type constants like `Post` so singleton (class) methods can be
+    /// called on them.
+    SingletonClass(ClassId),
+    /// A finite hash type.
+    FiniteHash(FiniteHash),
+    /// An array whose elements have the given type.
+    Array(Box<Ty>),
+    /// Union `τ ∪ τ`, kept flattened and deduplicated by [`Ty::union`].
+    Union(Vec<Ty>),
+    /// `Obj` — top of the lattice.
+    Obj,
+    /// The type of `err(ε_r, ε_w)` results (Fig. 9). Never inhabited by a
+    /// synthesized term; present so evaluation results are typeable.
+    Err,
+}
+
+impl Ty {
+    /// Builds a flattened, deduplicated union. Unions of zero and one
+    /// element collapse to `Nil` and the element respectively.
+    pub fn union(parts: Vec<Ty>) -> Ty {
+        let mut flat: Vec<Ty> = Vec::new();
+        fn push(flat: &mut Vec<Ty>, t: Ty) {
+            match t {
+                Ty::Union(inner) => {
+                    for i in inner {
+                        push(flat, i);
+                    }
+                }
+                other => {
+                    if !flat.contains(&other) {
+                        flat.push(other);
+                    }
+                }
+            }
+        }
+        for p in parts {
+            push(&mut flat, p);
+        }
+        match flat.len() {
+            0 => Ty::Nil,
+            1 => flat.pop().expect("len checked"),
+            _ => {
+                if flat.contains(&Ty::Obj) {
+                    Ty::Obj
+                } else {
+                    Ty::Union(flat)
+                }
+            }
+        }
+    }
+
+    /// Is this (syntactically) the `Nil` type?
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Ty::Nil)
+    }
+
+    /// Renders the type with a class-name resolver (the lattice lives
+    /// elsewhere, so `Display` alone cannot name classes).
+    pub fn render(&self, resolve: &dyn Fn(ClassId) -> String) -> String {
+        match self {
+            Ty::Nil => "Nil".into(),
+            Ty::Bool => "Bool".into(),
+            Ty::Int => "Int".into(),
+            Ty::Str => "Str".into(),
+            Ty::Sym => "Sym".into(),
+            Ty::SymLit(s) => format!(":{s}"),
+            Ty::Instance(c) => resolve(*c),
+            Ty::SingletonClass(c) => format!("Class<{}>", resolve(*c)),
+            Ty::FiniteHash(fh) => {
+                let fields: Vec<String> = fh
+                    .fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{}: {}{}",
+                            f.key,
+                            if f.optional { "?" } else { "" },
+                            f.ty.render(resolve)
+                        )
+                    })
+                    .collect();
+                format!("{{{}}}", fields.join(", "))
+            }
+            Ty::Array(t) => format!("Array<{}>", t.render(resolve)),
+            Ty::Union(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|p| p.render(resolve)).collect();
+                rendered.join(" ∪ ")
+            }
+            Ty::Obj => "Obj".into(),
+            Ty::Err => "Err".into(),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    /// Renders using the class names carried by [`ClassId`]s.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(&|c| c.name.as_str().to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_flattens_and_dedups() {
+        let t = Ty::union(vec![
+            Ty::Int,
+            Ty::Union(vec![Ty::Str, Ty::Int]),
+            Ty::Str,
+        ]);
+        assert_eq!(t, Ty::Union(vec![Ty::Int, Ty::Str]));
+    }
+
+    #[test]
+    fn union_collapses_singletons() {
+        assert_eq!(Ty::union(vec![Ty::Int]), Ty::Int);
+        assert_eq!(Ty::union(vec![]), Ty::Nil);
+        assert_eq!(Ty::union(vec![Ty::Int, Ty::Int]), Ty::Int);
+    }
+
+    #[test]
+    fn union_absorbs_obj() {
+        assert_eq!(Ty::union(vec![Ty::Int, Ty::Obj]), Ty::Obj);
+    }
+
+    #[test]
+    fn finite_hash_lookup() {
+        let fh = FiniteHash::new(vec![
+            HashField { key: Symbol::intern("a"), ty: Ty::Int, optional: false },
+            HashField { key: Symbol::intern("b"), ty: Ty::Str, optional: true },
+        ]);
+        assert!(fh.field(Symbol::intern("a")).is_some());
+        assert!(fh.field(Symbol::intern("b")).unwrap().optional);
+        assert!(fh.field(Symbol::intern("c")).is_none());
+        assert_eq!(fh.keys().count(), 2);
+    }
+
+    #[test]
+    fn rendering() {
+        let fh = Ty::FiniteHash(FiniteHash::new(vec![HashField {
+            key: Symbol::intern("slug"),
+            ty: Ty::Str,
+            optional: true,
+        }]));
+        assert_eq!(fh.to_string(), "{slug: ?Str}");
+        assert_eq!(Ty::union(vec![Ty::Int, Ty::Nil]).to_string(), "Int ∪ Nil");
+        assert_eq!(Ty::SymLit(Symbol::intern("title")).to_string(), ":title");
+        assert_eq!(Ty::Array(Box::new(Ty::Int)).to_string(), "Array<Int>");
+    }
+}

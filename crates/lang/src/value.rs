@@ -1,0 +1,276 @@
+//! Runtime values of λ_syn.
+//!
+//! The paper's values are `nil | true | false | [A]` (Fig. 3); the
+//! implementation (§4) additionally manipulates integers, strings, symbols
+//! and finite hashes, all of which appear in specs and synthesized code, so
+//! they are first-class here.
+
+use crate::intern::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a class in a `ClassHierarchy` (defined in `rbsyn-ty`).
+///
+/// A `ClassId` is a dense index assigned at class-definition time *plus*
+/// the interned class name: the index drives lattice queries, the name
+/// makes types, effects and synthesized programs render readably
+/// (`Post.exists?` instead of `<class #9>`). Two ids are equal only when
+/// both agree, so ids from different hierarchies never alias.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassId {
+    /// Dense index within the defining hierarchy.
+    pub idx: u32,
+    /// Interned class name.
+    pub name: Symbol,
+}
+
+impl ClassId {
+    /// Builds an id (normally done by the hierarchy).
+    pub fn new(idx: u32, name: Symbol) -> ClassId {
+        ClassId { idx, name }
+    }
+
+    /// Dense index of this class.
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name.as_str())
+    }
+}
+
+/// A reference to an object in a `World` heap (defined in `rbsyn-interp`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjRef(pub u32);
+
+impl ObjRef {
+    /// Dense index of the referenced heap slot.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A λ_syn runtime value.
+///
+/// Equality is *structural* for immediates, hashes and arrays, and
+/// *reference* equality for heap objects; Ruby-level `==` (e.g. ActiveRecord
+/// model equality by primary key) is implemented by native methods in the
+/// interpreter, not here.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// `nil`, the sole inhabitant of class `Nil`.
+    Nil,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Machine integer (Ruby `Integer`, unbounded in Ruby; `i64` here).
+    Int(i64),
+    /// Immutable string. `Arc` keeps candidate evaluation cheap to clone.
+    Str(Arc<str>),
+    /// Interned symbol, e.g. `:title`.
+    Sym(Symbol),
+    /// Insertion-ordered association list, as Ruby hashes are ordered.
+    /// Keys in synthesized code are always symbols, but the representation
+    /// is generic.
+    Hash(Vec<(Value, Value)>),
+    /// Array literal values.
+    Array(Vec<Value>),
+    /// A class used as a value (e.g. the constant `Post` used as the
+    /// receiver of a singleton-method call). Has type `Class<A>`.
+    Class(ClassId),
+    /// Reference to a heap object `[A]`.
+    Obj(ObjRef),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Builds a symbol value.
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Symbol::intern(s))
+    }
+
+    /// Ruby truthiness: everything except `nil` and `false` is truthy.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// Is this `nil`?
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Looks a key up in a hash value (`None` for absent keys or non-hashes).
+    pub fn hash_get(&self, key: &Value) -> Option<&Value> {
+        match self {
+            Value::Hash(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces a hash entry. Panics if `self` is not a hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-hash value; callers in the interpreter
+    /// guarantee the receiver shape.
+    pub fn hash_insert(&mut self, key: Value, value: Value) {
+        match self {
+            Value::Hash(entries) => {
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key, value));
+                }
+            }
+            _ => panic!("hash_insert on non-hash value"),
+        }
+    }
+
+    /// A short class-like tag used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "NilClass",
+            Value::Bool(true) => "TrueClass",
+            Value::Bool(false) => "FalseClass",
+            Value::Int(_) => "Integer",
+            Value::Str(_) => "String",
+            Value::Sym(_) => "Symbol",
+            Value::Hash(_) => "Hash",
+            Value::Array(_) => "Array",
+            Value::Class(_) => "Class",
+            Value::Obj(_) => "Object",
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Nil
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Value {
+        Value::Sym(s)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Ruby `inspect`-style rendering, used by the pretty printer and tests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Sym(s) => write!(f, ":{s}"),
+            Value::Hash(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match k {
+                        Value::Sym(s) => write!(f, "{s}: {v}")?,
+                        other => write!(f, "{other} => {v}")?,
+                    }
+                }
+                write!(f, "}}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Class(c) => write!(f, "{c}"),
+            Value::Obj(o) => write!(f, "<obj #{}>", o.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_ruby() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(0).truthy(), "0 is truthy in Ruby");
+        assert!(Value::str("").truthy(), "empty string is truthy in Ruby");
+    }
+
+    #[test]
+    fn hash_get_and_insert() {
+        let mut h = Value::Hash(vec![(Value::sym("a"), Value::Int(1))]);
+        assert_eq!(h.hash_get(&Value::sym("a")), Some(&Value::Int(1)));
+        assert_eq!(h.hash_get(&Value::sym("b")), None);
+        h.hash_insert(Value::sym("a"), Value::Int(2));
+        h.hash_insert(Value::sym("b"), Value::Int(3));
+        assert_eq!(h.hash_get(&Value::sym("a")), Some(&Value::Int(2)));
+        assert_eq!(h.hash_get(&Value::sym("b")), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn display_is_ruby_like() {
+        let h = Value::Hash(vec![
+            (Value::sym("slug"), Value::str("hello-world")),
+            (Value::sym("n"), Value::Int(3)),
+        ]);
+        assert_eq!(h.to_string(), "{slug: \"hello-world\", n: 3}");
+        assert_eq!(Value::Array(vec![Value::Nil, Value::Bool(true)]).to_string(), "[nil, true]");
+        assert_eq!(Value::sym("ok").to_string(), ":ok");
+    }
+
+    #[test]
+    fn structural_equality_for_immediates() {
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert_ne!(Value::str("a"), Value::str("b"));
+        assert_eq!(Value::sym("a"), Value::sym("a"));
+        assert_ne!(Value::Int(1), Value::Bool(true));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Nil.kind_name(), "NilClass");
+        assert_eq!(Value::Bool(true).kind_name(), "TrueClass");
+        assert_eq!(Value::Hash(vec![]).kind_name(), "Hash");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the λ_syn syntax layer.
+
+use proptest::prelude::*;
+use rbsyn_lang::builder::*;
+use rbsyn_lang::metrics::{call_size, node_count, path_count};
+use rbsyn_lang::{EffectSet, Expr, Ty, Value};
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(nil()),
+        Just(true_()),
+        Just(false_()),
+        any::<i32>().prop_map(|i| int(i as i64)),
+        "[a-z_][a-z0-9_]{0,5}".prop_map(|s| var(&s)),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(|s| str_(&s)),
+        "[a-z]{1,5}".prop_map(|s| sym(&s)),
+        Just(hole(Ty::Int)),
+        Just(effhole(EffectSet::star())),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), "[a-z]{1,4}", prop::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(r, m, a)| call(r, &m, a)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| if_(c, t, e)),
+            ("t[0-9]", inner.clone(), inner.clone()).prop_map(|(n, v, b)| let_(&n, v, b)),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(seq),
+            prop::collection::vec(("[a-z]{1,4}", inner.clone()), 0..3)
+                .prop_map(|kvs| hash(kvs.iter().map(|(k, v)| (k.as_str(), v.clone())))),
+            inner.clone().prop_map(not),
+            (inner.clone(), inner).prop_map(|(a, b)| or(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn node_count_dominates_call_size(e in arb_expr()) {
+        prop_assert!(call_size(&e) <= node_count(&e));
+    }
+
+    #[test]
+    fn hole_detection_is_consistent(e in arb_expr()) {
+        prop_assert_eq!(e.has_holes(), e.hole_count() > 0);
+        prop_assert_eq!(e.evaluable(), !e.has_holes());
+    }
+
+    #[test]
+    fn paths_at_least_one_and_bounded_by_exponent(e in arb_expr()) {
+        let p = path_count(&e);
+        prop_assert!(p >= 1);
+        // Each node can at most double the path count.
+        let bound = 1usize.checked_shl(node_count(&e).min(40) as u32).unwrap_or(usize::MAX);
+        prop_assert!(p <= bound);
+    }
+
+    #[test]
+    fn compact_rendering_is_total_and_deterministic(e in arb_expr()) {
+        let a = e.compact();
+        let b = e.compact();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(!a.is_empty());
+        // Multi-line display is total too.
+        let _ = e.to_string();
+    }
+
+    #[test]
+    fn fresh_temps_never_collide(e in arb_expr()) {
+        let t = e.fresh_temp();
+        // Binding the fresh temp and referencing it must not capture any
+        // existing variable: the temp must not appear in the rendering.
+        let body = e.compact();
+        for tok in body.split(|c: char| !c.is_alphanumeric()) {
+            prop_assert_ne!(tok, t.as_str());
+        }
+    }
+
+    #[test]
+    fn value_display_roundtrips_symbols(s in "[a-z]{1,8}") {
+        let v = Value::sym(&s);
+        prop_assert_eq!(v.to_string(), format!(":{s}"));
+    }
+}

@@ -1,0 +1,145 @@
+//! CNF representation and Tseitin transformation.
+
+use crate::formula::Formula;
+
+/// A literal: a variable with a sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Lit {
+    /// Variable index.
+    pub var: u32,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: u32) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: u32) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF instance: clauses over `num_vars` variables.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: u32,
+    /// The clause set.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Fresh variable.
+    fn fresh(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Tseitin-encodes `f`, returning a CNF equisatisfiable with `f`.
+    ///
+    /// Each connective gets a definition variable; the root literal is
+    /// asserted as a unit clause. Constants fold away before encoding.
+    pub fn from_formula(f: &Formula) -> Cnf {
+        let mut cnf = Cnf { num_vars: f.num_vars(), clauses: Vec::new() };
+        match cnf.encode(f) {
+            Enc::True => {} // trivially satisfiable, no clauses
+            Enc::False => cnf.clauses.push(Vec::new()), // empty clause = UNSAT
+            Enc::Lit(l) => cnf.clauses.push(vec![l]),
+        }
+        cnf
+    }
+
+    fn encode(&mut self, f: &Formula) -> Enc {
+        match f {
+            Formula::True => Enc::True,
+            Formula::False => Enc::False,
+            Formula::Var(v) => Enc::Lit(Lit::pos(*v)),
+            Formula::Not(x) => match self.encode(x) {
+                Enc::True => Enc::False,
+                Enc::False => Enc::True,
+                Enc::Lit(l) => Enc::Lit(l.negate()),
+            },
+            Formula::And(a, b) => {
+                let (ea, eb) = (self.encode(a), self.encode(b));
+                match (ea, eb) {
+                    (Enc::False, _) | (_, Enc::False) => Enc::False,
+                    (Enc::True, e) | (e, Enc::True) => e,
+                    (Enc::Lit(la), Enc::Lit(lb)) => {
+                        let d = Lit::pos(self.fresh());
+                        // d ↔ (la ∧ lb)
+                        self.clauses.push(vec![d.negate(), la]);
+                        self.clauses.push(vec![d.negate(), lb]);
+                        self.clauses.push(vec![la.negate(), lb.negate(), d]);
+                        Enc::Lit(d)
+                    }
+                }
+            }
+            Formula::Or(a, b) => {
+                let (ea, eb) = (self.encode(a), self.encode(b));
+                match (ea, eb) {
+                    (Enc::True, _) | (_, Enc::True) => Enc::True,
+                    (Enc::False, e) | (e, Enc::False) => e,
+                    (Enc::Lit(la), Enc::Lit(lb)) => {
+                        let d = Lit::pos(self.fresh());
+                        // d ↔ (la ∨ lb)
+                        self.clauses.push(vec![d.negate(), la, lb]);
+                        self.clauses.push(vec![la.negate(), d]);
+                        self.clauses.push(vec![lb.negate(), d]);
+                        Enc::Lit(d)
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Enc {
+    True,
+    False,
+    Lit(Lit),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_negate() {
+        let l = Lit::pos(3);
+        assert_eq!(l.negate(), Lit::neg(3));
+        assert_eq!(l.negate().negate(), l);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let t = Cnf::from_formula(&Formula::True);
+        assert!(t.clauses.is_empty());
+        let f = Cnf::from_formula(&Formula::False);
+        assert_eq!(f.clauses, vec![Vec::<Lit>::new()]);
+        // x ∧ ⊤ folds to x.
+        let fx = Cnf::from_formula(&Formula::and(Formula::Var(0), Formula::True));
+        assert_eq!(fx.clauses, vec![vec![Lit::pos(0)]]);
+    }
+
+    #[test]
+    fn tseitin_produces_definitions() {
+        let f = Formula::and(Formula::Var(0), Formula::Var(1));
+        let cnf = Cnf::from_formula(&f);
+        // Three defining clauses + one root unit.
+        assert_eq!(cnf.clauses.len(), 4);
+        assert_eq!(cnf.num_vars, 3);
+    }
+}

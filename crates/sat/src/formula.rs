@@ -1,0 +1,98 @@
+//! Propositional formulas over numbered atoms.
+
+use std::fmt;
+
+/// A propositional formula. Atoms are dense `u32` indices; the synthesizer
+//  maps canonicalized branch-condition strings to atoms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Atom `z_i`.
+    Var(u32),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// `¬f`.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a ∨ b`.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `a ⇒ b`, as `¬a ∨ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::or(Formula::not(a), b)
+    }
+
+    /// Largest atom index + 1 (0 for closed formulas).
+    pub fn num_vars(&self) -> u32 {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Var(v) => v + 1,
+            Formula::Not(f) => f.num_vars(),
+            Formula::And(a, b) | Formula::Or(a, b) => a.num_vars().max(b.num_vars()),
+        }
+    }
+
+    /// Evaluates under an assignment (index = atom).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => assignment[*v as usize],
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Formula::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Var(v) => write!(f, "z{v}"),
+            Formula::Not(x) => write!(f, "¬({x})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_num_vars() {
+        let f = Formula::implies(Formula::Var(0), Formula::or(Formula::Var(1), Formula::False));
+        assert_eq!(f.num_vars(), 2);
+        assert!(f.eval(&[false, false]));
+        assert!(f.eval(&[true, true]));
+        assert!(!f.eval(&[true, false]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::and(Formula::Var(0), Formula::not(Formula::Var(1)));
+        assert_eq!(f.to_string(), "(z0 ∧ ¬(z1))");
+    }
+}

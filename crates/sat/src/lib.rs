@@ -1,0 +1,17 @@
+//! A small, complete SAT solver for the branch-condition implication checks
+//! of §3.3.
+//!
+//! RbSyn maps every unique branch condition `b` to a fresh boolean variable
+//! `z`, encodes `!b` as `¬z` and `b₁ ∨ b₂` as `z₁ ∨ z₂`, and then asks a SAT
+//! solver whether `b₁ ⇒ b₂` is valid — i.e. whether `b₁ ∧ ¬b₂` is
+//! unsatisfiable. The formulas are tiny (a handful of atoms), so a DPLL
+//! solver with unit propagation is more than enough; completeness is what
+//! matters, since both SAT and UNSAT answers drive merge decisions.
+
+pub mod cnf;
+pub mod formula;
+pub mod solver;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use formula::Formula;
+pub use solver::{is_satisfiable, is_valid_implication, Solver};

@@ -1,0 +1,196 @@
+//! DPLL with unit propagation.
+
+use crate::cnf::{Cnf, Lit};
+use crate::formula::Formula;
+
+/// Assignment state per variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Assign {
+    Unset,
+    True,
+    False,
+}
+
+/// A DPLL solver over one CNF instance.
+pub struct Solver {
+    cnf: Cnf,
+    assign: Vec<Assign>,
+}
+
+impl Solver {
+    /// Builds a solver for `cnf`.
+    pub fn new(cnf: Cnf) -> Solver {
+        let n = cnf.num_vars as usize;
+        Solver { cnf, assign: vec![Assign::Unset; n] }
+    }
+
+    fn lit_value(&self, l: Lit) -> Assign {
+        match (self.assign[l.var as usize], l.positive) {
+            (Assign::Unset, _) => Assign::Unset,
+            (Assign::True, true) | (Assign::False, false) => Assign::True,
+            _ => Assign::False,
+        }
+    }
+
+    /// Unit propagation: returns `false` on conflict; records assigned vars
+    /// in `trail`.
+    fn propagate(&mut self, trail: &mut Vec<u32>) -> bool {
+        loop {
+            let mut changed = false;
+            for ci in 0..self.cnf.clauses.len() {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &l in &self.cnf.clauses[ci] {
+                    match self.lit_value(l) {
+                        Assign::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Assign::Unset => {
+                            unassigned_count += 1;
+                            unassigned = Some(l);
+                        }
+                        Assign::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match (unassigned_count, unassigned) {
+                    (0, _) => return false, // conflict: all literals false
+                    (1, Some(l)) => {
+                        self.assign[l.var as usize] =
+                            if l.positive { Assign::True } else { Assign::False };
+                        trail.push(l.var);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn undo(&mut self, trail: &[u32]) {
+        for &v in trail {
+            self.assign[v as usize] = Assign::Unset;
+        }
+    }
+
+    /// Is the instance satisfiable?
+    pub fn solve(&mut self) -> bool {
+        let mut trail = Vec::new();
+        if !self.propagate(&mut trail) {
+            self.undo(&trail);
+            return false;
+        }
+        let next = self.assign.iter().position(|a| *a == Assign::Unset);
+        let Some(v) = next else {
+            self.undo(&trail);
+            return true; // complete assignment, no conflict
+        };
+        for choice in [Assign::True, Assign::False] {
+            self.assign[v] = choice;
+            if self.solve() {
+                self.assign[v] = Assign::Unset;
+                self.undo(&trail);
+                return true;
+            }
+            self.assign[v] = Assign::Unset;
+        }
+        self.undo(&trail);
+        false
+    }
+}
+
+/// Is `f` satisfiable?
+pub fn is_satisfiable(f: &Formula) -> bool {
+    Solver::new(Cnf::from_formula(f)).solve()
+}
+
+/// Is `a ⇒ b` valid? Checked as UNSAT(`a ∧ ¬b`) — the §3.3 implication
+/// check over the boolean skeleton of branch conditions.
+pub fn is_valid_implication(a: &Formula, b: &Formula) -> bool {
+    !is_satisfiable(&Formula::and(a.clone(), Formula::not(b.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula as F;
+
+    #[test]
+    fn trivial_instances() {
+        assert!(is_satisfiable(&F::True));
+        assert!(!is_satisfiable(&F::False));
+        assert!(is_satisfiable(&F::Var(0)));
+        assert!(!is_satisfiable(&F::and(F::Var(0), F::not(F::Var(0)))));
+    }
+
+    #[test]
+    fn implication_basics() {
+        // b ⇒ true, false ⇒ b, b ⇒ b.
+        assert!(is_valid_implication(&F::Var(0), &F::True));
+        assert!(is_valid_implication(&F::False, &F::Var(0)));
+        assert!(is_valid_implication(&F::Var(0), &F::Var(0)));
+        // z0 does not imply z1.
+        assert!(!is_valid_implication(&F::Var(0), &F::Var(1)));
+        // z0 ⇒ z0 ∨ z1 (the Rule-2 disjunction shape).
+        assert!(is_valid_implication(&F::Var(0), &F::or(F::Var(0), F::Var(1))));
+        // z0 ∧ z1 ⇒ z0.
+        assert!(is_valid_implication(&F::and(F::Var(0), F::Var(1)), &F::Var(0)));
+        // ¬z0 vs z0 are not in implication either way.
+        assert!(!is_valid_implication(&F::not(F::Var(0)), &F::Var(0)));
+        assert!(!is_valid_implication(&F::Var(0), &F::not(F::Var(0))));
+    }
+
+    #[test]
+    fn branch_condition_shapes() {
+        // The §2.2 scenario: b and !b — the merge rules ask whether
+        // b1 ⇒ b2 where b2 = ¬b1; must be invalid.
+        let b = F::Var(0);
+        let nb = F::not(F::Var(0));
+        assert!(!is_valid_implication(&b, &nb));
+        // true ⇒ true holds (what makes Rule 3 fire for trivial guards).
+        assert!(is_valid_implication(&F::True, &F::True));
+        // (b1 ∨ b2) ⇒ b1 is invalid.
+        assert!(!is_valid_implication(&F::or(F::Var(0), F::Var(1)), &F::Var(0)));
+    }
+
+    /// Brute-force reference check on all 3-variable formulas of a fixed
+    /// shape grammar, depth ≤ 3.
+    #[test]
+    fn agrees_with_truth_tables() {
+        fn gen(depth: usize) -> Vec<F> {
+            if depth == 0 {
+                return vec![F::Var(0), F::Var(1), F::Var(2), F::True, F::False];
+            }
+            let sub = gen(depth - 1);
+            let mut out = Vec::new();
+            for (i, a) in sub.iter().enumerate() {
+                out.push(F::not(a.clone()));
+                // Pair with a small sample to keep the test fast.
+                for b in sub.iter().skip(i % 3).step_by(3) {
+                    out.push(F::and(a.clone(), b.clone()));
+                    out.push(F::or(a.clone(), b.clone()));
+                }
+            }
+            out
+        }
+        fn brute_sat(f: &F) -> bool {
+            for bits in 0..8u32 {
+                let assignment = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+                if f.eval(&assignment) {
+                    return true;
+                }
+            }
+            false
+        }
+        for f in gen(2) {
+            assert_eq!(is_satisfiable(&f), brute_sat(&f), "disagreement on {f}");
+        }
+    }
+}

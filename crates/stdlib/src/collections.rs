@@ -1,0 +1,176 @@
+//! `Hash` and `Array` methods, including the comp-typed `Hash#[]` and
+//! `Array#first`/`last` that the search resolves against *seed* receiver
+//! types (§4: comp types narrow as receivers concretize).
+
+use crate::core_types::{nat, need};
+use crate::{eff, ruby_eq, EnvBuilder};
+use rbsyn_lang::{Symbol, Ty, Value};
+use rbsyn_ty::CompType;
+use rbsyn_ty::EnumerateAt::OwnerOnly;
+use rbsyn_ty::MethodKind::Instance;
+
+fn as_hash(v: &Value, name: &str) -> Result<Vec<(Value, Value)>, rbsyn_interp::RuntimeError> {
+    match v {
+        Value::Hash(h) => Ok(h.clone()),
+        _ => Err(rbsyn_interp::RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "Hash",
+        }),
+    }
+}
+
+fn as_array(v: &Value, name: &str) -> Result<Vec<Value>, rbsyn_interp::RuntimeError> {
+    match v {
+        Value::Array(a) => Ok(a.clone()),
+        _ => Err(rbsyn_interp::RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "Array",
+        }),
+    }
+}
+
+pub(crate) fn install(b: &mut EnvBuilder) {
+    let h = b.hierarchy();
+    let (hash, array) = (h.hash(), h.array());
+
+    // ───────────────────────── Hash ─────────────────────────
+    b.comp_method(hash, Instance, "[]", CompType::HashGet, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "[]")?;
+            Ok(r.hash_get(&a[0]).cloned().unwrap_or(Value::Nil))
+        }));
+    b.comp_method(hash, Instance, "fetch", CompType::HashGet, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "fetch")?;
+            r.hash_get(&a[0]).cloned().ok_or_else(|| {
+                rbsyn_interp::RuntimeError::Other(format!("key not found: {}", a[0]))
+            })
+        }));
+    b.method(hash, Instance, "key?", vec![Ty::Sym], Ty::Bool, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "key?")?;
+            Ok(Value::Bool(r.hash_get(&a[0]).is_some()))
+        }));
+    b.method(hash, Instance, "has_key?", vec![Ty::Sym], Ty::Bool, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "has_key?")?;
+            Ok(Value::Bool(r.hash_get(&a[0]).is_some()))
+        }));
+    b.method(hash, Instance, "empty?", vec![], Ty::Bool, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "empty?")?; Ok(Value::Bool(as_hash(r, "empty?")?.is_empty())) }));
+    b.method(hash, Instance, "size", vec![], Ty::Int, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "size")?; Ok(Value::Int(as_hash(r, "size")?.len() as i64)) }));
+    b.method(hash, Instance, "length", vec![], Ty::Int, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "length")?; Ok(Value::Int(as_hash(r, "length")?.len() as i64)) }));
+    b.method(
+        hash, Instance, "keys",
+        vec![], Ty::Array(Box::new(Ty::Sym)), eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "keys")?;
+            Ok(Value::Array(as_hash(r, "keys")?.into_iter().map(|(k, _)| k).collect()))
+        }),
+    );
+    b.method(
+        hash, Instance, "merge",
+        vec![Ty::Instance(hash)], Ty::Instance(hash), eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "merge")?;
+            let mut out = Value::Hash(as_hash(r, "merge")?);
+            for (k, v) in as_hash(&a[0], "merge")? {
+                out.hash_insert(k, v);
+            }
+            Ok(out)
+        }),
+    );
+
+    // ───────────────────────── Array ─────────────────────────
+    b.comp_method(array, Instance, "first", CompType::ArrayElem, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "first")?;
+            Ok(as_array(r, "first")?.first().cloned().unwrap_or(Value::Nil))
+        }));
+    b.comp_method(array, Instance, "last", CompType::ArrayElem, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "last")?;
+            Ok(as_array(r, "last")?.last().cloned().unwrap_or(Value::Nil))
+        }));
+    b.method(array, Instance, "size", vec![], Ty::Int, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "size")?; Ok(Value::Int(as_array(r, "size")?.len() as i64)) }));
+    b.method(array, Instance, "length", vec![], Ty::Int, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "length")?; Ok(Value::Int(as_array(r, "length")?.len() as i64)) }));
+    b.method(array, Instance, "count", vec![], Ty::Int, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "count")?; Ok(Value::Int(as_array(r, "count")?.len() as i64)) }));
+    b.method(array, Instance, "empty?", vec![], Ty::Bool, eff::pure(), OwnerOnly,
+        nat(|_, _, r, a| { need(a, 0, "empty?")?; Ok(Value::Bool(as_array(r, "empty?")?.is_empty())) }));
+    b.method(array, Instance, "include?", vec![Ty::Obj], Ty::Bool, eff::pure(), OwnerOnly,
+        nat(|_, st, r, a| {
+            need(a, 1, "include?")?;
+            Ok(Value::Bool(as_array(r, "include?")?.iter().any(|v| ruby_eq(st, v, &a[0]))))
+        }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::eval::Locals;
+    use rbsyn_interp::{Evaluator, RuntimeError, WorldState};
+    use rbsyn_lang::builder::*;
+    use rbsyn_lang::Expr;
+
+    fn eval(e: &Expr) -> Result<Value, RuntimeError> {
+        let env = EnvBuilder::with_stdlib().finish();
+        let mut state = WorldState::fresh(&env);
+        let mut ev = Evaluator::new(&env, &mut state);
+        ev.eval(&mut Locals::new(), e)
+    }
+
+    #[test]
+    fn hash_access() {
+        let h = hash([("a", int(1)), ("b", str_("x"))]);
+        assert_eq!(eval(&call(h.clone(), "[]", [sym("a")])).unwrap(), Value::Int(1));
+        assert_eq!(eval(&call(h.clone(), "[]", [sym("z")])).unwrap(), Value::Nil);
+        assert_eq!(eval(&call(h.clone(), "fetch", [sym("b")])).unwrap(), Value::str("x"));
+        assert!(eval(&call(h.clone(), "fetch", [sym("z")])).is_err());
+        assert_eq!(eval(&call(h.clone(), "key?", [sym("a")])).unwrap(), Value::Bool(true));
+        assert_eq!(eval(&call(h.clone(), "size", [])).unwrap(), Value::Int(2));
+        assert_eq!(eval(&call(h, "empty?", [])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn hash_merge_overrides() {
+        let merged = eval(&call(
+            hash([("a", int(1)), ("b", int(2))]),
+            "merge",
+            [hash([("b", int(3))])],
+        ))
+        .unwrap();
+        assert_eq!(merged.hash_get(&Value::sym("a")), Some(&Value::Int(1)));
+        assert_eq!(merged.hash_get(&Value::sym("b")), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn hash_keys_preserve_order() {
+        let keys = eval(&call(hash([("z", int(1)), ("a", int(2))]), "keys", [])).unwrap();
+        assert_eq!(keys, Value::Array(vec![Value::sym("z"), Value::sym("a")]));
+    }
+
+    #[test]
+    fn array_queries() {
+        // Arrays only arise from library calls; build one via Hash#keys.
+        let arr = call(hash([("a", int(1)), ("b", int(2))]), "keys", []);
+        assert_eq!(eval(&call(arr.clone(), "first", [])).unwrap(), Value::sym("a"));
+        assert_eq!(eval(&call(arr.clone(), "last", [])).unwrap(), Value::sym("b"));
+        assert_eq!(eval(&call(arr.clone(), "size", [])).unwrap(), Value::Int(2));
+        assert_eq!(eval(&call(arr.clone(), "empty?", [])).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&call(arr, "include?", [sym("b")])).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn empty_array_first_is_nil() {
+        let arr = call(hash([]), "keys", []);
+        assert_eq!(eval(&call(arr, "first", [])).unwrap(), Value::Nil);
+    }
+}

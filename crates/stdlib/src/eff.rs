@@ -1,0 +1,68 @@
+//! Shorthand constructors for effect annotations, mirroring the RDL
+//! annotation syntax the paper extends (§4): `read: ['Post.title']`,
+//! `write: ['self']`, etc.
+
+use rbsyn_lang::{ClassId, Effect, EffectPair, EffectSet, Symbol};
+
+/// `⟨•, •⟩` — a pure method.
+pub fn pure() -> EffectPair {
+    EffectPair::pure_()
+}
+
+/// Read-only effect pair.
+pub fn reads(e: EffectSet) -> EffectPair {
+    EffectPair::new(e, EffectSet::pure_())
+}
+
+/// Write-only effect pair.
+pub fn writes(e: EffectSet) -> EffectPair {
+    EffectPair::new(EffectSet::pure_(), e)
+}
+
+/// Read/write effect pair.
+pub fn reads_writes(r: EffectSet, w: EffectSet) -> EffectPair {
+    EffectPair::new(r, w)
+}
+
+/// The `self` region `self.*` (reads/writes the receiver's class state).
+pub fn self_star() -> EffectSet {
+    EffectSet::single(Effect::SelfStar)
+}
+
+/// A `self.r` region.
+pub fn self_region(r: &str) -> EffectSet {
+    EffectSet::single(Effect::SelfRegion(Symbol::intern(r)))
+}
+
+/// A concrete `A.r` region.
+pub fn region(class: ClassId, r: &str) -> EffectSet {
+    EffectSet::single(Effect::Region(class, Symbol::intern(r)))
+}
+
+/// A concrete `A.*` region.
+pub fn class_star(class: ClassId) -> EffectSet {
+    EffectSet::single(Effect::ClassStar(class))
+}
+
+/// The top effect `*`.
+pub fn star() -> EffectSet {
+    EffectSet::star()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_shape_pairs() {
+        assert!(pure().is_pure());
+        let p = reads(self_star());
+        assert!(!p.read.is_pure());
+        assert!(p.write.is_pure());
+        let w = writes(star());
+        assert!(w.read.is_pure());
+        assert!(w.write.is_star());
+        let rw = reads_writes(self_star(), self_star());
+        assert!(!rw.read.is_pure() && !rw.write.is_pure());
+    }
+}

@@ -1,0 +1,92 @@
+//! App-global singleton state with per-field region effects.
+//!
+//! Several app benchmarks have "side effects due to … reading and writing
+//! globals" (§5.1) — Discourse's `SiteSetting`, Gitlab application
+//! settings, Diaspora pod state. [`define_global`] creates a class whose
+//! singleton getters/setters read/write interpreter globals under region
+//! effects `Name.field`, so effect-guided synthesis can target them exactly
+//! like database columns.
+
+use crate::core_types::{nat, need};
+use crate::{eff, EnvBuilder};
+use rbsyn_lang::{ClassId, Symbol, Ty, Value};
+use rbsyn_ty::EnumerateAt::OwnerOnly;
+use rbsyn_ty::MethodKind::Singleton;
+
+pub(crate) fn define_global(b: &mut EnvBuilder, name: &str, fields: &[(&str, Ty)]) -> ClassId {
+    let class = b.hierarchy_mut().define(name, None);
+    for (field, ty) in fields {
+        let key = Symbol::intern(&format!("{name}.{field}"));
+        b.method(class, Singleton, field, vec![], ty.clone(),
+            eff::reads(eff::region(class, field)), OwnerOnly,
+            nat(move |_, st, _, a| {
+                need(a, 0, "global read")?;
+                Ok(st.globals.get(&key).cloned().unwrap_or(Value::Nil))
+            }));
+        let setter = format!("{field}=");
+        b.method(class, Singleton, &setter, vec![ty.clone()], ty.clone(),
+            eff::writes(eff::region(class, field)), OwnerOnly,
+            nat(move |_, st, _, a| {
+                need(a, 1, "global write")?;
+                st.globals.insert(key, a[0].clone());
+                Ok(a[0].clone())
+            }));
+    }
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::eval::Locals;
+    use rbsyn_interp::{Evaluator, WorldState};
+    use rbsyn_lang::builder::*;
+
+    #[test]
+    fn globals_read_and_write_with_region_effects() {
+        let mut b = EnvBuilder::with_stdlib();
+        let settings = b.define_global("SiteSetting", &[("notice", Ty::Str)]);
+        let env = b.finish();
+        let mut st = WorldState::fresh(&env);
+        let mut ev = Evaluator::new(&env, &mut st);
+        let mut locals = Locals::new();
+        // Unset reads are nil.
+        assert_eq!(
+            ev.eval(&mut locals, &call(cls(settings), "notice", [])).unwrap(),
+            Value::Nil
+        );
+        ev.eval(&mut locals, &call(cls(settings), "notice=", [str_("hi")])).unwrap();
+        assert_eq!(
+            ev.eval(&mut locals, &call(cls(settings), "notice", [])).unwrap(),
+            Value::str("hi")
+        );
+        // Annotation check: writer has the write region.
+        let (r, _) = env
+            .table
+            .lookup(settings, rbsyn_ty::MethodKind::Singleton, Symbol::intern("notice="))
+            .unwrap();
+        let effp = env.table.effect_of(r, settings);
+        assert_eq!(
+            effp.write,
+            rbsyn_lang::EffectSet::single(rbsyn_lang::Effect::Region(settings, Symbol::intern("notice")))
+        );
+    }
+
+    #[test]
+    fn globals_reset_between_worlds() {
+        let mut b = EnvBuilder::with_stdlib();
+        let settings = b.define_global("SiteSetting", &[("flag", Ty::Bool)]);
+        let env = b.finish();
+        {
+            let mut st = WorldState::fresh(&env);
+            let mut ev = Evaluator::new(&env, &mut st);
+            ev.eval(&mut Locals::new(), &call(cls(settings), "flag=", [true_()])).unwrap();
+        }
+        let mut st2 = WorldState::fresh(&env);
+        let mut ev2 = Evaluator::new(&env, &mut st2);
+        assert_eq!(
+            ev2.eval(&mut Locals::new(), &call(cls(settings), "flag", [])).unwrap(),
+            Value::Nil
+        );
+    }
+}

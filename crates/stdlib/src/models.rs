@@ -1,0 +1,187 @@
+//! Model definition: class + schema + table + generated accessors.
+//!
+//! Mirrors the paper's extension of RDL's *type generating annotations* to
+//! also generate effects (§5.1): for a column `title` of model `Post`, the
+//! reader `Post#title` gets read effect `Post.title` and the writer
+//! `Post#title=` the corresponding write effect. Writers are write-through
+//! to the backing row (the substrate's equivalent of
+//! `update_attribute`), which keeps candidate behaviour observable through
+//! subsequent reads — the property effect-guided synthesis relies on.
+
+use crate::core_types::{nat, need};
+use crate::{eff, ruby_eq, EnvBuilder};
+use rbsyn_db::TableSchema;
+use rbsyn_interp::RuntimeError;
+use rbsyn_lang::{ClassId, Symbol, Ty, Value};
+use rbsyn_ty::EnumerateAt::OwnerOnly;
+use rbsyn_ty::MethodKind::Instance;
+use rbsyn_ty::Schema;
+
+pub(crate) fn define_model_with(
+    b: &mut EnvBuilder,
+    name: &str,
+    columns: &[(&str, Ty)],
+    generate_writers: bool,
+) -> ClassId {
+    let base = b.ar_base;
+    let class = b.hierarchy_mut().define(name, Some(base));
+    let schema = Schema::new(
+        columns
+            .iter()
+            .map(|(c, t)| (Symbol::intern(c), t.clone()))
+            .collect(),
+    );
+    // Backing table: all schema columns except the implicit id.
+    let table_name = format!("{}s", name.to_lowercase());
+    let cols: Vec<&str> = schema
+        .columns
+        .iter()
+        .filter(|(c, _)| c.as_str() != "id")
+        .map(|(c, _)| c.as_str())
+        .collect();
+    let table = b.create_table(TableSchema::new(&table_name, cols));
+    b.set_schema(class, schema.clone());
+    b.bind_model(class, table);
+
+    // Generated column accessors with per-column region effects.
+    for (col, ty) in &schema.columns {
+        let col = *col;
+        let reader_col = col;
+        b.method(class, Instance, col.as_str(), vec![], ty.clone(),
+            eff::reads(eff::region(class, col.as_str())), OwnerOnly,
+            nat(move |_, st, r, a| {
+                need(a, 0, reader_col.as_str())?;
+                let Value::Obj(o) = r else {
+                    return Err(RuntimeError::TypeMismatch { name: reader_col, expected: "model instance" });
+                };
+                let (t, row) = st.obj(*o).row.ok_or_else(|| {
+                    RuntimeError::RecordError("attribute read on unpersisted object".into())
+                })?;
+                // Reads of deleted rows yield nil (stale-attribute reads in
+                // Rails would return cached values; nil keeps specs honest).
+                Ok(st.db.table(t).get_value(row, reader_col).unwrap_or(Value::Nil))
+            }));
+        if col.as_str() == "id" || !generate_writers {
+            continue; // primary keys (and writer-less models) have no writer
+        }
+        let writer_name = format!("{col}=");
+        let writer_col = col;
+        b.method(class, Instance, &writer_name, vec![ty.clone()], ty.clone(),
+            eff::writes(eff::region(class, col.as_str())), OwnerOnly,
+            nat(move |_, st, r, a| {
+                need(a, 1, writer_col.as_str())?;
+                let Value::Obj(o) = r else {
+                    return Err(RuntimeError::TypeMismatch { name: writer_col, expected: "model instance" });
+                };
+                let (t, row) = st.obj(*o).row.ok_or_else(|| {
+                    RuntimeError::RecordError("attribute write on unpersisted object".into())
+                })?;
+                if !st.db.table_mut(t).set(row, writer_col, a[0].clone()) {
+                    return Err(RuntimeError::RecordError(format!("cannot write {writer_col}")));
+                }
+                Ok(a[0].clone())
+            }));
+    }
+
+    // Model equality: same primary key (ActiveRecord semantics). Reads the
+    // id region of both sides.
+    b.method(class, Instance, "==", vec![Ty::Instance(class)], Ty::Bool,
+        eff::reads(eff::region(class, "id")), OwnerOnly,
+        nat(|_, st, r, a| {
+            need(a, 1, "==")?;
+            Ok(Value::Bool(ruby_eq(st, r, &a[0])))
+        }));
+    b.method(class, Instance, "!=", vec![Ty::Instance(class)], Ty::Bool,
+        eff::reads(eff::region(class, "id")), OwnerOnly,
+        nat(|_, st, r, a| {
+            need(a, 1, "!=")?;
+            Ok(Value::Bool(!ruby_eq(st, r, &a[0])))
+        }));
+
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::eval::Locals;
+    use rbsyn_interp::{Evaluator, InterpEnv, WorldState};
+    use rbsyn_lang::builder::*;
+    use rbsyn_lang::Expr;
+    use rbsyn_ty::MethodKind;
+
+    fn blog() -> (InterpEnv, ClassId) {
+        let mut b = EnvBuilder::with_stdlib();
+        let post = b.define_model("Post", &[("author", Ty::Str), ("title", Ty::Str)]);
+        (b.finish(), post)
+    }
+
+    fn eval_in(env: &InterpEnv, st: &mut WorldState, e: &Expr) -> Result<Value, RuntimeError> {
+        Evaluator::new(env, st).eval(&mut Locals::new(), e)
+    }
+
+    #[test]
+    fn accessors_read_and_write_through() {
+        let (env, post) = blog();
+        let mut st = WorldState::fresh(&env);
+        let e = let_(
+            "t0",
+            call(cls(post), "create", [hash([("title", str_("Hello"))])]),
+            seq([
+                call(var("t0"), "title=", [str_("Changed")]),
+                call(var("t0"), "title", []),
+            ]),
+        );
+        assert_eq!(eval_in(&env, &mut st, &e).unwrap(), Value::str("Changed"));
+        // And the write is visible through a *fresh* query (write-through).
+        let q = call(call(cls(post), "where", [hash([("title", str_("Changed"))])]), "size", []);
+        assert_eq!(eval_in(&env, &mut st, &q).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn id_reader_exists_but_no_writer() {
+        let (env, post) = blog();
+        assert!(env.table.lookup(post, MethodKind::Instance, Symbol::intern("id")).is_some());
+        assert!(env.table.lookup(post, MethodKind::Instance, Symbol::intern("id=")).is_none());
+    }
+
+    #[test]
+    fn model_equality_by_primary_key() {
+        let (env, post) = blog();
+        let mut st = WorldState::fresh(&env);
+        let e = let_(
+            "a",
+            call(cls(post), "create", [hash([("title", str_("x"))])]),
+            let_(
+                "b",
+                call(call(cls(post), "where", [hash([("title", str_("x"))])]), "first", []),
+                call(var("a"), "==", [var("b")]),
+            ),
+        );
+        assert_eq!(eval_in(&env, &mut st, &e).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn accessor_annotations_are_column_regions() {
+        let (env, post) = blog();
+        let (r, _) = env.table.lookup(post, MethodKind::Instance, Symbol::intern("title=")).unwrap();
+        let effp = env.table.effect_of(r, post);
+        assert!(effp.read.is_pure());
+        assert_eq!(
+            effp.write,
+            rbsyn_lang::EffectSet::single(rbsyn_lang::Effect::Region(post, Symbol::intern("title")))
+        );
+    }
+
+    #[test]
+    fn reads_of_deleted_rows_are_nil() {
+        let (env, post) = blog();
+        let mut st = WorldState::fresh(&env);
+        let e = let_(
+            "t0",
+            call(cls(post), "create", [hash([("title", str_("x"))])]),
+            seq([call(var("t0"), "destroy", []), call(var("t0"), "title", [])]),
+        );
+        assert_eq!(eval_in(&env, &mut st, &e).unwrap(), Value::Nil);
+    }
+}

@@ -1,0 +1,222 @@
+//! Operational-semantics integration tests: the behaviours of Fig. 9/10
+//! that the synthesizer depends on, exercised through the public API.
+
+use rbsyn_interp::eval::Locals;
+use rbsyn_interp::{
+    run_spec, Evaluator, InterpEnv, PreparedSpec, RuntimeError, SetupStep, Spec, SpecOutcome,
+    WorldState,
+};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{Effect, EffectPair, EffectSet, Program, Symbol, Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+fn blog() -> (InterpEnv, rbsyn_lang::ClassId) {
+    let mut b = EnvBuilder::with_stdlib();
+    let post = b.define_model(
+        "Post",
+        &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+    );
+    (b.finish(), post)
+}
+
+#[test]
+fn effect_collection_matches_the_annotations_read() {
+    // assert `xr.title == "T"` reads exactly Post.title (plus the pure ==).
+    let (env, post) = blog();
+    let spec = Spec::new(
+        "title must be T",
+        vec![
+            SetupStep::Exec(call(cls(post), "create", [hash([("title", str_("X"))])])),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![call(call(var("xr"), "title", []), "==", [str_("T")])],
+    );
+    let candidate = Program::new("m", [], call(cls(post), "first", []));
+    match run_spec(&env, &spec, &candidate) {
+        SpecOutcome::Failed { passed, effects } => {
+            assert_eq!(passed, 0);
+            assert_eq!(
+                effects.read,
+                EffectSet::single(Effect::Region(post, Symbol::intern("title")))
+            );
+            assert!(effects.write.is_pure());
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn failing_later_asserts_report_only_their_own_effects() {
+    // First assert passes reading Post.author; second fails reading
+    // Post.slug — only the slug region must be reported (E-SeqVal resets).
+    let (env, post) = blog();
+    let spec = Spec::new(
+        "author ok, slug wrong",
+        vec![
+            SetupStep::Exec(call(
+                cls(post),
+                "create",
+                [hash([("author", str_("a")), ("slug", str_("s"))])],
+            )),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![
+            call(call(var("xr"), "author", []), "==", [str_("a")]),
+            call(call(var("xr"), "slug", []), "==", [str_("WRONG")]),
+        ],
+    );
+    let candidate = Program::new("m", [], call(cls(post), "first", []));
+    match run_spec(&env, &spec, &candidate) {
+        SpecOutcome::Failed { passed, effects } => {
+            assert_eq!(passed, 1);
+            assert_eq!(
+                effects.read,
+                EffectSet::single(Effect::Region(post, Symbol::intern("slug")))
+            );
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn candidate_writes_are_visible_to_asserts_within_one_run_only() {
+    let (env, post) = blog();
+    let spec = Spec::new(
+        "candidate must set the title",
+        vec![
+            SetupStep::Bind(
+                "p".into(),
+                call(cls(post), "create", [hash([("title", str_("old"))])]),
+            ),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![call(call(var("p"), "title", []), "==", [str_("new")])],
+    );
+    let writer = Program::new(
+        "m",
+        [],
+        call(call(cls(post), "first", []), "title=", [str_("new")]),
+    );
+    // Passes, repeatedly — each run starts from the snapshot, so state
+    // never leaks across candidate evaluations.
+    for _ in 0..3 {
+        assert!(run_spec(&env, &spec, &writer).passed());
+    }
+    let noop = Program::new("m", [], nil());
+    assert!(!run_spec(&env, &spec, &noop).passed());
+}
+
+#[test]
+fn prepared_specs_replay_deterministically() {
+    let (env, post) = blog();
+    let spec = Spec::new(
+        "count is stable",
+        vec![
+            SetupStep::Exec(call(cls(post), "create", [hash([])])),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![call(call(cls(post), "count", []), "==", [int(1)])],
+    );
+    let prepared = PreparedSpec::prepare(&env, &spec).expect("setup is sound");
+    let create_one = Program::new("m", [], call(cls(post), "create", [hash([])]));
+    let noop = Program::new("m", [], nil());
+    // The creating candidate makes the count 2 → fail; the noop passes;
+    // alternating runs prove snapshot isolation.
+    for _ in 0..3 {
+        assert!(!prepared.run(&env, &create_one).passed());
+        assert!(prepared.run(&env, &noop).passed());
+    }
+}
+
+#[test]
+fn model_equality_is_by_row_not_by_reference() {
+    let (env, post) = blog();
+    let mut st = WorldState::fresh(&env);
+    let mut ev = Evaluator::new(&env, &mut st);
+    let mut locals = Locals::new();
+    let e = let_(
+        "a",
+        call(cls(post), "create", [hash([("slug", str_("s"))])]),
+        let_(
+            "b",
+            call(cls(post), "find_by", [hash([("slug", str_("s"))])]),
+            seq([
+                call(var("a"), "==", [var("b")]),
+            ]),
+        ),
+    );
+    assert_eq!(ev.eval(&mut locals, &e).unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn nil_receivers_raise_ruby_style() {
+    let (env, post) = blog();
+    let mut st = WorldState::fresh(&env);
+    let mut ev = Evaluator::new(&env, &mut st);
+    let mut locals = Locals::new();
+    // find_by on an empty table is nil; reading an attribute then raises.
+    let e = call(
+        call(cls(post), "find_by", [hash([("slug", str_("none"))])]),
+        "title",
+        [],
+    );
+    match ev.eval(&mut locals, &e) {
+        Err(RuntimeError::NoMethod { class_name, .. }) => assert_eq!(class_name, "NilClass"),
+        other => panic!("expected NoMethodError, got {other:?}"),
+    }
+    // But nil? is safe on nil.
+    let ok = call(
+        call(cls(post), "find_by", [hash([("slug", str_("none"))])]),
+        "nil?",
+        [],
+    );
+    assert_eq!(ev.eval(&mut locals, &ok).unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn tracking_resolves_self_regions_at_the_receiver_class() {
+    let (env, post) = blog();
+    let mut st = WorldState::fresh(&env);
+    let mut ev = Evaluator::new(&env, &mut st);
+    ev.tracker = Some(EffectPair::pure_());
+    let mut locals = Locals::new();
+    ev.eval(&mut locals, &call(cls(post), "exists?", [])).unwrap();
+    let collected = ev.tracker.take().unwrap();
+    assert_eq!(collected.read, EffectSet::single(Effect::ClassStar(post)));
+}
+
+#[test]
+fn purity_precision_coarsens_collected_effects() {
+    let (mut env, post) = blog();
+    env.table.set_precision(rbsyn_ty::EffectPrecision::Purity);
+    let spec = Spec::new(
+        "title check under purity labels",
+        vec![
+            SetupStep::Exec(call(cls(post), "create", [hash([("title", str_("X"))])])),
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+        ],
+        vec![call(call(var("xr"), "title", []), "==", [str_("T")])],
+    );
+    let candidate = Program::new("m", [], call(cls(post), "first", []));
+    match run_spec(&env, &spec, &candidate) {
+        SpecOutcome::Failed { effects, .. } => {
+            assert!(effects.read.is_star(), "purity labels collapse reads to *");
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn extra_setup_steps_after_the_call_still_run() {
+    let (env, post) = blog();
+    let spec = Spec::new(
+        "post-call seeding",
+        vec![
+            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::Exec(call(cls(post), "create", [hash([])])),
+        ],
+        vec![call(call(cls(post), "count", []), "==", [int(1)])],
+    );
+    let noop = Program::new("m", [], nil());
+    assert!(run_spec(&env, &spec, &noop).passed());
+}

@@ -1,0 +1,314 @@
+//! Diaspora benchmarks A9–A12 (§5.1).
+//!
+//! Diaspora is a federated social network of pods. The benchmarks cover pod
+//! health scheduling (the `reload`-in-assertion pathology of §5.2),
+//! invitation processing and email confirmation.
+
+use crate::helpers::*;
+use crate::registry::{Benchmark, Expected, Group};
+use rbsyn_core::{Options, SynthesisProblem};
+use rbsyn_interp::{InterpEnv, SetupStep, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{ClassId, Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+struct DiasporaEnv {
+    b: EnvBuilder,
+    pod: ClassId,
+    user: ClassId,
+    invitation_code: ClassId,
+}
+
+fn diaspora_env() -> DiasporaEnv {
+    let mut b = EnvBuilder::with_stdlib();
+    // Pods deliberately have no generated column writers: the paper's A9
+    // library adjustment replaces per-field writers with `update!` because
+    // the spec's `reload` makes precise writes invisible (§5.2).
+    let pod = b.define_model_without_writers(
+        "Pod",
+        &[("host", Ty::Str), ("status", Ty::Str), ("checked", Ty::Bool)],
+    );
+    let user = b.define_model(
+        "User",
+        &[
+            ("username", Ty::Str),
+            ("name", Ty::Str),
+            ("email", Ty::Str),
+            ("unconfirmed_email", Ty::Str),
+            ("confirm_token", Ty::Str),
+            ("email_confirmed", Ty::Bool),
+        ],
+    );
+    let invitation_code = b.define_model(
+        "InvitationCode",
+        &[("token", Ty::Str), ("count", Ty::Int)],
+    );
+    DiasporaEnv { b, pod, user, invitation_code }
+}
+
+fn seed_pods(pod: ClassId) -> Vec<SetupStep> {
+    let mk = |host: &str, status: &str| {
+        exec(call(
+            cls(pod),
+            "create",
+            [hash([("host", str_(host)), ("status", str_(status))])],
+        ))
+    };
+    vec![
+        mk("one.example.org", "online"),
+        mk("two.example.org", "offline"),
+        mk("three.example.org", "online"),
+    ]
+}
+
+/// A9 `Pod#schedule_check…`: offline pods get scheduled for a health
+/// check; online pods are left alone. The assertions read through
+/// `reload`, so their read effect is the whole `Pod.*` region.
+fn a9() -> (InterpEnv, SynthesisProblem) {
+    let d = diaspora_env();
+    let pod = d.pod;
+    let spec = |title: &str, host: &str, expect_status: &str| {
+        let mut steps = seed_pods(pod);
+        steps.push(target(vec![str_(host)]));
+        Spec::new(
+            title,
+            steps,
+            vec![eq(
+                attr(call(updated(), "reload", []), "status"),
+                str_(expect_status),
+            )],
+        )
+    };
+    let problem = SynthesisProblem::builder("schedule_check")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(pod))
+        .base_consts()
+        .constant(Value::str("scheduled"))
+        .constant(Value::str("offline"))
+        .constant(Value::Class(pod))
+        .spec(spec("offline pods are scheduled", "two.example.org", "scheduled"))
+        .spec(spec("online pods stay online", "one.example.org", "online"))
+        .spec(spec("other online pods too", "three.example.org", "online"))
+        .build();
+    (d.b.finish(), problem)
+}
+
+/// A10 `User#process_inv…`: accepting an invite consumes the invitation
+/// code entirely.
+fn a10() -> (InterpEnv, SynthesisProblem) {
+    let d = diaspora_env();
+    let code = d.invitation_code;
+    let steps = vec![
+        exec(call(
+            cls(code),
+            "create",
+            [hash([("token", str_("WELCOME")), ("count", int(10))])],
+        )),
+        exec(call(
+            cls(code),
+            "create",
+            [hash([("token", str_("FRIENDS")), ("count", int(5))])],
+        )),
+        bind("code", call(cls(code), "find_by", [hash([("token", str_("FRIENDS"))])])),
+        target(vec![str_("FRIENDS")]),
+    ];
+    let spec = Spec::new(
+        "processing an invite exhausts the code",
+        steps,
+        vec![
+            eq(updated(), true_()),
+            eq(attr(var("code"), "count"), int(0)),
+        ],
+    );
+    let problem = SynthesisProblem::builder("process_invite")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Bool)
+        .base_consts()
+        .constant(Value::Class(code))
+        .spec(spec)
+        .build();
+    (d.b.finish(), problem)
+}
+
+/// A11 `InvitationCode#use!`: decrement the remaining-use counter.
+fn a11() -> (InterpEnv, SynthesisProblem) {
+    let d = diaspora_env();
+    let code = d.invitation_code;
+    let steps = vec![
+        exec(call(
+            cls(code),
+            "create",
+            [hash([("token", str_("WELCOME")), ("count", int(10))])],
+        )),
+        exec(call(
+            cls(code),
+            "create",
+            [hash([("token", str_("FRIENDS")), ("count", int(5))])],
+        )),
+        target(vec![str_("FRIENDS")]),
+    ];
+    let spec = Spec::new(
+        "using a code decrements its counter",
+        steps,
+        vec![eq(attr(updated(), "count"), int(4))],
+    );
+    let problem = SynthesisProblem::builder("use_code")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(code))
+        .base_consts()
+        .constant(Value::Class(code))
+        .spec(spec)
+        .build();
+    (d.b.finish(), problem)
+}
+
+/// A12 `User#confirm_email`: a valid token confirms the pending address; a
+/// wrong token changes nothing; re-confirming an already confirmed account
+/// succeeds without touching the email.
+fn a12() -> (InterpEnv, SynthesisProblem) {
+    let d = diaspora_env();
+    let user = d.user;
+    let seed = |steps: &mut Vec<SetupStep>| {
+        // bob (already confirmed) first, alice (pending) in the middle,
+        // carl (confirmed) last — so `User.first`/`User.last` accidents
+        // never alias the record a spec targets.
+        steps.push(exec(call(
+            cls(user),
+            "create",
+            [call(
+                hash([("username", str_("bob")), ("email", str_("bob@x.org"))]),
+                "merge",
+                [hash([("confirm_token", str_("tok-bob")), ("email_confirmed", true_())])],
+            )],
+        )));
+        steps.push(exec(call(
+            cls(user),
+            "create",
+            [call(
+                hash([("username", str_("alice")), ("email", str_("old@x.org"))]),
+                "merge",
+                [call(
+                    hash([
+                        ("unconfirmed_email", str_("new@x.org")),
+                        ("confirm_token", str_("tok-alice")),
+                    ]),
+                    "merge",
+                    [hash([("email_confirmed", false_())])],
+                )],
+            )],
+        )));
+        steps.push(exec(call(
+            cls(user),
+            "create",
+            [call(
+                hash([("username", str_("carl")), ("email", str_("carl@x.org"))]),
+                "merge",
+                [hash([("confirm_token", str_("tok-carl")), ("email_confirmed", true_())])],
+            )],
+        )));
+        steps.push(bind("alice", call(cls(user), "find_by", [hash([("username", str_("alice"))])])));
+        steps.push(bind("bob", call(cls(user), "find_by", [hash([("username", str_("bob"))])])));
+    };
+    let confirm_spec = |title: &str, token: &str| {
+        let mut steps = Vec::new();
+        seed(&mut steps);
+        steps.push(target(vec![str_(token)]));
+        Spec::new(
+            title,
+            steps,
+            vec![
+                eq(attr(updated(), "id"), attr(var("alice"), "id")),
+                eq(attr(updated(), "email_confirmed"), true_()),
+                eq(attr(updated(), "email"), str_("new@x.org")),
+                eq(attr(updated(), "unconfirmed_email"), str_("new@x.org")),
+            ],
+        )
+    };
+    let reject_spec = |title: &str, token: &str| {
+        let mut steps = Vec::new();
+        seed(&mut steps);
+        steps.push(target(vec![str_(token)]));
+        Spec::new(
+            title,
+            steps,
+            vec![
+                call(updated(), "nil?", []),
+                eq(attr(var("alice"), "email_confirmed"), false_()),
+                eq(attr(var("alice"), "email"), str_("old@x.org")),
+                eq(attr(var("alice"), "unconfirmed_email"), str_("new@x.org")),
+            ],
+        )
+    };
+    let idempotent_spec = |title: &str| {
+        let mut steps = Vec::new();
+        seed(&mut steps);
+        steps.push(target(vec![str_("tok-bob")]));
+        Spec::new(
+            title,
+            steps,
+            vec![
+                eq(attr(updated(), "id"), attr(var("bob"), "id")),
+                eq(attr(updated(), "email_confirmed"), true_()),
+                eq(attr(updated(), "email"), str_("bob@x.org")),
+                eq(attr(var("alice"), "email"), str_("old@x.org")),
+            ],
+        )
+    };
+    // Seven specs across the three behaviours; merged unit tests with the
+    // same setup are represented by repeated tokens, as §5.1 describes. The
+    // method returns the confirmed user (`nil` on bad tokens), mirroring
+    // how the Rails code chains on the record.
+    let problem = SynthesisProblem::builder("confirm_email")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(user))
+        .base_consts()
+        .constant(Value::Nil)
+        .constant(Value::Class(user))
+        .spec(confirm_spec("valid tokens confirm the pending email", "tok-alice"))
+        .spec(reject_spec("wrong tokens change nothing", "tok-wrong"))
+        .spec(reject_spec("empty tokens change nothing", ""))
+        .spec(idempotent_spec("confirmed accounts stay confirmed"))
+        .spec(confirm_spec("valid tokens confirm (rerun)", "tok-alice"))
+        .spec(reject_spec("garbage tokens change nothing", "zzz"))
+        .spec(idempotent_spec("re-confirming stays true"))
+        .build();
+    (d.b.finish(), problem)
+}
+
+/// The four Diaspora benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: "A9",
+            group: Group::Diaspora,
+            name: "Pod#schedule_…",
+            build: a9,
+            options: Options::default,
+            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 1, orig_paths: 2 },
+        },
+        Benchmark {
+            id: "A10",
+            group: Group::Diaspora,
+            name: "User#process_inv…",
+            build: a10,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 2, asserts_max: 2, orig_paths: 2 },
+        },
+        Benchmark {
+            id: "A11",
+            group: Group::Diaspora,
+            name: "InvitationCode#use!",
+            build: a11,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "A12",
+            group: Group::Diaspora,
+            name: "User#confirm_email",
+            build: a12,
+            options: || Options { max_size: 40, ..Options::default() },
+            expected: Expected { specs: 7, asserts_min: 4, asserts_max: 4, orig_paths: 2 },
+        },
+    ]
+}

@@ -1,0 +1,283 @@
+//! Discourse benchmarks A1–A4 (§5.1).
+//!
+//! Discourse is a Rails discussion platform; the benchmarks are effectful
+//! methods on its `User` model plus site-setting globals. We reconstruct
+//! the model with the columns those methods touch and derive specs from the
+//! behaviours the paper describes (account activation, unstaging
+//! placeholder accounts, clearing global notices, site-setting checks).
+
+use crate::helpers::*;
+use crate::registry::{Benchmark, Expected, Group};
+use rbsyn_core::{Options, SynthesisProblem};
+use rbsyn_interp::{InterpEnv, SetupStep, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{ClassId, Expr, Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+/// The Discourse environment: a `User` model and the `SiteSetting` global.
+fn discourse_env() -> (EnvBuilder, ClassId, ClassId) {
+    let mut b = EnvBuilder::with_stdlib();
+    let user = b.define_model(
+        "User",
+        &[
+            ("username", Ty::Str),
+            ("name", Ty::Str),
+            ("active", Ty::Bool),
+            ("admin", Ty::Bool),
+            ("moderator", Ty::Bool),
+            ("staged", Ty::Bool),
+            ("email_confirmed", Ty::Bool),
+        ],
+    );
+    let settings = b.define_global(
+        "SiteSetting",
+        &[
+            ("global_notice", Ty::Str),
+            ("moderator_notice", Ty::Str),
+            ("admin_notice", Ty::Str),
+        ],
+    );
+    (b, user, settings)
+}
+
+/// Seeds the standard Discourse users: an admin, a moderator, a regular
+/// member and a staged placeholder account.
+fn seed_users(user: ClassId) -> Vec<SetupStep> {
+    let mk = |username: &str, name: &str, fields: Expr| {
+        exec(call(
+            cls(user),
+            "create",
+            [call(
+                hash([("username", str_(username)), ("name", str_(name))]),
+                "merge",
+                [fields],
+            )],
+        ))
+    };
+    vec![
+        mk("alice", "Alice Admin", hash([("admin", true_()), ("active", true_())])),
+        mk("bob", "Bob Mod", hash([("moderator", true_()), ("active", true_())])),
+        mk("carol", "Carol Member", hash([("active", true_())])),
+        mk("pending", "Pending Person", hash([("staged", true_()), ("active", false_())])),
+        // A trailing user so degenerate `User.last`-based candidates never
+        // alias the interesting rows (the paper's seed_db plays the same
+        // role, §2.1).
+        mk("zoe", "Zoe Last", hash([("active", true_())])),
+    ]
+}
+
+fn seed_notices(settings: ClassId) -> Vec<SetupStep> {
+    vec![
+        exec(call(cls(settings), "global_notice=", [str_("maintenance tonight")])),
+        exec(call(cls(settings), "moderator_notice=", [str_("queue is long")])),
+        exec(call(cls(settings), "admin_notice=", [str_("disk almost full")])),
+    ]
+}
+
+/// A1 `User#clear_global_notice…`: admins clear the global notice,
+/// moderators clear the moderator notice, everyone else changes nothing.
+fn a1() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, settings) = discourse_env();
+    let spec = |title: &str, username: &str, asserts: Vec<Expr>| {
+        let mut steps = seed_users(user);
+        steps.extend(seed_notices(settings));
+        steps.push(target(vec![str_(username)]));
+        Spec::new(title, steps, asserts)
+    };
+    let problem = SynthesisProblem::builder("clear_notice")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Bool)
+        .base_consts()
+        .constant(Value::Class(user))
+        .constant(Value::Class(settings))
+        .spec(spec(
+            "admins clear the global notice",
+            "alice",
+            vec![
+                eq(updated(), true_()),
+                eq(call(cls(settings), "global_notice", []), str_("")),
+            ],
+        ))
+        .spec(spec(
+            "moderators clear the moderator notice",
+            "bob",
+            vec![
+                eq(updated(), true_()),
+                eq(call(cls(settings), "moderator_notice", []), str_("")),
+            ],
+        ))
+        .spec(spec(
+            "members clear nothing",
+            "carol",
+            vec![
+                eq(updated(), false_()),
+                eq(call(cls(settings), "global_notice", []), str_("maintenance tonight")),
+            ],
+        ))
+        .build();
+    (b.finish(), problem)
+}
+
+/// A2 `User#activate`: flips `active` and confirms the email for a known
+/// user (returning the activated record, as the Rails method chains do);
+/// answers `nil` for unknown users.
+fn a2() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, _) = discourse_env();
+    let mut steps1 = seed_users(user);
+    // A visitor with the same null-activation shape *before* the target
+    // keeps `find_by(active: nil)`-style accidents from aliasing it…
+    steps1.push(exec(call(
+        cls(user),
+        "create",
+        [hash([("username", str_("visitor")), ("name", str_("Vis Tor"))])],
+    )));
+    // …the account to activate: inactive, unconfirmed…
+    steps1.push(exec(call(
+        cls(user),
+        "create",
+        [hash([("username", str_("newbie")), ("name", str_("New B"))])],
+    )));
+    // …and another signup after it keeps `User.last` from aliasing it.
+    steps1.push(exec(call(
+        cls(user),
+        "create",
+        [hash([("username", str_("walkin")), ("name", str_("Walk In"))])],
+    )));
+    steps1.push(bind("user", call(cls(user), "find_by", [hash([("username", str_("newbie"))])])));
+    steps1.push(target(vec![str_("newbie")]));
+    let spec1 = Spec::new(
+        "activation enables the account and confirms email",
+        steps1,
+        vec![
+            eq(attr(updated(), "id"), attr(var("user"), "id")),
+            eq(attr(updated(), "active"), true_()),
+            eq(attr(updated(), "email_confirmed"), true_()),
+            eq(attr(updated(), "staged"), Expr::Lit(Value::Nil)),
+        ],
+    );
+    // "stuart" matches "newbie" in length and case so string-shape guards
+    // (length parity etc.) cannot separate the specs.
+    let mut steps2 = seed_users(user);
+    steps2.push(target(vec![str_("stuart")]));
+    let spec2 = Spec::new(
+        "unknown users cannot be activated",
+        steps2,
+        vec![call(updated(), "nil?", [])],
+    );
+    let problem = SynthesisProblem::builder("activate")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(user))
+        .base_consts()
+        .constant(Value::Nil)
+        .constant(Value::Class(user))
+        .spec(spec1)
+        .spec(spec2)
+        .build();
+    (b.finish(), problem)
+}
+
+/// A3 `User#unstage`: a staged placeholder account becomes a real one; for
+/// anyone else the method answers `nil` — the benchmark the paper calls out
+/// as slow because `nil` fills every typed hole (§5.2).
+fn a3() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, _) = discourse_env();
+    let mut steps1 = seed_users(user);
+    steps1.push(bind("user", call(cls(user), "find_by", [hash([("username", str_("pending"))])])));
+    steps1.push(target(vec![str_("pending")]));
+    let spec1 = Spec::new(
+        "staged accounts are unstaged",
+        steps1,
+        vec![
+            eq(attr(updated(), "id"), attr(var("user"), "id")),
+            eq(attr(updated(), "staged"), false_()),
+            eq(attr(updated(), "username"), str_("pending")),
+            eq(attr(updated(), "name"), str_("Pending Person")),
+            eq(attr(updated(), "active"), false_()),
+        ],
+    );
+    let spec_nil = |title: &str, username: &str| {
+        let mut steps = seed_users(user);
+        steps.push(target(vec![str_(username)]));
+        Spec::new(title, steps, vec![call(updated(), "nil?", [])])
+    };
+    let problem = SynthesisProblem::builder("unstage")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(user))
+        .base_consts()
+        .constant(Value::Nil)
+        .constant(Value::Class(user))
+        .spec(spec1)
+        .spec(spec_nil("unstaging a regular account is nil", "carol"))
+        .spec(spec_nil("unstaging an unknown account is nil", "zed"))
+        .build();
+    (b.finish(), problem)
+}
+
+/// A4 `User#check_site…`: which notice applies to a visitor — admins see
+/// the admin notice, members the global notice, strangers nothing.
+fn a4() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, settings) = discourse_env();
+    let spec = |title: &str, username: &str, expect: &str| {
+        let mut steps = seed_users(user);
+        steps.extend(seed_notices(settings));
+        // A second admin so the admin condition cannot overfit one row.
+        steps.push(exec(call(
+            cls(user),
+            "create",
+            [hash([("username", str_("dora")), ("admin", true_()), ("active", true_())])],
+        )));
+        steps.push(target(vec![str_(username)]));
+        Spec::new(title, steps, vec![eq(updated(), str_(expect))])
+    };
+    let problem = SynthesisProblem::builder("site_notice_for")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Str)
+        .base_consts()
+        .constant(Value::Class(user))
+        .constant(Value::Class(settings))
+        .spec(spec("admins see the admin notice", "alice", "disk almost full"))
+        .spec(spec("second admin sees it too", "dora", "disk almost full"))
+        .spec(spec("members see the global notice", "carol", "maintenance tonight"))
+        .spec(spec("moderators see the global notice", "bob", "maintenance tonight"))
+        .spec(spec("strangers see nothing", "zed", ""))
+        .build();
+    (b.finish(), problem)
+}
+
+/// The four Discourse benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: "A1",
+            group: Group::Discourse,
+            name: "User#clear_glob…",
+            build: a1,
+            options: Options::default,
+            expected: Expected { specs: 3, asserts_min: 2, asserts_max: 2, orig_paths: 3 },
+        },
+        Benchmark {
+            id: "A2",
+            group: Group::Discourse,
+            name: "User#activate",
+            build: a2,
+            options: Options::default,
+            expected: Expected { specs: 2, asserts_min: 1, asserts_max: 4, orig_paths: 2 },
+        },
+        Benchmark {
+            id: "A3",
+            group: Group::Discourse,
+            name: "User#unstage",
+            build: a3,
+            options: Options::default,
+            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 5, orig_paths: 2 },
+        },
+        Benchmark {
+            id: "A4",
+            group: Group::Discourse,
+            name: "User#check_site…",
+            build: a4,
+            options: Options::default,
+            expected: Expected { specs: 5, asserts_min: 1, asserts_max: 1, orig_paths: 2 },
+        },
+    ]
+}

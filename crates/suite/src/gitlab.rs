@@ -1,0 +1,261 @@
+//! Gitlab benchmarks A5–A8 (§5.1).
+//!
+//! Gitlab is a Rails DevOps platform; the benchmarks cover building
+//! discussions, disabling two-factor authentication, and the issue state
+//! machine. The paper notes RbSyn synthesizes `Issue#close`/`#reopen`
+//! without the `state_machine` gem — ours likewise flip the state columns
+//! directly.
+
+use crate::helpers::*;
+use crate::registry::{Benchmark, Expected, Group};
+use rbsyn_core::{Options, SynthesisProblem};
+use rbsyn_interp::{InterpEnv, SetupStep, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{ClassId, Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+struct GitlabEnv {
+    b: EnvBuilder,
+    user: ClassId,
+    issue: ClassId,
+    discussion: ClassId,
+}
+
+fn gitlab_env() -> GitlabEnv {
+    let mut b = EnvBuilder::with_stdlib();
+    let user = b.define_model(
+        "User",
+        &[
+            ("username", Ty::Str),
+            ("name", Ty::Str),
+            ("otp_required", Ty::Bool),
+            ("otp_secret", Ty::Str),
+            ("otp_backup_codes", Ty::Str),
+            ("otp_grace_started", Ty::Bool),
+            ("two_factor_enabled", Ty::Bool),
+        ],
+    );
+    let issue = b.define_model(
+        "Issue",
+        &[
+            ("title", Ty::Str),
+            ("state", Ty::Str),
+            ("author", Ty::Str),
+            ("confidential", Ty::Bool),
+        ],
+    );
+    let discussion = b.define_model(
+        "Discussion",
+        &[("noteable_id", Ty::Int), ("author", Ty::Str), ("resolved", Ty::Bool)],
+    );
+    GitlabEnv { b, user, issue, discussion }
+}
+
+fn seed_issues(issue: ClassId) -> Vec<SetupStep> {
+    let mk = |title: &str, state: &str, author: &str| {
+        exec(call(
+            cls(issue),
+            "create",
+            [call(
+                hash([("title", str_(title)), ("state", str_(state))]),
+                "merge",
+                [hash([("author", str_(author))])],
+            )],
+        ))
+    };
+    vec![
+        mk("Crash on save", "opened", "alice"),
+        mk("Slow search", "opened", "bob"),
+        mk("Broken link", "opened", "carol"),
+    ]
+}
+
+/// A5 `Discussion#build`: construct a discussion record for a noteable.
+fn a5() -> (InterpEnv, SynthesisProblem) {
+    let g = gitlab_env();
+    let discussion = g.discussion;
+    let spec = Spec::new(
+        "builds a discussion on the noteable",
+        vec![target(vec![int(42), str_("dev")])],
+        vec![
+            eq(attr(updated(), "noteable_id"), int(42)),
+            eq(attr(updated(), "author"), str_("dev")),
+            call(attr(updated(), "resolved"), "nil?", []),
+            eq(call(cls(discussion), "count", []), int(1)),
+        ],
+    );
+    let problem = SynthesisProblem::builder("build_discussion")
+        .param("arg0", Ty::Int)
+        .param("arg1", Ty::Str)
+        .returns(Ty::Instance(discussion))
+        .base_consts()
+        .constant(Value::Class(discussion))
+        .spec(spec)
+        .build();
+    (g.b.finish(), problem)
+}
+
+/// A6 `User#disable_two_factor!`: reset every OTP column of a user.
+fn a6() -> (InterpEnv, SynthesisProblem) {
+    let g = gitlab_env();
+    let user = g.user;
+    let mut steps = vec![
+        exec(call(
+            cls(user),
+            "create",
+            [hash([("username", str_("ops")), ("name", str_("Ops Owl"))])],
+        )),
+        exec(call(
+            cls(user),
+            "create",
+            [call(
+                hash([("username", str_("alice")), ("name", str_("Alice"))]),
+                "merge",
+                [call(
+                    hash([("otp_required", true_()), ("otp_secret", str_("s3cr3t"))]),
+                    "merge",
+                    [hash([
+                        ("otp_backup_codes", str_("aa bb cc")),
+                        ("otp_grace_started", true_()),
+                    ])],
+                )],
+            )],
+        )),
+        exec(call(
+            call(cls(user), "find_by", [hash([("username", str_("alice"))])]),
+            "two_factor_enabled=",
+            [true_()],
+        )),
+        bind("user", call(cls(user), "find_by", [hash([("username", str_("alice"))])])),
+        target(vec![str_("alice")]),
+    ];
+    let steps = { steps.shrink_to_fit(); steps };
+    let spec = Spec::new(
+        "two-factor state is fully reset",
+        steps,
+        vec![
+            eq(attr(updated(), "id"), attr(var("user"), "id")),
+            eq(attr(updated(), "username"), str_("alice")),
+            eq(attr(updated(), "otp_required"), false_()),
+            eq(attr(updated(), "otp_secret"), str_("")),
+            eq(attr(updated(), "otp_backup_codes"), str_("")),
+            eq(attr(updated(), "otp_grace_started"), false_()),
+            eq(attr(updated(), "two_factor_enabled"), false_()),
+            eq(attr(updated(), "name"), str_("Alice")),
+            eq(call(cls(user), "count", []), int(2)),
+            eq(call(cls(user), "exists?", [hash([("two_factor_enabled", true_())])]), false_()),
+        ],
+    );
+    let problem = SynthesisProblem::builder("disable_two_factor")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(user))
+        .base_consts()
+        .constant(Value::Class(user))
+        .spec(spec)
+        .build();
+    (g.b.finish(), problem)
+}
+
+/// A7 `Issue#close`: flip the state machine column to closed.
+fn a7() -> (InterpEnv, SynthesisProblem) {
+    let g = gitlab_env();
+    let issue = g.issue;
+    let mut steps = seed_issues(issue);
+    steps.push(bind("issue", call(cls(issue), "find_by", [hash([("title", str_("Slow search"))])])));
+    steps.push(target(vec![str_("Slow search")]));
+    let spec = Spec::new(
+        "closing flips the state",
+        steps,
+        vec![
+            eq(attr(updated(), "id"), attr(var("issue"), "id")),
+            eq(attr(updated(), "state"), str_("closed")),
+            eq(call(cls(issue), "exists?", [hash([("state", str_("opened"))])]), true_()),
+        ],
+    );
+    let problem = SynthesisProblem::builder("close_issue")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(issue))
+        .base_consts()
+        .constant(Value::str("closed"))
+        .constant(Value::Class(issue))
+        .spec(spec)
+        .build();
+    (g.b.finish(), problem)
+}
+
+/// A8 `Issue#reopen`: reopen a closed, confidential issue (two column
+/// writes).
+fn a8() -> (InterpEnv, SynthesisProblem) {
+    let g = gitlab_env();
+    let issue = g.issue;
+    let mut steps = seed_issues(issue);
+    steps.push(exec(call(
+        cls(issue),
+        "create",
+        [call(
+            hash([("title", str_("Old bug")), ("state", str_("closed"))]),
+            "merge",
+            [hash([("confidential", true_()), ("author", str_("dave"))])],
+        )],
+    )));
+    steps.push(bind("issue", call(cls(issue), "find_by", [hash([("title", str_("Old bug"))])])));
+    steps.push(target(vec![str_("Old bug")]));
+    let spec = Spec::new(
+        "reopening resets state and confidentiality",
+        steps,
+        vec![
+            eq(attr(updated(), "id"), attr(var("issue"), "id")),
+            eq(attr(updated(), "state"), str_("opened")),
+            eq(attr(updated(), "confidential"), false_()),
+            eq(attr(updated(), "title"), str_("Old bug")),
+            eq(call(cls(issue), "count", []), int(4)),
+        ],
+    );
+    let problem = SynthesisProblem::builder("reopen_issue")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Instance(issue))
+        .base_consts()
+        .constant(Value::str("opened"))
+        .constant(Value::Class(issue))
+        .spec(spec)
+        .build();
+    (g.b.finish(), problem)
+}
+
+/// The four Gitlab benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: "A5",
+            group: Group::Gitlab,
+            name: "Discussion#build",
+            build: a5,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 4, asserts_max: 4, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "A6",
+            group: Group::Gitlab,
+            name: "User#disable_two…",
+            build: a6,
+            options: || Options { max_size: 44, ..Options::default() },
+            expected: Expected { specs: 1, asserts_min: 10, asserts_max: 10, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "A7",
+            group: Group::Gitlab,
+            name: "Issue#close",
+            build: a7,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 3, asserts_max: 3, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "A8",
+            group: Group::Gitlab,
+            name: "Issue#reopen",
+            build: a8,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 5, asserts_max: 5, orig_paths: 1 },
+        },
+    ]
+}

@@ -1,0 +1,59 @@
+//! Shared spec-building helpers: a thin Rust mirror of the paper's
+//! `define :name do spec … setup … postcond … end` DSL (§4).
+
+use rbsyn_interp::SetupStep;
+use rbsyn_lang::builder::call;
+use rbsyn_lang::Expr;
+
+/// The conventional name of the postcondition parameter (`updated` in
+/// Fig. 1).
+pub const RESULT: &str = "updated";
+
+/// `updated = <target>(args…)` setup step.
+pub fn target(args: Vec<Expr>) -> SetupStep {
+    SetupStep::CallTarget { bind: RESULT.into(), args }
+}
+
+/// Evaluate for side effect (seeding).
+pub fn exec(e: Expr) -> SetupStep {
+    SetupStep::Exec(e)
+}
+
+/// `@name = e` setup binding, visible in the postcondition.
+pub fn bind(name: &str, e: Expr) -> SetupStep {
+    SetupStep::Bind(name.into(), e)
+}
+
+/// The postcondition result variable.
+pub fn updated() -> Expr {
+    Expr::Var(RESULT.into())
+}
+
+/// `a == b` assertion body.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    call(a, "==", [b])
+}
+
+/// `recv.attr` read.
+pub fn attr(recv: Expr, name: &str) -> Expr {
+    call(recv, name, [])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_lang::builder::*;
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        assert_eq!(eq(updated(), int(1)).compact(), "updated == 1");
+        assert_eq!(attr(var("u"), "name").compact(), "u.name");
+        match target(vec![int(1)]) {
+            SetupStep::CallTarget { bind, args } => {
+                assert_eq!(bind.as_str(), RESULT);
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Benchmark registry and metadata.
+
+use rbsyn_core::{Options, SynthesisProblem};
+use rbsyn_interp::InterpEnv;
+
+/// Benchmark group (Table 1's first column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Group {
+    /// Hand-written feature exercises.
+    Synthetic,
+    /// Discourse reconstructions.
+    Discourse,
+    /// Gitlab reconstructions.
+    Gitlab,
+    /// Diaspora reconstructions.
+    Diaspora,
+}
+
+impl Group {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::Synthetic => "Synthetic",
+            Group::Discourse => "Discourse",
+            Group::Gitlab => "Gitlab",
+            Group::Diaspora => "Diaspora",
+        }
+    }
+}
+
+/// The statistics Table 1 reports for a benchmark, used by the harness for
+/// the static columns and by tests as a cross-check.
+#[derive(Clone, Copy, Debug)]
+pub struct Expected {
+    /// Number of specs (after merging same-setup unit tests).
+    pub specs: usize,
+    /// Minimum assertions over all specs.
+    pub asserts_min: usize,
+    /// Maximum assertions over all specs.
+    pub asserts_max: usize,
+    /// Paths through the original, human-written method.
+    pub orig_paths: usize,
+}
+
+/// One benchmark: metadata plus a builder for a fresh run.
+pub struct Benchmark {
+    /// Table 1 id (`S1`…`S7`, `A1`…`A12`).
+    pub id: &'static str,
+    /// Group.
+    pub group: Group,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Builds a fresh environment + problem (environments are cheap to
+    /// rebuild and must not leak state between runs).
+    pub build: fn() -> (InterpEnv, SynthesisProblem),
+    /// Default options tuned for the benchmark (size bounds). Guidance,
+    /// precision and timeout are overridden by the harness.
+    pub options: fn() -> Options,
+    /// Paper-reported statistics.
+    pub expected: Expected,
+}
+
+impl Benchmark {
+    /// Number of search-visible library methods in this benchmark's
+    /// environment (Table 1 "# Lib Meth").
+    pub fn lib_method_count(&self) -> usize {
+        let (env, _) = (self.build)();
+        env.table.search_visible_count()
+    }
+}
+
+/// All 19 benchmarks in Table 1 order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = crate::synthetic::benchmarks();
+    v.extend(crate::discourse::benchmarks());
+    v.extend(crate::gitlab::benchmarks());
+    v.extend(crate::diaspora::benchmarks());
+    v
+}
+
+/// Looks a benchmark up by id (`"S3"`, `"A7"`, …).
+pub fn benchmark(id: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_nineteen() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 19);
+        let ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        for want in ["S1", "S7", "A1", "A4", "A5", "A8", "A9", "A12"] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        // Ids are unique.
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 19);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(benchmark("S1").is_some());
+        assert!(benchmark("A12").is_some());
+        assert!(benchmark("Z9").is_none());
+    }
+
+    #[test]
+    fn problems_validate_and_match_expected_spec_counts() {
+        for b in all_benchmarks() {
+            let (_, problem) = (b.build)();
+            problem.validate().unwrap_or_else(|e| panic!("{}: {e}", b.id));
+            assert_eq!(problem.specs.len(), b.expected.specs, "{} spec count", b.id);
+            let counts: Vec<usize> = problem.specs.iter().map(|s| s.asserts.len()).collect();
+            let min = counts.iter().copied().min().unwrap_or(0);
+            let max = counts.iter().copied().max().unwrap_or(0);
+            assert_eq!(min, b.expected.asserts_min, "{} assert min", b.id);
+            assert_eq!(max, b.expected.asserts_max, "{} assert max", b.id);
+        }
+    }
+
+    #[test]
+    fn environments_have_substantial_libraries() {
+        for b in all_benchmarks() {
+            let n = b.lib_method_count();
+            assert!(n >= 100, "{}: only {n} search-visible methods", b.id);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Synthetic benchmarks S1–S7 (§5.1): minimal examples exercising each
+//! feature of the synthesizer over the overview's blog schema —
+//! `User {name, username}`, `Post {author, title, slug}` (Fig. 1).
+
+use crate::helpers::*;
+use crate::registry::{Benchmark, Expected, Group};
+use rbsyn_core::{Options, SynthesisProblem};
+use rbsyn_interp::{InterpEnv, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::types::HashField;
+use rbsyn_lang::{ClassId, FiniteHash, Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+/// The overview blog environment: `User` and `Post` models.
+pub fn blog_env() -> (EnvBuilder, ClassId, ClassId) {
+    let mut b = EnvBuilder::with_stdlib();
+    let user = b.define_model("User", &[("name", Ty::Str), ("username", Ty::Str)]);
+    let post = b.define_model(
+        "Post",
+        &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+    );
+    (b, user, post)
+}
+
+/// Seeds the three blog users and a post each (the `seed_db` of Fig. 1).
+fn seed_steps(user: ClassId, post: ClassId) -> Vec<rbsyn_interp::SetupStep> {
+    let mk_user = |name: &str, username: &str| {
+        exec(call(
+            cls(user),
+            "create",
+            [hash([("name", str_(name)), ("username", str_(username))])],
+        ))
+    };
+    let mk_post = |author: &str, slug: &str, title: &str| {
+        exec(call(
+            cls(post),
+            "create",
+            [hash([("author", str_(author)), ("slug", str_(slug)), ("title", str_(title))])],
+        ))
+    };
+    vec![
+        mk_user("Alice Doe", "alice"),
+        mk_user("Bob Roe", "bob"),
+        mk_user("Carol Poe", "carol"),
+        mk_post("alice", "alices-post", "On Synthesis"),
+        mk_post("bob", "bobs-post", "On Effects"),
+        mk_post("carol", "carols-post", "On Types"),
+    ]
+}
+
+fn s1() -> (InterpEnv, SynthesisProblem) {
+    let (b, _, _) = blog_env();
+    let problem = SynthesisProblem::builder("echo")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Str)
+        .base_consts()
+        .spec(Spec::new(
+            "returns its argument",
+            vec![target(vec![str_("hello")])],
+            vec![eq(updated(), str_("hello"))],
+        ))
+        .build();
+    (b.finish(), problem)
+}
+
+fn s2() -> (InterpEnv, SynthesisProblem) {
+    let (b, _, _) = blog_env();
+    let problem = SynthesisProblem::builder("always_false")
+        .returns(Ty::Bool)
+        .base_consts()
+        .spec(Spec::new(
+            "returns false",
+            vec![target(vec![])],
+            vec![eq(updated(), false_())],
+        ))
+        .build();
+    (b.finish(), problem)
+}
+
+fn s3() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, post) = blog_env();
+    let spec = |username: &str, expect: &str| {
+        let mut steps = seed_steps(user, post);
+        steps.push(target(vec![str_(username)]));
+        Spec::new(
+            "looks a display name up by username",
+            steps,
+            vec![eq(updated(), str_(expect))],
+        )
+    };
+    let problem = SynthesisProblem::builder("display_name")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Str)
+        .base_consts()
+        .constant(Value::Class(user))
+        .spec(spec("bob", "Bob Roe"))
+        .spec(spec("carol", "Carol Poe"))
+        .build();
+    (b.finish(), problem)
+}
+
+fn s4() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, post) = blog_env();
+    let spec = |username: &str, expect: bool| {
+        let mut steps = seed_steps(user, post);
+        steps.push(target(vec![str_(username)]));
+        Spec::new(
+            "tests whether a username is registered",
+            steps,
+            vec![eq(updated(), Expr::from_bool(expect))],
+        )
+    };
+    // "carol" and "dylan" agree on length, case and non-palindromicity, so
+    // pure string hacks (`arg0.length.odd?`, `arg0 == arg0.reverse`, …)
+    // cannot separate the specs — only a real query can.
+    let problem = SynthesisProblem::builder("user_exists")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Bool)
+        .base_consts()
+        .constant(Value::Class(user))
+        .spec(spec("carol", true))
+        .spec(spec("dylan", false))
+        .build();
+    (b.finish(), problem)
+}
+
+fn s5() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, post) = blog_env();
+    let spec = |username: &str, expect: &str| {
+        let mut steps = seed_steps(user, post);
+        steps.push(target(vec![str_(username)]));
+        Spec::new(
+            "display name, or empty for unknown users",
+            steps,
+            vec![eq(updated(), str_(expect))],
+        )
+    };
+    let problem = SynthesisProblem::builder("display_name_or_default")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Str)
+        .base_consts()
+        .constant(Value::Class(user))
+        .spec(spec("bob", "Bob Roe"))
+        .spec(spec("carol", "Carol Poe"))
+        .spec(spec("dave", ""))
+        .build();
+    (b.finish(), problem)
+}
+
+/// The update hash parameter type of the overview problem (Fig. 1):
+/// `{author: ?Str, title: ?Str, slug: ?Str}`.
+fn update_hash_ty() -> Ty {
+    Ty::FiniteHash(FiniteHash::new(
+        ["author", "title", "slug"]
+            .into_iter()
+            .map(|k| HashField { key: k.into(), ty: Ty::Str, optional: true })
+            .collect(),
+    ))
+}
+
+fn s6() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, post) = blog_env();
+    // The Fig. 1 post under synthesis, created on top of the seeds — plus
+    // one more post *after* it, so degenerate `Post.last` candidates never
+    // alias it (the same role seeding plays against `Post.first` in C4).
+    let the_post = |steps: &mut Vec<rbsyn_interp::SetupStep>| {
+        steps.push(bind(
+            "post",
+            call(
+                cls(post),
+                "create",
+                [hash([
+                    ("author", str_("author")),
+                    ("slug", str_("hello-world")),
+                    ("title", str_("Hello World")),
+                ])],
+            ),
+        ));
+        steps.push(exec(call(
+            cls(post),
+            "create",
+            [hash([
+                ("author", str_("carol")),
+                ("slug", str_("late-post")),
+                ("title", str_("Late Post")),
+            ])],
+        )));
+    };
+    let unchanged_id_author = |mut asserts: Vec<Expr>| -> Vec<Expr> {
+        let mut v = vec![
+            eq(attr(updated(), "id"), attr(var("post"), "id")),
+            eq(attr(updated(), "author"), str_("author")),
+        ];
+        v.append(&mut asserts);
+        v
+    };
+
+    // Spec 1 (Fig. 1): the author can change titles.
+    let mut steps1 = seed_steps(user, post);
+    the_post(&mut steps1);
+    steps1.push(target(vec![
+        str_("author"),
+        str_("hello-world"),
+        hash([
+            ("author", str_("dummy")),
+            ("title", str_("Foo Bar")),
+            ("slug", str_("foobar")),
+        ]),
+    ]));
+    let spec1 = Spec::new(
+        "author can only change titles",
+        steps1,
+        unchanged_id_author(vec![
+            eq(attr(updated(), "title"), str_("Foo Bar")),
+            eq(attr(updated(), "slug"), str_("hello-world")),
+        ]),
+    );
+
+    // Spec 2 (Fig. 1): other users cannot change anything. "murphy"
+    // matches "author" in length so string-shape guards cannot separate
+    // the specs.
+    let mut steps2 = seed_steps(user, post);
+    the_post(&mut steps2);
+    steps2.push(target(vec![
+        str_("murphy"),
+        str_("hello-world"),
+        hash([
+            ("author", str_("murphy")),
+            ("title", str_("Foo Bar")),
+            ("slug", str_("foobar")),
+        ]),
+    ]));
+    let spec2 = Spec::new(
+        "other users cannot change anything",
+        steps2,
+        unchanged_id_author(vec![
+            eq(attr(updated(), "title"), str_("Hello World")),
+            eq(attr(updated(), "slug"), str_("hello-world")),
+        ]),
+    );
+
+    // Spec 3 (the "ext" of S6): an update hash without a title changes the
+    // slug instead. The hash has two keys so hash-size tricks cannot
+    // separate it from spec 1's three keys with a smaller program than the
+    // real `arg2[:title]` check.
+    let mut steps3 = seed_steps(user, post);
+    the_post(&mut steps3);
+    steps3.push(target(vec![
+        str_("author"),
+        str_("hello-world"),
+        hash([("author", str_("author")), ("slug", str_("fresh-slug"))]),
+    ]));
+    let spec3 = Spec::new(
+        "author can change slugs when no title is given",
+        steps3,
+        unchanged_id_author(vec![
+            eq(attr(updated(), "title"), str_("Hello World")),
+            eq(attr(updated(), "slug"), str_("fresh-slug")),
+        ]),
+    );
+
+    let problem = SynthesisProblem::builder("update_post")
+        .param("arg0", Ty::Str)
+        .param("arg1", Ty::Str)
+        .param("arg2", update_hash_ty())
+        .returns(Ty::Instance(post))
+        .constant(Value::Class(user))
+        .constant(Value::Class(post))
+        .spec(spec1)
+        .spec(spec2)
+        .spec(spec3)
+        .build();
+    (b.finish(), problem)
+}
+
+fn s7() -> (InterpEnv, SynthesisProblem) {
+    let (b, user, post) = blog_env();
+    let spec = |username: &str, expect: bool| {
+        let mut steps = seed_steps(user, post);
+        // An extra user with no posts distinguishes "registered" from
+        // "has published".
+        steps.push(exec(call(
+            cls(user),
+            "create",
+            [hash([("name", str_("Dan No-Posts")), ("username", str_("dan"))])],
+        )));
+        steps.push(target(vec![str_(username)]));
+        Spec::new(
+            "has the user published anything?",
+            steps,
+            vec![eq(updated(), Expr::from_bool(expect))],
+        )
+    };
+    let problem = SynthesisProblem::builder("published?")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Bool)
+        .base_consts()
+        .constant(Value::Class(user))
+        .constant(Value::Class(post))
+        .spec(spec("bob", true))
+        .spec(spec("dan", false))
+        .spec(spec("eve", false))
+        .build();
+    (b.finish(), problem)
+}
+
+/// Extension trait bridging `bool` to guard expressions in specs.
+trait FromBool {
+    fn from_bool(b: bool) -> Expr;
+}
+
+use rbsyn_lang::Expr;
+
+impl FromBool for Expr {
+    fn from_bool(b: bool) -> Expr {
+        Expr::Lit(Value::Bool(b))
+    }
+}
+
+/// The seven synthetic benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: "S1",
+            group: Group::Synthetic,
+            name: "lvar",
+            build: s1,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "S2",
+            group: Group::Synthetic,
+            name: "false",
+            build: s2,
+            options: Options::default,
+            expected: Expected { specs: 1, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "S3",
+            group: Group::Synthetic,
+            name: "method chains",
+            build: s3,
+            options: Options::default,
+            expected: Expected { specs: 2, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "S4",
+            group: Group::Synthetic,
+            name: "user exists",
+            build: s4,
+            options: Options::default,
+            expected: Expected { specs: 2, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+        },
+        Benchmark {
+            id: "S5",
+            group: Group::Synthetic,
+            name: "branching",
+            build: s5,
+            options: Options::default,
+            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 1, orig_paths: 2 },
+        },
+        Benchmark {
+            id: "S6",
+            group: Group::Synthetic,
+            name: "overview (ext)",
+            build: s6,
+            options: || Options { max_size: 48, ..Options::default() },
+            expected: Expected { specs: 3, asserts_min: 4, asserts_max: 4, orig_paths: 3 },
+        },
+        Benchmark {
+            id: "S7",
+            group: Group::Synthetic,
+            name: "fold branches",
+            build: s7,
+            options: Options::default,
+            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_core::Synthesizer;
+
+    fn solve(build: fn() -> (InterpEnv, SynthesisProblem), opts: Options) -> rbsyn_core::SynthResult {
+        let (env, problem) = build();
+        Synthesizer::new(env, problem, opts).run().expect("benchmark must synthesize")
+    }
+
+    #[test]
+    fn s1_synthesizes_the_parameter() {
+        let out = solve(s1, Options::default());
+        assert_eq!(out.program.body.compact(), "arg0");
+        assert_eq!(out.stats.solution_paths, 1);
+    }
+
+    #[test]
+    fn s2_synthesizes_false() {
+        let out = solve(s2, Options::default());
+        assert_eq!(out.program.body.compact(), "false");
+    }
+
+    #[test]
+    fn s3_synthesizes_a_method_chain() {
+        let out = solve(s3, Options::default());
+        let s = out.program.body.compact();
+        assert!(s.contains("username: arg0"), "got {s}");
+        assert!(s.ends_with(".name"), "got {s}");
+        assert_eq!(out.stats.solution_paths, 1);
+    }
+
+    #[test]
+    fn s4_folds_to_a_single_query() {
+        let out = solve(s4, Options::default());
+        let s = out.program.body.compact();
+        assert_eq!(out.stats.solution_paths, 1, "rules 4/5 must fold branches: {s}");
+        assert!(s.contains("User."), "got {s}");
+    }
+
+    #[test]
+    fn s5_synthesizes_a_branch() {
+        let out = solve(s5, Options::default());
+        assert_eq!(out.stats.solution_paths, 2, "got {}", out.program);
+    }
+
+    #[test]
+    fn s7_folds_three_specs_into_one_line() {
+        let out = solve(s7, Options::default());
+        assert_eq!(out.stats.solution_paths, 1, "got {}", out.program);
+        assert!(out.program.body.compact().contains("Post."));
+    }
+}

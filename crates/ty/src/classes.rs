@@ -1,0 +1,289 @@
+//! The class lattice of λ_syn (Fig. 3): single-inheritance classes rooted at
+//! `Obj`, with `Nil` as the bottom *type* (handled in subtyping rather than
+//! as a class).
+//!
+//! Model classes (the ActiveRecord substitutes) additionally carry a
+//! [`Schema`] — their column names and types — which powers the comp types
+//! of `where`/`exists?`/`create`/… and the generated column accessors.
+
+use rbsyn_lang::{ClassId, Symbol, Ty};
+
+/// Column layout of a model class: names and types, in declaration order.
+/// The implicit `id: Int` primary key is part of the schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// `(column, type)` pairs in declaration order.
+    pub columns: Vec<(Symbol, Ty)>,
+}
+
+impl Schema {
+    /// Builds a schema; an `id: Int` column is prepended when absent.
+    pub fn new(columns: Vec<(Symbol, Ty)>) -> Schema {
+        let id = Symbol::intern("id");
+        let mut columns = columns;
+        if !columns.iter().any(|(c, _)| *c == id) {
+            columns.insert(0, (id, Ty::Int));
+        }
+        Schema { columns }
+    }
+
+    /// Type of `column`, if present.
+    pub fn column_ty(&self, column: Symbol) -> Option<&Ty> {
+        self.columns.iter().find(|(c, _)| *c == column).map(|(_, t)| t)
+    }
+
+    /// Does the schema have this column?
+    pub fn has_column(&self, column: Symbol) -> bool {
+        self.column_ty(column).is_some()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ClassDef {
+    name: Symbol,
+    parent: Option<ClassId>,
+    schema: Option<Schema>,
+}
+
+/// The single-inheritance class hierarchy.
+///
+/// A fresh hierarchy pre-registers the builtin classes (`Object`, `Boolean`,
+/// `Integer`, `String`, `Symbol`, `Hash`, `Array`, `NilClass`); user and
+/// model classes are added with [`ClassHierarchy::define`].
+#[derive(Clone, Debug)]
+pub struct ClassHierarchy {
+    classes: Vec<ClassDef>,
+}
+
+macro_rules! builtin_accessors {
+    ($(($fn_name:ident, $idx:expr, $name:expr)),* $(,)?) => {
+        $(
+            #[doc = concat!("`ClassId` of the builtin `", $name, "` class.")]
+            pub fn $fn_name(&self) -> ClassId {
+                ClassId::new($idx, Symbol::intern($name))
+            }
+        )*
+    };
+}
+
+impl ClassHierarchy {
+    const BUILTINS: [&'static str; 8] = [
+        "Object", "Boolean", "Integer", "String", "Symbol", "Hash", "Array", "NilClass",
+    ];
+
+    /// Creates a hierarchy containing only the builtin classes.
+    pub fn new() -> ClassHierarchy {
+        let mut h = ClassHierarchy { classes: Vec::new() };
+        let object = ClassId::new(0, Symbol::intern("Object"));
+        for (i, name) in Self::BUILTINS.iter().enumerate() {
+            h.classes.push(ClassDef {
+                name: Symbol::intern(name),
+                parent: if i == 0 { None } else { Some(object) },
+                schema: None,
+            });
+        }
+        h
+    }
+
+    builtin_accessors![
+        (object, 0, "Object"),
+        (boolean, 1, "Boolean"),
+        (integer, 2, "Integer"),
+        (string, 3, "String"),
+        (symbol, 4, "Symbol"),
+        (hash, 5, "Hash"),
+        (array, 6, "Array"),
+        (nil_class, 7, "NilClass"),
+    ];
+
+    /// Defines a new class under `parent` (defaults to `Object` when `None`).
+    pub fn define(&mut self, name: &str, parent: Option<ClassId>) -> ClassId {
+        let id = ClassId::new(self.classes.len() as u32, Symbol::intern(name));
+        self.classes.push(ClassDef {
+            name: Symbol::intern(name),
+            parent: Some(parent.unwrap_or_else(|| self.object())),
+            schema: None,
+        });
+        id
+    }
+
+    /// Attaches a model schema to a class.
+    pub fn set_schema(&mut self, class: ClassId, schema: Schema) {
+        self.classes[class.index()].schema = Some(schema);
+    }
+
+    /// Schema of a class, if it is a model. Inherited schemas are *not*
+    /// looked up: each model declares its own table.
+    pub fn schema(&self, class: ClassId) -> Option<&Schema> {
+        self.classes[class.index()].schema.as_ref()
+    }
+
+    /// Name of a class.
+    pub fn name(&self, class: ClassId) -> Symbol {
+        self.classes[class.index()].name
+    }
+
+    /// Parent of a class (`None` only for `Object`).
+    pub fn parent(&self, class: ClassId) -> Option<ClassId> {
+        self.classes[class.index()].parent
+    }
+
+    /// Finds a class by name.
+    pub fn find(&self, name: &str) -> Option<ClassId> {
+        let sym = Symbol::intern(name);
+        self.classes
+            .iter()
+            .position(|c| c.name == sym)
+            .map(|i| ClassId::new(i as u32, sym))
+    }
+
+    /// `A ≤ B` on the class lattice: reflexive-transitive closure of the
+    /// subclass relation, with `Object` on top.
+    pub fn is_subclass(&self, a: ClassId, b: ClassId) -> bool {
+        if b == self.object() {
+            return true;
+        }
+        let mut cur = Some(a);
+        while let Some(c) = cur {
+            if c == b {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// The chain `[A, parent(A), …, Object]`.
+    pub fn ancestry(&self, a: ClassId) -> Vec<ClassId> {
+        let mut out = vec![a];
+        let mut cur = self.parent(a);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.parent(c);
+        }
+        out
+    }
+
+    /// Number of classes defined so far.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Always false: builtins are pre-registered.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All class ids, in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClassId::new(i as u32, c.name))
+    }
+
+    /// The instance type of a class, normalizing builtins to their primitive
+    /// `Ty` forms (so `instance_ty(integer()) == Ty::Int`).
+    pub fn instance_ty(&self, class: ClassId) -> Ty {
+        match class.idx {
+            1 => Ty::Bool,
+            2 => Ty::Int,
+            3 => Ty::Str,
+            4 => Ty::Sym,
+            7 => Ty::Nil,
+            0 => Ty::Obj,
+            _ => Ty::Instance(class),
+        }
+    }
+
+    /// The class whose instances inhabit `ty`, when that is a single class.
+    /// Unions, `Err` and `Nil`-as-bottom have no single class.
+    pub fn class_of_ty(&self, ty: &Ty) -> Option<ClassId> {
+        match ty {
+            Ty::Bool => Some(self.boolean()),
+            Ty::Int => Some(self.integer()),
+            Ty::Str => Some(self.string()),
+            Ty::Sym | Ty::SymLit(_) => Some(self.symbol()),
+            Ty::FiniteHash(_) => Some(self.hash()),
+            Ty::Array(_) => Some(self.array()),
+            Ty::Nil => Some(self.nil_class()),
+            Ty::Obj => Some(self.object()),
+            Ty::Instance(c) => Some(*c),
+            Ty::SingletonClass(_) | Ty::Union(_) | Ty::Err => None,
+        }
+    }
+
+    /// Renders a type with real class names.
+    pub fn render_ty(&self, ty: &Ty) -> String {
+        ty.render(&|c| self.name(c).as_str().to_owned())
+    }
+}
+
+impl Default for ClassHierarchy {
+    fn default() -> Self {
+        ClassHierarchy::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_preregistered() {
+        let h = ClassHierarchy::new();
+        assert_eq!(h.name(h.object()).as_str(), "Object");
+        assert_eq!(h.name(h.integer()).as_str(), "Integer");
+        assert_eq!(h.find("Hash"), Some(h.hash()));
+        assert_eq!(h.find("Nope"), None);
+        assert_eq!(h.len(), 8);
+    }
+
+    #[test]
+    fn subclassing_walks_chain() {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("ActiveRecord::Base", None);
+        let post = h.define("Post", Some(base));
+        assert!(h.is_subclass(post, base));
+        assert!(h.is_subclass(post, h.object()));
+        assert!(!h.is_subclass(base, post));
+        assert!(h.is_subclass(post, post));
+        assert_eq!(h.ancestry(post), vec![post, base, h.object()]);
+    }
+
+    #[test]
+    fn schemas_prepend_id() {
+        let s = Schema::new(vec![(Symbol::intern("title"), Ty::Str)]);
+        assert!(s.has_column(Symbol::intern("id")));
+        assert_eq!(s.column_ty(Symbol::intern("id")), Some(&Ty::Int));
+        assert_eq!(s.column_ty(Symbol::intern("title")), Some(&Ty::Str));
+        assert_eq!(s.columns.len(), 2);
+    }
+
+    #[test]
+    fn instance_ty_normalizes_builtins() {
+        let mut h = ClassHierarchy::new();
+        assert_eq!(h.instance_ty(h.integer()), Ty::Int);
+        assert_eq!(h.instance_ty(h.nil_class()), Ty::Nil);
+        let post = h.define("Post", None);
+        assert_eq!(h.instance_ty(post), Ty::Instance(post));
+    }
+
+    #[test]
+    fn class_of_ty_roundtrips() {
+        let mut h = ClassHierarchy::new();
+        let post = h.define("Post", None);
+        assert_eq!(h.class_of_ty(&Ty::Int), Some(h.integer()));
+        assert_eq!(h.class_of_ty(&Ty::Instance(post)), Some(post));
+        assert_eq!(h.class_of_ty(&Ty::Union(vec![Ty::Int, Ty::Str])), None);
+        assert_eq!(h.class_of_ty(&Ty::SymLit(Symbol::intern("x"))), Some(h.symbol()));
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let mut h = ClassHierarchy::new();
+        let post = h.define("Post", None);
+        assert_eq!(h.render_ty(&Ty::Instance(post)), "Post");
+        assert_eq!(h.render_ty(&Ty::SingletonClass(post)), "Class<Post>");
+    }
+}

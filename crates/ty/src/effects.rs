@@ -1,0 +1,183 @@
+//! Effect subsumption `ε₁ ⊆ ε₂` (Fig. 3) and the annotation-precision
+//! levels of the §5.4 ablation.
+//!
+//! Subsumption rules (Fig. 3):
+//!
+//! * `• ⊆ ε` and `ε ⊆ *`;
+//! * `A₁.* ⊆ A₂.*`, `A₁.r ⊆ A₂.r`, `A₁.r ⊆ A₂.*` whenever `A₁ ≤ A₂`;
+//! * `ε₁ ⊆ ε₁ ∪ ε₂` and `ε₂ ⊆ ε₁ ∪ ε₂` (set semantics below).
+//!
+//! `self` atoms must be resolved (via [`EffectSet::resolve_self`]) before
+//! subsumption is consulted; the class table does this at lookup time.
+
+use crate::classes::ClassHierarchy;
+use rbsyn_lang::{Effect, EffectSet};
+
+/// Is atom `a` subsumed by atom `b`?
+fn atom_subsumed(h: &ClassHierarchy, a: Effect, b: Effect) -> bool {
+    match (a, b) {
+        (_, Effect::Star) => true,
+        (Effect::Star, _) => false,
+        (Effect::ClassStar(c1), Effect::ClassStar(c2)) => h.is_subclass(c1, c2),
+        (Effect::Region(c1, _), Effect::ClassStar(c2)) => h.is_subclass(c1, c2),
+        (Effect::Region(c1, r1), Effect::Region(c2, r2)) => r1 == r2 && h.is_subclass(c1, c2),
+        (Effect::ClassStar(_), Effect::Region(..)) => false,
+        // Unresolved `self` atoms only compare equal to themselves; the
+        // synthesizer resolves them before calling this.
+        (Effect::SelfStar, Effect::SelfStar) => true,
+        (Effect::SelfRegion(r1), Effect::SelfRegion(r2)) => r1 == r2,
+        (Effect::SelfRegion(_), Effect::SelfStar) => true,
+        _ => false,
+    }
+}
+
+/// Is `ε₁ ⊆ ε₂`? Each atom of `ε₁` must be subsumed by some atom of `ε₂`;
+/// the empty set `•` is therefore below everything and `*` above.
+pub fn effect_subsumed(h: &ClassHierarchy, e1: &EffectSet, e2: &EffectSet) -> bool {
+    e1.atoms()
+        .iter()
+        .all(|a| e2.atoms().iter().any(|b| atom_subsumed(h, *a, *b)))
+}
+
+/// The three effect-annotation precision levels compared in §5.4 / Fig. 8.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EffectPrecision {
+    /// Region-level annotations (`Post.title`) — the paper's default.
+    #[default]
+    Precise,
+    /// Class-level only (`Post.title` coarsens to `Post.*`).
+    Class,
+    /// Purity only (any impure effect coarsens to `*`).
+    Purity,
+}
+
+impl EffectPrecision {
+    /// Coarsens an effect set to this precision level.
+    pub fn apply(self, e: &EffectSet) -> EffectSet {
+        match self {
+            EffectPrecision::Precise => e.clone(),
+            EffectPrecision::Class => e.coarsen_to_class(),
+            EffectPrecision::Purity => e.coarsen_to_purity(),
+        }
+    }
+
+    /// All levels, in decreasing precision (the Fig. 8 x-axis groups).
+    pub fn all() -> [EffectPrecision; 3] {
+        [
+            EffectPrecision::Precise,
+            EffectPrecision::Class,
+            EffectPrecision::Purity,
+        ]
+    }
+
+    /// Human-readable label used by the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            EffectPrecision::Precise => "Precise Effects",
+            EffectPrecision::Class => "Class Effects",
+            EffectPrecision::Purity => "Purity Effects",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_lang::{ClassId, Symbol};
+
+    fn setup() -> (ClassHierarchy, ClassId, ClassId) {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("ActiveRecord::Base", None);
+        let post = h.define("Post", Some(base));
+        (h, base, post)
+    }
+
+    fn region(c: ClassId, r: &str) -> EffectSet {
+        EffectSet::single(Effect::Region(c, Symbol::intern(r)))
+    }
+
+    #[test]
+    fn pure_below_everything_star_above() {
+        let (h, _, post) = setup();
+        let eps = region(post, "title");
+        assert!(effect_subsumed(&h, &EffectSet::pure_(), &eps));
+        assert!(effect_subsumed(&h, &eps, &EffectSet::star()));
+        assert!(!effect_subsumed(&h, &EffectSet::star(), &eps));
+        assert!(effect_subsumed(&h, &EffectSet::pure_(), &EffectSet::pure_()));
+    }
+
+    #[test]
+    fn region_and_class_interaction() {
+        let (h, base, post) = setup();
+        // Post.title ⊆ Post.*
+        assert!(effect_subsumed(
+            &h,
+            &region(post, "title"),
+            &EffectSet::single(Effect::ClassStar(post))
+        ));
+        // Post.* ⊄ Post.title
+        assert!(!effect_subsumed(
+            &h,
+            &EffectSet::single(Effect::ClassStar(post)),
+            &region(post, "title")
+        ));
+        // Post.title ⊆ Base.title and Post.title ⊆ Base.* (Post ≤ Base).
+        assert!(effect_subsumed(&h, &region(post, "title"), &region(base, "title")));
+        assert!(effect_subsumed(
+            &h,
+            &region(post, "title"),
+            &EffectSet::single(Effect::ClassStar(base))
+        ));
+        // Not the other way around.
+        assert!(!effect_subsumed(&h, &region(base, "title"), &region(post, "title")));
+        // Distinct regions never subsume.
+        assert!(!effect_subsumed(&h, &region(post, "title"), &region(post, "slug")));
+    }
+
+    #[test]
+    fn union_subsumption() {
+        let (h, _, post) = setup();
+        let title = region(post, "title");
+        let both = title.union(&region(post, "slug"));
+        assert!(effect_subsumed(&h, &title, &both));
+        assert!(!effect_subsumed(&h, &both, &title));
+        assert!(effect_subsumed(&h, &both, &both));
+    }
+
+    #[test]
+    fn precision_levels() {
+        let (_, _, post) = setup();
+        let title = region(post, "title");
+        assert_eq!(EffectPrecision::Precise.apply(&title), title);
+        assert_eq!(
+            EffectPrecision::Class.apply(&title),
+            EffectSet::single(Effect::ClassStar(post))
+        );
+        assert!(EffectPrecision::Purity.apply(&title).is_star());
+        assert!(EffectPrecision::Purity.apply(&EffectSet::pure_()).is_pure());
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_transitive_on_samples() {
+        let (h, base, post) = setup();
+        let samples = [
+            EffectSet::pure_(),
+            EffectSet::star(),
+            region(post, "title"),
+            region(base, "title"),
+            EffectSet::single(Effect::ClassStar(post)),
+            EffectSet::single(Effect::ClassStar(base)),
+            region(post, "title").union(&region(post, "slug")),
+        ];
+        for a in &samples {
+            assert!(effect_subsumed(&h, a, a), "reflexive {a}");
+            for b in &samples {
+                for c in &samples {
+                    if effect_subsumed(&h, a, b) && effect_subsumed(&h, b, c) {
+                        assert!(effect_subsumed(&h, a, c), "transitive {a} ⊆ {b} ⊆ {c}");
+                    }
+                }
+            }
+        }
+    }
+}

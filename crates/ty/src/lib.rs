@@ -1,0 +1,16 @@
+//! Semantic layer over the λ_syn type and effect syntax: the class lattice,
+//! subtyping (`τ₁ ≤ τ₂`), effect subsumption (`ε₁ ⊆ ε₂`), method signatures
+//! `τ →⟨ε_r,ε_w⟩ τ` with RDL-style *comp types* (type-level computations,
+//! §4), constants `Σ`, and the class table `CT` of Fig. 3.
+
+pub mod classes;
+pub mod effects;
+pub mod sig;
+pub mod subtype;
+pub mod table;
+
+pub use classes::{ClassHierarchy, Schema};
+pub use effects::{effect_subsumed, EffectPrecision};
+pub use sig::{CompType, MethodKind, MethodSig, QueryRet, ResolvedSig, RetSpec};
+pub use subtype::is_subtype;
+pub use table::{ClassTable, EnumerateAt, MethodCandidate, MethodEntry, MethodRef};

@@ -1,0 +1,312 @@
+//! Method signatures `σ = τ →⟨ε_r,ε_w⟩ τ` (Fig. 3) and RDL-style *comp
+//! types* (type-level computations, §4).
+//!
+//! A comp type computes a method's parameter and return types from its
+//! receiver — e.g. `Post.where` takes a finite hash of `Post`'s columns
+//! (all optional) and returns `Array<Post>`, while `User.where` computes the
+//! analogous types for `User`. The paper modified RDL's comp types to
+//! over-approximate when receivers are still holes and to narrow as terms
+//! concretize (§3.1, §4); here the same effect is achieved by resolving comp
+//! types at *enumeration* time against either a concrete model class or a
+//! seed receiver type supplied by the search.
+
+use crate::classes::ClassHierarchy;
+use rbsyn_lang::types::HashField;
+use rbsyn_lang::{ClassId, EffectPair, FiniteHash, Symbol, Ty};
+
+/// Instance vs singleton (class-level) method.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MethodKind {
+    /// Called on instances: `post.title`.
+    Instance,
+    /// Called on the class object: `Post.where(...)`.
+    Singleton,
+}
+
+/// What an ActiveRecord-style model query returns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryRet {
+    /// One record of the receiver model (e.g. `find_by`, `create`, `first`).
+    SelfInstance,
+    /// A collection of records (e.g. `where`).
+    ArrayOfSelf,
+    /// A boolean (e.g. `exists?`).
+    Bool,
+    /// A count (e.g. `count`).
+    Int,
+}
+
+/// A type-level computation attached to a method signature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompType {
+    /// Model singleton query: parameter is the receiver model's column hash
+    /// (all keys optional), return per [`QueryRet`]. Resolved per concrete
+    /// model class.
+    ModelQuery(QueryRet),
+    /// Like [`CompType::ModelQuery`] but with no parameters (e.g. `first`,
+    /// `count` without conditions).
+    ModelNullary(QueryRet),
+    /// Instance-level column update (`post.update!(title: …)`): the
+    /// parameter is the receiver model's column hash, the return is `Bool`.
+    ModelUpdate,
+    /// `Hash#[]`: given a finite-hash receiver, the key parameter is the
+    /// union of the receiver's key literals and the return is the union of
+    /// the corresponding value types.
+    HashGet,
+    /// `Array#first` / `Array#last`: returns the receiver's element type.
+    ArrayElem,
+}
+
+/// A fully resolved signature: concrete parameter and return types plus the
+/// receiver type the resolution assumed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResolvedSig {
+    /// Receiver type assumed during resolution.
+    pub recv: Ty,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+impl CompType {
+    /// Resolves a comp type against a receiver type. Returns `None` when the
+    /// receiver shape does not fit (e.g. `HashGet` on a non-hash).
+    pub fn resolve(self, h: &ClassHierarchy, recv: &Ty) -> Option<ResolvedSig> {
+        match self {
+            CompType::ModelQuery(qret) | CompType::ModelNullary(qret) => {
+                let model = match recv {
+                    Ty::SingletonClass(c) => *c,
+                    _ => return None,
+                };
+                let schema = h.schema(model)?;
+                let params = if matches!(self, CompType::ModelNullary(_)) {
+                    Vec::new()
+                } else {
+                    vec![column_hash_ty(schema)]
+                };
+                let ret = match qret {
+                    QueryRet::SelfInstance => Ty::Instance(model),
+                    QueryRet::ArrayOfSelf => Ty::Array(Box::new(Ty::Instance(model))),
+                    QueryRet::Bool => Ty::Bool,
+                    QueryRet::Int => Ty::Int,
+                };
+                Some(ResolvedSig {
+                    recv: recv.clone(),
+                    params,
+                    ret,
+                })
+            }
+            CompType::ModelUpdate => {
+                let model = match recv {
+                    Ty::Instance(c) => *c,
+                    _ => return None,
+                };
+                let schema = h.schema(model)?;
+                Some(ResolvedSig {
+                    recv: recv.clone(),
+                    params: vec![column_hash_ty(schema)],
+                    ret: Ty::Bool,
+                })
+            }
+            CompType::HashGet => {
+                let fh = match recv {
+                    Ty::FiniteHash(fh) => fh,
+                    _ => return None,
+                };
+                if fh.fields.is_empty() {
+                    return None;
+                }
+                let key_ty = Ty::union(fh.fields.iter().map(|f| Ty::SymLit(f.key)).collect());
+                let val_ty = Ty::union(fh.fields.iter().map(|f| f.ty.clone()).collect());
+                Some(ResolvedSig {
+                    recv: recv.clone(),
+                    params: vec![key_ty],
+                    ret: val_ty,
+                })
+            }
+            CompType::ArrayElem => {
+                let elem = match recv {
+                    Ty::Array(t) => (**t).clone(),
+                    _ => return None,
+                };
+                Some(ResolvedSig {
+                    recv: recv.clone(),
+                    params: Vec::new(),
+                    ret: elem,
+                })
+            }
+        }
+    }
+}
+
+/// The optional-keyed finite hash type of a model's columns (the parameter
+/// type comp types compute for `where`/`create`/`update!`/…).
+fn column_hash_ty(schema: &crate::classes::Schema) -> Ty {
+    Ty::FiniteHash(FiniteHash::new(
+        schema
+            .columns
+            .iter()
+            .map(|(k, t)| HashField { key: *k, ty: t.clone(), optional: true })
+            .collect(),
+    ))
+}
+
+/// Return-type specification: a fixed type or a comp type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RetSpec {
+    /// Statically known parameter/return types.
+    Static {
+        /// Parameter types.
+        params: Vec<Ty>,
+        /// Return type.
+        ret: Ty,
+    },
+    /// Types computed from the receiver at resolution time.
+    Comp(CompType),
+}
+
+/// A method signature with effect annotation.
+///
+/// The effect pair may mention `self` regions (§4); they are resolved
+/// against the receiver class when the signature is looked up.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MethodSig {
+    /// Method name.
+    pub name: Symbol,
+    /// Instance or singleton.
+    pub kind: MethodKind,
+    /// Parameter/return specification.
+    pub ret: RetSpec,
+    /// `⟨ε_r, ε_w⟩` annotation (unresolved `self` atoms allowed).
+    pub effect: EffectPair,
+}
+
+impl MethodSig {
+    /// Resolves parameter and return types against a receiver type.
+    pub fn resolve(&self, h: &ClassHierarchy, recv: &Ty) -> Option<ResolvedSig> {
+        match &self.ret {
+            RetSpec::Static { params, ret } => Some(ResolvedSig {
+                recv: recv.clone(),
+                params: params.clone(),
+                ret: ret.clone(),
+            }),
+            RetSpec::Comp(ct) => ct.resolve(h, recv),
+        }
+    }
+
+    /// Resolves the effect annotation against the receiver class.
+    pub fn effect_at(&self, class: ClassId) -> EffectPair {
+        self.effect.resolve_self(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::Schema;
+    use rbsyn_lang::EffectSet;
+
+    fn model_setup() -> (ClassHierarchy, ClassId) {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("ActiveRecord::Base", None);
+        let post = h.define("Post", Some(base));
+        h.set_schema(
+            post,
+            Schema::new(vec![
+                (Symbol::intern("author"), Ty::Str),
+                (Symbol::intern("title"), Ty::Str),
+                (Symbol::intern("slug"), Ty::Str),
+            ]),
+        );
+        (h, post)
+    }
+
+    #[test]
+    fn model_query_resolves_schema_hash() {
+        let (h, post) = model_setup();
+        let r = CompType::ModelQuery(QueryRet::ArrayOfSelf)
+            .resolve(&h, &Ty::SingletonClass(post))
+            .unwrap();
+        assert_eq!(r.ret, Ty::Array(Box::new(Ty::Instance(post))));
+        match &r.params[0] {
+            Ty::FiniteHash(fh) => {
+                assert!(fh.field(Symbol::intern("slug")).unwrap().optional);
+                assert_eq!(fh.fields.len(), 4, "id + 3 declared columns");
+            }
+            other => panic!("expected finite hash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn model_query_requires_model_receiver() {
+        let (h, _) = model_setup();
+        assert!(CompType::ModelQuery(QueryRet::Bool)
+            .resolve(&h, &Ty::Int)
+            .is_none());
+        // Non-model class (no schema) also fails.
+        let plain = h.find("Object").unwrap();
+        assert!(CompType::ModelQuery(QueryRet::Bool)
+            .resolve(&h, &Ty::SingletonClass(plain))
+            .is_none());
+    }
+
+    #[test]
+    fn model_nullary_has_no_params() {
+        let (h, post) = model_setup();
+        let r = CompType::ModelNullary(QueryRet::SelfInstance)
+            .resolve(&h, &Ty::SingletonClass(post))
+            .unwrap();
+        assert!(r.params.is_empty());
+        assert_eq!(r.ret, Ty::Instance(post));
+    }
+
+    #[test]
+    fn hash_get_unions_keys_and_values() {
+        let h = ClassHierarchy::new();
+        let fh = Ty::FiniteHash(FiniteHash::new(vec![
+            HashField { key: Symbol::intern("author"), ty: Ty::Str, optional: true },
+            HashField { key: Symbol::intern("n"), ty: Ty::Int, optional: true },
+        ]));
+        let r = CompType::HashGet.resolve(&h, &fh).unwrap();
+        assert_eq!(
+            r.params[0],
+            Ty::union(vec![
+                Ty::SymLit(Symbol::intern("author")),
+                Ty::SymLit(Symbol::intern("n"))
+            ])
+        );
+        assert_eq!(r.ret, Ty::union(vec![Ty::Str, Ty::Int]));
+        assert!(CompType::HashGet.resolve(&h, &Ty::Int).is_none());
+    }
+
+    #[test]
+    fn array_elem_projects() {
+        let h = ClassHierarchy::new();
+        let r = CompType::ArrayElem
+            .resolve(&h, &Ty::Array(Box::new(Ty::Str)))
+            .unwrap();
+        assert_eq!(r.ret, Ty::Str);
+        assert!(CompType::ArrayElem.resolve(&h, &Ty::Str).is_none());
+    }
+
+    #[test]
+    fn self_effects_resolve_at_class() {
+        let (h, post) = model_setup();
+        let sig = MethodSig {
+            name: Symbol::intern("exists?"),
+            kind: MethodKind::Singleton,
+            ret: RetSpec::Comp(CompType::ModelQuery(QueryRet::Bool)),
+            effect: EffectPair::new(
+                EffectSet::single(rbsyn_lang::Effect::SelfStar),
+                EffectSet::pure_(),
+            ),
+        };
+        let eff = sig.effect_at(post);
+        assert_eq!(
+            eff.read,
+            EffectSet::single(rbsyn_lang::Effect::ClassStar(post))
+        );
+        let _ = h;
+    }
+}

@@ -1,0 +1,192 @@
+//! Subtyping `τ₁ ≤ τ₂` (Fig. 3).
+//!
+//! The lattice has `Nil` at the bottom — so `nil` is a valid filler for
+//! *every* typed hole, which is exactly what makes benchmark A3 slow in the
+//! paper (§5.2) — and `Obj` at the top. Classes use nominal single
+//! inheritance; unions use the standard ∀/∃ rules; finite hashes use
+//! width-and-optionality subtyping (a literal `{slug: Str}` is a subtype of
+//! the parameter type `{id: ?Int, slug: ?Str, …}`).
+
+use crate::classes::ClassHierarchy;
+use rbsyn_lang::{FiniteHash, Ty};
+
+/// Is `sub ≤ sup`?
+pub fn is_subtype(h: &ClassHierarchy, sub: &Ty, sup: &Ty) -> bool {
+    match (sub, sup) {
+        // Nil is the bottom element: Nil ≤ τ (Fig. 3).
+        (Ty::Nil, _) => true,
+        // τ ≤ Obj (top).
+        (_, Ty::Obj) => true,
+        // Union left: every branch must fit.
+        (Ty::Union(parts), _) => parts.iter().all(|p| is_subtype(h, p, sup)),
+        // Union right: some branch must fit.
+        (_, Ty::Union(parts)) => parts.iter().any(|p| is_subtype(h, sub, p)),
+        (Ty::Bool, Ty::Bool) | (Ty::Int, Ty::Int) | (Ty::Str, Ty::Str) | (Ty::Sym, Ty::Sym) => {
+            true
+        }
+        (Ty::SymLit(_), Ty::Sym) => true,
+        (Ty::SymLit(a), Ty::SymLit(b)) => a == b,
+        (Ty::Instance(a), Ty::Instance(b)) => h.is_subclass(*a, *b),
+        // Primitive types are instances of their builtin classes.
+        (Ty::Bool, Ty::Instance(b)) => h.is_subclass(h.boolean(), *b),
+        (Ty::Int, Ty::Instance(b)) => h.is_subclass(h.integer(), *b),
+        (Ty::Str, Ty::Instance(b)) => h.is_subclass(h.string(), *b),
+        (Ty::Sym | Ty::SymLit(_), Ty::Instance(b)) => h.is_subclass(h.symbol(), *b),
+        (Ty::FiniteHash(_), Ty::Instance(b)) => h.is_subclass(h.hash(), *b),
+        (Ty::Array(_), Ty::Instance(b)) => h.is_subclass(h.array(), *b),
+        (Ty::SingletonClass(a), Ty::SingletonClass(b)) => h.is_subclass(*a, *b),
+        (Ty::FiniteHash(f1), Ty::FiniteHash(f2)) => hash_subtype(h, f1, f2),
+        (Ty::Array(a), Ty::Array(b)) => is_subtype(h, a, b),
+        (Ty::Err, Ty::Err) => true,
+        _ => false,
+    }
+}
+
+/// Finite hash subtyping: every field of the subtype must exist in the
+/// supertype at a subtype of its declared type (no unknown keys), and every
+/// *required* field of the supertype must be present in the subtype.
+fn hash_subtype(h: &ClassHierarchy, f1: &FiniteHash, f2: &FiniteHash) -> bool {
+    for field in &f1.fields {
+        match f2.field(field.key) {
+            Some(sup_field) => {
+                if !is_subtype(h, &field.ty, &sup_field.ty) {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    for sup_field in &f2.fields {
+        if !sup_field.optional && f1.field(sup_field.key).is_none() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_lang::types::HashField;
+    use rbsyn_lang::Symbol;
+
+    fn fh(fields: &[(&str, Ty, bool)]) -> Ty {
+        Ty::FiniteHash(FiniteHash::new(
+            fields
+                .iter()
+                .map(|(k, t, opt)| HashField {
+                    key: Symbol::intern(k),
+                    ty: t.clone(),
+                    optional: *opt,
+                })
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn nil_is_bottom_obj_is_top() {
+        let h = ClassHierarchy::new();
+        for t in [Ty::Int, Ty::Str, Ty::Bool, Ty::Obj, Ty::Union(vec![Ty::Int, Ty::Str])] {
+            assert!(is_subtype(&h, &Ty::Nil, &t), "Nil ≤ {t}");
+            assert!(is_subtype(&h, &t, &Ty::Obj), "{t} ≤ Obj");
+        }
+        assert!(!is_subtype(&h, &Ty::Obj, &Ty::Int));
+    }
+
+    #[test]
+    fn nominal_subtyping() {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("ActiveRecord::Base", None);
+        let post = h.define("Post", Some(base));
+        let user = h.define("User", Some(base));
+        assert!(is_subtype(&h, &Ty::Instance(post), &Ty::Instance(base)));
+        assert!(!is_subtype(&h, &Ty::Instance(base), &Ty::Instance(post)));
+        assert!(!is_subtype(&h, &Ty::Instance(post), &Ty::Instance(user)));
+    }
+
+    #[test]
+    fn singleton_class_subtyping_follows_lattice() {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("ActiveRecord::Base", None);
+        let post = h.define("Post", Some(base));
+        assert!(is_subtype(
+            &h,
+            &Ty::SingletonClass(post),
+            &Ty::SingletonClass(base)
+        ));
+        assert!(!is_subtype(
+            &h,
+            &Ty::SingletonClass(base),
+            &Ty::SingletonClass(post)
+        ));
+    }
+
+    #[test]
+    fn union_rules() {
+        let h = ClassHierarchy::new();
+        let u = Ty::Union(vec![Ty::Int, Ty::Str]);
+        assert!(is_subtype(&h, &Ty::Int, &u));
+        assert!(is_subtype(&h, &Ty::Str, &u));
+        assert!(!is_subtype(&h, &Ty::Bool, &u));
+        assert!(is_subtype(&h, &u, &Ty::Obj));
+        assert!(!is_subtype(&h, &u, &Ty::Int));
+        assert!(is_subtype(&h, &u, &Ty::Union(vec![Ty::Str, Ty::Int, Ty::Bool])));
+    }
+
+    #[test]
+    fn sym_literals() {
+        let h = ClassHierarchy::new();
+        let a = Ty::SymLit(Symbol::intern("title"));
+        let b = Ty::SymLit(Symbol::intern("author"));
+        assert!(is_subtype(&h, &a, &Ty::Sym));
+        assert!(is_subtype(&h, &a, &a));
+        assert!(!is_subtype(&h, &a, &b));
+        assert!(!is_subtype(&h, &Ty::Sym, &a));
+    }
+
+    #[test]
+    fn finite_hash_width_and_optionality() {
+        let h = ClassHierarchy::new();
+        let param = fh(&[
+            ("id", Ty::Int, true),
+            ("slug", Ty::Str, true),
+            ("title", Ty::Str, true),
+        ]);
+        let lit = fh(&[("slug", Ty::Str, false)]);
+        assert!(is_subtype(&h, &lit, &param), "{{slug: Str}} ≤ optional param hash");
+        let bad_key = fh(&[("nope", Ty::Str, false)]);
+        assert!(!is_subtype(&h, &bad_key, &param), "unknown keys are rejected");
+        let bad_ty = fh(&[("slug", Ty::Int, false)]);
+        assert!(!is_subtype(&h, &bad_ty, &param));
+        // Required fields must be present.
+        let req = fh(&[("slug", Ty::Str, false)]);
+        let empty = fh(&[]);
+        assert!(!is_subtype(&h, &empty, &req));
+        assert!(is_subtype(&h, &lit, &req));
+    }
+
+    #[test]
+    fn primitives_are_instances_of_builtins() {
+        let h = ClassHierarchy::new();
+        assert!(is_subtype(&h, &Ty::Int, &Ty::Instance(h.integer())));
+        assert!(is_subtype(&h, &Ty::FiniteHash(FiniteHash::new(vec![])), &Ty::Instance(h.hash())));
+        assert!(!is_subtype(&h, &Ty::Int, &Ty::Instance(h.string())));
+    }
+
+    #[test]
+    fn arrays_are_covariant() {
+        let mut h = ClassHierarchy::new();
+        let base = h.define("Base", None);
+        let post = h.define("Post", Some(base));
+        assert!(is_subtype(
+            &h,
+            &Ty::Array(Box::new(Ty::Instance(post))),
+            &Ty::Array(Box::new(Ty::Instance(base)))
+        ));
+        assert!(!is_subtype(
+            &h,
+            &Ty::Array(Box::new(Ty::Instance(base))),
+            &Ty::Array(Box::new(Ty::Instance(post)))
+        ));
+    }
+}

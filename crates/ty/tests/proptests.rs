@@ -1,0 +1,101 @@
+//! Property tests for subtyping, effect subsumption and comp-type
+//! resolution over randomized hierarchies.
+
+use proptest::prelude::*;
+use rbsyn_lang::{ClassId, Effect, EffectSet, Symbol, Ty};
+use rbsyn_ty::{effect_subsumed, is_subtype, ClassHierarchy, CompType, QueryRet, Schema};
+
+/// A randomized single-inheritance hierarchy of `n` classes, each parented
+/// to an earlier one (or Object).
+fn arb_hierarchy(n: usize) -> impl Strategy<Value = (ClassHierarchy, Vec<ClassId>)> {
+    prop::collection::vec(0usize..=n, n).prop_map(move |parents| {
+        let mut h = ClassHierarchy::new();
+        let mut ids: Vec<ClassId> = Vec::new();
+        for (i, p) in parents.iter().enumerate() {
+            let parent = if *p == 0 || *p > ids.len() {
+                None
+            } else {
+                Some(ids[*p - 1])
+            };
+            ids.push(h.define(&format!("K{i}"), parent));
+        }
+        (h, ids)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn subclassing_is_a_partial_order((h, ids) in arb_hierarchy(6)) {
+        for &a in &ids {
+            prop_assert!(h.is_subclass(a, a));
+            prop_assert!(h.is_subclass(a, h.object()));
+            for &b in &ids {
+                for &c in &ids {
+                    if h.is_subclass(a, b) && h.is_subclass(b, c) {
+                        prop_assert!(h.is_subclass(a, c));
+                    }
+                }
+                // Antisymmetry: mutual subclassing means equality.
+                if a != b {
+                    prop_assert!(!(h.is_subclass(a, b) && h.is_subclass(b, a)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instance_subtyping_follows_the_lattice((h, ids) in arb_hierarchy(6)) {
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert_eq!(
+                    is_subtype(&h, &Ty::Instance(a), &Ty::Instance(b)),
+                    h.is_subclass(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_effects_respect_the_lattice((h, ids) in arb_hierarchy(5), r in "[a-z]{1,4}") {
+        let region = Symbol::intern(&r);
+        for &a in &ids {
+            for &b in &ids {
+                let ea = EffectSet::single(Effect::Region(a, region));
+                let eb = EffectSet::single(Effect::Region(b, region));
+                let eb_star = EffectSet::single(Effect::ClassStar(b));
+                prop_assert_eq!(effect_subsumed(&h, &ea, &eb), h.is_subclass(a, b));
+                prop_assert_eq!(effect_subsumed(&h, &ea, &eb_star), h.is_subclass(a, b));
+                // A.* never fits under a region.
+                let ea_star = EffectSet::single(Effect::ClassStar(a));
+                prop_assert!(!effect_subsumed(&h, &ea_star, &eb));
+            }
+        }
+    }
+
+    #[test]
+    fn comp_types_resolve_only_on_models((h, ids) in arb_hierarchy(4)) {
+        let mut h = h;
+        // Give the first class a schema; the rest stay plain.
+        h.set_schema(ids[0], Schema::new(vec![(Symbol::intern("c"), Ty::Str)]));
+        for (i, &c) in ids.iter().enumerate() {
+            let resolved = CompType::ModelQuery(QueryRet::Bool)
+                .resolve(&h, &Ty::SingletonClass(c));
+            prop_assert_eq!(resolved.is_some(), i == 0);
+        }
+    }
+
+    #[test]
+    fn union_subtyping_agrees_with_memberwise_checks(
+        (h, ids) in arb_hierarchy(4),
+        pick in prop::collection::vec(0usize..4, 1..3),
+    ) {
+        let parts: Vec<Ty> = pick.iter().map(|i| Ty::Instance(ids[*i])).collect();
+        let u = Ty::union(parts.clone());
+        for p in &parts {
+            prop_assert!(is_subtype(&h, p, &u), "{p} ≤ {u}");
+        }
+        prop_assert!(is_subtype(&h, &u, &Ty::Obj));
+    }
+}

@@ -1,0 +1,23 @@
+//! Discourse's `User#activate` (benchmark A2): a two-branch method — known
+//! users get activated (two database column writes driven by effect
+//! guidance), unknown users get `false`. The branch condition
+//! (`User.exists?(username: …)`) is synthesized during merging.
+//!
+//! ```text
+//! cargo run --release --example discourse_activate
+//! ```
+
+use rbsyn::core::Synthesizer;
+use rbsyn::suite::benchmark;
+
+fn main() {
+    let b = benchmark("A2").expect("A2 is registered");
+    let (env, problem) = (b.build)();
+    let result = Synthesizer::new(env, problem, (b.options)())
+        .run()
+        .expect("User#activate synthesizes");
+
+    println!("User#activate, synthesized in {:?}:", result.stats.elapsed);
+    println!("{}", result.program);
+    println!("\npaths: {}", result.stats.solution_paths);
+}

@@ -1,0 +1,30 @@
+//! The §5.4 ablation in miniature: synthesize Gitlab's `Issue#close` under
+//! the three effect-annotation precision levels and compare search effort.
+//! Less precise annotations admit more candidate writers per effect hole,
+//! so the search tests more programs (Fig. 8's slowdown).
+//!
+//! ```text
+//! cargo run --release --example effect_precision
+//! ```
+
+use rbsyn::core::{Options, Synthesizer};
+use rbsyn::prelude::EffectPrecision;
+use rbsyn::suite::benchmark;
+
+fn main() {
+    let b = benchmark("A7").expect("A7 is registered");
+    println!("{:<18} {:>10} {:>12}", "precision", "time", "tested");
+    for p in EffectPrecision::all() {
+        let (env, problem) = (b.build)();
+        let opts = Options { precision: p, ..(b.options)() };
+        match Synthesizer::new(env, problem, opts).run() {
+            Ok(r) => println!(
+                "{:<18} {:>10.3?} {:>12}",
+                p.label(),
+                r.stats.elapsed,
+                r.stats.search.tested
+            ),
+            Err(e) => println!("{:<18} {:>10} {:>12}", p.label(), "-", e),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Gitlab's `Issue#close` (benchmark A7): effect-guided synthesis flips the
+//! issue's state-machine column because the failing assertion *reads*
+//! `Issue.state`, so the search inserts a hole filled by the `state=`
+//! writer.
+//!
+//! ```text
+//! cargo run --release --example gitlab_issue_close
+//! ```
+
+use rbsyn::core::Synthesizer;
+use rbsyn::suite::benchmark;
+
+fn main() {
+    let b = benchmark("A7").expect("A7 is registered");
+    let (env, problem) = (b.build)();
+    let result = Synthesizer::new(env, problem, (b.options)())
+        .run()
+        .expect("Issue#close synthesizes");
+
+    println!("Issue#close, synthesized in {:?}:", result.stats.elapsed);
+    println!("{}", result.program);
+}

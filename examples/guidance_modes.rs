@@ -1,0 +1,33 @@
+//! The §5.3 ablation in miniature: synthesize the `user_exists` benchmark
+//! (S4) under the four guidance modes of Fig. 7 and compare search effort.
+//!
+//! ```text
+//! cargo run --release --example guidance_modes
+//! ```
+
+use rbsyn::core::{Guidance, Options, Synthesizer};
+use rbsyn::suite::benchmark;
+use std::time::Duration;
+
+fn main() {
+    let b = benchmark("S4").expect("S4 is registered");
+    println!("{:<14} {:>10} {:>12} {:>10}", "mode", "time", "tested", "result");
+    for g in Guidance::all() {
+        let (env, problem) = (b.build)();
+        let opts = Options {
+            guidance: g,
+            timeout: Some(Duration::from_secs(20)),
+            ..(b.options)()
+        };
+        match Synthesizer::new(env, problem, opts).run() {
+            Ok(r) => println!(
+                "{:<14} {:>10.3?} {:>12} {:>10}",
+                g.label(),
+                r.stats.elapsed,
+                r.stats.search.tested,
+                "ok"
+            ),
+            Err(e) => println!("{:<14} {:>10} {:>12} {:>10}", g.label(), "-", "-", e),
+        }
+    }
+}

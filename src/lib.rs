@@ -1,0 +1,39 @@
+//! # rbsyn
+//!
+//! A Rust reproduction of **RbSyn: Type- and Effect-Guided Program
+//! Synthesis** (Guria, Foster, Van Horn — PLDI 2021).
+//!
+//! This facade crate re-exports the whole workspace so examples, tests and
+//! downstream users need a single dependency:
+//!
+//! * [`lang`] — λ_syn syntax: values, expressions, holes, types, effects;
+//! * [`ty`] — class lattice, subtyping, effect subsumption, method
+//!   signatures with comp types, the class table;
+//! * [`db`] — in-memory relational store;
+//! * [`interp`] — effect-tracking interpreter and spec runner;
+//! * [`sat`] — DPLL SAT solver for branch-condition implications;
+//! * [`stdlib`] — the annotated "Ruby core + ActiveRecord" library;
+//! * [`core`] — the synthesizer itself (goals, search, merging);
+//! * [`suite`] — the 19 evaluation benchmarks of the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use rbsyn_core as core;
+pub use rbsyn_db as db;
+pub use rbsyn_interp as interp;
+pub use rbsyn_lang as lang;
+pub use rbsyn_sat as sat;
+pub use rbsyn_stdlib as stdlib;
+pub use rbsyn_suite as suite;
+pub use rbsyn_ty as ty;
+
+/// Convenience prelude: the types needed to define and run a synthesis
+/// problem.
+pub mod prelude {
+    pub use rbsyn_core::{
+        Guidance, Options, SynthEnv, SynthesisProblem, Synthesizer, SynthResult,
+    };
+    pub use rbsyn_lang::builder::*;
+    pub use rbsyn_lang::{EffectSet, Expr, Program, Symbol, Ty, Value};
+    pub use rbsyn_ty::EffectPrecision;
+}

@@ -1,0 +1,99 @@
+//! Integration tests for the paper's two ablations: guidance modes (§5.3)
+//! and effect-annotation precision (§5.4).
+//!
+//! Absolute times are machine-dependent, so these tests compare *search
+//! effort* (candidates tested), which is deterministic.
+
+use rbsyn::core::{Guidance, Options, Synthesizer};
+use rbsyn::prelude::EffectPrecision;
+use rbsyn::suite::benchmark;
+use std::time::Duration;
+
+fn effort(id: &str, guidance: Guidance, precision: EffectPrecision) -> Option<u64> {
+    let b = benchmark(id).expect("benchmark exists");
+    let (env, problem) = (b.build)();
+    let opts = Options {
+        guidance,
+        precision,
+        timeout: Some(Duration::from_secs(60)),
+        ..(b.options)()
+    };
+    Synthesizer::new(env, problem, opts)
+        .run()
+        .ok()
+        .map(|r| r.stats.search.tested)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "synthesis ablations are release-profile tests")]
+fn type_and_effect_guidance_beats_type_only_on_effectful_benchmarks() {
+    // A7 needs a database write; with effect guidance the writer is found
+    // from the failing assertion's read effect, without it the wrap hole
+    // admits every impure method.
+    let te = effort("A7", Guidance::both(), EffectPrecision::Precise)
+        .expect("TE solves A7");
+    match effort("A7", Guidance::types_only(), EffectPrecision::Precise) {
+        Some(t_only) => assert!(
+            te < t_only,
+            "TE tested {te} candidates, T-only {t_only}; effect guidance must help"
+        ),
+        None => {} // timing out is the paper's own observed outcome
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "synthesis ablations are release-profile tests")]
+fn naive_enumeration_is_strictly_worse_than_te() {
+    let te = effort("S4", Guidance::both(), EffectPrecision::Precise).expect("TE solves S4");
+    match effort("S4", Guidance::neither(), EffectPrecision::Precise) {
+        Some(naive) => assert!(te <= naive, "TE {te} vs naive {naive}"),
+        None => {}
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "synthesis ablations are release-profile tests")]
+fn coarser_effects_cost_more_search_effort() {
+    let precise = effort("A7", Guidance::both(), EffectPrecision::Precise)
+        .expect("precise solves A7");
+    let class = effort("A7", Guidance::both(), EffectPrecision::Class);
+    let purity = effort("A7", Guidance::both(), EffectPrecision::Purity);
+    if let Some(class) = class {
+        assert!(
+            precise <= class,
+            "precise={precise} class={class}: region labels must not hurt"
+        );
+        if let Some(purity) = purity {
+            assert!(
+                class <= purity,
+                "class={class} purity={purity}: purity labels admit the most writers"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "synthesis ablations are release-profile tests")]
+fn correctness_is_independent_of_precision() {
+    // §5.4: "effect precision does not affect the correctness of the
+    // synthesized program, since correctness is ensured by the specs."
+    for p in EffectPrecision::all() {
+        let b = benchmark("A10").expect("A10 exists");
+        let (env, problem) = (b.build)();
+        let specs = problem.specs.clone();
+        let opts = Options {
+            precision: p,
+            timeout: Some(Duration::from_secs(60)),
+            ..(b.options)()
+        };
+        if let Ok(r) = Synthesizer::new(env, problem, opts).run() {
+            let (env2, _) = (b.build)();
+            for s in &specs {
+                assert!(
+                    rbsyn::interp::run_spec(&env2, s, &r.program).passed(),
+                    "precision {p:?} produced an incorrect program"
+                );
+            }
+        }
+    }
+}
