@@ -15,14 +15,20 @@ fn cfg() -> Config {
 
 fn figure7(_c: &mut Criterion) {
     let cfg = cfg();
-    eprintln!("\nregenerating Figure 7 ({}s timeout)…", cfg.timeout.as_secs());
+    eprintln!(
+        "\nregenerating Figure 7 ({}s timeout)…",
+        cfg.timeout.as_secs()
+    );
     let rows = fig7_rows(&cfg);
     println!("\n===== Figure 7 =====\n{}", format_fig7(&rows));
 }
 
 fn figure8(_c: &mut Criterion) {
     let cfg = cfg();
-    eprintln!("\nregenerating Figure 8 ({}s timeout)…", cfg.timeout.as_secs());
+    eprintln!(
+        "\nregenerating Figure 8 ({}s timeout)…",
+        cfg.timeout.as_secs()
+    );
     let rows = fig8_rows(&cfg);
     println!("\n===== Figure 8 =====\n{}", format_fig8(&rows));
 }

@@ -48,7 +48,10 @@ fn bench_effects(c: &mut Criterion) {
 fn bench_enumeration(c: &mut Criterion) {
     let (env, post) = blog_env();
     c.bench_function("micro/candidates_returning", |b| {
-        b.iter(|| env.table.candidates_returning(black_box(&Ty::Instance(post)), &[]))
+        b.iter(|| {
+            env.table
+                .candidates_returning(black_box(&Ty::Instance(post)), &[])
+        })
     });
     let want = rbsyn_stdlib::eff::region(post, "title");
     c.bench_function("micro/candidates_writing", |b| {
@@ -66,7 +69,10 @@ fn bench_spec_execution(c: &mut Criterion) {
                 "create",
                 [hash([("slug", str_("s")), ("title", str_("T"))])],
             )),
-            rbsyn_interp::SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("s")] },
+            rbsyn_interp::SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![str_("s")],
+            },
         ],
         vec![call(call(var("xr"), "title", []), "==", [str_("T")])],
     );
@@ -106,7 +112,10 @@ fn bench_db_workload(c: &mut Criterion) {
 }
 
 fn bench_sat(c: &mut Criterion) {
-    let f1 = Formula::and(Formula::Var(0), Formula::or(Formula::Var(1), Formula::Var(2)));
+    let f1 = Formula::and(
+        Formula::Var(0),
+        Formula::or(Formula::Var(1), Formula::Var(2)),
+    );
     let f2 = Formula::or(Formula::Var(0), Formula::Var(3));
     c.bench_function("micro/sat_implication", |b| {
         b.iter(|| is_valid_implication(black_box(&f1), black_box(&f2)))

@@ -1,40 +1,246 @@
-//! Runs a single benchmark under full guidance and prints the synthesized
-//! program — handy for inspecting solutions.
+//! Runs benchmarks and prints synthesized programs.
+//!
+//! Single-benchmark mode (prints the program, handy for inspection):
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --bin solve -- A7 [timeout_secs]
 //! ```
+//!
+//! Batch mode — the whole registry (or `--ids`) through the parallel batch
+//! driver. The stdout section is deterministic (no timings), so two runs
+//! with different `--parallel` values can be byte-compared; timing goes to
+//! stderr:
+//!
+//! ```text
+//! cargo run --release -p rbsyn-bench --bin solve -- --all --parallel 4
+//! cargo run --release -p rbsyn-bench --bin solve -- --all --compare --parallel 4
+//! ```
+//!
+//! `--compare` runs sequentially first, then with `--parallel N`, verifies
+//! the two deterministic sections are byte-identical, and reports both
+//! wall-clocks. Exits nonzero on mismatch or on any unsolved benchmark.
 
+use rbsyn_bench::harness::{
+    batch_stats_json, format_batch_solutions, format_batch_stats, run_suite, Config,
+};
 use rbsyn_core::{Options, Synthesizer};
 use rbsyn_suite::benchmark;
 use std::time::Duration;
 
-fn main() {
+struct Cli {
+    all: bool,
+    compare: bool,
+    parallel: usize,
+    /// `--ids`, when given (overrides `RBSYN_BENCH_IDS`).
+    ids: Option<Vec<String>>,
+    /// `--timeout` / positional seconds, when given (overrides
+    /// `RBSYN_TIMEOUT_SECS`).
+    timeout: Option<Duration>,
+    json: Option<String>,
+    single: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: solve <ID> [timeout_secs]\n       \
+         solve --all [--parallel N] [--ids S1,S2,..] [--timeout SECS] [--compare] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        all: false,
+        compare: false,
+        parallel: 0,
+        ids: None,
+        timeout: None,
+        json: None,
+        single: None,
+    };
+    let mut batch_only: Vec<&'static str> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let id = args.next().unwrap_or_else(|| "S1".to_owned());
-    let timeout = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .map(Duration::from_secs)
-        .unwrap_or(Duration::from_secs(60));
-    let Some(b) = benchmark(&id) else {
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--all" => cli.all = true,
+            "--compare" => {
+                cli.compare = true;
+                batch_only.push("--compare");
+            }
+            "--parallel" => {
+                cli.parallel = value("--parallel").parse().unwrap_or_else(|_| usage());
+                batch_only.push("--parallel");
+            }
+            "--ids" => {
+                // Same tolerant parsing as RBSYN_BENCH_IDS in
+                // Config::from_env: trim and drop empty segments.
+                cli.ids = Some(
+                    value("--ids")
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+                batch_only.push("--ids");
+            }
+            "--timeout" => {
+                cli.timeout = Some(Duration::from_secs(
+                    value("--timeout").parse().unwrap_or_else(|_| usage()),
+                ))
+            }
+            "--json" => {
+                cli.json = Some(value("--json"));
+                batch_only.push("--json");
+            }
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => usage(),
+            _ => positional.push(a),
+        }
+    }
+    if cli.all {
+        if !positional.is_empty() {
+            eprintln!(
+                "--all takes no positional benchmark ids (use --ids {})",
+                positional.join(",")
+            );
+            usage();
+        }
+    } else {
+        // A batch flag without --all must not degrade to a single default
+        // benchmark that exits 0 — this binary gates CI.
+        if !batch_only.is_empty() {
+            eprintln!("{} require(s) --all", batch_only.join(", "));
+            usage();
+        }
+        cli.single = Some(
+            positional
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "S1".to_owned()),
+        );
+        if let Some(t) = positional.get(1) {
+            match t.parse() {
+                Ok(secs) => cli.timeout = Some(Duration::from_secs(secs)),
+                Err(_) => {
+                    eprintln!("timeout_secs must be an integer, got {t:?}");
+                    usage();
+                }
+            }
+        }
+    }
+    cli
+}
+
+fn run_single(id: &str, timeout: Duration) -> ! {
+    let Some(b) = benchmark(id) else {
         eprintln!("unknown benchmark {id:?} (try S1..S7, A1..A12)");
         std::process::exit(2);
     };
     let (env, problem) = (b.build)();
-    let opts = Options { timeout: Some(timeout), ..(b.options)() };
+    let opts = Options {
+        timeout: Some(timeout),
+        ..(b.options)()
+    };
     match Synthesizer::new(env, problem, opts).run() {
         Ok(r) => {
             println!(
                 "{} ({}) solved in {:?} — {} candidates tested, size {}, paths {}",
-                b.id, b.name, r.stats.elapsed, r.stats.search.tested,
-                r.stats.solution_size, r.stats.solution_paths
+                b.id,
+                b.name,
+                r.stats.elapsed,
+                r.stats.search.tested,
+                r.stats.solution_size,
+                r.stats.solution_paths
             );
             println!("{}", r.program);
+            std::process::exit(0);
         }
         Err(e) => {
             println!("{} failed: {e}", b.id);
             std::process::exit(1);
         }
     }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if let Some(id) = &cli.single {
+        run_single(id, cli.timeout.unwrap_or(Duration::from_secs(60)));
+    }
+
+    // Flags override the harness env knobs (RBSYN_BENCH_IDS /
+    // RBSYN_TIMEOUT_SECS); unset flags inherit them.
+    let mut cfg = Config::from_env();
+    if let Some(ids) = cli.ids.clone() {
+        cfg.ids = ids;
+    }
+    if let Some(t) = cli.timeout {
+        cfg.timeout = t;
+    }
+
+    // A typo'd id list (flag or env) must not shrink to a silently-passing
+    // empty or partial batch — this binary gates CI.
+    let known: Vec<&'static str> = rbsyn_suite::all_benchmarks().iter().map(|b| b.id).collect();
+    let unknown: Vec<&str> = cfg
+        .ids
+        .iter()
+        .map(String::as_str)
+        .filter(|i| !known.contains(i))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown benchmark id(s) {unknown:?} (known: {})",
+            known.join(",")
+        );
+        std::process::exit(2);
+    }
+    if cli.compare {
+        eprintln!("compare: sequential run…");
+        let seq = run_suite(&cfg, 1);
+        eprintln!("compare: parallel run ({} threads)…", cli.parallel);
+        let par = run_suite(&cfg, cli.parallel);
+        let (a, b) = (format_batch_solutions(&seq), format_batch_solutions(&par));
+        eprint!("sequential {}", format_batch_stats(&seq));
+        eprint!("parallel   {}", format_batch_stats(&par));
+        if a != b {
+            eprintln!("MISMATCH between sequential and parallel results:");
+            eprintln!("--- sequential ---\n{a}--- parallel ---\n{b}");
+            std::process::exit(1);
+        }
+        let wall_speedup =
+            seq.stats.wall_clock.as_secs_f64() / par.stats.wall_clock.as_secs_f64().max(1e-9);
+        eprintln!(
+            "results byte-identical across thread counts; wall-clock speedup {wall_speedup:.2}x, \
+             in-batch estimate {:.2}x",
+            par.stats.speedup()
+        );
+        print!("{a}");
+        if let Some(path) = &cli.json {
+            std::fs::write(path, batch_stats_json(&par)).expect("write --json file");
+        }
+        std::process::exit(if seq.stats.solved == seq.stats.jobs {
+            0
+        } else {
+            1
+        });
+    }
+
+    let report = run_suite(&cfg, cli.parallel);
+    print!("{}", format_batch_solutions(&report));
+    eprint!("{}", format_batch_stats(&report));
+    if let Some(path) = &cli.json {
+        std::fs::write(path, batch_stats_json(&report)).expect("write --json file");
+    }
+    std::process::exit(if report.stats.solved == report.stats.jobs {
+        0
+    } else {
+        1
+    });
 }

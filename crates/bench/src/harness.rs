@@ -1,6 +1,6 @@
 //! Benchmark execution and table/figure assembly.
 
-use rbsyn_core::{Guidance, Options, SynthError, Synthesizer};
+use rbsyn_core::{run_batch, BatchJob, BatchReport, Guidance, Options, SynthError, Synthesizer};
 use rbsyn_suite::{all_benchmarks, Benchmark};
 use rbsyn_ty::EffectPrecision;
 use std::time::Duration;
@@ -27,19 +27,36 @@ pub struct Config {
 impl Config {
     /// Reads configuration from the environment.
     pub fn from_env() -> Config {
-        let runs = std::env::var("RBSYN_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+        let runs = std::env::var("RBSYN_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
         let env_secs = |name: &str| -> Option<Duration> {
-            std::env::var(name).ok().and_then(|v| v.parse().ok()).map(Duration::from_secs)
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(Duration::from_secs)
         };
         let timeout = env_secs("RBSYN_TIMEOUT_SECS").unwrap_or(Duration::from_secs(60));
-        let ablation_timeout =
-            env_secs("RBSYN_ABLATION_TIMEOUT_SECS").unwrap_or_else(|| timeout.min(Duration::from_secs(8)));
-        let coarse_timeout =
-            env_secs("RBSYN_COARSE_TIMEOUT_SECS").unwrap_or_else(|| timeout.min(Duration::from_secs(20)));
+        let ablation_timeout = env_secs("RBSYN_ABLATION_TIMEOUT_SECS")
+            .unwrap_or_else(|| timeout.min(Duration::from_secs(8)));
+        let coarse_timeout = env_secs("RBSYN_COARSE_TIMEOUT_SECS")
+            .unwrap_or_else(|| timeout.min(Duration::from_secs(20)));
         let ids = std::env::var("RBSYN_BENCH_IDS")
-            .map(|v| v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect())
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
             .unwrap_or_default();
-        Config { runs, timeout, ablation_timeout, coarse_timeout, ids }
+        Config {
+            runs,
+            timeout,
+            ablation_timeout,
+            coarse_timeout,
+            ids,
+        }
     }
 
     /// The benchmarks selected by this configuration.
@@ -48,7 +65,9 @@ impl Config {
         if self.ids.is_empty() {
             all
         } else {
-            all.into_iter().filter(|b| self.ids.iter().any(|i| i == b.id)).collect()
+            all.into_iter()
+                .filter(|b| self.ids.iter().any(|i| i == b.id))
+                .collect()
         }
     }
 }
@@ -110,7 +129,7 @@ pub fn run_benchmark(
 
 /// Median and semi-interquartile range of a sample (Table 1's
 /// `median ± SIQR` over 11 runs).
-pub fn median_siqr(samples: &mut Vec<Duration>) -> (Duration, Duration) {
+pub fn median_siqr(samples: &mut [Duration]) -> (Duration, Duration) {
     assert!(!samples.is_empty(), "median of an empty sample");
     samples.sort();
     let pick = |q: f64| -> Duration {
@@ -227,9 +246,7 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     out.push_str(
         "Group      ID   Name                 Specs Asserts Orig  Lib   Time(s)        Types  Effects Neither  Size Paths\n",
     );
-    out.push_str(
-        "                                            min-max Paths Meth  median±SIQR\n",
-    );
+    out.push_str("                                            min-max Paths Meth  median±SIQR\n");
     for r in rows {
         out.push_str(&format!(
             "{:<10} {:<4} {:<20} {:>5} {:>3}-{:<3} {:>5} {:>4}  {:>6}±{:<6} {:>6} {:>7} {:>7} {:>5} {:>5}\n",
@@ -271,7 +288,11 @@ pub fn fig7_rows(cfg: &Config) -> Vec<Fig7Row> {
     Guidance::all()
         .into_iter()
         .map(|g| {
-            let timeout = if g == Guidance::both() { cfg.timeout } else { cfg.ablation_timeout };
+            let timeout = if g == Guidance::both() {
+                cfg.timeout
+            } else {
+                cfg.ablation_timeout
+            };
             let mut times: Vec<Duration> = benchmarks
                 .iter()
                 .filter_map(|b| {
@@ -280,7 +301,11 @@ pub fn fig7_rows(cfg: &Config) -> Vec<Fig7Row> {
                 })
                 .collect();
             times.sort();
-            Fig7Row { mode: g.label(), solve_times: times, total: benchmarks.len() }
+            Fig7Row {
+                mode: g.label(),
+                solve_times: times,
+                total: benchmarks.len(),
+            }
         })
         .collect()
 }
@@ -290,7 +315,12 @@ pub fn format_fig7(rows: &[Fig7Row]) -> String {
     let mut out = String::new();
     out.push_str("Figure 7: benchmarks solved (cumulative) vs time\n");
     for r in rows {
-        out.push_str(&format!("{:<12} solved {:>2}/{}", r.mode, r.solve_times.len(), r.total));
+        out.push_str(&format!(
+            "{:<12} solved {:>2}/{}",
+            r.mode,
+            r.solve_times.len(),
+            r.total
+        ));
         let series: Vec<String> = r
             .solve_times
             .iter()
@@ -340,7 +370,10 @@ pub fn format_fig8(rows: &[Fig8Row]) -> String {
     };
     let mut out = String::new();
     out.push_str("Figure 8: synthesis time (s) vs effect-annotation precision\n");
-    out.push_str(&format!("{:<5} {:>8} {:>8} {:>8}\n", "ID", "Precise", "Class", "Purity"));
+    out.push_str(&format!(
+        "{:<5} {:>8} {:>8} {:>8}\n",
+        "ID", "Precise", "Class", "Purity"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:<5} {} {} {}\n",
@@ -350,6 +383,155 @@ pub fn format_fig8(rows: &[Fig8Row]) -> String {
             fmt(&r.times[2])
         ));
     }
+    out
+}
+
+// ───────────────────────── parallel batch driver ─────────────────────────
+
+/// Converts the configured benchmark selection into [`BatchJob`]s for
+/// [`rbsyn_core::run_batch`], one per benchmark, each with its own
+/// `timeout` deadline.
+pub fn suite_jobs(
+    benchmarks: Vec<Benchmark>,
+    guidance: Guidance,
+    precision: EffectPrecision,
+    timeout: Duration,
+) -> Vec<BatchJob> {
+    benchmarks
+        .into_iter()
+        .map(|b| {
+            let opts = Options {
+                guidance,
+                precision,
+                timeout: Some(timeout),
+                ..(b.options)()
+            };
+            // `b.build` is a plain fn pointer: cheap to move, shares nothing.
+            BatchJob::new(b.id, b.build, opts)
+        })
+        .collect()
+}
+
+/// Runs the configured suite as a parallel batch (`threads` = 0 means all
+/// cores, 1 means sequential).
+pub fn run_suite(cfg: &Config, threads: usize) -> BatchReport {
+    let jobs = suite_jobs(
+        cfg.benchmarks(),
+        Guidance::both(),
+        EffectPrecision::Precise,
+        cfg.timeout,
+    );
+    run_batch(&jobs, threads)
+}
+
+/// Renders a batch report's *deterministic* section: one line per job with
+/// id, status, solution text and search counters — no wall-clock times.
+///
+/// Jobs are isolated and the per-job search is deterministic, so for runs
+/// where every job finishes within its budget this output is byte-identical
+/// across thread counts (a job right at its deadline boundary can flip to
+/// `timeout` under heavy core contention, like any wall-clock budget).
+pub fn format_batch_solutions(report: &BatchReport) -> String {
+    let mut out = String::new();
+    for o in &report.outcomes {
+        match &o.result {
+            Ok(r) => out.push_str(&format!(
+                "{:<4} solved  size {:>2}  paths {:>2}  tested {:>8}  {}\n",
+                o.id,
+                r.stats.solution_size,
+                r.stats.solution_paths,
+                r.stats.search.tested,
+                r.program.body.compact(),
+            )),
+            Err(e) => out.push_str(&format!("{:<4} failed  {e}\n", o.id)),
+        }
+    }
+    out
+}
+
+/// Renders a batch report's timing summary (non-deterministic section; keep
+/// it on stderr when byte-comparing runs).
+pub fn format_batch_stats(report: &BatchReport) -> String {
+    let s = &report.stats;
+    format!(
+        "batch: {} jobs on {} thread(s) — {} solved, {} timeout, {} failed; \
+         {} candidates tested; wall {:.2}s, cpu {:.2}s, speedup {:.2}x\n",
+        s.jobs,
+        s.threads,
+        s.solved,
+        s.timeouts,
+        s.failures,
+        s.tested,
+        s.wall_clock.as_secs_f64(),
+        s.cpu_time.as_secs_f64(),
+        s.speedup(),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a batch report as JSON (hand-rolled — the workspace is
+/// dependency-free). This is the CI bench-smoke artifact format.
+pub fn batch_stats_json(report: &BatchReport) -> String {
+    let s = &report.stats;
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"jobs\": {}, \"threads\": {}, \"solved\": {}, \"timeouts\": {}, \"failures\": {},\n",
+        s.jobs, s.threads, s.solved, s.timeouts, s.failures
+    ));
+    out.push_str(&format!(
+        "  \"tested\": {}, \"expanded\": {}, \"popped\": {},\n",
+        s.tested, s.expanded, s.popped
+    ));
+    out.push_str(&format!(
+        "  \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"speedup\": {:.4},\n",
+        s.wall_clock.as_secs_f64(),
+        s.cpu_time.as_secs_f64(),
+        s.speedup()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        let sep = if i + 1 == report.outcomes.len() {
+            ""
+        } else {
+            ","
+        };
+        match &o.result {
+            Ok(r) => out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"status\": \"solved\", \"elapsed_secs\": {:.6}, \
+                 \"size\": {}, \"paths\": {}, \"tested\": {}, \"solution\": \"{}\"}}{sep}\n",
+                json_escape(&o.id),
+                o.elapsed.as_secs_f64(),
+                r.stats.solution_size,
+                r.stats.solution_paths,
+                r.stats.search.tested,
+                json_escape(&r.program.body.compact()),
+            )),
+            Err(e) => out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"status\": \"{}\", \"elapsed_secs\": {:.6}, \
+                 \"error\": \"{}\"}}{sep}\n",
+                json_escape(&o.id),
+                if o.timed_out() { "timeout" } else { "failed" },
+                o.elapsed.as_secs_f64(),
+                json_escape(&e.to_string()),
+            )),
+        }
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -383,7 +565,10 @@ mod tests {
             ids: vec!["S1".into()],
         };
         assert_eq!(base.benchmarks().len(), 1);
-        let all = Config { ids: vec![], ..base };
+        let all = Config {
+            ids: vec![],
+            ..base
+        };
         assert_eq!(all.benchmarks().len(), 19);
     }
 

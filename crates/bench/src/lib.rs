@@ -11,6 +11,7 @@
 pub mod harness;
 
 pub use harness::{
-    fig7_rows, fig8_rows, median_siqr, run_benchmark, table1_rows, Config, Fig7Row, Fig8Row,
+    batch_stats_json, fig7_rows, fig8_rows, format_batch_solutions, format_batch_stats,
+    median_siqr, run_benchmark, run_suite, suite_jobs, table1_rows, Config, Fig7Row, Fig8Row,
     RunOutcome, Table1Row,
 };

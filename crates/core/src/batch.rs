@@ -1,0 +1,373 @@
+//! Parallel batch synthesis: run many independent synthesis problems
+//! concurrently with per-problem deadlines and deterministic result
+//! ordering.
+//!
+//! Per-spec search is embarrassingly parallel across *problems*: every job
+//! builds its own environment (class table + fresh world), so jobs share no
+//! mutable state and the search inside each job stays exactly the
+//! deterministic single-threaded search of [`crate::generate`]. The driver
+//! is a simple work-stealing loop over scoped threads:
+//!
+//! * jobs are claimed from an atomic cursor, so threads stay busy even when
+//!   job costs are wildly skewed (a timeout next to a millisecond solve);
+//! * results land in a slot indexed by submission order — the output is
+//!   **byte-identical** no matter the thread count or scheduling;
+//! * a panicking job is caught and reported as that job's failure; it never
+//!   poisons its siblings;
+//! * each job's deadline comes from its own [`Options::timeout`], so one
+//!   problem exhausting its budget cannot starve another.
+//!
+//! The experiment harness (`rbsyn-bench`) layers Table 1 / suite reporting
+//! on top of this; the driver itself is suite-agnostic.
+
+use crate::error::SynthError;
+use crate::goal::SynthesisProblem;
+use crate::options::Options;
+use crate::synthesizer::{SynthResult, Synthesizer};
+use rbsyn_interp::InterpEnv;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Builds a fresh environment + problem for one job. Called once per run,
+/// on the worker thread that claimed the job.
+pub type JobBuilder = Box<dyn Fn() -> (InterpEnv, SynthesisProblem) + Send + Sync>;
+
+/// One independent synthesis task in a batch.
+pub struct BatchJob {
+    /// Stable identifier (benchmark id, ticket id, …) used in reports.
+    pub id: String,
+    /// Environment + problem factory; must not capture shared mutable
+    /// state.
+    pub build: JobBuilder,
+    /// Per-job options; `options.timeout` is this job's private deadline.
+    pub options: Options,
+}
+
+impl BatchJob {
+    /// Convenience constructor.
+    pub fn new(
+        id: impl Into<String>,
+        build: impl Fn() -> (InterpEnv, SynthesisProblem) + Send + Sync + 'static,
+        options: Options,
+    ) -> BatchJob {
+        BatchJob {
+            id: id.into(),
+            build: Box::new(build),
+            options,
+        }
+    }
+
+    /// Runs this job once on the current thread.
+    pub fn run(&self) -> BatchOutcome {
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let (env, problem) = (self.build)();
+            Synthesizer::new(env, problem, self.options.clone()).run()
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_owned());
+            Err(SynthError::BadProblem(format!("job panicked: {msg}")))
+        });
+        BatchOutcome {
+            id: self.id.clone(),
+            result,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// The result of one batch job.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The job's identifier.
+    pub id: String,
+    /// Synthesis result or failure.
+    pub result: Result<SynthResult, SynthError>,
+    /// Wall-clock time this job took on its worker thread.
+    pub elapsed: Duration,
+}
+
+impl BatchOutcome {
+    /// Did synthesis produce a program?
+    pub fn solved(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Did the job die on its own deadline?
+    pub fn timed_out(&self) -> bool {
+        matches!(self.result, Err(SynthError::Timeout))
+    }
+}
+
+/// Aggregate statistics over a whole batch (the batch-level analogue of
+/// [`crate::SynthStats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs that synthesized a program.
+    pub solved: usize,
+    /// Jobs that hit their deadline.
+    pub timeouts: usize,
+    /// Jobs that failed for any other reason.
+    pub failures: usize,
+    /// Candidates tested across all jobs (solved jobs report their search
+    /// counters; failed jobs contribute nothing — their stats die with the
+    /// error).
+    pub tested: u64,
+    /// Candidate expansions across all solved jobs.
+    pub expanded: u64,
+    /// Work-list pops across all solved jobs.
+    pub popped: u64,
+    /// Wall-clock time of the whole batch.
+    pub wall_clock: Duration,
+    /// Sum of per-job wall-clock times — the sequential-run estimate.
+    pub cpu_time: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl BatchStats {
+    /// Parallel speedup: total per-job time over batch wall-clock. With one
+    /// thread this is ~1.0 by construction; with N threads and enough jobs
+    /// it approaches N (scheduling overhead and core contention permitting).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_clock.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.cpu_time.as_secs_f64() / wall
+    }
+}
+
+/// Outcomes (in submission order) plus aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per job, index-aligned with the submitted jobs.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Aggregates.
+    pub stats: BatchStats,
+}
+
+fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> BatchReport {
+    let mut stats = BatchStats {
+        jobs: outcomes.len(),
+        wall_clock: wall,
+        threads,
+        ..BatchStats::default()
+    };
+    for o in &outcomes {
+        stats.cpu_time += o.elapsed;
+        match &o.result {
+            Ok(r) => {
+                stats.solved += 1;
+                stats.tested += r.stats.search.tested;
+                stats.expanded += r.stats.search.expanded;
+                stats.popped += r.stats.search.popped;
+            }
+            Err(SynthError::Timeout) => stats.timeouts += 1,
+            Err(_) => stats.failures += 1,
+        }
+    }
+    BatchReport { outcomes, stats }
+}
+
+/// Runs `jobs` on `threads` worker threads (`0` = all available cores).
+///
+/// Outcomes are returned in submission order regardless of completion
+/// order, and every job runs under its own [`Options::timeout`] deadline —
+/// the report of a batch is a pure function of the jobs, not of the
+/// machine's scheduling.
+pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
+    let threads = match threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(jobs.len().max(1));
+
+    let started = Instant::now();
+    if threads <= 1 {
+        // Sequential fast path: same loop, no thread machinery.
+        let outcomes: Vec<BatchOutcome> = jobs.iter().map(BatchJob::run).collect();
+        return aggregate(outcomes, started.elapsed(), 1);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BatchOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let outcome = job.run();
+                *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    let outcomes: Vec<BatchOutcome> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("batch slot poisoned")
+                .expect("worker exited without filling its claimed slot")
+        })
+        .collect();
+    aggregate(outcomes, started.elapsed(), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_interp::SetupStep;
+    use rbsyn_lang::builder::*;
+    use rbsyn_lang::Ty;
+    use rbsyn_stdlib::EnvBuilder;
+
+    fn trivial_job(id: &str, timeout: Option<Duration>) -> BatchJob {
+        let opts = Options {
+            timeout,
+            ..Options::default()
+        };
+        BatchJob::new(
+            id,
+            || {
+                let env = EnvBuilder::with_stdlib().finish();
+                let problem = SynthesisProblem::builder("m")
+                    .returns(Ty::Bool)
+                    .base_consts()
+                    .spec(rbsyn_interp::Spec::new(
+                        "returns false",
+                        vec![SetupStep::CallTarget {
+                            bind: "xr".into(),
+                            args: vec![],
+                        }],
+                        vec![call(var("xr"), "==", [false_()])],
+                    ))
+                    .build();
+                (env, problem)
+            },
+            opts,
+        )
+    }
+
+    fn impossible_job(id: &str, timeout: Duration) -> BatchJob {
+        // `assert false` can never pass: the search burns its whole budget.
+        let opts = Options {
+            timeout: Some(timeout),
+            ..Options::default()
+        };
+        BatchJob::new(
+            id,
+            || {
+                let env = EnvBuilder::with_stdlib().finish();
+                let problem = SynthesisProblem::builder("m")
+                    .returns(Ty::Bool)
+                    .base_consts()
+                    .spec(rbsyn_interp::Spec::new(
+                        "unsatisfiable",
+                        vec![SetupStep::CallTarget {
+                            bind: "xr".into(),
+                            args: vec![],
+                        }],
+                        vec![false_()],
+                    ))
+                    .build();
+                (env, problem)
+            },
+            opts,
+        )
+    }
+
+    #[test]
+    fn ordering_is_submission_order() {
+        let jobs: Vec<BatchJob> = (0..8)
+            .map(|i| trivial_job(&format!("j{i}"), None))
+            .collect();
+        let report = run_batch(&jobs, 4);
+        let ids: Vec<&str> = report.outcomes.iter().map(|o| o.id.as_str()).collect();
+        assert_eq!(ids, ["j0", "j1", "j2", "j3", "j4", "j5", "j6", "j7"]);
+        assert_eq!(report.stats.solved, 8);
+        assert_eq!(report.stats.jobs, 8);
+        assert!(report.stats.tested >= 8);
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let jobs: Vec<BatchJob> = (0..6)
+            .map(|i| trivial_job(&format!("j{i}"), None))
+            .collect();
+        let seq = run_batch(&jobs, 1);
+        let par = run_batch(&jobs, 3);
+        assert_eq!(seq.stats.threads, 1);
+        assert_eq!(par.stats.threads, 3);
+        for (a, b) in seq.outcomes.iter().zip(par.outcomes.iter()) {
+            assert_eq!(a.id, b.id);
+            let (pa, pb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(pa.program.to_string(), pb.program.to_string());
+            assert_eq!(pa.stats.search.tested, pb.stats.search.tested);
+        }
+    }
+
+    #[test]
+    fn one_timeout_does_not_poison_the_batch() {
+        let jobs = vec![
+            trivial_job("ok0", None),
+            impossible_job("dead", Duration::from_millis(20)),
+            trivial_job("ok1", None),
+        ];
+        let report = run_batch(&jobs, 3);
+        assert!(
+            report.outcomes[0].solved(),
+            "ok0: {:?}",
+            report.outcomes[0].result
+        );
+        assert!(
+            report.outcomes[1].timed_out() || !report.outcomes[1].solved(),
+            "dead must not solve"
+        );
+        assert!(
+            report.outcomes[2].solved(),
+            "ok1: {:?}",
+            report.outcomes[2].result
+        );
+        assert_eq!(report.stats.solved, 2);
+        assert_eq!(report.stats.timeouts + report.stats.failures, 1);
+    }
+
+    #[test]
+    fn panicking_job_is_contained() {
+        let mut jobs = vec![trivial_job("ok", None)];
+        jobs.push(BatchJob::new(
+            "boom",
+            || panic!("intentional test panic"),
+            Options::default(),
+        ));
+        let report = run_batch(&jobs, 2);
+        assert!(report.outcomes[0].solved());
+        match &report.outcomes[1].result {
+            Err(SynthError::BadProblem(msg)) => {
+                assert!(msg.contains("panicked"), "unexpected message {msg:?}")
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speedup_is_cpu_over_wall() {
+        let stats = BatchStats {
+            wall_clock: Duration::from_secs(2),
+            cpu_time: Duration::from_secs(6),
+            ..BatchStats::default()
+        };
+        assert!((stats.speedup() - 3.0).abs() < 1e-9);
+        assert_eq!(BatchStats::default().speedup(), 1.0);
+    }
+}

@@ -26,7 +26,10 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::Timeout => write!(f, "synthesis timed out"),
             SynthError::NoSolution { spec } => {
-                write!(f, "no candidate satisfies spec {spec:?} within the search bounds")
+                write!(
+                    f,
+                    "no candidate satisfies spec {spec:?} within the search bounds"
+                )
             }
             SynthError::MergeFailed => write!(f, "no merged program passes all specs"),
             SynthError::GuardNotFound => write!(f, "no branch condition distinguishes the specs"),
@@ -44,6 +47,8 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_concise() {
         assert_eq!(SynthError::Timeout.to_string(), "synthesis timed out");
-        assert!(SynthError::NoSolution { spec: "s1".into() }.to_string().contains("s1"));
+        assert!(SynthError::NoSolution { spec: "s1".into() }
+            .to_string()
+            .contains("s1"));
     }
 }

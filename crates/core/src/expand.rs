@@ -46,7 +46,11 @@ impl<'a> Expander<'a> {
     }
 
     fn seeds_key(seeds: &[Ty]) -> String {
-        seeds.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(";")
+        seeds
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
     }
 
     /// All one-step rewrites of the leftmost hole of `e`, or `None` when
@@ -184,9 +188,9 @@ impl<'a> Expander<'a> {
                 }
                 None
             }
-            Expr::Not(b) => self.expand_first(b, gamma).map(|subs| {
-                subs.into_iter().map(|s| Expr::Not(Box::new(s))).collect()
-            }),
+            Expr::Not(b) => self
+                .expand_first(b, gamma)
+                .map(|subs| subs.into_iter().map(|s| Expr::Not(Box::new(s))).collect()),
             Expr::Or(x, y) => {
                 if let Some(subs) = self.expand_first(x, gamma) {
                     return Some(
@@ -363,7 +367,13 @@ fn finite_hash_goals(t: &Ty) -> Vec<&rbsyn_lang::FiniteHash> {
 
 /// Enumerates size-`k` subsets of `idxs` in lexicographic order.
 fn subsets(idxs: &[usize], k: usize, f: &mut impl FnMut(&[usize])) {
-    fn go(idxs: &[usize], k: usize, start: usize, acc: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    fn go(
+        idxs: &[usize],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
+    ) {
         if acc.len() == k {
             f(acc);
             return;
@@ -474,7 +484,9 @@ mod tests {
         let fills = ex
             .expand_first(&hole(Ty::SingletonClass(post)), &mut Gamma::new())
             .unwrap();
-        assert!(fills.iter().any(|e| matches!(e, Expr::Lit(Value::Class(c)) if *c == post)));
+        assert!(fills
+            .iter()
+            .any(|e| matches!(e, Expr::Lit(Value::Class(c)) if *c == post)));
     }
 
     #[test]
@@ -495,7 +507,10 @@ mod tests {
                 .collect(),
         ));
         let fills = ex.expand_first(&hole(fh), &mut Gamma::new()).unwrap();
-        let hashes: Vec<&Expr> = fills.iter().filter(|e| matches!(e, Expr::HashLit(_))).collect();
+        let hashes: Vec<&Expr> = fills
+            .iter()
+            .filter(|e| matches!(e, Expr::HashLit(_)))
+            .collect();
         // 3 columns (id, author, title): 3 singletons + 3 pairs.
         assert_eq!(hashes.len(), 6, "{fills:?}");
     }
@@ -530,7 +545,9 @@ mod tests {
         // Precise matching: author= does not write Post.title.
         assert!(!keys.iter().any(|k| k.contains("author=")));
         // create/update! (self.* writes) subsume the region too.
-        assert!(keys.iter().any(|k| k.contains("update!") || k.contains("create")));
+        assert!(keys
+            .iter()
+            .any(|k| k.contains("update!") || k.contains("create")));
     }
 
     #[test]
@@ -541,9 +558,9 @@ mod tests {
         let want = rbsyn_stdlib::eff::class_star(post);
         let fills = ex.expand_first(&effhole(want), &mut Gamma::new()).unwrap();
         // `create` reads self.* too, so its template is ◇:Post.*; call.
-        let with_pre = fills.iter().any(|e| {
-            matches!(e, Expr::Seq(es) if matches!(es[0], Expr::EffHole(_)))
-        });
+        let with_pre = fills
+            .iter()
+            .any(|e| matches!(e, Expr::Seq(es) if matches!(es[0], Expr::EffHole(_))));
         assert!(with_pre, "{fills:?}");
     }
 
@@ -587,11 +604,7 @@ mod tests {
 
     #[test]
     fn simplify_cleans_sequences() {
-        let e = Expr::Seq(vec![
-            nil(),
-            Expr::Seq(vec![int(1), nil()]),
-            int(2),
-        ]);
+        let e = Expr::Seq(vec![nil(), Expr::Seq(vec![int(1), nil()]), int(2)]);
         assert_eq!(simplify(e).compact(), "1; 2");
         let single = Expr::Seq(vec![nil(), int(3)]);
         assert_eq!(simplify(single).compact(), "3");

@@ -120,10 +120,18 @@ impl Oracle for GuardOracle {
             if c.run(env, program).passed() {
                 passed += 1;
             } else {
-                return OracleOutcome { success: false, passed, effects: None };
+                return OracleOutcome {
+                    success: false,
+                    passed,
+                    effects: None,
+                };
             }
         }
-        OracleOutcome { success: true, passed, effects: None }
+        OracleOutcome {
+            success: true,
+            passed,
+            effects: None,
+        }
     }
 }
 
@@ -186,7 +194,17 @@ pub fn generate(
     stats: &mut SearchStats,
 ) -> GenerateOutcome {
     let mut out = generate_many(
-        env, method_name, params, goal, oracle, opts, max_size, deadline, stats, 1, u64::MAX,
+        env,
+        method_name,
+        params,
+        goal,
+        oracle,
+        opts,
+        max_size,
+        deadline,
+        stats,
+        1,
+        u64::MAX,
     )?;
     Ok(out.remove(0))
 }
@@ -227,7 +245,12 @@ pub fn generate_many(
     let mut seen: HashSet<String> = HashSet::new();
     let mut seq = 0u64;
     let root = Expr::Hole(goal.clone());
-    heap.push(WorkItem { c: 0, size: 1, seq, expr: root });
+    heap.push(WorkItem {
+        c: 0,
+        size: 1,
+        seq,
+        expr: root,
+    });
 
     let mut solutions: Vec<Expr> = Vec::new();
     let mut first_solution_at: Option<u64> = None;
@@ -303,12 +326,19 @@ pub fn generate_many(
                 }
             } else if node_count(&exp) <= max_size {
                 seq += 1;
-                heap.push(WorkItem { c: item.c, size: node_count(&exp), seq, expr: exp });
+                heap.push(WorkItem {
+                    c: item.c,
+                    size: node_count(&exp),
+                    seq,
+                    expr: exp,
+                });
             }
         }
     }
     if solutions.is_empty() {
-        Err(SynthError::NoSolution { spec: method_name.to_owned() })
+        Err(SynthError::NoSolution {
+            spec: method_name.to_owned(),
+        })
     } else {
         Ok(solutions)
     }
@@ -355,16 +385,19 @@ mod tests {
         (b.finish(), post)
     }
 
-    fn gen(
-        env: &InterpEnv,
-        params: &[(Symbol, Ty)],
-        goal: Ty,
-        spec: &Spec,
-    ) -> GenerateOutcome {
+    fn gen(env: &InterpEnv, params: &[(Symbol, Ty)], goal: Ty, spec: &Spec) -> GenerateOutcome {
         let opts = Options::default();
         let mut stats = SearchStats::default();
         generate(
-            env, "m", params, &goal, &SpecOracle::new(env, spec), &opts, opts.max_size, None, &mut stats,
+            env,
+            "m",
+            params,
+            &goal,
+            &SpecOracle::new(env, spec),
+            &opts,
+            opts.max_size,
+            None,
+            &mut stats,
         )
     }
 
@@ -374,7 +407,10 @@ mod tests {
         // Spec: m("s") must return a truthy value whose == "s" holds.
         let spec = Spec::new(
             "returns its argument",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("hello")] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![str_("hello")],
+            }],
             vec![call(var("xr"), "==", [str_("hello")])],
         );
         let sol = gen(&env, &[("arg0".into(), Ty::Str)], Ty::Str, &spec).unwrap();
@@ -389,7 +425,10 @@ mod tests {
         env.table.add_const(Value::Bool(false));
         let spec = Spec::new(
             "returns false",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![call(var("xr"), "==", [false_()])],
         );
         let sol = gen(&env, &[], Ty::Bool, &spec).unwrap();
@@ -416,7 +455,10 @@ mod tests {
                 mk("alice", "s1"),
                 mk("bob", "s2"),
                 mk("carol", "s3"),
-                SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("s2")] },
+                SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![str_("s2")],
+                },
             ],
             vec![call(call(var("xr"), "author", []), "==", [str_("bob")])],
         );
@@ -435,17 +477,22 @@ mod tests {
         // Spec: after m(post_title), the seeded post's title must change.
         let seed = SetupStep::Bind(
             "p".into(),
-            call(cls(post), "create", [hash([("title", str_("Old")), ("slug", str_("s"))])]),
+            call(
+                cls(post),
+                "create",
+                [hash([("title", str_("Old")), ("slug", str_("s"))])],
+            ),
         );
         let spec = Spec::new(
             "updates the title",
             vec![
                 seed,
-                SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("New")] },
+                SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![str_("New")],
+                },
             ],
-            vec![
-                call(call(var("p"), "title", []), "==", [str_("New")]),
-            ],
+            vec![call(call(var("p"), "title", []), "==", [str_("New")])],
         );
         let sol = gen(&env, &[("arg0".into(), Ty::Str)], Ty::Instance(post), &spec).unwrap();
         let s = sol.compact();
@@ -459,20 +506,34 @@ mod tests {
             "seeded",
             vec![
                 SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("x"))])])),
-                SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+                SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                },
             ],
             vec![],
         );
         let empty = Spec::new(
             "empty",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![],
         );
         let oracle = GuardOracle::new(&env, &[&seeded], &[&empty]);
         let opts = Options::default();
         let mut stats = SearchStats::default();
         let guard = generate(
-            &env, "m", &[], &Ty::Bool, &oracle, &opts, opts.max_guard_size, None, &mut stats,
+            &env,
+            "m",
+            &[],
+            &Ty::Bool,
+            &oracle,
+            &opts,
+            opts.max_guard_size,
+            None,
+            &mut stats,
         )
         .unwrap();
         // Any emptiness test of the posts table is acceptable
@@ -488,14 +549,27 @@ mod tests {
         let (env, _) = blog_env();
         let spec = Spec::new(
             "impossible",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![false_()],
         );
-        let mut opts = Options::default();
-        opts.max_expansions = 2_000;
+        let opts = Options {
+            max_expansions: 2_000,
+            ..Options::default()
+        };
         let mut stats = SearchStats::default();
         let r = generate(
-            &env, "m", &[], &Ty::Bool, &SpecOracle::new(&env, &spec), &opts, 6, None, &mut stats,
+            &env,
+            "m",
+            &[],
+            &Ty::Bool,
+            &SpecOracle::new(&env, &spec),
+            &opts,
+            6,
+            None,
+            &mut stats,
         );
         assert!(matches!(r, Err(SynthError::NoSolution { .. })));
         assert!(stats.tested > 0);
@@ -506,14 +580,24 @@ mod tests {
         let (env, _) = blog_env();
         let spec = Spec::new(
             "impossible",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![false_()],
         );
         let opts = Options::default();
         let mut stats = SearchStats::default();
         let past = Instant::now() - std::time::Duration::from_secs(1);
         let r = generate(
-            &env, "m", &[], &Ty::Bool, &SpecOracle::new(&env, &spec), &opts, 20, Some(past),
+            &env,
+            "m",
+            &[],
+            &Ty::Bool,
+            &SpecOracle::new(&env, &spec),
+            &opts,
+            20,
+            Some(past),
             &mut stats,
         );
         assert_eq!(r, Err(SynthError::Timeout));

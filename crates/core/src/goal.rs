@@ -123,7 +123,10 @@ mod tests {
             .base_consts()
             .spec(Spec::new(
                 "s",
-                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("a"), str_("b")] }],
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![str_("a"), str_("b")],
+                }],
                 vec![var("xr")],
             ))
             .build();

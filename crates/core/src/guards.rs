@@ -121,7 +121,10 @@ mod tests {
 
     fn call_spec(name: &str, steps: Vec<SetupStep>) -> Spec {
         let mut steps = steps;
-        steps.push(SetupStep::CallTarget { bind: "xr".into(), args: vec![] });
+        steps.push(SetupStep::CallTarget {
+            bind: "xr".into(),
+            args: vec![],
+        });
         Spec::new(name, steps, vec![])
     }
 
@@ -131,7 +134,15 @@ mod tests {
         let s = call_spec("s", vec![]);
         let mut stats = SearchStats::default();
         let g = synth_guard(
-            &env, "m", &[], &[&s], &[], &[], &Options::default(), None, &mut stats,
+            &env,
+            "m",
+            &[],
+            &[&s],
+            &[],
+            &[],
+            &Options::default(),
+            None,
+            &mut stats,
         )
         .unwrap();
         assert_eq!(g.compact(), "true");
@@ -150,7 +161,15 @@ mod tests {
         // Guard for `empty` against `seeded`: !Post.exists? — found via the
         // negation fast path without search.
         let g = synth_guard(
-            &env, "m", &[], &[&empty], &[&seeded], &known, &Options::default(), None, &mut stats,
+            &env,
+            "m",
+            &[],
+            &[&empty],
+            &[&seeded],
+            &known,
+            &Options::default(),
+            None,
+            &mut stats,
         )
         .unwrap();
         assert_eq!(g.compact(), "!Post.exists?");
@@ -171,7 +190,15 @@ mod tests {
         let empty = call_spec("none", vec![]);
         let mut stats = SearchStats::default();
         let g = synth_guard(
-            &env, "m", &[], &[&alice], &[&empty], &[], &Options::default(), None, &mut stats,
+            &env,
+            "m",
+            &[],
+            &[&alice],
+            &[&empty],
+            &[],
+            &Options::default(),
+            None,
+            &mut stats,
         )
         .unwrap();
         // Any Post-emptiness test works (`Post.count.positive?`,
@@ -197,7 +224,14 @@ mod tests {
         let oracle = GuardOracle::new(&env, &[&alice], &[&empty]);
         let mut stats = SearchStats::default();
         let gs = search_guards(
-            &env, "m", &[], &oracle, 4, &Options::default(), None, &mut stats,
+            &env,
+            "m",
+            &[],
+            &oracle,
+            4,
+            &Options::default(),
+            None,
+            &mut stats,
         )
         .unwrap();
         assert!(gs.len() >= 2, "expected several guards, got {gs:?}");

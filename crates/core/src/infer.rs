@@ -24,7 +24,9 @@ impl Gamma {
 
     /// From parameter bindings.
     pub fn from_params(params: &[(Symbol, Ty)]) -> Gamma {
-        Gamma { binds: params.to_vec() }
+        Gamma {
+            binds: params.to_vec(),
+        }
     }
 
     /// Binds a variable.
@@ -44,7 +46,11 @@ impl Gamma {
 
     /// Innermost type of `x`.
     pub fn get(&self, x: Symbol) -> Option<&Ty> {
-        self.binds.iter().rev().find(|(n, _)| *n == x).map(|(_, t)| t)
+        self.binds
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == x)
+            .map(|(_, t)| t)
     }
 
     /// All bindings (outermost first), for variable enumeration (S-Var).
@@ -112,7 +118,11 @@ pub fn infer_ty(table: &ClassTable, gamma: &mut Gamma, e: &Expr) -> Option<Ty> {
             let mut fields = Vec::with_capacity(entries.len());
             for (k, v) in entries {
                 let vt = infer_ty(table, gamma, v)?;
-                fields.push(rbsyn_lang::types::HashField { key: *k, ty: vt, optional: false });
+                fields.push(rbsyn_lang::types::HashField {
+                    key: *k,
+                    ty: vt,
+                    optional: false,
+                });
             }
             Some(Ty::FiniteHash(rbsyn_lang::FiniteHash::new(fields)))
         }
@@ -228,7 +238,10 @@ mod tests {
             Some(Ty::union(vec![Ty::Int, Ty::Str]))
         );
         assert_eq!(infer_ty(&table, &mut g, &not(true_())), Some(Ty::Bool));
-        assert_eq!(infer_ty(&table, &mut g, &or(true_(), false_())), Some(Ty::Bool));
+        assert_eq!(
+            infer_ty(&table, &mut g, &or(true_(), false_())),
+            Some(Ty::Bool)
+        );
     }
 
     #[test]

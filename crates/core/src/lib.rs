@@ -21,6 +21,7 @@
 //! ablation ([`rbsyn_ty::EffectPrecision`]) are configuration switches on
 //! [`Options`].
 
+pub mod batch;
 pub mod error;
 pub mod expand;
 pub mod generate;
@@ -31,6 +32,7 @@ pub mod merge;
 pub mod options;
 pub mod synthesizer;
 
+pub use batch::{run_batch, BatchJob, BatchOutcome, BatchReport, BatchStats};
 pub use error::SynthError;
 pub use generate::{generate, GenerateOutcome, Oracle};
 pub use goal::{ProblemBuilder, SynthesisProblem};

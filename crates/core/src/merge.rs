@@ -234,13 +234,14 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
     }
 }
 
+/// Guard requests a rewrite consumed, with the candidate-list length at
+/// each request — the digits of the selector odometer.
+type GuardUses = Vec<(GuardKey, usize)>;
+
 /// Advances the guard-choice odometer: increments the *first* used key
 /// (the structurally dominant pick), carrying rightward; returns `false`
 /// when all combinations are exhausted.
-fn bump_selector(
-    selector: &mut HashMap<GuardKey, usize>,
-    used: &[(GuardKey, usize)],
-) -> bool {
+fn bump_selector(selector: &mut HashMap<GuardKey, usize>, used: &GuardUses) -> bool {
     for (key, len) in used.iter() {
         let slot = selector.entry(key.clone()).or_insert(0);
         if *slot + 1 < *len {
@@ -260,20 +261,24 @@ fn rewrite_chain(
     mut chain: Vec<Tuple>,
     selector: &HashMap<GuardKey, usize>,
     guard_cache: &mut HashMap<GuardKey, GuardSet>,
-) -> Result<(Vec<Tuple>, Vec<(GuardKey, usize)>), SynthError> {
+) -> Result<(Vec<Tuple>, GuardUses), SynthError> {
     let mut enc = CondEncoder::default();
     let mut used: Vec<(GuardKey, usize)> = Vec::new();
     let pick = |ctx: &mut MergeCtx<'_>,
-                    key: GuardKey,
-                    extra: &[Expr],
-                    used: &mut Vec<(GuardKey, usize)>,
-                    cache: &mut HashMap<GuardKey, GuardSet>|
+                key: GuardKey,
+                extra: &[Expr],
+                used: &mut Vec<(GuardKey, usize)>,
+                cache: &mut HashMap<GuardKey, GuardSet>|
      -> Result<Option<Expr>, SynthError> {
         let cands = ctx.guard_candidates(&key, extra, cache)?;
         if cands.is_empty() {
             return Ok(None);
         }
-        let idx = selector.get(&key).copied().unwrap_or(0).min(cands.len() - 1);
+        let idx = selector
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+            .min(cands.len() - 1);
         if !used.iter().any(|(k, _)| *k == key) {
             used.push((key.clone(), cands.len()));
         }
@@ -301,7 +306,11 @@ fn rewrite_chain(
             if a.expr == b.expr {
                 let t = if enc.implies(&a.cond, &b.cond) {
                     // Rule 1.
-                    Tuple { expr: a.expr.clone(), cond: a.cond.clone(), specs: merged_specs() }
+                    Tuple {
+                        expr: a.expr.clone(),
+                        cond: a.cond.clone(),
+                        specs: merged_specs(),
+                    }
                 } else {
                     // Rule 2.
                     Tuple {
@@ -387,7 +396,9 @@ fn guard_holds(ctx: &mut MergeCtx<'_>, bg: &Expr, specs: &[usize]) -> bool {
     let p = ctx.program(bg.clone());
     specs.iter().all(|&i| {
         let spec = &ctx.specs[i];
-        let Some(xr) = spec.result_var() else { return false };
+        let Some(xr) = spec.result_var() else {
+            return false;
+        };
         let check = spec.with_asserts(vec![Expr::Var(xr)]);
         match PreparedSpec::prepare(ctx.env, &check) {
             Ok(prepared) => prepared.run(ctx.env, &p).passed(),
@@ -404,8 +415,7 @@ fn build_body(chain: &[Tuple], enc: &mut CondEncoder) -> Expr {
     // A tuple guarded by a tautology (e.g. the `b ∨ !b` rules 4/5 produce)
     // needs no conditional at all.
     fn is_taut(enc: &mut CondEncoder, e: &Expr) -> bool {
-        matches!(e, Expr::Lit(Value::Bool(true)))
-            || enc.implies(&Expr::Lit(Value::Bool(true)), e)
+        matches!(e, Expr::Lit(Value::Bool(true))) || enc.implies(&Expr::Lit(Value::Bool(true)), e)
     }
     fn go(chain: &[Tuple], enc: &mut CondEncoder) -> Expr {
         match chain {
@@ -494,18 +504,37 @@ mod tests {
     #[test]
     fn build_body_shapes() {
         let mut enc = CondEncoder::default();
-        let t1 = Tuple { expr: int(1), cond: true_(), specs: vec![0] };
-        assert_eq!(build_body(&[t1.clone()], &mut enc).compact(), "1");
+        let t1 = Tuple {
+            expr: int(1),
+            cond: true_(),
+            specs: vec![0],
+        };
+        assert_eq!(
+            build_body(std::slice::from_ref(&t1), &mut enc).compact(),
+            "1"
+        );
         let b = var("b");
-        let t2 = Tuple { expr: int(1), cond: b.clone(), specs: vec![0] };
-        let t3 = Tuple { expr: int(2), cond: not(b.clone()), specs: vec![1] };
+        let t2 = Tuple {
+            expr: int(1),
+            cond: b.clone(),
+            specs: vec![0],
+        };
+        let t3 = Tuple {
+            expr: int(2),
+            cond: not(b.clone()),
+            specs: vec![1],
+        };
         // Negated pair collapses to if/else.
         assert_eq!(
             build_body(&[t2.clone(), t3], &mut enc).compact(),
             "if b then 1 else 2 end"
         );
         // Non-negated tail keeps the else-if chain with nil default.
-        let t4 = Tuple { expr: int(2), cond: var("c"), specs: vec![1] };
+        let t4 = Tuple {
+            expr: int(2),
+            cond: var("c"),
+            specs: vec![1],
+        };
         assert_eq!(
             build_body(&[t2, t4], &mut enc).compact(),
             "if b then 1 else if c then 2 else nil end end"

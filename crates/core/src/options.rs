@@ -22,22 +22,34 @@ pub struct Guidance {
 impl Guidance {
     /// Full RbSyn ("TE Enabled").
     pub fn both() -> Guidance {
-        Guidance { types: true, effects: true }
+        Guidance {
+            types: true,
+            effects: true,
+        }
     }
 
     /// "T Only".
     pub fn types_only() -> Guidance {
-        Guidance { types: true, effects: false }
+        Guidance {
+            types: true,
+            effects: false,
+        }
     }
 
     /// "E Only".
     pub fn effects_only() -> Guidance {
-        Guidance { types: false, effects: true }
+        Guidance {
+            types: false,
+            effects: true,
+        }
     }
 
     /// "TE Disabled" — naive enumeration.
     pub fn neither() -> Guidance {
-        Guidance { types: false, effects: false }
+        Guidance {
+            types: false,
+            effects: false,
+        }
     }
 
     /// The four modes in the order Fig. 7 lists them.
@@ -106,12 +118,18 @@ impl Default for Options {
 impl Options {
     /// Options with a specific guidance mode.
     pub fn with_guidance(g: Guidance) -> Options {
-        Options { guidance: g, ..Options::default() }
+        Options {
+            guidance: g,
+            ..Options::default()
+        }
     }
 
     /// Options with a specific effect precision.
     pub fn with_precision(p: EffectPrecision) -> Options {
-        Options { precision: p, ..Options::default() }
+        Options {
+            precision: p,
+            ..Options::default()
+        }
     }
 }
 

@@ -84,13 +84,20 @@ impl Synthesizer {
         let param_names: Vec<&str> = problem.params.iter().map(|(n, _)| n.as_str()).collect();
         for (i, spec) in problem.specs.iter().enumerate() {
             let reused = tuples.iter_mut().find(|t| {
-                let p =
-                    Program::new(problem.name.as_str(), param_names.iter().copied(), t.expr.clone());
+                let p = Program::new(
+                    problem.name.as_str(),
+                    param_names.iter().copied(),
+                    t.expr.clone(),
+                );
                 run_spec(&env, spec, &p).passed()
             });
             if let Some(t) = reused {
                 if trace {
-                    eprintln!("[rbsyn] spec {i} {:?}: reused `{}`", spec.name, t.expr.compact());
+                    eprintln!(
+                        "[rbsyn] spec {i} {:?}: reused `{}`",
+                        spec.name,
+                        t.expr.compact()
+                    );
                 }
                 t.specs.push(i);
                 continue;
@@ -107,7 +114,9 @@ impl Synthesizer {
                 &mut stats.search,
             )
             .map_err(|e| match e {
-                SynthError::NoSolution { .. } => SynthError::NoSolution { spec: spec.name.clone() },
+                SynthError::NoSolution { .. } => SynthError::NoSolution {
+                    spec: spec.name.clone(),
+                },
                 other => other,
             })?;
             if trace {
@@ -119,7 +128,11 @@ impl Synthesizer {
                     start.elapsed()
                 );
             }
-            tuples.push(Tuple { expr, cond: true_(), specs: vec![i] });
+            tuples.push(Tuple {
+                expr,
+                cond: true_(),
+                specs: vec![i],
+            });
         }
         stats.tuples = tuples.len();
 
@@ -168,11 +181,16 @@ mod tests {
             .base_consts()
             .spec(rbsyn_interp::Spec::new(
                 "returns false",
-                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                }],
                 vec![call(var("xr"), "==", [false_()])],
             ))
             .build();
-        let out = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+        let out = Synthesizer::new(env, problem, Options::default())
+            .run()
+            .unwrap();
         assert_eq!(out.program.body.compact(), "false");
         assert_eq!(out.stats.solution_paths, 1);
         assert_eq!(out.stats.tuples, 1);
@@ -185,7 +203,10 @@ mod tests {
         let mk = |name: &str| {
             rbsyn_interp::Spec::new(
                 name,
-                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                }],
                 vec![call(var("xr"), "==", [int(1)])],
             )
         };
@@ -195,7 +216,9 @@ mod tests {
             .spec(mk("a"))
             .spec(mk("b"))
             .build();
-        let out = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+        let out = Synthesizer::new(env, problem, Options::default())
+            .run()
+            .unwrap();
         assert_eq!(out.program.body.compact(), "1");
         assert_eq!(out.stats.tuples, 1, "second spec reused the first solution");
     }
@@ -208,14 +231,24 @@ mod tests {
         let seeded = rbsyn_interp::Spec::new(
             "seeded returns true",
             vec![
-                SetupStep::Exec(call(cls(post), "create", [hash([("author", str_("alice"))])])),
-                SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+                SetupStep::Exec(call(
+                    cls(post),
+                    "create",
+                    [hash([("author", str_("alice"))])],
+                )),
+                SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                },
             ],
             vec![call(var("xr"), "==", [true_()])],
         );
         let empty = rbsyn_interp::Spec::new(
             "empty returns false",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![call(var("xr"), "==", [false_()])],
         );
         let problem = SynthesisProblem::builder("m")
@@ -225,7 +258,9 @@ mod tests {
             .spec(seeded)
             .spec(empty)
             .build();
-        let out = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+        let out = Synthesizer::new(env, problem, Options::default())
+            .run()
+            .unwrap();
         // The merged program must be a single boolean expression or a
         // conditional; either way it passes both specs and mentions the
         // Post table.
@@ -240,13 +275,21 @@ mod tests {
             .returns(Ty::Bool)
             .spec(rbsyn_interp::Spec::new(
                 "unsatisfiable",
-                vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                }],
                 vec![false_()],
             ))
             .build();
-        let mut opts = Options::default();
-        opts.timeout = Some(Duration::from_millis(30));
+        let opts = Options {
+            timeout: Some(Duration::from_millis(30)),
+            ..Options::default()
+        };
         let r = Synthesizer::new(env, problem, opts).run();
-        assert!(matches!(r, Err(SynthError::Timeout) | Err(SynthError::NoSolution { .. })));
+        assert!(matches!(
+            r,
+            Err(SynthError::Timeout) | Err(SynthError::NoSolution { .. })
+        ));
     }
 }

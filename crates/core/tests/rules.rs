@@ -35,7 +35,10 @@ fn write_title_spec(env: &InterpEnv, post: rbsyn_lang::ClassId) -> Spec {
                     [hash([("title", str_("Old")), ("slug", str_("s"))])],
                 ),
             ),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![call(call(var("p"), "title", []), "==", [str_("New")])],
     )
@@ -79,10 +82,13 @@ fn type_guidance_prunes_untypable_candidates() {
     let (env, _) = blog();
     let spec = Spec::new(
         "unsatisfiable",
-        vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+        vec![SetupStep::CallTarget {
+            bind: "xr".into(),
+            args: vec![],
+        }],
         vec![false_()],
     );
-    let mut run = |guidance: Guidance| {
+    let run = |guidance: Guidance| {
         let mut opts = Options::with_guidance(guidance);
         opts.max_expansions = 300;
         let mut stats = SearchStats::default();
@@ -120,8 +126,16 @@ fn merge_rule_1_collapses_identical_solutions() {
         seq([call(var("t0"), "title=", [str_("New")]), true_()]),
     );
     let tuples = vec![
-        Tuple { expr: solution.clone(), cond: true_(), specs: vec![0] },
-        Tuple { expr: solution, cond: true_(), specs: vec![1] },
+        Tuple {
+            expr: solution.clone(),
+            cond: true_(),
+            specs: vec![0],
+        },
+        Tuple {
+            expr: solution,
+            cond: true_(),
+            specs: vec![1],
+        },
     ];
     let opts = Options::default();
     let mut stats = SearchStats::default();
@@ -137,7 +151,11 @@ fn merge_rule_1_collapses_identical_solutions() {
     };
     let program = merge_program(&mut ctx, tuples).expect("identical tuples merge");
     // Rule 1: one branch, no conditional at all.
-    assert_eq!(rbsyn_lang::metrics::program_paths(&program), 1, "\n{program}");
+    assert_eq!(
+        rbsyn_lang::metrics::program_paths(&program),
+        1,
+        "\n{program}"
+    );
     assert!(!program.body.compact().starts_with("if "), "\n{program}");
 }
 
@@ -151,19 +169,33 @@ fn merge_strengthens_trivial_conditions_with_rule_3() {
         "seeded: return true",
         vec![
             SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("s"))])])),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![call(var("xr"), "==", [true_()])],
     );
     let empty = Spec::new(
         "empty: return false",
-        vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+        vec![SetupStep::CallTarget {
+            bind: "xr".into(),
+            args: vec![],
+        }],
         vec![call(var("xr"), "==", [false_()])],
     );
     let specs = vec![seeded, empty];
     let tuples = vec![
-        Tuple { expr: true_(), cond: true_(), specs: vec![0] },
-        Tuple { expr: false_(), cond: true_(), specs: vec![1] },
+        Tuple {
+            expr: true_(),
+            cond: true_(),
+            specs: vec![0],
+        },
+        Tuple {
+            expr: false_(),
+            cond: true_(),
+            specs: vec![1],
+        },
     ];
     let opts = Options::default();
     let mut stats = SearchStats::default();
@@ -180,7 +212,11 @@ fn merge_strengthens_trivial_conditions_with_rule_3() {
     let program = merge_program(&mut ctx, tuples).expect("rule 3 + rules 4/5 merge");
     // Rules 4/5 then fold `if b then true else false` into `b` itself:
     // single-path, single-line boolean program.
-    assert_eq!(rbsyn_lang::metrics::program_paths(&program), 1, "\n{program}");
+    assert_eq!(
+        rbsyn_lang::metrics::program_paths(&program),
+        1,
+        "\n{program}"
+    );
     let (env2, _) = {
         let mut b = EnvBuilder::with_stdlib();
         let p2 = b.define_model(
@@ -190,7 +226,11 @@ fn merge_strengthens_trivial_conditions_with_rule_3() {
         (b.finish(), p2)
     };
     for s in &specs {
-        assert!(run_spec(&env2, s, &program).passed(), "{:?}\n{program}", s.name);
+        assert!(
+            run_spec(&env2, s, &program).passed(),
+            "{:?}\n{program}",
+            s.name
+        );
     }
 }
 

@@ -83,7 +83,11 @@ pub struct Table {
 
 impl Table {
     fn new(schema: TableSchema) -> Table {
-        Table { schema, rows: Vec::new(), next_id: 1 }
+        Table {
+            schema,
+            rows: Vec::new(),
+            next_id: 1,
+        }
     }
 
     fn col_index(&self, column: Symbol) -> Option<usize> {
@@ -125,7 +129,9 @@ impl Table {
 
     /// Writes one cell. Returns `false` when the row or column is unknown.
     pub fn set(&mut self, id: RowId, column: Symbol, value: Value) -> bool {
-        let Some(i) = self.col_index(column) else { return false };
+        let Some(i) = self.col_index(column) else {
+            return false;
+        };
         match self.rows.iter_mut().find(|r| r.id == id) {
             Some(row) => {
                 row.values[i] = value;
@@ -281,7 +287,9 @@ mod tests {
     #[test]
     fn insert_assigns_sequential_ids() {
         let (mut db, t) = posts_db();
-        let a = db.table_mut(t).insert(vec![(Symbol::intern("author"), sv("a"))]);
+        let a = db
+            .table_mut(t)
+            .insert(vec![(Symbol::intern("author"), sv("a"))]);
         let b = db.table_mut(t).insert(vec![]);
         assert_eq!(a, RowId(1));
         assert_eq!(b, RowId(2));
@@ -291,16 +299,27 @@ mod tests {
     #[test]
     fn unmentioned_columns_default_to_nil() {
         let (mut db, t) = posts_db();
-        let id = db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("x"))]);
-        assert_eq!(db.table(t).get_value(id, Symbol::intern("author")), Some(Value::Nil));
-        assert_eq!(db.table(t).get_value(id, Symbol::intern("title")), Some(sv("x")));
+        let id = db
+            .table_mut(t)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
+        assert_eq!(
+            db.table(t).get_value(id, Symbol::intern("author")),
+            Some(Value::Nil)
+        );
+        assert_eq!(
+            db.table(t).get_value(id, Symbol::intern("title")),
+            Some(sv("x"))
+        );
     }
 
     #[test]
     fn id_column_materializes() {
         let (mut db, t) = posts_db();
         let id = db.table_mut(t).insert(vec![]);
-        assert_eq!(db.table(t).get_value(id, Symbol::intern("id")), Some(Value::Int(1)));
+        assert_eq!(
+            db.table(t).get_value(id, Symbol::intern("id")),
+            Some(Value::Int(1))
+        );
         assert_eq!(db.table(t).get_value(RowId(99), Symbol::intern("id")), None);
     }
 
@@ -319,7 +338,9 @@ mod tests {
             (Symbol::intern("author"), sv("alice")),
             (Symbol::intern("slug"), sv("s3")),
         ]);
-        let alice = db.table(t).select(&[(Symbol::intern("author"), sv("alice"))]);
+        let alice = db
+            .table(t)
+            .select(&[(Symbol::intern("author"), sv("alice"))]);
         assert_eq!(alice, vec![a, c]);
         let both = db.table(t).select(&[
             (Symbol::intern("author"), sv("alice")),
@@ -329,15 +350,23 @@ mod tests {
         assert_eq!(db.table(t).first_where(&[]), Some(a));
         assert_eq!(db.table(t).count_where(&[]), 3);
         // Select by id works too.
-        assert_eq!(db.table(t).select(&[(Symbol::intern("id"), Value::Int(3))]), vec![c]);
+        assert_eq!(
+            db.table(t).select(&[(Symbol::intern("id"), Value::Int(3))]),
+            vec![c]
+        );
     }
 
     #[test]
     fn set_and_delete() {
         let (mut db, t) = posts_db();
-        let id = db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("old"))]);
+        let id = db
+            .table_mut(t)
+            .insert(vec![(Symbol::intern("title"), sv("old"))]);
         assert!(db.table_mut(t).set(id, Symbol::intern("title"), sv("new")));
-        assert_eq!(db.table(t).get_value(id, Symbol::intern("title")), Some(sv("new")));
+        assert_eq!(
+            db.table(t).get_value(id, Symbol::intern("title")),
+            Some(sv("new"))
+        );
         assert!(!db.table_mut(t).set(id, Symbol::intern("nope"), sv("x")));
         assert!(db.table_mut(t).delete(id));
         assert!(!db.table(t).exists(id));
@@ -347,9 +376,11 @@ mod tests {
     #[test]
     fn snapshots_are_independent() {
         let (mut db, t) = posts_db();
-        db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("x"))]);
+        db.table_mut(t)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
         let snapshot = db.clone();
-        db.table_mut(t).insert(vec![(Symbol::intern("title"), sv("y"))]);
+        db.table_mut(t)
+            .insert(vec![(Symbol::intern("title"), sv("y"))]);
         assert_eq!(db.table(t).len(), 2);
         assert_eq!(snapshot.table(t).len(), 1);
     }
@@ -361,7 +392,11 @@ mod tests {
         db.clear_rows();
         assert!(db.table(t).is_empty());
         let id = db.table_mut(t).insert(vec![]);
-        assert_eq!(id, RowId(2), "ids keep counting after reset, like a real sequence");
+        assert_eq!(
+            id,
+            RowId(2),
+            "ids keep counting after reset, like a real sequence"
+        );
     }
 
     #[test]

@@ -58,8 +58,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoMethod { class_name, name } => {
                 write!(f, "undefined method `{name}` for {class_name}")
             }
-            RuntimeError::ArgCount { name, expected, got } => {
-                write!(f, "wrong number of arguments to `{name}` (given {got}, expected {expected})")
+            RuntimeError::ArgCount {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "wrong number of arguments to `{name}` (given {got}, expected {expected})"
+                )
             }
             RuntimeError::TypeMismatch { name, expected } => {
                 write!(f, "type mismatch in `{name}`: expected {expected}")
@@ -86,8 +93,14 @@ mod tests {
             name: Symbol::intern("title"),
         };
         assert_eq!(e.to_string(), "undefined method `title` for NilClass");
-        let a = RuntimeError::ArgCount { name: Symbol::intern("m"), expected: 1, got: 2 };
+        let a = RuntimeError::ArgCount {
+            name: Symbol::intern("m"),
+            expected: 1,
+            got: 2,
+        };
         assert!(a.to_string().contains("given 2, expected 1"));
-        assert!(RuntimeError::UnboundVar(Symbol::intern("x")).to_string().contains("`x`"));
+        assert!(RuntimeError::UnboundVar(Symbol::intern("x"))
+            .to_string()
+            .contains("`x`"));
     }
 }

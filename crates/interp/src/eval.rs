@@ -26,7 +26,11 @@ impl Locals {
 
     /// Innermost binding of `name`.
     pub fn get(&self, name: Symbol) -> Option<&Value> {
-        self.vars.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v)
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 
     /// Current stack depth, for scope save/restore around `let` bodies.
@@ -59,7 +63,12 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Builds an evaluator with the default fuel budget.
     pub fn new(env: &'a InterpEnv, state: &'a mut WorldState) -> Evaluator<'a> {
-        Evaluator { env, state, tracker: None, fuel: DEFAULT_FUEL }
+        Evaluator {
+            env,
+            state,
+            tracker: None,
+            fuel: DEFAULT_FUEL,
+        }
     }
 
     fn burn(&mut self) -> Result<(), RuntimeError> {
@@ -81,10 +90,7 @@ impl<'a> Evaluator<'a> {
         self.burn()?;
         match e {
             Expr::Lit(v) => Ok(v.clone()),
-            Expr::Var(x) => locals
-                .get(*x)
-                .cloned()
-                .ok_or(RuntimeError::UnboundVar(*x)),
+            Expr::Var(x) => locals.get(*x).cloned().ok_or(RuntimeError::UnboundVar(*x)),
             Expr::Seq(es) => {
                 let mut last = Value::Nil;
                 for e in es {
@@ -206,9 +212,9 @@ mod tests {
     use crate::world::InterpEnv;
     use rbsyn_db::Database;
     use rbsyn_lang::builder::*;
+    use rbsyn_lang::Ty;
     use rbsyn_lang::{Effect, EffectSet};
     use rbsyn_ty::{ClassHierarchy, ClassTable, EnumerateAt, MethodSig, RetSpec};
-    use rbsyn_lang::Ty;
     use std::sync::Arc;
 
     fn plain_env() -> InterpEnv {
@@ -321,7 +327,8 @@ mod tests {
         let mut ev = Evaluator::new(&env, &mut state);
         let p = Program::new("m", ["a", "b"], var("b"));
         assert_eq!(
-            ev.call_program(&p, vec![Value::Int(1), Value::Int(2)]).unwrap(),
+            ev.call_program(&p, vec![Value::Int(1), Value::Int(2)])
+                .unwrap(),
             Value::Int(2)
         );
         assert!(matches!(
@@ -341,7 +348,10 @@ mod tests {
             MethodSig {
                 name: Symbol::intern("title"),
                 kind: rbsyn_ty::MethodKind::Instance,
-                ret: RetSpec::Static { params: vec![], ret: Ty::Str },
+                ret: RetSpec::Static {
+                    params: vec![],
+                    ret: Ty::Str,
+                },
                 effect: EffectPair::new(region.clone(), EffectSet::pure_()),
             },
             EnumerateAt::OwnerOnly,

@@ -36,8 +36,13 @@ pub enum SetupStep {
         args: Vec<Expr>,
     },
     /// Arbitrary world preparation in Rust (the `seed_db` of Fig. 1).
-    Native(Arc<dyn Fn(&InterpEnv, &mut WorldState) -> Result<(), RuntimeError> + Send + Sync>),
+    Native(NativeSetup),
 }
+
+/// A Rust-side world-preparation hook (the payload of
+/// [`SetupStep::Native`]).
+pub type NativeSetup =
+    Arc<dyn Fn(&InterpEnv, &mut WorldState) -> Result<(), RuntimeError> + Send + Sync>;
 
 impl fmt::Debug for SetupStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -67,7 +72,11 @@ pub struct Spec {
 impl Spec {
     /// Builds a spec.
     pub fn new(name: &str, steps: Vec<SetupStep>, asserts: Vec<Expr>) -> Spec {
-        Spec { name: name.into(), steps, asserts }
+        Spec {
+            name: name.into(),
+            steps,
+            asserts,
+        }
     }
 
     /// The variable the target call binds (`x_r`).
@@ -271,9 +280,7 @@ mod tests {
     use rbsyn_db::Database;
     use rbsyn_lang::builder::*;
     use rbsyn_lang::{Effect, EffectSet, Ty, Value};
-    use rbsyn_ty::{
-        ClassHierarchy, ClassTable, EnumerateAt, MethodKind, MethodSig, RetSpec,
-    };
+    use rbsyn_ty::{ClassHierarchy, ClassTable, EnumerateAt, MethodKind, MethodSig, RetSpec};
 
     /// Environment with a `Counter` global: `Counter.get` (reads region
     /// `Counter.value`) and `Counter.bump` (writes it).
@@ -287,7 +294,10 @@ mod tests {
             MethodSig {
                 name: Symbol::intern("get"),
                 kind: MethodKind::Singleton,
-                ret: RetSpec::Static { params: vec![], ret: Ty::Int },
+                ret: RetSpec::Static {
+                    params: vec![],
+                    ret: Ty::Int,
+                },
                 effect: EffectPair::new(region.clone(), EffectSet::pure_()),
             },
             EnumerateAt::OwnerOnly,
@@ -297,7 +307,10 @@ mod tests {
             MethodSig {
                 name: Symbol::intern("bump"),
                 kind: MethodKind::Singleton,
-                ret: RetSpec::Static { params: vec![], ret: Ty::Int },
+                ret: RetSpec::Static {
+                    params: vec![],
+                    ret: Ty::Int,
+                },
                 effect: EffectPair::new(EffectSet::pure_(), region),
             },
             EnumerateAt::OwnerOnly,
@@ -341,7 +354,10 @@ mod tests {
         let env = counter_env();
         let spec = Spec::new(
             "identity returns its argument",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![int(5)] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![int(5)],
+            }],
             vec![
                 call(var("xr"), "noop_eq", []), // replaced below
             ],
@@ -364,7 +380,10 @@ mod tests {
         // which is false, to trigger failure with read effects collected.
         let spec = Spec::new(
             "counter must have been bumped",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![call(call(c, "get", []), "nil?", [])],
         );
         // nil? is not registered → the assert *raises*; treated as failure
@@ -391,7 +410,10 @@ mod tests {
         // have ==; instead assert on the bump return bound through target.
         let spec = Spec::new(
             "target must bump",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![var("xr")],
         );
         let good = Program::new("m", [], call(c.clone(), "bump", []));
@@ -403,7 +425,10 @@ mod tests {
         let env = counter_env();
         let spec = Spec::new(
             "boom",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![true_()],
         );
         let bad = Program::new("m", [], call(nil(), "boom", []));
@@ -421,14 +446,20 @@ mod tests {
         // with *no* effects — proving the reset (E-SeqVal).
         let spec = Spec::new(
             "reset check",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![call(c, "get", []), false_()],
         );
         let p = Program::new("m", [], nil());
         match run_spec(&env, &spec, &p) {
             SpecOutcome::Failed { passed, effects } => {
                 assert_eq!(passed, 1);
-                assert!(effects.is_pure(), "effects from the first assert were discarded");
+                assert!(
+                    effects.is_pure(),
+                    "effects from the first assert were discarded"
+                );
             }
             other => panic!("expected Failed, got {other:?}"),
         }
@@ -441,11 +472,16 @@ mod tests {
             "bindings reach asserts",
             vec![
                 SetupStep::Native(Arc::new(|_, state| {
-                    state.globals.insert(Symbol::intern("seeded"), Value::Bool(true));
+                    state
+                        .globals
+                        .insert(Symbol::intern("seeded"), Value::Bool(true));
                     Ok(())
                 })),
                 SetupStep::Bind("flag".into(), true_()),
-                SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+                SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                },
             ],
             vec![var("flag"), var("xr")],
         );
@@ -460,7 +496,10 @@ mod tests {
         let c = counter_cls(&env);
         let spec = Spec::new(
             "bump visible only within a run",
-            vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
             vec![var("xr")],
         );
         let bump = Program::new("m", [], call(c, "bump", []));

@@ -80,12 +80,8 @@ impl Expr {
             Expr::Hole(_) | Expr::EffHole(_) => true,
             Expr::Lit(_) | Expr::Var(_) => false,
             Expr::Seq(es) => es.iter().any(Expr::has_holes),
-            Expr::Call { recv, args, .. } => {
-                recv.has_holes() || args.iter().any(Expr::has_holes)
-            }
-            Expr::If { cond, then, els } => {
-                cond.has_holes() || then.has_holes() || els.has_holes()
-            }
+            Expr::Call { recv, args, .. } => recv.has_holes() || args.iter().any(Expr::has_holes),
+            Expr::If { cond, then, els } => cond.has_holes() || then.has_holes() || els.has_holes(),
             Expr::Let { val, body, .. } => val.has_holes() || body.has_holes(),
             Expr::HashLit(entries) => entries.iter().any(|(_, e)| e.has_holes()),
             Expr::Not(b) => b.has_holes(),
@@ -379,7 +375,11 @@ mod tests {
     fn hole_count_is_recursive() {
         let e = seq([
             hole(Ty::Int),
-            call(hole(Ty::Str), "m", [hole(Ty::Bool), effhole(EffectSet::star())]),
+            call(
+                hole(Ty::Str),
+                "m",
+                [hole(Ty::Bool), effhole(EffectSet::star())],
+            ),
         ]);
         assert_eq!(e.hole_count(), 4);
     }
@@ -433,10 +433,7 @@ mod tests {
     fn structural_equality() {
         assert_eq!(int(1), int(1));
         assert_ne!(var("x"), var("y"));
-        assert_eq!(
-            call(var("x"), "m", [int(1)]),
-            call(var("x"), "m", [int(1)])
-        );
+        assert_eq!(call(var("x"), "m", [int(1)]), call(var("x"), "m", [int(1)]));
     }
 
     #[test]

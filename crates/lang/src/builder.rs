@@ -89,12 +89,7 @@ pub fn let_(name: &str, val: Expr, body: Expr) -> Expr {
 
 /// Hash literal with symbol keys: `{k: v, …}`.
 pub fn hash<'a>(entries: impl IntoIterator<Item = (&'a str, Expr)>) -> Expr {
-    Expr::HashLit(
-        entries
-            .into_iter()
-            .map(|(k, v)| (k.into(), v))
-            .collect(),
-    )
+    Expr::HashLit(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
 /// Guard negation `!b`.

@@ -41,7 +41,9 @@ impl EffectSet {
 
     /// `*` — the top effect.
     pub fn star() -> EffectSet {
-        EffectSet { atoms: vec![Effect::Star] }
+        EffectSet {
+            atoms: vec![Effect::Star],
+        }
     }
 
     /// A single-atom effect set.

@@ -4,13 +4,12 @@
 //! names) appear everywhere in the synthesizer's inner loop, so they are
 //! interned once into a [`Symbol`] — a `Copy` integer handle with O(1)
 //! equality and hashing. The interner is a process-wide table guarded by a
-//! [`parking_lot::RwLock`]; interning the same string twice returns the same
+//! [`std::sync::RwLock`]; interning the same string twice returns the same
 //! handle for the lifetime of the process.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -50,10 +49,10 @@ impl Symbol {
     /// Interns `s`, returning its stable handle.
     pub fn intern(s: &str) -> Symbol {
         let lock = interner();
-        if let Some(&id) = lock.read().map.get(s) {
+        if let Some(&id) = lock.read().expect("interner poisoned").map.get(s) {
             return Symbol(id);
         }
-        let mut w = lock.write();
+        let mut w = lock.write().expect("interner poisoned");
         if let Some(&id) = w.map.get(s) {
             return Symbol(id);
         }
@@ -68,7 +67,7 @@ impl Symbol {
 
     /// Returns the interned string.
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        interner().read().expect("interner poisoned").strings[self.0 as usize]
     }
 
     /// Raw handle; exposed for dense indexing in tables.

@@ -22,9 +22,7 @@ pub fn node_count(e: &Expr) -> usize {
         Expr::Call { recv, args, .. } => {
             1 + node_count(recv) + args.iter().map(node_count).sum::<usize>()
         }
-        Expr::If { cond, then, els } => {
-            1 + node_count(cond) + node_count(then) + node_count(els)
-        }
+        Expr::If { cond, then, els } => 1 + node_count(cond) + node_count(then) + node_count(els),
         Expr::Let { val, body, .. } => 1 + node_count(val) + node_count(body),
         Expr::HashLit(entries) => 1 + entries.iter().map(|(_, v)| node_count(v)).sum::<usize>(),
         Expr::Not(b) => 1 + node_count(b),
@@ -58,9 +56,7 @@ pub fn path_count(e: &Expr) -> usize {
         Expr::Call { recv, args, .. } => {
             path_count(recv) * args.iter().map(path_count).product::<usize>()
         }
-        Expr::If { cond, then, els } => {
-            path_count(cond) * (path_count(then) + path_count(els))
-        }
+        Expr::If { cond, then, els } => path_count(cond) * (path_count(then) + path_count(els)),
         Expr::Let { val, body, .. } => path_count(val) * path_count(body),
         Expr::HashLit(entries) => entries.iter().map(|(_, v)| path_count(v)).product(),
         Expr::Not(b) => path_count(b),

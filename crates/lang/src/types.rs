@@ -176,11 +176,7 @@ mod tests {
 
     #[test]
     fn union_flattens_and_dedups() {
-        let t = Ty::union(vec![
-            Ty::Int,
-            Ty::Union(vec![Ty::Str, Ty::Int]),
-            Ty::Str,
-        ]);
+        let t = Ty::union(vec![Ty::Int, Ty::Union(vec![Ty::Str, Ty::Int]), Ty::Str]);
         assert_eq!(t, Ty::Union(vec![Ty::Int, Ty::Str]));
     }
 
@@ -199,8 +195,16 @@ mod tests {
     #[test]
     fn finite_hash_lookup() {
         let fh = FiniteHash::new(vec![
-            HashField { key: Symbol::intern("a"), ty: Ty::Int, optional: false },
-            HashField { key: Symbol::intern("b"), ty: Ty::Str, optional: true },
+            HashField {
+                key: Symbol::intern("a"),
+                ty: Ty::Int,
+                optional: false,
+            },
+            HashField {
+                key: Symbol::intern("b"),
+                ty: Ty::Str,
+                optional: true,
+            },
         ]);
         assert!(fh.field(Symbol::intern("a")).is_some());
         assert!(fh.field(Symbol::intern("b")).unwrap().optional);

@@ -59,9 +59,10 @@ impl ObjRef {
 /// *reference* equality for heap objects; Ruby-level `==` (e.g. ActiveRecord
 /// model equality by primary key) is implemented by native methods in the
 /// interpreter, not here.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub enum Value {
     /// `nil`, the sole inhabitant of class `Nil`.
+    #[default]
     Nil,
     /// `true` / `false`.
     Bool(bool),
@@ -146,12 +147,6 @@ impl Value {
             Value::Class(_) => "Class",
             Value::Obj(_) => "Object",
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Value {
-        Value::Nil
     }
 }
 
@@ -248,7 +243,10 @@ mod tests {
             (Value::sym("n"), Value::Int(3)),
         ]);
         assert_eq!(h.to_string(), "{slug: \"hello-world\", n: 3}");
-        assert_eq!(Value::Array(vec![Value::Nil, Value::Bool(true)]).to_string(), "[nil, true]");
+        assert_eq!(
+            Value::Array(vec![Value::Nil, Value::Bool(true)]).to_string(),
+            "[nil, true]"
+        );
         assert_eq!(Value::sym("ok").to_string(), ":ok");
     }
 

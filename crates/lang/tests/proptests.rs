@@ -19,7 +19,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), "[a-z]{1,4}", prop::collection::vec(inner.clone(), 0..2))
+            (
+                inner.clone(),
+                "[a-z]{1,4}",
+                prop::collection::vec(inner.clone(), 0..2)
+            )
                 .prop_map(|(r, m, a)| call(r, &m, a)),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| if_(c, t, e)),
             ("t[0-9]", inner.clone(), inner.clone()).prop_map(|(n, v, b)| let_(&n, v, b)),

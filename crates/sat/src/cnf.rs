@@ -14,17 +14,26 @@ pub struct Lit {
 impl Lit {
     /// Positive literal of `var`.
     pub fn pos(var: u32) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
     pub fn neg(var: u32) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// The complementary literal.
     pub fn negate(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 }
 
@@ -53,9 +62,12 @@ impl Cnf {
     /// Each connective gets a definition variable; the root literal is
     /// asserted as a unit clause. Constants fold away before encoding.
     pub fn from_formula(f: &Formula) -> Cnf {
-        let mut cnf = Cnf { num_vars: f.num_vars(), clauses: Vec::new() };
+        let mut cnf = Cnf {
+            num_vars: f.num_vars(),
+            clauses: Vec::new(),
+        };
         match cnf.encode(f) {
-            Enc::True => {} // trivially satisfiable, no clauses
+            Enc::True => {}                             // trivially satisfiable, no clauses
             Enc::False => cnf.clauses.push(Vec::new()), // empty clause = UNSAT
             Enc::Lit(l) => cnf.clauses.push(vec![l]),
         }

@@ -21,7 +21,9 @@ pub enum Formula {
 }
 
 impl Formula {
-    /// `¬f`.
+    /// `¬f`. (Named like the other connective constructors; this is a
+    /// static constructor, not `std::ops::Not`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -83,7 +85,10 @@ mod tests {
 
     #[test]
     fn eval_and_num_vars() {
-        let f = Formula::implies(Formula::Var(0), Formula::or(Formula::Var(1), Formula::False));
+        let f = Formula::implies(
+            Formula::Var(0),
+            Formula::or(Formula::Var(1), Formula::False),
+        );
         assert_eq!(f.num_vars(), 2);
         assert!(f.eval(&[false, false]));
         assert!(f.eval(&[true, true]));

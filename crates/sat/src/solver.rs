@@ -21,7 +21,10 @@ impl Solver {
     /// Builds a solver for `cnf`.
     pub fn new(cnf: Cnf) -> Solver {
         let n = cnf.num_vars as usize;
-        Solver { cnf, assign: vec![Assign::Unset; n] }
+        Solver {
+            cnf,
+            assign: vec![Assign::Unset; n],
+        }
     }
 
     fn lit_value(&self, l: Lit) -> Assign {
@@ -60,8 +63,11 @@ impl Solver {
                 match (unassigned_count, unassigned) {
                     (0, _) => return false, // conflict: all literals false
                     (1, Some(l)) => {
-                        self.assign[l.var as usize] =
-                            if l.positive { Assign::True } else { Assign::False };
+                        self.assign[l.var as usize] = if l.positive {
+                            Assign::True
+                        } else {
+                            Assign::False
+                        };
                         trail.push(l.var);
                         changed = true;
                     }
@@ -139,9 +145,15 @@ mod tests {
         // z0 does not imply z1.
         assert!(!is_valid_implication(&F::Var(0), &F::Var(1)));
         // z0 ⇒ z0 ∨ z1 (the Rule-2 disjunction shape).
-        assert!(is_valid_implication(&F::Var(0), &F::or(F::Var(0), F::Var(1))));
+        assert!(is_valid_implication(
+            &F::Var(0),
+            &F::or(F::Var(0), F::Var(1))
+        ));
         // z0 ∧ z1 ⇒ z0.
-        assert!(is_valid_implication(&F::and(F::Var(0), F::Var(1)), &F::Var(0)));
+        assert!(is_valid_implication(
+            &F::and(F::Var(0), F::Var(1)),
+            &F::Var(0)
+        ));
         // ¬z0 vs z0 are not in implication either way.
         assert!(!is_valid_implication(&F::not(F::Var(0)), &F::Var(0)));
         assert!(!is_valid_implication(&F::Var(0), &F::not(F::Var(0))));
@@ -157,7 +169,10 @@ mod tests {
         // true ⇒ true holds (what makes Rule 3 fire for trivial guards).
         assert!(is_valid_implication(&F::True, &F::True));
         // (b1 ∨ b2) ⇒ b1 is invalid.
-        assert!(!is_valid_implication(&F::or(F::Var(0), F::Var(1)), &F::Var(0)));
+        assert!(!is_valid_implication(
+            &F::or(F::Var(0), F::Var(1)),
+            &F::Var(0)
+        ));
     }
 
     /// Brute-force reference check on all 3-variable formulas of a fixed

@@ -18,9 +18,16 @@ use rbsyn_ty::MethodKind::{Instance, Singleton};
 use rbsyn_ty::QueryRet;
 
 /// Resolves a singleton receiver (`Post`) to its class and backing table.
-fn model_ctx(env: &InterpEnv, recv: &Value, name: &str) -> Result<(ClassId, TableId), RuntimeError> {
+fn model_ctx(
+    env: &InterpEnv,
+    recv: &Value,
+    name: &str,
+) -> Result<(ClassId, TableId), RuntimeError> {
     let Value::Class(c) = recv else {
-        return Err(RuntimeError::TypeMismatch { name: Symbol::intern(name), expected: "model class" });
+        return Err(RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "model class",
+        });
     };
     let t = env
         .model_table(*c)
@@ -36,7 +43,10 @@ fn record_ctx(
     name: &str,
 ) -> Result<(ClassId, TableId, RowId), RuntimeError> {
     let Value::Obj(r) = recv else {
-        return Err(RuntimeError::TypeMismatch { name: Symbol::intern(name), expected: "model instance" });
+        return Err(RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "model instance",
+        });
     };
     let obj = state.obj(*r);
     let (t, row) = obj
@@ -56,13 +66,19 @@ fn conds(
     name: &str,
 ) -> Result<Vec<(Symbol, Value)>, RuntimeError> {
     let Value::Hash(entries) = v else {
-        return Err(RuntimeError::TypeMismatch { name: Symbol::intern(name), expected: "Hash" });
+        return Err(RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "Hash",
+        });
     };
     let t = state.db.table(table);
     let mut out = Vec::with_capacity(entries.len());
     for (k, val) in entries {
         let Value::Sym(col) = k else {
-            return Err(RuntimeError::TypeMismatch { name: Symbol::intern(name), expected: "symbol keys" });
+            return Err(RuntimeError::TypeMismatch {
+                name: Symbol::intern(name),
+                expected: "symbol keys",
+            });
         };
         if !t.has_column(*col) {
             return Err(RuntimeError::RecordError(format!("unknown column {col}")));
@@ -83,7 +99,11 @@ fn opt_conds(
     match args {
         [] => Ok(Vec::new()),
         [h] => conds(state, table, h, name),
-        _ => Err(RuntimeError::ArgCount { name: Symbol::intern(name), expected: 1, got: args.len() }),
+        _ => Err(RuntimeError::ArgCount {
+            name: Symbol::intern(name),
+            expected: 1,
+            got: args.len(),
+        }),
     }
 }
 
@@ -91,8 +111,13 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     let base = b.ar_base;
 
     // ─────────────── singleton queries (read self.*) ───────────────
-    b.comp_method(base, Singleton, "where", ModelQuery(QueryRet::ArrayOfSelf),
-        eff::reads(eff::self_star()), ModelSubclasses,
+    b.comp_method(
+        base,
+        Singleton,
+        "where",
+        ModelQuery(QueryRet::ArrayOfSelf),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 1, "where")?;
             let (c, t) = model_ctx(env, r, "where")?;
@@ -100,9 +125,15 @@ pub(crate) fn install(b: &mut EnvBuilder) {
             let ids = st.db.table(t).select(&cs);
             let models = ids.into_iter().map(|id| st.alloc_model(c, t, id)).collect();
             Ok(Value::Array(models))
-        }));
-    b.comp_method(base, Singleton, "find_by", ModelQuery(QueryRet::SelfInstance),
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.comp_method(
+        base,
+        Singleton,
+        "find_by",
+        ModelQuery(QueryRet::SelfInstance),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 1, "find_by")?;
             let (c, t) = model_ctx(env, r, "find_by")?;
@@ -111,9 +142,15 @@ pub(crate) fn install(b: &mut EnvBuilder) {
                 Some(id) => st.alloc_model(c, t, id),
                 None => Value::Nil,
             })
-        }));
-    b.comp_method(base, Singleton, "first", ModelNullary(QueryRet::SelfInstance),
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.comp_method(
+        base,
+        Singleton,
+        "first",
+        ModelNullary(QueryRet::SelfInstance),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "first")?;
             let (c, t) = model_ctx(env, r, "first")?;
@@ -121,9 +158,15 @@ pub(crate) fn install(b: &mut EnvBuilder) {
                 Some(id) => st.alloc_model(c, t, id),
                 None => Value::Nil,
             })
-        }));
-    b.comp_method(base, Singleton, "last", ModelNullary(QueryRet::SelfInstance),
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.comp_method(
+        base,
+        Singleton,
+        "last",
+        ModelNullary(QueryRet::SelfInstance),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "last")?;
             let (c, t) = model_ctx(env, r, "last")?;
@@ -131,44 +174,80 @@ pub(crate) fn install(b: &mut EnvBuilder) {
                 Some(id) => st.alloc_model(c, t, *id),
                 None => Value::Nil,
             })
-        }));
-    b.comp_method(base, Singleton, "exists?", ModelQuery(QueryRet::Bool),
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.comp_method(
+        base,
+        Singleton,
+        "exists?",
+        ModelQuery(QueryRet::Bool),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             let (_, t) = model_ctx(env, r, "exists?")?;
             let cs = opt_conds(st, t, a, "exists?")?;
             Ok(Value::Bool(st.db.table(t).count_where(&cs) > 0))
-        }));
-    b.comp_method(base, Singleton, "count", ModelNullary(QueryRet::Int),
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.comp_method(
+        base,
+        Singleton,
+        "count",
+        ModelNullary(QueryRet::Int),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "count")?;
             let (_, t) = model_ctx(env, r, "count")?;
             Ok(Value::Int(st.db.table(t).len() as i64))
-        }));
-    b.comp_method(base, Singleton, "all", ModelNullary(QueryRet::ArrayOfSelf),
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.comp_method(
+        base,
+        Singleton,
+        "all",
+        ModelNullary(QueryRet::ArrayOfSelf),
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "all")?;
             let (c, t) = model_ctx(env, r, "all")?;
-            let models = st.db.table(t).ids().into_iter().map(|id| st.alloc_model(c, t, id)).collect();
+            let models = st
+                .db
+                .table(t)
+                .ids()
+                .into_iter()
+                .map(|id| st.alloc_model(c, t, id))
+                .collect();
             Ok(Value::Array(models))
-        }));
+        }),
+    );
 
     // ─────────────── singleton writers (read+write self.*) ───────────────
     for name in ["create", "create!"] {
-        b.comp_method(base, Singleton, name, ModelQuery(QueryRet::SelfInstance),
-            eff::reads_writes(eff::self_star(), eff::self_star()), ModelSubclasses,
+        b.comp_method(
+            base,
+            Singleton,
+            name,
+            ModelQuery(QueryRet::SelfInstance),
+            eff::reads_writes(eff::self_star(), eff::self_star()),
+            ModelSubclasses,
             nat(|env, st, r, a| {
                 need(a, 1, "create")?;
                 let (c, t) = model_ctx(env, r, "create")?;
                 let cs = conds(st, t, &a[0], "create")?;
                 let id = st.db.table_mut(t).insert(cs);
                 Ok(st.alloc_model(c, t, id))
-            }));
+            }),
+        );
     }
-    b.comp_method(base, Singleton, "find_or_create_by", ModelQuery(QueryRet::SelfInstance),
-        eff::reads_writes(eff::self_star(), eff::self_star()), ModelSubclasses,
+    b.comp_method(
+        base,
+        Singleton,
+        "find_or_create_by",
+        ModelQuery(QueryRet::SelfInstance),
+        eff::reads_writes(eff::self_star(), eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 1, "find_or_create_by")?;
             let (c, t) = model_ctx(env, r, "find_or_create_by")?;
@@ -178,9 +257,16 @@ pub(crate) fn install(b: &mut EnvBuilder) {
                 None => st.db.table_mut(t).insert(cs),
             };
             Ok(st.alloc_model(c, t, id))
-        }));
-    b.method(base, Singleton, "delete_all", vec![], Ty::Int,
-        eff::writes(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.method(
+        base,
+        Singleton,
+        "delete_all",
+        vec![],
+        Ty::Int,
+        eff::writes(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "delete_all")?;
             let (_, t) = model_ctx(env, r, "delete_all")?;
@@ -189,18 +275,25 @@ pub(crate) fn install(b: &mut EnvBuilder) {
                 st.db.table_mut(t).delete(id);
             }
             Ok(Value::Int(n))
-        }));
+        }),
+    );
 
     // ─────────────── instance methods ───────────────
     for name in ["update!", "update"] {
-        b.comp_method(base, Instance, name, ModelUpdate,
-            eff::writes(eff::self_star()), ModelSubclasses,
+        b.comp_method(
+            base,
+            Instance,
+            name,
+            ModelUpdate,
+            eff::writes(eff::self_star()),
+            ModelSubclasses,
             nat(|_, st, r, a| {
                 need(a, 1, "update!")?;
-                let env_less = ();
-                let _ = env_less;
                 let Value::Obj(obj) = r else {
-                    return Err(RuntimeError::TypeMismatch { name: Symbol::intern("update!"), expected: "model instance" });
+                    return Err(RuntimeError::TypeMismatch {
+                        name: Symbol::intern("update!"),
+                        expected: "model instance",
+                    });
                 };
                 let (t, row) = st.obj(*obj).row.ok_or_else(|| {
                     RuntimeError::RecordError("update! on unpersisted object".into())
@@ -212,48 +305,84 @@ pub(crate) fn install(b: &mut EnvBuilder) {
                     }
                 }
                 Ok(Value::Bool(true))
-            }));
+            }),
+        );
     }
     for name in ["save", "save!"] {
         // Column writers are write-through in this substrate, so save is a
         // semantic no-op kept for fidelity with app code shapes.
-        b.method(base, Instance, name, vec![], Ty::Bool,
-            eff::writes(eff::self_star()), ModelSubclasses,
+        b.method(
+            base,
+            Instance,
+            name,
+            vec![],
+            Ty::Bool,
+            eff::writes(eff::self_star()),
+            ModelSubclasses,
             nat(|env, st, r, a| {
                 need(a, 0, "save")?;
                 let _ = record_ctx(env, st, r, "save")?;
                 Ok(Value::Bool(true))
-            }));
+            }),
+        );
     }
-    b.method(base, Instance, "destroy", vec![], Ty::Bool,
-        eff::writes(eff::self_star()), ModelSubclasses,
+    b.method(
+        base,
+        Instance,
+        "destroy",
+        vec![],
+        Ty::Bool,
+        eff::writes(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "destroy")?;
             let (_, t, row) = record_ctx(env, st, r, "destroy")?;
             st.db.table_mut(t).delete(row);
             Ok(Value::Bool(true))
-        }));
-    b.method(base, Instance, "reload", vec![], Ty::Obj,
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.method(
+        base,
+        Instance,
+        "reload",
+        vec![],
+        Ty::Obj,
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "reload")?;
             let _ = record_ctx(env, st, r, "reload")?;
             Ok(r.clone())
-        }));
-    b.method(base, Instance, "persisted?", vec![], Ty::Bool,
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.method(
+        base,
+        Instance,
+        "persisted?",
+        vec![],
+        Ty::Bool,
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "persisted?")?;
             let (_, t, row) = record_ctx(env, st, r, "persisted?")?;
             Ok(Value::Bool(st.db.table(t).exists(row)))
-        }));
-    b.method(base, Instance, "new_record?", vec![], Ty::Bool,
-        eff::reads(eff::self_star()), ModelSubclasses,
+        }),
+    );
+    b.method(
+        base,
+        Instance,
+        "new_record?",
+        vec![],
+        Ty::Bool,
+        eff::reads(eff::self_star()),
+        ModelSubclasses,
         nat(|env, st, r, a| {
             need(a, 0, "new_record?")?;
             let (_, t, row) = record_ctx(env, st, r, "new_record?")?;
             Ok(Value::Bool(!st.db.table(t).exists(row)))
-        }));
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -283,15 +412,25 @@ mod tests {
         let (env, post) = blog();
         let mut st = WorldState::fresh(&env);
         let p = cls(post);
-        eval_in(&env, &mut st, &call(p.clone(), "create", [hash([
-            ("author", str_("alice")),
-            ("slug", str_("hello")),
-        ])]))
+        eval_in(
+            &env,
+            &mut st,
+            &call(
+                p.clone(),
+                "create",
+                [hash([("author", str_("alice")), ("slug", str_("hello"))])],
+            ),
+        )
         .unwrap();
-        eval_in(&env, &mut st, &call(p.clone(), "create", [hash([
-            ("author", str_("bob")),
-            ("slug", str_("world")),
-        ])]))
+        eval_in(
+            &env,
+            &mut st,
+            &call(
+                p.clone(),
+                "create",
+                [hash([("author", str_("bob")), ("slug", str_("world"))])],
+            ),
+        )
         .unwrap();
         let found = eval_in(
             &env,
@@ -303,11 +442,21 @@ mod tests {
             ),
         )
         .unwrap();
-        let slug = eval_in(&env, &mut st, &call(p.clone(), "exists?", [hash([("slug", str_("world"))])])).unwrap();
+        let slug = eval_in(
+            &env,
+            &mut st,
+            &call(p.clone(), "exists?", [hash([("slug", str_("world"))])]),
+        )
+        .unwrap();
         assert_eq!(slug, Value::Bool(true));
         // The found record fronts the right row: author is bob.
-        let Value::Obj(_) = found else { panic!("expected model instance") };
-        assert_eq!(eval_in(&env, &mut st, &call(p.clone(), "count", [])).unwrap(), Value::Int(2));
+        let Value::Obj(_) = found else {
+            panic!("expected model instance")
+        };
+        assert_eq!(
+            eval_in(&env, &mut st, &call(p.clone(), "count", [])).unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]
@@ -385,7 +534,10 @@ mod tests {
             ]),
         );
         assert_eq!(eval_in(&env, &mut st, &e).unwrap(), Value::Bool(true));
-        assert_eq!(eval_in(&env, &mut st, &call(p, "count", [])).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_in(&env, &mut st, &call(p, "count", [])).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -393,10 +545,17 @@ mod tests {
         let (env, post) = blog();
         let mut st = WorldState::fresh(&env);
         let p = cls(post);
-        let mk = call(p.clone(), "find_or_create_by", [hash([("slug", str_("s"))])]);
+        let mk = call(
+            p.clone(),
+            "find_or_create_by",
+            [hash([("slug", str_("s"))])],
+        );
         eval_in(&env, &mut st, &mk).unwrap();
         eval_in(&env, &mut st, &mk).unwrap();
-        assert_eq!(eval_in(&env, &mut st, &call(p, "count", [])).unwrap(), Value::Int(1));
+        assert_eq!(
+            eval_in(&env, &mut st, &call(p, "count", [])).unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -406,7 +565,13 @@ mod tests {
         let p = cls(post);
         eval_in(&env, &mut st, &call(p.clone(), "create", [hash([])])).unwrap();
         eval_in(&env, &mut st, &call(p.clone(), "create", [hash([])])).unwrap();
-        assert_eq!(eval_in(&env, &mut st, &call(p.clone(), "delete_all", [])).unwrap(), Value::Int(2));
-        assert_eq!(eval_in(&env, &mut st, &call(p, "count", [])).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_in(&env, &mut st, &call(p.clone(), "delete_all", [])).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_in(&env, &mut st, &call(p, "count", [])).unwrap(),
+            Value::Int(0)
+        );
     }
 }

@@ -34,45 +34,120 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     let (hash, array) = (h.hash(), h.array());
 
     // ───────────────────────── Hash ─────────────────────────
-    b.comp_method(hash, Instance, "[]", CompType::HashGet, eff::pure(), OwnerOnly,
+    b.comp_method(
+        hash,
+        Instance,
+        "[]",
+        CompType::HashGet,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 1, "[]")?;
             Ok(r.hash_get(&a[0]).cloned().unwrap_or(Value::Nil))
-        }));
-    b.comp_method(hash, Instance, "fetch", CompType::HashGet, eff::pure(), OwnerOnly,
+        }),
+    );
+    b.comp_method(
+        hash,
+        Instance,
+        "fetch",
+        CompType::HashGet,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 1, "fetch")?;
             r.hash_get(&a[0]).cloned().ok_or_else(|| {
                 rbsyn_interp::RuntimeError::Other(format!("key not found: {}", a[0]))
             })
-        }));
-    b.method(hash, Instance, "key?", vec![Ty::Sym], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| {
-            need(a, 1, "key?")?;
-            Ok(Value::Bool(r.hash_get(&a[0]).is_some()))
-        }));
-    b.method(hash, Instance, "has_key?", vec![Ty::Sym], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| {
-            need(a, 1, "has_key?")?;
-            Ok(Value::Bool(r.hash_get(&a[0]).is_some()))
-        }));
-    b.method(hash, Instance, "empty?", vec![], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "empty?")?; Ok(Value::Bool(as_hash(r, "empty?")?.is_empty())) }));
-    b.method(hash, Instance, "size", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "size")?; Ok(Value::Int(as_hash(r, "size")?.len() as i64)) }));
-    b.method(hash, Instance, "length", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "length")?; Ok(Value::Int(as_hash(r, "length")?.len() as i64)) }));
-    b.method(
-        hash, Instance, "keys",
-        vec![], Ty::Array(Box::new(Ty::Sym)), eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| {
-            need(a, 0, "keys")?;
-            Ok(Value::Array(as_hash(r, "keys")?.into_iter().map(|(k, _)| k).collect()))
         }),
     );
     b.method(
-        hash, Instance, "merge",
-        vec![Ty::Instance(hash)], Ty::Instance(hash), eff::pure(), OwnerOnly,
+        hash,
+        Instance,
+        "key?",
+        vec![Ty::Sym],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "key?")?;
+            Ok(Value::Bool(r.hash_get(&a[0]).is_some()))
+        }),
+    );
+    b.method(
+        hash,
+        Instance,
+        "has_key?",
+        vec![Ty::Sym],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "has_key?")?;
+            Ok(Value::Bool(r.hash_get(&a[0]).is_some()))
+        }),
+    );
+    b.method(
+        hash,
+        Instance,
+        "empty?",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "empty?")?;
+            Ok(Value::Bool(as_hash(r, "empty?")?.is_empty()))
+        }),
+    );
+    b.method(
+        hash,
+        Instance,
+        "size",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "size")?;
+            Ok(Value::Int(as_hash(r, "size")?.len() as i64))
+        }),
+    );
+    b.method(
+        hash,
+        Instance,
+        "length",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "length")?;
+            Ok(Value::Int(as_hash(r, "length")?.len() as i64))
+        }),
+    );
+    b.method(
+        hash,
+        Instance,
+        "keys",
+        vec![],
+        Ty::Array(Box::new(Ty::Sym)),
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "keys")?;
+            Ok(Value::Array(
+                as_hash(r, "keys")?.into_iter().map(|(k, _)| k).collect(),
+            ))
+        }),
+    );
+    b.method(
+        hash,
+        Instance,
+        "merge",
+        vec![Ty::Instance(hash)],
+        Ty::Instance(hash),
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 1, "merge")?;
             let mut out = Value::Hash(as_hash(r, "merge")?);
@@ -84,29 +159,99 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     );
 
     // ───────────────────────── Array ─────────────────────────
-    b.comp_method(array, Instance, "first", CompType::ArrayElem, eff::pure(), OwnerOnly,
+    b.comp_method(
+        array,
+        Instance,
+        "first",
+        CompType::ArrayElem,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 0, "first")?;
             Ok(as_array(r, "first")?.first().cloned().unwrap_or(Value::Nil))
-        }));
-    b.comp_method(array, Instance, "last", CompType::ArrayElem, eff::pure(), OwnerOnly,
+        }),
+    );
+    b.comp_method(
+        array,
+        Instance,
+        "last",
+        CompType::ArrayElem,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 0, "last")?;
             Ok(as_array(r, "last")?.last().cloned().unwrap_or(Value::Nil))
-        }));
-    b.method(array, Instance, "size", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "size")?; Ok(Value::Int(as_array(r, "size")?.len() as i64)) }));
-    b.method(array, Instance, "length", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "length")?; Ok(Value::Int(as_array(r, "length")?.len() as i64)) }));
-    b.method(array, Instance, "count", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "count")?; Ok(Value::Int(as_array(r, "count")?.len() as i64)) }));
-    b.method(array, Instance, "empty?", vec![], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "empty?")?; Ok(Value::Bool(as_array(r, "empty?")?.is_empty())) }));
-    b.method(array, Instance, "include?", vec![Ty::Obj], Ty::Bool, eff::pure(), OwnerOnly,
+        }),
+    );
+    b.method(
+        array,
+        Instance,
+        "size",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "size")?;
+            Ok(Value::Int(as_array(r, "size")?.len() as i64))
+        }),
+    );
+    b.method(
+        array,
+        Instance,
+        "length",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "length")?;
+            Ok(Value::Int(as_array(r, "length")?.len() as i64))
+        }),
+    );
+    b.method(
+        array,
+        Instance,
+        "count",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "count")?;
+            Ok(Value::Int(as_array(r, "count")?.len() as i64))
+        }),
+    );
+    b.method(
+        array,
+        Instance,
+        "empty?",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "empty?")?;
+            Ok(Value::Bool(as_array(r, "empty?")?.is_empty()))
+        }),
+    );
+    b.method(
+        array,
+        Instance,
+        "include?",
+        vec![Ty::Obj],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, st, r, a| {
             need(a, 1, "include?")?;
-            Ok(Value::Bool(as_array(r, "include?")?.iter().any(|v| ruby_eq(st, v, &a[0]))))
-        }));
+            Ok(Value::Bool(
+                as_array(r, "include?")?
+                    .iter()
+                    .any(|v| ruby_eq(st, v, &a[0])),
+            ))
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -127,11 +272,23 @@ mod tests {
     #[test]
     fn hash_access() {
         let h = hash([("a", int(1)), ("b", str_("x"))]);
-        assert_eq!(eval(&call(h.clone(), "[]", [sym("a")])).unwrap(), Value::Int(1));
-        assert_eq!(eval(&call(h.clone(), "[]", [sym("z")])).unwrap(), Value::Nil);
-        assert_eq!(eval(&call(h.clone(), "fetch", [sym("b")])).unwrap(), Value::str("x"));
+        assert_eq!(
+            eval(&call(h.clone(), "[]", [sym("a")])).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(&call(h.clone(), "[]", [sym("z")])).unwrap(),
+            Value::Nil
+        );
+        assert_eq!(
+            eval(&call(h.clone(), "fetch", [sym("b")])).unwrap(),
+            Value::str("x")
+        );
         assert!(eval(&call(h.clone(), "fetch", [sym("z")])).is_err());
-        assert_eq!(eval(&call(h.clone(), "key?", [sym("a")])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(h.clone(), "key?", [sym("a")])).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval(&call(h.clone(), "size", [])).unwrap(), Value::Int(2));
         assert_eq!(eval(&call(h, "empty?", [])).unwrap(), Value::Bool(false));
     }
@@ -158,10 +315,19 @@ mod tests {
     fn array_queries() {
         // Arrays only arise from library calls; build one via Hash#keys.
         let arr = call(hash([("a", int(1)), ("b", int(2))]), "keys", []);
-        assert_eq!(eval(&call(arr.clone(), "first", [])).unwrap(), Value::sym("a"));
-        assert_eq!(eval(&call(arr.clone(), "last", [])).unwrap(), Value::sym("b"));
+        assert_eq!(
+            eval(&call(arr.clone(), "first", [])).unwrap(),
+            Value::sym("a")
+        );
+        assert_eq!(
+            eval(&call(arr.clone(), "last", [])).unwrap(),
+            Value::sym("b")
+        );
         assert_eq!(eval(&call(arr.clone(), "size", [])).unwrap(), Value::Int(2));
-        assert_eq!(eval(&call(arr.clone(), "empty?", [])).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&call(arr.clone(), "empty?", [])).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             eval(&call(arr, "include?", [sym("b")])).unwrap(),
             Value::Bool(true)

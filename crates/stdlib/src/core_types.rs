@@ -35,7 +35,10 @@ pub fn need(args: &[Value], n: usize, name: &str) -> Result<(), RuntimeError> {
 pub fn as_int(v: &Value, name: &str) -> Result<i64, RuntimeError> {
     match v {
         Value::Int(i) => Ok(*i),
-        _ => Err(RuntimeError::TypeMismatch { name: Symbol::intern(name), expected: "Integer" }),
+        _ => Err(RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "Integer",
+        }),
     }
 }
 
@@ -43,7 +46,10 @@ pub fn as_int(v: &Value, name: &str) -> Result<i64, RuntimeError> {
 pub fn as_str(v: &Value, name: &str) -> Result<std::sync::Arc<str>, RuntimeError> {
     match v {
         Value::Str(s) => Ok(s.clone()),
-        _ => Err(RuntimeError::TypeMismatch { name: Symbol::intern(name), expected: "String" }),
+        _ => Err(RuntimeError::TypeMismatch {
+            name: Symbol::intern(name),
+            expected: "String",
+        }),
     }
 }
 
@@ -73,45 +79,185 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     // Fallback equality/inspection, available on every receiver. `==` is
     // additionally specialized per primitive class below with tighter
     // parameter types, which is what actually guides the search.
-    b.method(object, Instance, "==", vec![Ty::Obj], Ty::Bool, eff::pure(), Never,
-        nat(|_, st, r, a| { need(a, 1, "==")?; Ok(Value::Bool(ruby_eq(st, r, &a[0]))) }));
-    b.method(object, Instance, "!=", vec![Ty::Obj], Ty::Bool, eff::pure(), Never,
-        nat(|_, st, r, a| { need(a, 1, "!=")?; Ok(Value::Bool(!ruby_eq(st, r, &a[0]))) }));
-    b.method(object, Instance, "nil?", vec![], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "nil?")?; Ok(Value::Bool(r.is_nil())) }));
-    b.method(object, Instance, "present?", vec![], Ty::Bool, eff::pure(), Never,
-        nat(|_, _, r, a| { need(a, 0, "present?")?; Ok(Value::Bool(present(r))) }));
-    b.method(object, Instance, "blank?", vec![], Ty::Bool, eff::pure(), Never,
-        nat(|_, _, r, a| { need(a, 0, "blank?")?; Ok(Value::Bool(!present(r))) }));
+    b.method(
+        object,
+        Instance,
+        "==",
+        vec![Ty::Obj],
+        Ty::Bool,
+        eff::pure(),
+        Never,
+        nat(|_, st, r, a| {
+            need(a, 1, "==")?;
+            Ok(Value::Bool(ruby_eq(st, r, &a[0])))
+        }),
+    );
+    b.method(
+        object,
+        Instance,
+        "!=",
+        vec![Ty::Obj],
+        Ty::Bool,
+        eff::pure(),
+        Never,
+        nat(|_, st, r, a| {
+            need(a, 1, "!=")?;
+            Ok(Value::Bool(!ruby_eq(st, r, &a[0])))
+        }),
+    );
+    b.method(
+        object,
+        Instance,
+        "nil?",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "nil?")?;
+            Ok(Value::Bool(r.is_nil()))
+        }),
+    );
+    b.method(
+        object,
+        Instance,
+        "present?",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        Never,
+        nat(|_, _, r, a| {
+            need(a, 0, "present?")?;
+            Ok(Value::Bool(present(r)))
+        }),
+    );
+    b.method(
+        object,
+        Instance,
+        "blank?",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        Never,
+        nat(|_, _, r, a| {
+            need(a, 0, "blank?")?;
+            Ok(Value::Bool(!present(r)))
+        }),
+    );
 
     // ───────────────────────── NilClass ─────────────────────────
-    b.method(nilc, Instance, "nil?", vec![], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, _, a| { need(a, 0, "nil?")?; Ok(Value::Bool(true)) }));
-    b.method(nilc, Instance, "to_s", vec![], Ty::Str, eff::pure(), OwnerOnly,
-        nat(|_, _, _, a| { need(a, 0, "to_s")?; Ok(Value::str("")) }));
-    b.method(nilc, Instance, "==", vec![Ty::Obj], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, _, a| { need(a, 1, "==")?; Ok(Value::Bool(a[0].is_nil())) }));
+    b.method(
+        nilc,
+        Instance,
+        "nil?",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, _, a| {
+            need(a, 0, "nil?")?;
+            Ok(Value::Bool(true))
+        }),
+    );
+    b.method(
+        nilc,
+        Instance,
+        "to_s",
+        vec![],
+        Ty::Str,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, _, a| {
+            need(a, 0, "to_s")?;
+            Ok(Value::str(""))
+        }),
+    );
+    b.method(
+        nilc,
+        Instance,
+        "==",
+        vec![Ty::Obj],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, _, a| {
+            need(a, 1, "==")?;
+            Ok(Value::Bool(a[0].is_nil()))
+        }),
+    );
 
     // ───────────────────────── Boolean ─────────────────────────
-    b.method(boolean, Instance, "!", vec![], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "!")?; Ok(Value::Bool(!r.truthy())) }));
-    b.method(boolean, Instance, "==", vec![Ty::Bool], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, st, r, a| { need(a, 1, "==")?; Ok(Value::Bool(ruby_eq(st, r, &a[0]))) }));
-    b.method(boolean, Instance, "&", vec![Ty::Bool], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 1, "&")?; Ok(Value::Bool(r.truthy() && a[0].truthy())) }));
-    b.method(boolean, Instance, "|", vec![Ty::Bool], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 1, "|")?; Ok(Value::Bool(r.truthy() || a[0].truthy())) }));
+    b.method(
+        boolean,
+        Instance,
+        "!",
+        vec![],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "!")?;
+            Ok(Value::Bool(!r.truthy()))
+        }),
+    );
+    b.method(
+        boolean,
+        Instance,
+        "==",
+        vec![Ty::Bool],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, st, r, a| {
+            need(a, 1, "==")?;
+            Ok(Value::Bool(ruby_eq(st, r, &a[0])))
+        }),
+    );
+    b.method(
+        boolean,
+        Instance,
+        "&",
+        vec![Ty::Bool],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "&")?;
+            Ok(Value::Bool(r.truthy() && a[0].truthy()))
+        }),
+    );
+    b.method(
+        boolean,
+        Instance,
+        "|",
+        vec![Ty::Bool],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "|")?;
+            Ok(Value::Bool(r.truthy() || a[0].truthy()))
+        }),
+    );
 
     // ───────────────────────── Integer ─────────────────────────
     macro_rules! int_binop {
         ($name:expr, $f:expr) => {
-            b.method(integer, Instance, $name, vec![Ty::Int], Ty::Int, eff::pure(), OwnerOnly,
+            b.method(
+                integer,
+                Instance,
+                $name,
+                vec![Ty::Int],
+                Ty::Int,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 1, $name)?;
                     let (x, y) = (as_int(r, $name)?, as_int(&a[0], $name)?);
                     let f: fn(i64, i64) -> Result<i64, RuntimeError> = $f;
                     Ok(Value::Int(f(x, y)?))
-                }));
+                }),
+            );
         };
     }
     int_binop!("+", |x, y| Ok(x.wrapping_add(y)));
@@ -129,12 +275,20 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     });
     macro_rules! int_cmp {
         ($name:expr, $f:expr) => {
-            b.method(integer, Instance, $name, vec![Ty::Int], Ty::Bool, eff::pure(), OwnerOnly,
+            b.method(
+                integer,
+                Instance,
+                $name,
+                vec![Ty::Int],
+                Ty::Bool,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 1, $name)?;
                     let f: fn(i64, i64) -> bool = $f;
                     Ok(Value::Bool(f(as_int(r, $name)?, as_int(&a[0], $name)?)))
-                }));
+                }),
+            );
         };
     }
     int_cmp!("==", |x, y| x == y);
@@ -145,12 +299,20 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     int_cmp!(">=", |x, y| x >= y);
     macro_rules! int_pred {
         ($name:expr, $f:expr) => {
-            b.method(integer, Instance, $name, vec![], Ty::Bool, eff::pure(), OwnerOnly,
+            b.method(
+                integer,
+                Instance,
+                $name,
+                vec![],
+                Ty::Bool,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 0, $name)?;
                     let f: fn(i64) -> bool = $f;
                     Ok(Value::Bool(f(as_int(r, $name)?)))
-                }));
+                }),
+            );
         };
     }
     int_pred!("zero?", |x| x == 0);
@@ -160,60 +322,151 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     int_pred!("odd?", |x| x % 2 != 0);
     macro_rules! int_unop {
         ($name:expr, $f:expr) => {
-            b.method(integer, Instance, $name, vec![], Ty::Int, eff::pure(), OwnerOnly,
+            b.method(
+                integer,
+                Instance,
+                $name,
+                vec![],
+                Ty::Int,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 0, $name)?;
                     let f: fn(i64) -> i64 = $f;
                     Ok(Value::Int(f(as_int(r, $name)?)))
-                }));
+                }),
+            );
         };
     }
     int_unop!("succ", |x| x.wrapping_add(1));
     int_unop!("pred", |x| x.wrapping_sub(1));
     int_unop!("abs", |x| x.wrapping_abs());
-    b.method(integer, Instance, "to_s", vec![], Ty::Str, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "to_s")?; Ok(Value::str(&as_int(r, "to_s")?.to_string())) }));
+    b.method(
+        integer,
+        Instance,
+        "to_s",
+        vec![],
+        Ty::Str,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "to_s")?;
+            Ok(Value::str(&as_int(r, "to_s")?.to_string()))
+        }),
+    );
 
     // ───────────────────────── String ─────────────────────────
     macro_rules! str_pred {
         ($name:expr, $f:expr) => {
-            b.method(string, Instance, $name, vec![], Ty::Bool, eff::pure(), OwnerOnly,
+            b.method(
+                string,
+                Instance,
+                $name,
+                vec![],
+                Ty::Bool,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 0, $name)?;
                     let f: fn(&str) -> bool = $f;
                     Ok(Value::Bool(f(&as_str(r, $name)?)))
-                }));
+                }),
+            );
         };
     }
     macro_rules! str_unop {
         ($name:expr, $f:expr) => {
-            b.method(string, Instance, $name, vec![], Ty::Str, eff::pure(), OwnerOnly,
+            b.method(
+                string,
+                Instance,
+                $name,
+                vec![],
+                Ty::Str,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 0, $name)?;
                     let f: fn(&str) -> String = $f;
                     Ok(Value::str(&f(&as_str(r, $name)?)))
-                }));
+                }),
+            );
         };
     }
     macro_rules! str_binpred {
         ($name:expr, $f:expr) => {
-            b.method(string, Instance, $name, vec![Ty::Str], Ty::Bool, eff::pure(), OwnerOnly,
+            b.method(
+                string,
+                Instance,
+                $name,
+                vec![Ty::Str],
+                Ty::Bool,
+                eff::pure(),
+                OwnerOnly,
                 nat(move |_, _, r, a| {
                     need(a, 1, $name)?;
                     let f: fn(&str, &str) -> bool = $f;
                     Ok(Value::Bool(f(&as_str(r, $name)?, &as_str(&a[0], $name)?)))
-                }));
+                }),
+            );
         };
     }
-    b.method(string, Instance, "==", vec![Ty::Str], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 1, "==")?; Ok(Value::Bool(matches!(&a[0], Value::Str(s) if **s == *as_str(r, "==")?))) }));
-    b.method(string, Instance, "!=", vec![Ty::Str], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 1, "!=")?; Ok(Value::Bool(!matches!(&a[0], Value::Str(s) if **s == *as_str(r, "!=")?))) }));
+    b.method(
+        string,
+        Instance,
+        "==",
+        vec![Ty::Str],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "==")?;
+            Ok(Value::Bool(
+                matches!(&a[0], Value::Str(s) if **s == *as_str(r, "==")?),
+            ))
+        }),
+    );
+    b.method(
+        string,
+        Instance,
+        "!=",
+        vec![Ty::Str],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "!=")?;
+            Ok(Value::Bool(
+                !matches!(&a[0], Value::Str(s) if **s == *as_str(r, "!=")?),
+            ))
+        }),
+    );
     str_pred!("empty?", |s| s.is_empty());
-    b.method(string, Instance, "length", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "length")?; Ok(Value::Int(as_str(r, "length")?.chars().count() as i64)) }));
-    b.method(string, Instance, "size", vec![], Ty::Int, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "size")?; Ok(Value::Int(as_str(r, "size")?.chars().count() as i64)) }));
+    b.method(
+        string,
+        Instance,
+        "length",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "length")?;
+            Ok(Value::Int(as_str(r, "length")?.chars().count() as i64))
+        }),
+    );
+    b.method(
+        string,
+        Instance,
+        "size",
+        vec![],
+        Ty::Int,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "size")?;
+            Ok(Value::Int(as_str(r, "size")?.chars().count() as i64))
+        }),
+    );
     str_unop!("upcase", |s| s.to_uppercase());
     str_unop!("downcase", |s| s.to_lowercase());
     str_unop!("capitalize", |s| {
@@ -226,34 +479,101 @@ pub(crate) fn install(b: &mut EnvBuilder) {
     str_unop!("reverse", |s| s.chars().rev().collect());
     str_unop!("strip", |s| s.trim().to_owned());
     str_unop!("chomp", |s| s.strip_suffix('\n').unwrap_or(s).to_owned());
-    b.method(string, Instance, "+", vec![Ty::Str], Ty::Str, eff::pure(), OwnerOnly,
+    b.method(
+        string,
+        Instance,
+        "+",
+        vec![Ty::Str],
+        Ty::Str,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 1, "+")?;
-            Ok(Value::str(&format!("{}{}", as_str(r, "+")?, as_str(&a[0], "+")?)))
-        }));
+            Ok(Value::str(&format!(
+                "{}{}",
+                as_str(r, "+")?,
+                as_str(&a[0], "+")?
+            )))
+        }),
+    );
     str_binpred!("include?", |s, t| s.contains(t));
     str_binpred!("start_with?", |s, t| s.starts_with(t));
     str_binpred!("end_with?", |s, t| s.ends_with(t));
-    b.method(string, Instance, "to_s", vec![], Ty::Str, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "to_s")?; Ok(r.clone()) }));
-    b.method(string, Instance, "to_sym", vec![], Ty::Sym, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "to_sym")?; Ok(Value::Sym(Symbol::intern(&as_str(r, "to_sym")?))) }));
+    b.method(
+        string,
+        Instance,
+        "to_s",
+        vec![],
+        Ty::Str,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "to_s")?;
+            Ok(r.clone())
+        }),
+    );
+    b.method(
+        string,
+        Instance,
+        "to_sym",
+        vec![],
+        Ty::Sym,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "to_sym")?;
+            Ok(Value::Sym(Symbol::intern(&as_str(r, "to_sym")?)))
+        }),
+    );
     str_pred!("present?", |s| !s.trim().is_empty());
     str_pred!("blank?", |s| s.trim().is_empty());
 
     // ───────────────────────── Symbol ─────────────────────────
-    b.method(symbol, Instance, "==", vec![Ty::Sym], Ty::Bool, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 1, "==")?; Ok(Value::Bool(r == &a[0])) }));
-    b.method(symbol, Instance, "to_s", vec![], Ty::Str, eff::pure(), OwnerOnly,
+    b.method(
+        symbol,
+        Instance,
+        "==",
+        vec![Ty::Sym],
+        Ty::Bool,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 1, "==")?;
+            Ok(Value::Bool(r == &a[0]))
+        }),
+    );
+    b.method(
+        symbol,
+        Instance,
+        "to_s",
+        vec![],
+        Ty::Str,
+        eff::pure(),
+        OwnerOnly,
         nat(|_, _, r, a| {
             need(a, 0, "to_s")?;
             match r {
                 Value::Sym(s) => Ok(Value::str(s.as_str())),
-                _ => Err(RuntimeError::TypeMismatch { name: Symbol::intern("to_s"), expected: "Symbol" }),
+                _ => Err(RuntimeError::TypeMismatch {
+                    name: Symbol::intern("to_s"),
+                    expected: "Symbol",
+                }),
             }
-        }));
-    b.method(symbol, Instance, "to_sym", vec![], Ty::Sym, eff::pure(), OwnerOnly,
-        nat(|_, _, r, a| { need(a, 0, "to_sym")?; Ok(r.clone()) }));
+        }),
+    );
+    b.method(
+        symbol,
+        Instance,
+        "to_sym",
+        vec![],
+        Ty::Sym,
+        eff::pure(),
+        OwnerOnly,
+        nat(|_, _, r, a| {
+            need(a, 0, "to_sym")?;
+            Ok(r.clone())
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -276,8 +596,14 @@ mod tests {
         assert_eq!(eval(&call(int(2), "+", [int(3)])).unwrap(), Value::Int(5));
         assert_eq!(eval(&call(int(2), "*", [int(3)])).unwrap(), Value::Int(6));
         assert_eq!(eval(&call(int(7), "%", [int(3)])).unwrap(), Value::Int(1));
-        assert_eq!(eval(&call(int(2), "<", [int(3)])).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&call(int(3), "==", [int(3)])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(int(2), "<", [int(3)])).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&call(int(3), "==", [int(3)])).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval(&call(int(0), "zero?", [])).unwrap(), Value::Bool(true));
         assert_eq!(eval(&call(int(3), "succ", [])).unwrap(), Value::Int(4));
         assert!(eval(&call(int(1), "/", [int(0)])).is_err());
@@ -285,13 +611,34 @@ mod tests {
 
     #[test]
     fn string_transformations() {
-        assert_eq!(eval(&call(str_("ab"), "upcase", [])).unwrap(), Value::str("AB"));
-        assert_eq!(eval(&call(str_("Ab"), "downcase", [])).unwrap(), Value::str("ab"));
-        assert_eq!(eval(&call(str_("ab"), "reverse", [])).unwrap(), Value::str("ba"));
-        assert_eq!(eval(&call(str_("hELLO"), "capitalize", [])).unwrap(), Value::str("Hello"));
-        assert_eq!(eval(&call(str_(" x "), "strip", [])).unwrap(), Value::str("x"));
-        assert_eq!(eval(&call(str_("a"), "+", [str_("b")])).unwrap(), Value::str("ab"));
-        assert_eq!(eval(&call(str_("abc"), "length", [])).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval(&call(str_("ab"), "upcase", [])).unwrap(),
+            Value::str("AB")
+        );
+        assert_eq!(
+            eval(&call(str_("Ab"), "downcase", [])).unwrap(),
+            Value::str("ab")
+        );
+        assert_eq!(
+            eval(&call(str_("ab"), "reverse", [])).unwrap(),
+            Value::str("ba")
+        );
+        assert_eq!(
+            eval(&call(str_("hELLO"), "capitalize", [])).unwrap(),
+            Value::str("Hello")
+        );
+        assert_eq!(
+            eval(&call(str_(" x "), "strip", [])).unwrap(),
+            Value::str("x")
+        );
+        assert_eq!(
+            eval(&call(str_("a"), "+", [str_("b")])).unwrap(),
+            Value::str("ab")
+        );
+        assert_eq!(
+            eval(&call(str_("abc"), "length", [])).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             eval(&call(str_("hello"), "include?", [str_("ell")])).unwrap(),
             Value::Bool(true)
@@ -300,37 +647,64 @@ mod tests {
             eval(&call(str_("hi"), "start_with?", [str_("h")])).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(eval(&call(str_("s"), "to_sym", [])).unwrap(), Value::sym("s"));
+        assert_eq!(
+            eval(&call(str_("s"), "to_sym", [])).unwrap(),
+            Value::sym("s")
+        );
     }
 
     #[test]
     fn string_equality_is_typed() {
-        assert_eq!(eval(&call(str_("a"), "==", [str_("b")])).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&call(str_("a"), "==", [str_("b")])).unwrap(),
+            Value::Bool(false)
+        );
         // Comparing a string to an integer is false, not an error (Ruby).
-        assert_eq!(eval(&call(str_("1"), "==", [int(1)])).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&call(str_("1"), "==", [int(1)])).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
     fn booleans_and_nil() {
         assert_eq!(eval(&call(true_(), "!", [])).unwrap(), Value::Bool(false));
-        assert_eq!(eval(&call(false_(), "|", [true_()])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(false_(), "|", [true_()])).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval(&call(nil(), "nil?", [])).unwrap(), Value::Bool(true));
         assert_eq!(eval(&call(int(1), "nil?", [])).unwrap(), Value::Bool(false));
         assert_eq!(eval(&call(nil(), "to_s", [])).unwrap(), Value::str(""));
-        assert_eq!(eval(&call(nil(), "==", [nil()])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(nil(), "==", [nil()])).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn rails_presence_extensions() {
-        assert_eq!(eval(&call(str_(""), "blank?", [])).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&call(str_("x"), "present?", [])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(str_(""), "blank?", [])).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&call(str_("x"), "present?", [])).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval(&call(nil(), "blank?", [])).unwrap(), Value::Bool(true));
-        assert_eq!(eval(&call(int(0), "present?", [])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(int(0), "present?", [])).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn symbols() {
-        assert_eq!(eval(&call(sym("a"), "==", [sym("a")])).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval(&call(sym("a"), "==", [sym("a")])).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval(&call(sym("a"), "to_s", [])).unwrap(), Value::str("a"));
     }
 

@@ -17,20 +17,34 @@ pub(crate) fn define_global(b: &mut EnvBuilder, name: &str, fields: &[(&str, Ty)
     let class = b.hierarchy_mut().define(name, None);
     for (field, ty) in fields {
         let key = Symbol::intern(&format!("{name}.{field}"));
-        b.method(class, Singleton, field, vec![], ty.clone(),
-            eff::reads(eff::region(class, field)), OwnerOnly,
+        b.method(
+            class,
+            Singleton,
+            field,
+            vec![],
+            ty.clone(),
+            eff::reads(eff::region(class, field)),
+            OwnerOnly,
             nat(move |_, st, _, a| {
                 need(a, 0, "global read")?;
                 Ok(st.globals.get(&key).cloned().unwrap_or(Value::Nil))
-            }));
+            }),
+        );
         let setter = format!("{field}=");
-        b.method(class, Singleton, &setter, vec![ty.clone()], ty.clone(),
-            eff::writes(eff::region(class, field)), OwnerOnly,
+        b.method(
+            class,
+            Singleton,
+            &setter,
+            vec![ty.clone()],
+            ty.clone(),
+            eff::writes(eff::region(class, field)),
+            OwnerOnly,
             nat(move |_, st, _, a| {
                 need(a, 1, "global write")?;
                 st.globals.insert(key, a[0].clone());
                 Ok(a[0].clone())
-            }));
+            }),
+        );
     }
     class
 }
@@ -52,23 +66,33 @@ mod tests {
         let mut locals = Locals::new();
         // Unset reads are nil.
         assert_eq!(
-            ev.eval(&mut locals, &call(cls(settings), "notice", [])).unwrap(),
+            ev.eval(&mut locals, &call(cls(settings), "notice", []))
+                .unwrap(),
             Value::Nil
         );
-        ev.eval(&mut locals, &call(cls(settings), "notice=", [str_("hi")])).unwrap();
+        ev.eval(&mut locals, &call(cls(settings), "notice=", [str_("hi")]))
+            .unwrap();
         assert_eq!(
-            ev.eval(&mut locals, &call(cls(settings), "notice", [])).unwrap(),
+            ev.eval(&mut locals, &call(cls(settings), "notice", []))
+                .unwrap(),
             Value::str("hi")
         );
         // Annotation check: writer has the write region.
         let (r, _) = env
             .table
-            .lookup(settings, rbsyn_ty::MethodKind::Singleton, Symbol::intern("notice="))
+            .lookup(
+                settings,
+                rbsyn_ty::MethodKind::Singleton,
+                Symbol::intern("notice="),
+            )
             .unwrap();
         let effp = env.table.effect_of(r, settings);
         assert_eq!(
             effp.write,
-            rbsyn_lang::EffectSet::single(rbsyn_lang::Effect::Region(settings, Symbol::intern("notice")))
+            rbsyn_lang::EffectSet::single(rbsyn_lang::Effect::Region(
+                settings,
+                Symbol::intern("notice")
+            ))
         );
     }
 
@@ -80,12 +104,14 @@ mod tests {
         {
             let mut st = WorldState::fresh(&env);
             let mut ev = Evaluator::new(&env, &mut st);
-            ev.eval(&mut Locals::new(), &call(cls(settings), "flag=", [true_()])).unwrap();
+            ev.eval(&mut Locals::new(), &call(cls(settings), "flag=", [true_()]))
+                .unwrap();
         }
         let mut st2 = WorldState::fresh(&env);
         let mut ev2 = Evaluator::new(&env, &mut st2);
         assert_eq!(
-            ev2.eval(&mut Locals::new(), &call(cls(settings), "flag", [])).unwrap(),
+            ev2.eval(&mut Locals::new(), &call(cls(settings), "flag", []))
+                .unwrap(),
             Value::Nil
         );
     }

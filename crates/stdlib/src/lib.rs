@@ -43,9 +43,7 @@ pub mod models;
 use rbsyn_db::{Database, TableId, TableSchema};
 use rbsyn_interp::{InterpEnv, NativeImpl};
 use rbsyn_lang::{ClassId, EffectPair, Symbol, Ty, Value};
-use rbsyn_ty::{
-    ClassHierarchy, ClassTable, EnumerateAt, MethodKind, MethodSig, RetSpec, Schema,
-};
+use rbsyn_ty::{ClassHierarchy, ClassTable, EnumerateAt, MethodKind, MethodSig, RetSpec, Schema};
 
 /// Builds an [`InterpEnv`] containing the annotated standard library, plus
 /// whatever models, globals and app-specific methods a benchmark defines.
@@ -114,6 +112,7 @@ impl EnvBuilder {
     }
 
     /// Registers a comp-typed annotated native method.
+    #[allow(clippy::too_many_arguments)] // mirrors the full signature row of the annotation table
     pub fn comp_method(
         &mut self,
         owner: ClassId,
@@ -203,12 +202,10 @@ impl EnvBuilder {
 /// immediates structurally.
 pub fn ruby_eq(state: &rbsyn_interp::WorldState, a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Obj(x), Value::Obj(y)) => {
-            match (state.obj(*x).row, state.obj(*y).row) {
-                (Some(rx), Some(ry)) => rx == ry,
-                _ => x == y,
-            }
-        }
+        (Value::Obj(x), Value::Obj(y)) => match (state.obj(*x).row, state.obj(*y).row) {
+            (Some(rx), Some(ry)) => rx == ry,
+            _ => x == y,
+        },
         _ => a == b,
     }
 }

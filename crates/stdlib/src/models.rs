@@ -47,56 +47,96 @@ pub(crate) fn define_model_with(
     for (col, ty) in &schema.columns {
         let col = *col;
         let reader_col = col;
-        b.method(class, Instance, col.as_str(), vec![], ty.clone(),
-            eff::reads(eff::region(class, col.as_str())), OwnerOnly,
+        b.method(
+            class,
+            Instance,
+            col.as_str(),
+            vec![],
+            ty.clone(),
+            eff::reads(eff::region(class, col.as_str())),
+            OwnerOnly,
             nat(move |_, st, r, a| {
                 need(a, 0, reader_col.as_str())?;
                 let Value::Obj(o) = r else {
-                    return Err(RuntimeError::TypeMismatch { name: reader_col, expected: "model instance" });
+                    return Err(RuntimeError::TypeMismatch {
+                        name: reader_col,
+                        expected: "model instance",
+                    });
                 };
                 let (t, row) = st.obj(*o).row.ok_or_else(|| {
                     RuntimeError::RecordError("attribute read on unpersisted object".into())
                 })?;
                 // Reads of deleted rows yield nil (stale-attribute reads in
                 // Rails would return cached values; nil keeps specs honest).
-                Ok(st.db.table(t).get_value(row, reader_col).unwrap_or(Value::Nil))
-            }));
+                Ok(st
+                    .db
+                    .table(t)
+                    .get_value(row, reader_col)
+                    .unwrap_or(Value::Nil))
+            }),
+        );
         if col.as_str() == "id" || !generate_writers {
             continue; // primary keys (and writer-less models) have no writer
         }
         let writer_name = format!("{col}=");
         let writer_col = col;
-        b.method(class, Instance, &writer_name, vec![ty.clone()], ty.clone(),
-            eff::writes(eff::region(class, col.as_str())), OwnerOnly,
+        b.method(
+            class,
+            Instance,
+            &writer_name,
+            vec![ty.clone()],
+            ty.clone(),
+            eff::writes(eff::region(class, col.as_str())),
+            OwnerOnly,
             nat(move |_, st, r, a| {
                 need(a, 1, writer_col.as_str())?;
                 let Value::Obj(o) = r else {
-                    return Err(RuntimeError::TypeMismatch { name: writer_col, expected: "model instance" });
+                    return Err(RuntimeError::TypeMismatch {
+                        name: writer_col,
+                        expected: "model instance",
+                    });
                 };
                 let (t, row) = st.obj(*o).row.ok_or_else(|| {
                     RuntimeError::RecordError("attribute write on unpersisted object".into())
                 })?;
                 if !st.db.table_mut(t).set(row, writer_col, a[0].clone()) {
-                    return Err(RuntimeError::RecordError(format!("cannot write {writer_col}")));
+                    return Err(RuntimeError::RecordError(format!(
+                        "cannot write {writer_col}"
+                    )));
                 }
                 Ok(a[0].clone())
-            }));
+            }),
+        );
     }
 
     // Model equality: same primary key (ActiveRecord semantics). Reads the
     // id region of both sides.
-    b.method(class, Instance, "==", vec![Ty::Instance(class)], Ty::Bool,
-        eff::reads(eff::region(class, "id")), OwnerOnly,
+    b.method(
+        class,
+        Instance,
+        "==",
+        vec![Ty::Instance(class)],
+        Ty::Bool,
+        eff::reads(eff::region(class, "id")),
+        OwnerOnly,
         nat(|_, st, r, a| {
             need(a, 1, "==")?;
             Ok(Value::Bool(ruby_eq(st, r, &a[0])))
-        }));
-    b.method(class, Instance, "!=", vec![Ty::Instance(class)], Ty::Bool,
-        eff::reads(eff::region(class, "id")), OwnerOnly,
+        }),
+    );
+    b.method(
+        class,
+        Instance,
+        "!=",
+        vec![Ty::Instance(class)],
+        Ty::Bool,
+        eff::reads(eff::region(class, "id")),
+        OwnerOnly,
         nat(|_, st, r, a| {
             need(a, 1, "!=")?;
             Ok(Value::Bool(!ruby_eq(st, r, &a[0])))
-        }));
+        }),
+    );
 
     class
 }
@@ -134,15 +174,25 @@ mod tests {
         );
         assert_eq!(eval_in(&env, &mut st, &e).unwrap(), Value::str("Changed"));
         // And the write is visible through a *fresh* query (write-through).
-        let q = call(call(cls(post), "where", [hash([("title", str_("Changed"))])]), "size", []);
+        let q = call(
+            call(cls(post), "where", [hash([("title", str_("Changed"))])]),
+            "size",
+            [],
+        );
         assert_eq!(eval_in(&env, &mut st, &q).unwrap(), Value::Int(1));
     }
 
     #[test]
     fn id_reader_exists_but_no_writer() {
         let (env, post) = blog();
-        assert!(env.table.lookup(post, MethodKind::Instance, Symbol::intern("id")).is_some());
-        assert!(env.table.lookup(post, MethodKind::Instance, Symbol::intern("id=")).is_none());
+        assert!(env
+            .table
+            .lookup(post, MethodKind::Instance, Symbol::intern("id"))
+            .is_some());
+        assert!(env
+            .table
+            .lookup(post, MethodKind::Instance, Symbol::intern("id="))
+            .is_none());
     }
 
     #[test]
@@ -154,7 +204,11 @@ mod tests {
             call(cls(post), "create", [hash([("title", str_("x"))])]),
             let_(
                 "b",
-                call(call(cls(post), "where", [hash([("title", str_("x"))])]), "first", []),
+                call(
+                    call(cls(post), "where", [hash([("title", str_("x"))])]),
+                    "first",
+                    [],
+                ),
                 call(var("a"), "==", [var("b")]),
             ),
         );
@@ -164,12 +218,18 @@ mod tests {
     #[test]
     fn accessor_annotations_are_column_regions() {
         let (env, post) = blog();
-        let (r, _) = env.table.lookup(post, MethodKind::Instance, Symbol::intern("title=")).unwrap();
+        let (r, _) = env
+            .table
+            .lookup(post, MethodKind::Instance, Symbol::intern("title="))
+            .unwrap();
         let effp = env.table.effect_of(r, post);
         assert!(effp.read.is_pure());
         assert_eq!(
             effp.write,
-            rbsyn_lang::EffectSet::single(rbsyn_lang::Effect::Region(post, Symbol::intern("title")))
+            rbsyn_lang::EffectSet::single(rbsyn_lang::Effect::Region(
+                post,
+                Symbol::intern("title")
+            ))
         );
     }
 

@@ -22,10 +22,22 @@ fn eval(env: &InterpEnv, e: &Expr) -> Result<Value, RuntimeError> {
 #[test]
 fn string_edge_cases() {
     let env = env();
-    assert_eq!(eval(&env, &call(str_(""), "capitalize", [])).unwrap(), Value::str(""));
-    assert_eq!(eval(&env, &call(str_(""), "reverse", [])).unwrap(), Value::str(""));
-    assert_eq!(eval(&env, &call(str_("a\n"), "chomp", [])).unwrap(), Value::str("a"));
-    assert_eq!(eval(&env, &call(str_("a"), "chomp", [])).unwrap(), Value::str("a"));
+    assert_eq!(
+        eval(&env, &call(str_(""), "capitalize", [])).unwrap(),
+        Value::str("")
+    );
+    assert_eq!(
+        eval(&env, &call(str_(""), "reverse", [])).unwrap(),
+        Value::str("")
+    );
+    assert_eq!(
+        eval(&env, &call(str_("a\n"), "chomp", [])).unwrap(),
+        Value::str("a")
+    );
+    assert_eq!(
+        eval(&env, &call(str_("a"), "chomp", [])).unwrap(),
+        Value::str("a")
+    );
     assert_eq!(
         eval(&env, &call(str_("abc"), "include?", [str_("")])).unwrap(),
         Value::Bool(true),
@@ -46,11 +58,28 @@ fn string_edge_cases() {
 #[test]
 fn integer_edge_cases() {
     let env = env();
-    assert_eq!(eval(&env, &call(int(-7), "abs", [])).unwrap(), Value::Int(7));
-    assert_eq!(eval(&env, &call(int(-3), "%", [int(2)])).unwrap(), Value::Int(1), "Ruby modulo is non-negative for positive divisors");
-    assert_eq!(eval(&env, &call(int(0), "even?", [])).unwrap(), Value::Bool(true));
-    assert_eq!(eval(&env, &call(int(-1), "negative?", [])).unwrap(), Value::Bool(true));
-    assert_eq!(eval(&env, &call(int(i64::MAX), "succ", [])).unwrap(), Value::Int(i64::MIN), "wrapping arithmetic, documented substrate choice");
+    assert_eq!(
+        eval(&env, &call(int(-7), "abs", [])).unwrap(),
+        Value::Int(7)
+    );
+    assert_eq!(
+        eval(&env, &call(int(-3), "%", [int(2)])).unwrap(),
+        Value::Int(1),
+        "Ruby modulo is non-negative for positive divisors"
+    );
+    assert_eq!(
+        eval(&env, &call(int(0), "even?", [])).unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval(&env, &call(int(-1), "negative?", [])).unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval(&env, &call(int(i64::MAX), "succ", [])).unwrap(),
+        Value::Int(i64::MIN),
+        "wrapping arithmetic, documented substrate choice"
+    );
 }
 
 #[test]
@@ -68,20 +97,44 @@ fn comparison_operators_reject_missing_args() {
 fn hash_methods_on_empty_hashes() {
     let env = env();
     let h = hash([]);
-    assert_eq!(eval(&env, &call(h.clone(), "empty?", [])).unwrap(), Value::Bool(true));
-    assert_eq!(eval(&env, &call(h.clone(), "size", [])).unwrap(), Value::Int(0));
-    assert_eq!(eval(&env, &call(h.clone(), "keys", [])).unwrap(), Value::Array(vec![]));
-    assert_eq!(eval(&env, &call(h, "key?", [sym("a")])).unwrap(), Value::Bool(false));
+    assert_eq!(
+        eval(&env, &call(h.clone(), "empty?", [])).unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval(&env, &call(h.clone(), "size", [])).unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        eval(&env, &call(h.clone(), "keys", [])).unwrap(),
+        Value::Array(vec![])
+    );
+    assert_eq!(
+        eval(&env, &call(h, "key?", [sym("a")])).unwrap(),
+        Value::Bool(false)
+    );
 }
 
 #[test]
 fn model_queries_on_empty_tables() {
     let env = env();
     let post = env.table.hierarchy.find("Post").unwrap();
-    assert_eq!(eval(&env, &call(cls(post), "count", [])).unwrap(), Value::Int(0));
-    assert_eq!(eval(&env, &call(cls(post), "first", [])).unwrap(), Value::Nil);
-    assert_eq!(eval(&env, &call(cls(post), "last", [])).unwrap(), Value::Nil);
-    assert_eq!(eval(&env, &call(cls(post), "all", [])).unwrap(), Value::Array(vec![]));
+    assert_eq!(
+        eval(&env, &call(cls(post), "count", [])).unwrap(),
+        Value::Int(0)
+    );
+    assert_eq!(
+        eval(&env, &call(cls(post), "first", [])).unwrap(),
+        Value::Nil
+    );
+    assert_eq!(
+        eval(&env, &call(cls(post), "last", [])).unwrap(),
+        Value::Nil
+    );
+    assert_eq!(
+        eval(&env, &call(cls(post), "all", [])).unwrap(),
+        Value::Array(vec![])
+    );
     assert_eq!(
         eval(&env, &call(cls(post), "exists?", [])).unwrap(),
         Value::Bool(false)
@@ -93,17 +146,37 @@ fn where_returns_live_records() {
     let env = env();
     let post = env.table.hierarchy.find("Post").unwrap();
     let e = seq([
-        call(cls(post), "create", [hash([("author", str_("a")), ("title", str_("t1"))])]),
-        call(cls(post), "create", [hash([("author", str_("a")), ("title", str_("t2"))])]),
-        call(cls(post), "create", [hash([("author", str_("b")), ("title", str_("t3"))])]),
-        call(call(cls(post), "where", [hash([("author", str_("a"))])]), "size", []),
+        call(
+            cls(post),
+            "create",
+            [hash([("author", str_("a")), ("title", str_("t1"))])],
+        ),
+        call(
+            cls(post),
+            "create",
+            [hash([("author", str_("a")), ("title", str_("t2"))])],
+        ),
+        call(
+            cls(post),
+            "create",
+            [hash([("author", str_("b")), ("title", str_("t3"))])],
+        ),
+        call(
+            call(cls(post), "where", [hash([("author", str_("a"))])]),
+            "size",
+            [],
+        ),
     ]);
     assert_eq!(eval(&env, &e).unwrap(), Value::Int(2));
     // Writing through a where-result is visible to later queries.
     let e2 = seq([
         call(cls(post), "create", [hash([("author", str_("a"))])]),
         call(
-            call(call(cls(post), "where", [hash([("author", str_("a"))])]), "first", []),
+            call(
+                call(cls(post), "where", [hash([("author", str_("a"))])]),
+                "first",
+                [],
+            ),
             "title=",
             [str_("patched")],
         ),

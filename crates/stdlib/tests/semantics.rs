@@ -27,7 +27,10 @@ fn effect_collection_matches_the_annotations_read() {
         "title must be T",
         vec![
             SetupStep::Exec(call(cls(post), "create", [hash([("title", str_("X"))])])),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![call(call(var("xr"), "title", []), "==", [str_("T")])],
     );
@@ -58,7 +61,10 @@ fn failing_later_asserts_report_only_their_own_effects() {
                 "create",
                 [hash([("author", str_("a")), ("slug", str_("s"))])],
             )),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![
             call(call(var("xr"), "author", []), "==", [str_("a")]),
@@ -88,7 +94,10 @@ fn candidate_writes_are_visible_to_asserts_within_one_run_only() {
                 "p".into(),
                 call(cls(post), "create", [hash([("title", str_("old"))])]),
             ),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![call(call(var("p"), "title", []), "==", [str_("new")])],
     );
@@ -113,7 +122,10 @@ fn prepared_specs_replay_deterministically() {
         "count is stable",
         vec![
             SetupStep::Exec(call(cls(post), "create", [hash([])])),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![call(call(cls(post), "count", []), "==", [int(1)])],
     );
@@ -140,9 +152,7 @@ fn model_equality_is_by_row_not_by_reference() {
         let_(
             "b",
             call(cls(post), "find_by", [hash([("slug", str_("s"))])]),
-            seq([
-                call(var("a"), "==", [var("b")]),
-            ]),
+            seq([call(var("a"), "==", [var("b")])]),
         ),
     );
     assert_eq!(ev.eval(&mut locals, &e).unwrap(), Value::Bool(true));
@@ -180,7 +190,8 @@ fn tracking_resolves_self_regions_at_the_receiver_class() {
     let mut ev = Evaluator::new(&env, &mut st);
     ev.tracker = Some(EffectPair::pure_());
     let mut locals = Locals::new();
-    ev.eval(&mut locals, &call(cls(post), "exists?", [])).unwrap();
+    ev.eval(&mut locals, &call(cls(post), "exists?", []))
+        .unwrap();
     let collected = ev.tracker.take().unwrap();
     assert_eq!(collected.read, EffectSet::single(Effect::ClassStar(post)));
 }
@@ -193,7 +204,10 @@ fn purity_precision_coarsens_collected_effects() {
         "title check under purity labels",
         vec![
             SetupStep::Exec(call(cls(post), "create", [hash([("title", str_("X"))])])),
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
         ],
         vec![call(call(var("xr"), "title", []), "==", [str_("T")])],
     );
@@ -212,7 +226,10 @@ fn extra_setup_steps_after_the_call_still_run() {
     let spec = Spec::new(
         "post-call seeding",
         vec![
-            SetupStep::CallTarget { bind: "xr".into(), args: vec![] },
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
             SetupStep::Exec(call(cls(post), "create", [hash([])])),
         ],
         vec![call(call(cls(post), "count", []), "==", [int(1)])],

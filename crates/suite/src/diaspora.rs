@@ -26,7 +26,11 @@ fn diaspora_env() -> DiasporaEnv {
     // the spec's `reload` makes precise writes invisible (§5.2).
     let pod = b.define_model_without_writers(
         "Pod",
-        &[("host", Ty::Str), ("status", Ty::Str), ("checked", Ty::Bool)],
+        &[
+            ("host", Ty::Str),
+            ("status", Ty::Str),
+            ("checked", Ty::Bool),
+        ],
     );
     let user = b.define_model(
         "User",
@@ -39,11 +43,14 @@ fn diaspora_env() -> DiasporaEnv {
             ("email_confirmed", Ty::Bool),
         ],
     );
-    let invitation_code = b.define_model(
-        "InvitationCode",
-        &[("token", Ty::Str), ("count", Ty::Int)],
-    );
-    DiasporaEnv { b, pod, user, invitation_code }
+    let invitation_code =
+        b.define_model("InvitationCode", &[("token", Ty::Str), ("count", Ty::Int)]);
+    DiasporaEnv {
+        b,
+        pod,
+        user,
+        invitation_code,
+    }
 }
 
 fn seed_pods(pod: ClassId) -> Vec<SetupStep> {
@@ -86,7 +93,11 @@ fn a9() -> (InterpEnv, SynthesisProblem) {
         .constant(Value::str("scheduled"))
         .constant(Value::str("offline"))
         .constant(Value::Class(pod))
-        .spec(spec("offline pods are scheduled", "two.example.org", "scheduled"))
+        .spec(spec(
+            "offline pods are scheduled",
+            "two.example.org",
+            "scheduled",
+        ))
         .spec(spec("online pods stay online", "one.example.org", "online"))
         .spec(spec("other online pods too", "three.example.org", "online"))
         .build();
@@ -109,7 +120,10 @@ fn a10() -> (InterpEnv, SynthesisProblem) {
             "create",
             [hash([("token", str_("FRIENDS")), ("count", int(5))])],
         )),
-        bind("code", call(cls(code), "find_by", [hash([("token", str_("FRIENDS"))])])),
+        bind(
+            "code",
+            call(cls(code), "find_by", [hash([("token", str_("FRIENDS"))])]),
+        ),
         target(vec![str_("FRIENDS")]),
     ];
     let spec = Spec::new(
@@ -178,7 +192,10 @@ fn a12() -> (InterpEnv, SynthesisProblem) {
             [call(
                 hash([("username", str_("bob")), ("email", str_("bob@x.org"))]),
                 "merge",
-                [hash([("confirm_token", str_("tok-bob")), ("email_confirmed", true_())])],
+                [hash([
+                    ("confirm_token", str_("tok-bob")),
+                    ("email_confirmed", true_()),
+                ])],
             )],
         )));
         steps.push(exec(call(
@@ -203,11 +220,20 @@ fn a12() -> (InterpEnv, SynthesisProblem) {
             [call(
                 hash([("username", str_("carl")), ("email", str_("carl@x.org"))]),
                 "merge",
-                [hash([("confirm_token", str_("tok-carl")), ("email_confirmed", true_())])],
+                [hash([
+                    ("confirm_token", str_("tok-carl")),
+                    ("email_confirmed", true_()),
+                ])],
             )],
         )));
-        steps.push(bind("alice", call(cls(user), "find_by", [hash([("username", str_("alice"))])])));
-        steps.push(bind("bob", call(cls(user), "find_by", [hash([("username", str_("bob"))])])));
+        steps.push(bind(
+            "alice",
+            call(cls(user), "find_by", [hash([("username", str_("alice"))])]),
+        ));
+        steps.push(bind(
+            "bob",
+            call(cls(user), "find_by", [hash([("username", str_("bob"))])]),
+        ));
     };
     let confirm_spec = |title: &str, token: &str| {
         let mut steps = Vec::new();
@@ -264,7 +290,10 @@ fn a12() -> (InterpEnv, SynthesisProblem) {
         .base_consts()
         .constant(Value::Nil)
         .constant(Value::Class(user))
-        .spec(confirm_spec("valid tokens confirm the pending email", "tok-alice"))
+        .spec(confirm_spec(
+            "valid tokens confirm the pending email",
+            "tok-alice",
+        ))
         .spec(reject_spec("wrong tokens change nothing", "tok-wrong"))
         .spec(reject_spec("empty tokens change nothing", ""))
         .spec(idempotent_spec("confirmed accounts stay confirmed"))
@@ -284,7 +313,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "Pod#schedule_…",
             build: a9,
             options: Options::default,
-            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 1, orig_paths: 2 },
+            expected: Expected {
+                specs: 3,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 2,
+            },
         },
         Benchmark {
             id: "A10",
@@ -292,7 +326,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "User#process_inv…",
             build: a10,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 2, asserts_max: 2, orig_paths: 2 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 2,
+                asserts_max: 2,
+                orig_paths: 2,
+            },
         },
         Benchmark {
             id: "A11",
@@ -300,15 +339,28 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "InvitationCode#use!",
             build: a11,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "A12",
             group: Group::Diaspora,
             name: "User#confirm_email",
             build: a12,
-            options: || Options { max_size: 40, ..Options::default() },
-            expected: Expected { specs: 7, asserts_min: 4, asserts_max: 4, orig_paths: 2 },
+            options: || Options {
+                max_size: 40,
+                ..Options::default()
+            },
+            expected: Expected {
+                specs: 7,
+                asserts_min: 4,
+                asserts_max: 4,
+                orig_paths: 2,
+            },
         },
     ]
 }

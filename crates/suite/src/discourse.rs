@@ -55,10 +55,22 @@ fn seed_users(user: ClassId) -> Vec<SetupStep> {
         ))
     };
     vec![
-        mk("alice", "Alice Admin", hash([("admin", true_()), ("active", true_())])),
-        mk("bob", "Bob Mod", hash([("moderator", true_()), ("active", true_())])),
+        mk(
+            "alice",
+            "Alice Admin",
+            hash([("admin", true_()), ("active", true_())]),
+        ),
+        mk(
+            "bob",
+            "Bob Mod",
+            hash([("moderator", true_()), ("active", true_())]),
+        ),
         mk("carol", "Carol Member", hash([("active", true_())])),
-        mk("pending", "Pending Person", hash([("staged", true_()), ("active", false_())])),
+        mk(
+            "pending",
+            "Pending Person",
+            hash([("staged", true_()), ("active", false_())]),
+        ),
         // A trailing user so degenerate `User.last`-based candidates never
         // alias the interesting rows (the paper's seed_db plays the same
         // role, §2.1).
@@ -68,9 +80,21 @@ fn seed_users(user: ClassId) -> Vec<SetupStep> {
 
 fn seed_notices(settings: ClassId) -> Vec<SetupStep> {
     vec![
-        exec(call(cls(settings), "global_notice=", [str_("maintenance tonight")])),
-        exec(call(cls(settings), "moderator_notice=", [str_("queue is long")])),
-        exec(call(cls(settings), "admin_notice=", [str_("disk almost full")])),
+        exec(call(
+            cls(settings),
+            "global_notice=",
+            [str_("maintenance tonight")],
+        )),
+        exec(call(
+            cls(settings),
+            "moderator_notice=",
+            [str_("queue is long")],
+        )),
+        exec(call(
+            cls(settings),
+            "admin_notice=",
+            [str_("disk almost full")],
+        )),
     ]
 }
 
@@ -111,7 +135,10 @@ fn a1() -> (InterpEnv, SynthesisProblem) {
             "carol",
             vec![
                 eq(updated(), false_()),
-                eq(call(cls(settings), "global_notice", []), str_("maintenance tonight")),
+                eq(
+                    call(cls(settings), "global_notice", []),
+                    str_("maintenance tonight"),
+                ),
             ],
         ))
         .build();
@@ -129,21 +156,33 @@ fn a2() -> (InterpEnv, SynthesisProblem) {
     steps1.push(exec(call(
         cls(user),
         "create",
-        [hash([("username", str_("visitor")), ("name", str_("Vis Tor"))])],
+        [hash([
+            ("username", str_("visitor")),
+            ("name", str_("Vis Tor")),
+        ])],
     )));
     // …the account to activate: inactive, unconfirmed…
     steps1.push(exec(call(
         cls(user),
         "create",
-        [hash([("username", str_("newbie")), ("name", str_("New B"))])],
+        [hash([
+            ("username", str_("newbie")),
+            ("name", str_("New B")),
+        ])],
     )));
     // …and another signup after it keeps `User.last` from aliasing it.
     steps1.push(exec(call(
         cls(user),
         "create",
-        [hash([("username", str_("walkin")), ("name", str_("Walk In"))])],
+        [hash([
+            ("username", str_("walkin")),
+            ("name", str_("Walk In")),
+        ])],
     )));
-    steps1.push(bind("user", call(cls(user), "find_by", [hash([("username", str_("newbie"))])])));
+    steps1.push(bind(
+        "user",
+        call(cls(user), "find_by", [hash([("username", str_("newbie"))])]),
+    ));
     steps1.push(target(vec![str_("newbie")]));
     let spec1 = Spec::new(
         "activation enables the account and confirms email",
@@ -182,7 +221,14 @@ fn a2() -> (InterpEnv, SynthesisProblem) {
 fn a3() -> (InterpEnv, SynthesisProblem) {
     let (b, user, _) = discourse_env();
     let mut steps1 = seed_users(user);
-    steps1.push(bind("user", call(cls(user), "find_by", [hash([("username", str_("pending"))])])));
+    steps1.push(bind(
+        "user",
+        call(
+            cls(user),
+            "find_by",
+            [hash([("username", str_("pending"))])],
+        ),
+    ));
     steps1.push(target(vec![str_("pending")]));
     let spec1 = Spec::new(
         "staged accounts are unstaged",
@@ -224,7 +270,11 @@ fn a4() -> (InterpEnv, SynthesisProblem) {
         steps.push(exec(call(
             cls(user),
             "create",
-            [hash([("username", str_("dora")), ("admin", true_()), ("active", true_())])],
+            [hash([
+                ("username", str_("dora")),
+                ("admin", true_()),
+                ("active", true_()),
+            ])],
         )));
         steps.push(target(vec![str_(username)]));
         Spec::new(title, steps, vec![eq(updated(), str_(expect))])
@@ -235,10 +285,22 @@ fn a4() -> (InterpEnv, SynthesisProblem) {
         .base_consts()
         .constant(Value::Class(user))
         .constant(Value::Class(settings))
-        .spec(spec("admins see the admin notice", "alice", "disk almost full"))
+        .spec(spec(
+            "admins see the admin notice",
+            "alice",
+            "disk almost full",
+        ))
         .spec(spec("second admin sees it too", "dora", "disk almost full"))
-        .spec(spec("members see the global notice", "carol", "maintenance tonight"))
-        .spec(spec("moderators see the global notice", "bob", "maintenance tonight"))
+        .spec(spec(
+            "members see the global notice",
+            "carol",
+            "maintenance tonight",
+        ))
+        .spec(spec(
+            "moderators see the global notice",
+            "bob",
+            "maintenance tonight",
+        ))
         .spec(spec("strangers see nothing", "zed", ""))
         .build();
     (b.finish(), problem)
@@ -253,7 +315,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "User#clear_glob…",
             build: a1,
             options: Options::default,
-            expected: Expected { specs: 3, asserts_min: 2, asserts_max: 2, orig_paths: 3 },
+            expected: Expected {
+                specs: 3,
+                asserts_min: 2,
+                asserts_max: 2,
+                orig_paths: 3,
+            },
         },
         Benchmark {
             id: "A2",
@@ -261,7 +328,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "User#activate",
             build: a2,
             options: Options::default,
-            expected: Expected { specs: 2, asserts_min: 1, asserts_max: 4, orig_paths: 2 },
+            expected: Expected {
+                specs: 2,
+                asserts_min: 1,
+                asserts_max: 4,
+                orig_paths: 2,
+            },
         },
         Benchmark {
             id: "A3",
@@ -269,7 +341,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "User#unstage",
             build: a3,
             options: Options::default,
-            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 5, orig_paths: 2 },
+            expected: Expected {
+                specs: 3,
+                asserts_min: 1,
+                asserts_max: 5,
+                orig_paths: 2,
+            },
         },
         Benchmark {
             id: "A4",
@@ -277,7 +354,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "User#check_site…",
             build: a4,
             options: Options::default,
-            expected: Expected { specs: 5, asserts_min: 1, asserts_max: 1, orig_paths: 2 },
+            expected: Expected {
+                specs: 5,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 2,
+            },
         },
     ]
 }

@@ -46,9 +46,18 @@ fn gitlab_env() -> GitlabEnv {
     );
     let discussion = b.define_model(
         "Discussion",
-        &[("noteable_id", Ty::Int), ("author", Ty::Str), ("resolved", Ty::Bool)],
+        &[
+            ("noteable_id", Ty::Int),
+            ("author", Ty::Str),
+            ("resolved", Ty::Bool),
+        ],
     );
-    GitlabEnv { b, user, issue, discussion }
+    GitlabEnv {
+        b,
+        user,
+        issue,
+        discussion,
+    }
 }
 
 fn seed_issues(issue: ClassId) -> Vec<SetupStep> {
@@ -126,10 +135,16 @@ fn a6() -> (InterpEnv, SynthesisProblem) {
             "two_factor_enabled=",
             [true_()],
         )),
-        bind("user", call(cls(user), "find_by", [hash([("username", str_("alice"))])])),
+        bind(
+            "user",
+            call(cls(user), "find_by", [hash([("username", str_("alice"))])]),
+        ),
         target(vec![str_("alice")]),
     ];
-    let steps = { steps.shrink_to_fit(); steps };
+    let steps = {
+        steps.shrink_to_fit();
+        steps
+    };
     let spec = Spec::new(
         "two-factor state is fully reset",
         steps,
@@ -143,7 +158,14 @@ fn a6() -> (InterpEnv, SynthesisProblem) {
             eq(attr(updated(), "two_factor_enabled"), false_()),
             eq(attr(updated(), "name"), str_("Alice")),
             eq(call(cls(user), "count", []), int(2)),
-            eq(call(cls(user), "exists?", [hash([("two_factor_enabled", true_())])]), false_()),
+            eq(
+                call(
+                    cls(user),
+                    "exists?",
+                    [hash([("two_factor_enabled", true_())])],
+                ),
+                false_(),
+            ),
         ],
     );
     let problem = SynthesisProblem::builder("disable_two_factor")
@@ -161,7 +183,14 @@ fn a7() -> (InterpEnv, SynthesisProblem) {
     let g = gitlab_env();
     let issue = g.issue;
     let mut steps = seed_issues(issue);
-    steps.push(bind("issue", call(cls(issue), "find_by", [hash([("title", str_("Slow search"))])])));
+    steps.push(bind(
+        "issue",
+        call(
+            cls(issue),
+            "find_by",
+            [hash([("title", str_("Slow search"))])],
+        ),
+    ));
     steps.push(target(vec![str_("Slow search")]));
     let spec = Spec::new(
         "closing flips the state",
@@ -169,7 +198,10 @@ fn a7() -> (InterpEnv, SynthesisProblem) {
         vec![
             eq(attr(updated(), "id"), attr(var("issue"), "id")),
             eq(attr(updated(), "state"), str_("closed")),
-            eq(call(cls(issue), "exists?", [hash([("state", str_("opened"))])]), true_()),
+            eq(
+                call(cls(issue), "exists?", [hash([("state", str_("opened"))])]),
+                true_(),
+            ),
         ],
     );
     let problem = SynthesisProblem::builder("close_issue")
@@ -198,7 +230,10 @@ fn a8() -> (InterpEnv, SynthesisProblem) {
             [hash([("confidential", true_()), ("author", str_("dave"))])],
         )],
     )));
-    steps.push(bind("issue", call(cls(issue), "find_by", [hash([("title", str_("Old bug"))])])));
+    steps.push(bind(
+        "issue",
+        call(cls(issue), "find_by", [hash([("title", str_("Old bug"))])]),
+    ));
     steps.push(target(vec![str_("Old bug")]));
     let spec = Spec::new(
         "reopening resets state and confidentiality",
@@ -231,15 +266,28 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "Discussion#build",
             build: a5,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 4, asserts_max: 4, orig_paths: 1 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 4,
+                asserts_max: 4,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "A6",
             group: Group::Gitlab,
             name: "User#disable_two…",
             build: a6,
-            options: || Options { max_size: 44, ..Options::default() },
-            expected: Expected { specs: 1, asserts_min: 10, asserts_max: 10, orig_paths: 1 },
+            options: || Options {
+                max_size: 44,
+                ..Options::default()
+            },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 10,
+                asserts_max: 10,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "A7",
@@ -247,7 +295,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "Issue#close",
             build: a7,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 3, asserts_max: 3, orig_paths: 1 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 3,
+                asserts_max: 3,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "A8",
@@ -255,7 +308,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "Issue#reopen",
             build: a8,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 5, asserts_max: 5, orig_paths: 1 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 5,
+                asserts_max: 5,
+                orig_paths: 1,
+            },
         },
     ]
 }

@@ -11,7 +11,10 @@ pub const RESULT: &str = "updated";
 
 /// `updated = <target>(args…)` setup step.
 pub fn target(args: Vec<Expr>) -> SetupStep {
-    SetupStep::CallTarget { bind: RESULT.into(), args }
+    SetupStep::CallTarget {
+        bind: RESULT.into(),
+        args,
+    }
 }
 
 /// Evaluate for side effect (seeding).

@@ -113,7 +113,9 @@ mod tests {
     fn problems_validate_and_match_expected_spec_counts() {
         for b in all_benchmarks() {
             let (_, problem) = (b.build)();
-            problem.validate().unwrap_or_else(|e| panic!("{}: {e}", b.id));
+            problem
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.id));
             assert_eq!(problem.specs.len(), b.expected.specs, "{} spec count", b.id);
             let counts: Vec<usize> = problem.specs.iter().map(|s| s.asserts.len()).collect();
             let min = counts.iter().copied().min().unwrap_or(0);

@@ -35,7 +35,11 @@ fn seed_steps(user: ClassId, post: ClassId) -> Vec<rbsyn_interp::SetupStep> {
         exec(call(
             cls(post),
             "create",
-            [hash([("author", str_(author)), ("slug", str_(slug)), ("title", str_(title))])],
+            [hash([
+                ("author", str_(author)),
+                ("slug", str_(slug)),
+                ("title", str_(title)),
+            ])],
         ))
     };
     vec![
@@ -153,7 +157,11 @@ fn update_hash_ty() -> Ty {
     Ty::FiniteHash(FiniteHash::new(
         ["author", "title", "slug"]
             .into_iter()
-            .map(|k| HashField { key: k.into(), ty: Ty::Str, optional: true })
+            .map(|k| HashField {
+                key: k.into(),
+                ty: Ty::Str,
+                optional: true,
+            })
             .collect(),
     ))
 }
@@ -282,7 +290,10 @@ fn s7() -> (InterpEnv, SynthesisProblem) {
         steps.push(exec(call(
             cls(user),
             "create",
-            [hash([("name", str_("Dan No-Posts")), ("username", str_("dan"))])],
+            [hash([
+                ("name", str_("Dan No-Posts")),
+                ("username", str_("dan")),
+            ])],
         )));
         steps.push(target(vec![str_(username)]));
         Spec::new(
@@ -326,7 +337,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "lvar",
             build: s1,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "S2",
@@ -334,7 +350,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "false",
             build: s2,
             options: Options::default,
-            expected: Expected { specs: 1, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+            expected: Expected {
+                specs: 1,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "S3",
@@ -342,7 +363,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "method chains",
             build: s3,
             options: Options::default,
-            expected: Expected { specs: 2, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+            expected: Expected {
+                specs: 2,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "S4",
@@ -350,7 +376,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "user exists",
             build: s4,
             options: Options::default,
-            expected: Expected { specs: 2, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+            expected: Expected {
+                specs: 2,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 1,
+            },
         },
         Benchmark {
             id: "S5",
@@ -358,15 +389,28 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "branching",
             build: s5,
             options: Options::default,
-            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 1, orig_paths: 2 },
+            expected: Expected {
+                specs: 3,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 2,
+            },
         },
         Benchmark {
             id: "S6",
             group: Group::Synthetic,
             name: "overview (ext)",
             build: s6,
-            options: || Options { max_size: 48, ..Options::default() },
-            expected: Expected { specs: 3, asserts_min: 4, asserts_max: 4, orig_paths: 3 },
+            options: || Options {
+                max_size: 48,
+                ..Options::default()
+            },
+            expected: Expected {
+                specs: 3,
+                asserts_min: 4,
+                asserts_max: 4,
+                orig_paths: 3,
+            },
         },
         Benchmark {
             id: "S7",
@@ -374,7 +418,12 @@ pub fn benchmarks() -> Vec<Benchmark> {
             name: "fold branches",
             build: s7,
             options: Options::default,
-            expected: Expected { specs: 3, asserts_min: 1, asserts_max: 1, orig_paths: 1 },
+            expected: Expected {
+                specs: 3,
+                asserts_min: 1,
+                asserts_max: 1,
+                orig_paths: 1,
+            },
         },
     ]
 }
@@ -384,9 +433,14 @@ mod tests {
     use super::*;
     use rbsyn_core::Synthesizer;
 
-    fn solve(build: fn() -> (InterpEnv, SynthesisProblem), opts: Options) -> rbsyn_core::SynthResult {
+    fn solve(
+        build: fn() -> (InterpEnv, SynthesisProblem),
+        opts: Options,
+    ) -> rbsyn_core::SynthResult {
         let (env, problem) = build();
-        Synthesizer::new(env, problem, opts).run().expect("benchmark must synthesize")
+        Synthesizer::new(env, problem, opts)
+            .run()
+            .expect("benchmark must synthesize")
     }
 
     #[test]
@@ -415,7 +469,10 @@ mod tests {
     fn s4_folds_to_a_single_query() {
         let out = solve(s4, Options::default());
         let s = out.program.body.compact();
-        assert_eq!(out.stats.solution_paths, 1, "rules 4/5 must fold branches: {s}");
+        assert_eq!(
+            out.stats.solution_paths, 1,
+            "rules 4/5 must fold branches: {s}"
+        );
         assert!(s.contains("User."), "got {s}");
     }
 

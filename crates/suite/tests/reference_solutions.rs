@@ -10,7 +10,10 @@ use rbsyn_lang::{ClassId, Expr, Program};
 use rbsyn_suite::benchmark;
 
 fn class_of(env: &rbsyn_interp::InterpEnv, name: &str) -> ClassId {
-    env.table.hierarchy.find(name).unwrap_or_else(|| panic!("class {name} exists"))
+    env.table
+        .hierarchy
+        .find(name)
+        .unwrap_or_else(|| panic!("class {name} exists"))
 }
 
 fn assert_passes(id: &str, body: Expr, params: &[&str]) {
@@ -107,7 +110,11 @@ fn s6_fig2_solution_passes_the_overview_specs() {
             "t0",
             where_first.clone(),
             seq([
-                call(var("t0"), "title=", [call(var("arg2"), "[]", [sym("title")])]),
+                call(
+                    var("t0"),
+                    "title=",
+                    [call(var("arg2"), "[]", [sym("title")])],
+                ),
                 var("t0"),
             ]),
         ),
@@ -236,7 +243,11 @@ fn a9_reference_schedule_check() {
                 "t0",
                 call(cls(pod), "find_by", [hash([("host", var("arg0"))])]),
                 seq([
-                    call(var("t0"), "update!", [hash([("status", str_("scheduled"))])]),
+                    call(
+                        var("t0"),
+                        "update!",
+                        [hash([("status", str_("scheduled"))])],
+                    ),
                     var("t0"),
                 ]),
             ),
@@ -276,7 +287,11 @@ fn a11_reference_use_code() {
             "t0",
             call(cls(code), "find_by", [hash([("token", var("arg0"))])]),
             seq([
-                call(var("t0"), "count=", [call(call(var("t0"), "count", []), "pred", [])]),
+                call(
+                    var("t0"),
+                    "count=",
+                    [call(call(var("t0"), "count", []), "pred", [])],
+                ),
                 var("t0"),
             ]),
         ),
@@ -289,26 +304,41 @@ fn a12_reference_confirm_email() {
     let b = benchmark("A12").unwrap();
     let (env, _) = (b.build)();
     let user = class_of(&env, "User");
-    let find = call(cls(user), "find_by", [hash([("confirm_token", var("arg0"))])]);
+    let find = call(
+        cls(user),
+        "find_by",
+        [hash([("confirm_token", var("arg0"))])],
+    );
     assert_passes(
         "A12",
         if_(
             call(
                 cls(user),
                 "exists?",
-                [hash([("confirm_token", var("arg0")), ("email_confirmed", false_())])],
+                [hash([
+                    ("confirm_token", var("arg0")),
+                    ("email_confirmed", false_()),
+                ])],
             ),
             let_(
                 "t0",
                 find.clone(),
                 seq([
-                    call(var("t0"), "email=", [call(var("t0"), "unconfirmed_email", [])]),
+                    call(
+                        var("t0"),
+                        "email=",
+                        [call(var("t0"), "unconfirmed_email", [])],
+                    ),
                     call(var("t0"), "email_confirmed=", [true_()]),
                     var("t0"),
                 ]),
             ),
             if_(
-                call(cls(user), "exists?", [hash([("confirm_token", var("arg0"))])]),
+                call(
+                    cls(user),
+                    "exists?",
+                    [hash([("confirm_token", var("arg0"))])],
+                ),
                 find,
                 nil(),
             ),

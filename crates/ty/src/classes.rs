@@ -29,7 +29,10 @@ impl Schema {
 
     /// Type of `column`, if present.
     pub fn column_ty(&self, column: Symbol) -> Option<&Ty> {
-        self.columns.iter().find(|(c, _)| *c == column).map(|(_, t)| t)
+        self.columns
+            .iter()
+            .find(|(c, _)| *c == column)
+            .map(|(_, t)| t)
     }
 
     /// Does the schema have this column?
@@ -73,7 +76,9 @@ impl ClassHierarchy {
 
     /// Creates a hierarchy containing only the builtin classes.
     pub fn new() -> ClassHierarchy {
-        let mut h = ClassHierarchy { classes: Vec::new() };
+        let mut h = ClassHierarchy {
+            classes: Vec::new(),
+        };
         let object = ClassId::new(0, Symbol::intern("Object"));
         for (i, name) in Self::BUILTINS.iter().enumerate() {
             h.classes.push(ClassDef {
@@ -276,7 +281,10 @@ mod tests {
         assert_eq!(h.class_of_ty(&Ty::Int), Some(h.integer()));
         assert_eq!(h.class_of_ty(&Ty::Instance(post)), Some(post));
         assert_eq!(h.class_of_ty(&Ty::Union(vec![Ty::Int, Ty::Str])), None);
-        assert_eq!(h.class_of_ty(&Ty::SymLit(Symbol::intern("x"))), Some(h.symbol()));
+        assert_eq!(
+            h.class_of_ty(&Ty::SymLit(Symbol::intern("x"))),
+            Some(h.symbol())
+        );
     }
 
     #[test]

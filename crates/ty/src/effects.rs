@@ -103,7 +103,11 @@ mod tests {
         assert!(effect_subsumed(&h, &EffectSet::pure_(), &eps));
         assert!(effect_subsumed(&h, &eps, &EffectSet::star()));
         assert!(!effect_subsumed(&h, &EffectSet::star(), &eps));
-        assert!(effect_subsumed(&h, &EffectSet::pure_(), &EffectSet::pure_()));
+        assert!(effect_subsumed(
+            &h,
+            &EffectSet::pure_(),
+            &EffectSet::pure_()
+        ));
     }
 
     #[test]
@@ -122,16 +126,28 @@ mod tests {
             &region(post, "title")
         ));
         // Post.title ⊆ Base.title and Post.title ⊆ Base.* (Post ≤ Base).
-        assert!(effect_subsumed(&h, &region(post, "title"), &region(base, "title")));
+        assert!(effect_subsumed(
+            &h,
+            &region(post, "title"),
+            &region(base, "title")
+        ));
         assert!(effect_subsumed(
             &h,
             &region(post, "title"),
             &EffectSet::single(Effect::ClassStar(base))
         ));
         // Not the other way around.
-        assert!(!effect_subsumed(&h, &region(base, "title"), &region(post, "title")));
+        assert!(!effect_subsumed(
+            &h,
+            &region(base, "title"),
+            &region(post, "title")
+        ));
         // Distinct regions never subsume.
-        assert!(!effect_subsumed(&h, &region(post, "title"), &region(post, "slug")));
+        assert!(!effect_subsumed(
+            &h,
+            &region(post, "title"),
+            &region(post, "slug")
+        ));
     }
 
     #[test]

@@ -147,7 +147,11 @@ fn column_hash_ty(schema: &crate::classes::Schema) -> Ty {
         schema
             .columns
             .iter()
-            .map(|(k, t)| HashField { key: *k, ty: t.clone(), optional: true })
+            .map(|(k, t)| HashField {
+                key: *k,
+                ty: t.clone(),
+                optional: true,
+            })
             .collect(),
     ))
 }
@@ -265,8 +269,16 @@ mod tests {
     fn hash_get_unions_keys_and_values() {
         let h = ClassHierarchy::new();
         let fh = Ty::FiniteHash(FiniteHash::new(vec![
-            HashField { key: Symbol::intern("author"), ty: Ty::Str, optional: true },
-            HashField { key: Symbol::intern("n"), ty: Ty::Int, optional: true },
+            HashField {
+                key: Symbol::intern("author"),
+                ty: Ty::Str,
+                optional: true,
+            },
+            HashField {
+                key: Symbol::intern("n"),
+                ty: Ty::Int,
+                optional: true,
+            },
         ]));
         let r = CompType::HashGet.resolve(&h, &fh).unwrap();
         assert_eq!(

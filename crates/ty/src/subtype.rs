@@ -21,9 +21,7 @@ pub fn is_subtype(h: &ClassHierarchy, sub: &Ty, sup: &Ty) -> bool {
         (Ty::Union(parts), _) => parts.iter().all(|p| is_subtype(h, p, sup)),
         // Union right: some branch must fit.
         (_, Ty::Union(parts)) => parts.iter().any(|p| is_subtype(h, sub, p)),
-        (Ty::Bool, Ty::Bool) | (Ty::Int, Ty::Int) | (Ty::Str, Ty::Str) | (Ty::Sym, Ty::Sym) => {
-            true
-        }
+        (Ty::Bool, Ty::Bool) | (Ty::Int, Ty::Int) | (Ty::Str, Ty::Str) | (Ty::Sym, Ty::Sym) => true,
         (Ty::SymLit(_), Ty::Sym) => true,
         (Ty::SymLit(a), Ty::SymLit(b)) => a == b,
         (Ty::Instance(a), Ty::Instance(b)) => h.is_subclass(*a, *b),
@@ -86,7 +84,13 @@ mod tests {
     #[test]
     fn nil_is_bottom_obj_is_top() {
         let h = ClassHierarchy::new();
-        for t in [Ty::Int, Ty::Str, Ty::Bool, Ty::Obj, Ty::Union(vec![Ty::Int, Ty::Str])] {
+        for t in [
+            Ty::Int,
+            Ty::Str,
+            Ty::Bool,
+            Ty::Obj,
+            Ty::Union(vec![Ty::Int, Ty::Str]),
+        ] {
             assert!(is_subtype(&h, &Ty::Nil, &t), "Nil ≤ {t}");
             assert!(is_subtype(&h, &t, &Ty::Obj), "{t} ≤ Obj");
         }
@@ -130,7 +134,11 @@ mod tests {
         assert!(!is_subtype(&h, &Ty::Bool, &u));
         assert!(is_subtype(&h, &u, &Ty::Obj));
         assert!(!is_subtype(&h, &u, &Ty::Int));
-        assert!(is_subtype(&h, &u, &Ty::Union(vec![Ty::Str, Ty::Int, Ty::Bool])));
+        assert!(is_subtype(
+            &h,
+            &u,
+            &Ty::Union(vec![Ty::Str, Ty::Int, Ty::Bool])
+        ));
     }
 
     #[test]
@@ -153,9 +161,15 @@ mod tests {
             ("title", Ty::Str, true),
         ]);
         let lit = fh(&[("slug", Ty::Str, false)]);
-        assert!(is_subtype(&h, &lit, &param), "{{slug: Str}} ≤ optional param hash");
+        assert!(
+            is_subtype(&h, &lit, &param),
+            "{{slug: Str}} ≤ optional param hash"
+        );
         let bad_key = fh(&[("nope", Ty::Str, false)]);
-        assert!(!is_subtype(&h, &bad_key, &param), "unknown keys are rejected");
+        assert!(
+            !is_subtype(&h, &bad_key, &param),
+            "unknown keys are rejected"
+        );
         let bad_ty = fh(&[("slug", Ty::Int, false)]);
         assert!(!is_subtype(&h, &bad_ty, &param));
         // Required fields must be present.
@@ -169,7 +183,11 @@ mod tests {
     fn primitives_are_instances_of_builtins() {
         let h = ClassHierarchy::new();
         assert!(is_subtype(&h, &Ty::Int, &Ty::Instance(h.integer())));
-        assert!(is_subtype(&h, &Ty::FiniteHash(FiniteHash::new(vec![])), &Ty::Instance(h.hash())));
+        assert!(is_subtype(
+            &h,
+            &Ty::FiniteHash(FiniteHash::new(vec![])),
+            &Ty::Instance(h.hash())
+        ));
         assert!(!is_subtype(&h, &Ty::Int, &Ty::Instance(h.string())));
     }
 

@@ -105,7 +105,11 @@ impl ClassTable {
     ) -> MethodRef {
         let r = MethodRef(self.entries.len());
         self.index.insert((owner, sig.kind, sig.name), r.0);
-        self.entries.push(MethodEntry { owner, sig, enumerate });
+        self.entries.push(MethodEntry {
+            owner,
+            sig,
+            enumerate,
+        });
         r
     }
 
@@ -218,8 +222,7 @@ impl ClassTable {
                 .hierarchy
                 .iter()
                 .filter(|c| {
-                    self.hierarchy.schema(*c).is_some()
-                        && self.hierarchy.is_subclass(*c, e.owner)
+                    self.hierarchy.schema(*c).is_some() && self.hierarchy.is_subclass(*c, e.owner)
                 })
                 .collect(),
         }
@@ -233,14 +236,12 @@ impl ClassTable {
         for (i, e) in self.entries.iter().enumerate() {
             for class in self.enumeration_classes(e) {
                 let recv_tys: Vec<Ty> = match (&e.sig.ret, e.sig.kind) {
-                    (RetSpec::Comp(ct), MethodKind::Instance)
-                        if matches!(
-                            ct,
-                            crate::sig::CompType::HashGet | crate::sig::CompType::ArrayElem
-                        ) =>
-                    {
-                        seeds.to_vec()
-                    }
+                    (
+                        RetSpec::Comp(
+                            crate::sig::CompType::HashGet | crate::sig::CompType::ArrayElem,
+                        ),
+                        MethodKind::Instance,
+                    ) => seeds.to_vec(),
                     (_, MethodKind::Singleton) => vec![Ty::SingletonClass(class)],
                     (_, MethodKind::Instance) => vec![self.hierarchy.instance_ty(class)],
                 };
@@ -284,7 +285,11 @@ impl ClassTable {
         fn coarseness(e: &EffectSet) -> u8 {
             if e.is_star() {
                 2
-            } else if e.atoms().iter().any(|a| matches!(a, rbsyn_lang::Effect::ClassStar(_))) {
+            } else if e
+                .atoms()
+                .iter()
+                .any(|a| matches!(a, rbsyn_lang::Effect::ClassStar(_)))
+            {
                 1
             } else {
                 0
@@ -444,7 +449,7 @@ mod tests {
                 optional: true,
             },
         ]));
-        let cands = ct.candidates_returning(&Ty::Str, &[seed.clone()]);
+        let cands = ct.candidates_returning(&Ty::Str, std::slice::from_ref(&seed));
         let get = cands.iter().find(|c| c.name.as_str() == "[]").unwrap();
         assert_eq!(get.recv_ty, seed);
         assert_eq!(get.params[0], Ty::SymLit(Symbol::intern("title")));

@@ -17,7 +17,10 @@ use rbsyn::suite::benchmark;
 fn main() {
     let b = benchmark("S6").expect("S6 is registered");
     let (env, problem) = (b.build)();
-    println!("synthesizing update_post from {} specs…", problem.specs.len());
+    println!(
+        "synthesizing update_post from {} specs…",
+        problem.specs.len()
+    );
 
     let result = Synthesizer::new(env, problem, (b.options)())
         .run()

@@ -16,7 +16,10 @@ fn main() {
     println!("{:<18} {:>10} {:>12}", "precision", "time", "tested");
     for p in EffectPrecision::all() {
         let (env, problem) = (b.build)();
-        let opts = Options { precision: p, ..(b.options)() };
+        let opts = Options {
+            precision: p,
+            ..(b.options)()
+        };
         match Synthesizer::new(env, problem, opts).run() {
             Ok(r) => println!(
                 "{:<18} {:>10.3?} {:>12}",

@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn main() {
     let b = benchmark("S4").expect("S4 is registered");
-    println!("{:<14} {:>10} {:>12} {:>10}", "mode", "time", "tested", "result");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "mode", "time", "tested", "result"
+    );
     for g in Guidance::all() {
         let (env, problem) = (b.build)();
         let opts = Options {

@@ -30,9 +30,7 @@ pub use rbsyn_ty as ty;
 /// Convenience prelude: the types needed to define and run a synthesis
 /// problem.
 pub mod prelude {
-    pub use rbsyn_core::{
-        Guidance, Options, SynthEnv, SynthesisProblem, Synthesizer, SynthResult,
-    };
+    pub use rbsyn_core::{Guidance, Options, SynthEnv, SynthResult, SynthesisProblem, Synthesizer};
     pub use rbsyn_lang::builder::*;
     pub use rbsyn_lang::{EffectSet, Expr, Program, Symbol, Ty, Value};
     pub use rbsyn_ty::EffectPrecision;

@@ -17,7 +17,10 @@ const FAST: &[&str] = &["S1", "S2", "S3", "S4", "S5", "S7", "A5", "A7", "A10", "
 fn synthesize(id: &str) -> (rbsyn::interp::InterpEnv, rbsyn::lang::Program) {
     let b = benchmark(id).unwrap_or_else(|| panic!("benchmark {id} exists"));
     let (env, problem) = (b.build)();
-    let opts = Options { timeout: Some(Duration::from_secs(120)), ..(b.options)() };
+    let opts = Options {
+        timeout: Some(Duration::from_secs(120)),
+        ..(b.options)()
+    };
     let specs = problem.specs.clone();
     let result = Synthesizer::new(env, problem, opts)
         .run()
@@ -37,7 +40,10 @@ fn synthesize(id: &str) -> (rbsyn::interp::InterpEnv, rbsyn::lang::Program) {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "covered per-benchmark below; heavy in debug")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "covered per-benchmark below; heavy in debug"
+)]
 fn fast_benchmarks_synthesize_and_revalidate() {
     for id in FAST {
         let (_, program) = synthesize(id);
@@ -88,7 +94,9 @@ fn a11_decrements_through_arithmetic() {
 fn every_benchmark_builds_a_coherent_environment() {
     for b in all_benchmarks() {
         let (env, problem) = (b.build)();
-        problem.validate().unwrap_or_else(|e| panic!("{}: {e}", b.id));
+        problem
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", b.id));
         // The constant set must be installable.
         let opts = (b.options)();
         let synth = Synthesizer::new(env, problem, opts);

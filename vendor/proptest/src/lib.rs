@@ -1,0 +1,514 @@
+//! A tiny, dependency-free stand-in for the parts of
+//! [`proptest`](https://crates.io/crates/proptest) this workspace uses.
+//!
+//! The build environment is hermetic (no crates.io access), so the real
+//! proptest cannot be vendored wholesale. This shim keeps the property-test
+//! sources byte-compatible by re-implementing the consumed surface:
+//!
+//! * [`Strategy`] with `prop_map` and `prop_recursive`;
+//! * `Just`, ranges, `&str` regex-literal strategies, tuples,
+//!   `prop::collection::vec`, `any::<T>()`;
+//! * the [`proptest!`], [`prop_oneof!`], `prop_assert*!` macros;
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: generation is driven by a deterministic
+//! xorshift PRNG seeded from the test name (so failures are reproducible
+//! run-to-run), and there is **no shrinking** — a failing case asserts
+//! directly with the offending values embedded in the panic message.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic xorshift64* generator used to drive all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree: a strategy is just a
+/// deterministic function of the RNG state.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategy: up to `depth` layers of `recurse` around `self`
+    /// as the leaf. `_desired_size` and `_expected_branch` are accepted for
+    /// signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            let leaf = leaf.clone();
+            current = BoxedStrategy::new(move |rng| {
+                // Bias toward leaves so expected size stays bounded.
+                if rng.below(3) == 0 {
+                    leaf.gen_value(rng)
+                } else {
+                    branch.gen_value(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let this = self;
+        BoxedStrategy::new(move |rng| this.gen_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, i32, u64, u32, u8, usize);
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+    fn gen_value(&self, rng: &mut TestRng) -> usize {
+        rng.range_usize(*self.start(), *self.end() + 1)
+    }
+}
+
+/// `&str` literals act as regex-like string generators, supporting the
+/// subset `[class]` / literal chars, with optional `{n}` / `{m,n}` counts —
+/// enough for patterns like `"[a-z_][a-z0-9_]{0,5}"` or `"t[0-9]"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn expand_class(spec: &str) -> Vec<char> {
+    let chars: Vec<char> = spec.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn gen_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .expect("unclosed class")
+                + i;
+            let class: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            expand_class(&class)
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {n} / {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed count")
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.range_usize(lo, hi + 1);
+        for _ in 0..count {
+            out.push(alphabet[rng.range_usize(0, alphabet.len())]);
+        }
+    }
+    out
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.gen_value(rng), self.1.gen_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.gen_value(rng),
+            self.1.gen_value(rng),
+            self.2.gen_value(rng),
+        )
+    }
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 0
+    }
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — mirror of `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Per-test configuration; only the case count is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`] (mirror of `SizeRange`).
+    pub trait IntoSizeRange {
+        /// Converts to a half-open `[lo, hi)` length range.
+        fn into_len_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_len_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_len_range(self) -> Range<usize> {
+            *self.start()..self.end() + 1
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_len_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// Vector of `inner`-generated elements with a length in `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        inner: S,
+        len: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(inner: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            inner,
+            len: len.into_len_range(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.range_usize(self.len.start, self.len.end);
+            (0..n).map(|_| self.inner.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prelude` namespace.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Mirror of the `proptest::prelude::prop` re-export.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::Strategy::boxed($strat)),+];
+        $crate::BoxedStrategy::new(move |rng| {
+            let i = rng.range_usize(0, arms.len());
+            $crate::Strategy::gen_value(&arms[i], rng)
+        })
+    }};
+}
+
+/// Assert within a property; panics with the message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Defines `#[test]` functions that draw inputs from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(#[test] fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..cfg.cases {
+                    $(let $pat = $crate::Strategy::gen_value(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = crate::Strategy::gen_value(&"[a-z_][a-z0-9_]{0,5}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6, "bad sample {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first == '_' || first.is_ascii_lowercase());
+        }
+        let mut rng = TestRng::from_name("fixed");
+        let t = crate::Strategy::gen_value(&"t[0-9]", &mut rng);
+        assert_eq!(t.len(), 2);
+        assert!(t.starts_with('t'));
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::from_name("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::from_name("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_compiles_and_draws(v in prop::collection::vec(0i64..5, 1..4), (a, b) in (0usize..3, 1usize..=2)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+            prop_assert!(a < 3);
+            prop_assert!((1..=2).contains(&b));
+        }
+    }
+}
