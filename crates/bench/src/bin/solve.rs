@@ -36,6 +36,9 @@ struct Cli {
     /// `--timeout` / positional seconds, when given (overrides
     /// `RBSYN_TIMEOUT_SECS`).
     timeout: Option<Duration>,
+    /// `--no-cache`: disable the memoized search (A/B escape hatch; the
+    /// deterministic output section must be byte-identical either way).
+    no_cache: bool,
     json: Option<String>,
     single: Option<String>,
 }
@@ -43,7 +46,8 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: solve <ID> [timeout_secs]\n       \
-         solve --all [--parallel N] [--ids S1,S2,..] [--timeout SECS] [--compare] [--json PATH]"
+         solve --all [--parallel N] [--ids S1,S2,..] [--timeout SECS] [--compare] \
+         [--no-cache] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -55,6 +59,7 @@ fn parse_cli() -> Cli {
         parallel: 0,
         ids: None,
         timeout: None,
+        no_cache: false,
         json: None,
         single: None,
     };
@@ -95,6 +100,7 @@ fn parse_cli() -> Cli {
                     value("--timeout").parse().unwrap_or_else(|_| usage()),
                 ))
             }
+            "--no-cache" => cli.no_cache = true,
             "--json" => {
                 cli.json = Some(value("--json"));
                 batch_only.push("--json");
@@ -138,7 +144,7 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn run_single(id: &str, timeout: Duration) -> ! {
+fn run_single(id: &str, timeout: Duration, cache: bool) -> ! {
     let Some(b) = benchmark(id) else {
         eprintln!("unknown benchmark {id:?} (try S1..S7, A1..A12)");
         std::process::exit(2);
@@ -146,6 +152,7 @@ fn run_single(id: &str, timeout: Duration) -> ! {
     let (env, problem) = (b.build)();
     let opts = Options {
         timeout: Some(timeout),
+        cache,
         ..(b.options)()
     };
     match Synthesizer::new(env, problem, opts).run() {
@@ -172,17 +179,24 @@ fn run_single(id: &str, timeout: Duration) -> ! {
 fn main() {
     let cli = parse_cli();
     if let Some(id) = &cli.single {
-        run_single(id, cli.timeout.unwrap_or(Duration::from_secs(60)));
+        run_single(
+            id,
+            cli.timeout.unwrap_or(Duration::from_secs(60)),
+            !cli.no_cache,
+        );
     }
 
     // Flags override the harness env knobs (RBSYN_BENCH_IDS /
-    // RBSYN_TIMEOUT_SECS); unset flags inherit them.
+    // RBSYN_TIMEOUT_SECS / RBSYN_NO_CACHE); unset flags inherit them.
     let mut cfg = Config::from_env();
     if let Some(ids) = cli.ids.clone() {
         cfg.ids = ids;
     }
     if let Some(t) = cli.timeout {
         cfg.timeout = t;
+    }
+    if cli.no_cache {
+        cfg.cache = false;
     }
 
     // A typo'd id list (flag or env) must not shrink to a silently-passing

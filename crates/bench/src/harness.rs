@@ -22,6 +22,9 @@ pub struct Config {
     pub coarse_timeout: Duration,
     /// Benchmark ids to run (empty = all).
     pub ids: Vec<String>,
+    /// Memoized search (`Options::cache`); `RBSYN_NO_CACHE=1` or
+    /// `solve --no-cache` turns it off for A/B comparisons.
+    pub cache: bool,
 }
 
 impl Config {
@@ -50,12 +53,14 @@ impl Config {
                     .collect()
             })
             .unwrap_or_default();
+        let cache = !std::env::var("RBSYN_NO_CACHE").is_ok_and(|v| v == "1" || v == "true");
         Config {
             runs,
             timeout,
             ablation_timeout,
             coarse_timeout,
             ids,
+            cache,
         }
     }
 
@@ -94,18 +99,22 @@ impl RunOutcome {
     }
 }
 
-/// Runs one benchmark once under the given guidance/precision.
+/// Runs one benchmark once under the given guidance/precision. `cache`
+/// toggles the memoized search ([`Options::cache`]); every harness path
+/// honours `Config::cache`, so `RBSYN_NO_CACHE=1` A/B runs are real.
 pub fn run_benchmark(
     b: &Benchmark,
     guidance: Guidance,
     precision: EffectPrecision,
     timeout: Duration,
+    cache: bool,
 ) -> RunOutcome {
     let (env, problem) = (b.build)();
     let opts = Options {
         guidance,
         precision,
         timeout: Some(timeout),
+        cache,
         ..(b.options)()
     };
     let started = std::time::Instant::now();
@@ -189,7 +198,13 @@ fn median_of_mode(
     let mut size = 0;
     let mut paths = 0;
     for _ in 0..cfg.runs {
-        let out = run_benchmark(b, guidance, EffectPrecision::Precise, cfg.timeout);
+        let out = run_benchmark(
+            b,
+            guidance,
+            EffectPrecision::Precise,
+            cfg.timeout,
+            cfg.cache,
+        );
         if !out.succeeded() {
             return (None, Duration::ZERO, 0, 0);
         }
@@ -212,7 +227,13 @@ pub fn table1_rows(cfg: &Config) -> Vec<Table1Row> {
             // Ablations: a single run each (they either finish fast or time
             // out; the paper reports medians with tiny SIQRs).
             let one = |g: Guidance| {
-                let out = run_benchmark(b, g, EffectPrecision::Precise, cfg.ablation_timeout);
+                let out = run_benchmark(
+                    b,
+                    g,
+                    EffectPrecision::Precise,
+                    cfg.ablation_timeout,
+                    cfg.cache,
+                );
                 out.succeeded().then_some(out.time)
             };
             let asserts = (b.expected.asserts_min, b.expected.asserts_max);
@@ -296,7 +317,7 @@ pub fn fig7_rows(cfg: &Config) -> Vec<Fig7Row> {
             let mut times: Vec<Duration> = benchmarks
                 .iter()
                 .filter_map(|b| {
-                    let out = run_benchmark(b, g, EffectPrecision::Precise, timeout);
+                    let out = run_benchmark(b, g, EffectPrecision::Precise, timeout, cfg.cache);
                     out.succeeded().then_some(out.time)
                 })
                 .collect();
@@ -354,7 +375,7 @@ pub fn fig8_rows(cfg: &Config) -> Vec<Fig8Row> {
                 } else {
                     cfg.coarse_timeout
                 };
-                let out = run_benchmark(b, Guidance::both(), p, timeout);
+                let out = run_benchmark(b, Guidance::both(), p, timeout, cfg.cache);
                 out.succeeded().then_some(out.time)
             });
             Fig8Row { id: b.id, times }
@@ -390,12 +411,14 @@ pub fn format_fig8(rows: &[Fig8Row]) -> String {
 
 /// Converts the configured benchmark selection into [`BatchJob`]s for
 /// [`rbsyn_core::run_batch`], one per benchmark, each with its own
-/// `timeout` deadline.
+/// `timeout` deadline. `cache` toggles the memoized search
+/// (`Options::cache`).
 pub fn suite_jobs(
     benchmarks: Vec<Benchmark>,
     guidance: Guidance,
     precision: EffectPrecision,
     timeout: Duration,
+    cache: bool,
 ) -> Vec<BatchJob> {
     benchmarks
         .into_iter()
@@ -404,6 +427,7 @@ pub fn suite_jobs(
                 guidance,
                 precision,
                 timeout: Some(timeout),
+                cache,
                 ..(b.options)()
             };
             // `b.build` is a plain fn pointer: cheap to move, shares nothing.
@@ -420,6 +444,7 @@ pub fn run_suite(cfg: &Config, threads: usize) -> BatchReport {
         Guidance::both(),
         EffectPrecision::Precise,
         cfg.timeout,
+        cfg.cache,
     );
     run_batch(&jobs, threads)
 }
@@ -455,13 +480,18 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
     let s = &report.stats;
     format!(
         "batch: {} jobs on {} thread(s) — {} solved, {} timeout, {} failed; \
-         {} candidates tested; wall {:.2}s, cpu {:.2}s, speedup {:.2}x\n",
+         {} candidates tested; cache hits {} expand / {} type / {} oracle, \
+         {} deduped; wall {:.2}s, cpu {:.2}s, speedup {:.2}x\n",
         s.jobs,
         s.threads,
         s.solved,
         s.timeouts,
         s.failures,
         s.tested,
+        s.expand_hits,
+        s.type_hits,
+        s.oracle_hits,
+        s.deduped,
         s.wall_clock.as_secs_f64(),
         s.cpu_time.as_secs_f64(),
         s.speedup(),
@@ -496,6 +526,10 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
     out.push_str(&format!(
         "  \"tested\": {}, \"expanded\": {}, \"popped\": {},\n",
         s.tested, s.expanded, s.popped
+    ));
+    out.push_str(&format!(
+        "  \"deduped\": {}, \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {},\n",
+        s.deduped, s.expand_hits, s.type_hits, s.oracle_hits
     ));
     out.push_str(&format!(
         "  \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"speedup\": {:.4},\n",
@@ -563,6 +597,7 @@ mod tests {
             ablation_timeout: Duration::from_secs(1),
             coarse_timeout: Duration::from_secs(1),
             ids: vec!["S1".into()],
+            cache: true,
         };
         assert_eq!(base.benchmarks().len(), 1);
         let all = Config {
@@ -580,6 +615,7 @@ mod tests {
             Guidance::both(),
             EffectPrecision::Precise,
             Duration::from_secs(30),
+            true,
         );
         assert!(out.succeeded());
         assert_eq!(out.solution.as_deref(), Some("arg0"));

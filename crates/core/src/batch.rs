@@ -4,9 +4,17 @@
 //!
 //! Per-spec search is embarrassingly parallel across *problems*: every job
 //! builds its own environment (class table + fresh world), so jobs share no
-//! mutable state and the search inside each job stays exactly the
-//! deterministic single-threaded search of [`crate::generate`]. The driver
-//! is a simple work-stealing loop over scoped threads:
+//! mutable state — except one [`SearchCache`], which is deliberately
+//! shared: the library-template memo is keyed by a content fingerprint of
+//! each job's environment, so jobs over identical libraries reuse each
+//! other's enumeration work while differing jobs cannot observe one
+//! another, and every cached value is a pure function of its key, so
+//! sharing never changes any job's result. (Candidate-level memos stay
+//! run-scoped inside each job — see [`crate::cache::CacheHandle`] — so
+//! batch memory stays bounded by the largest single job.) The search
+//! inside each job stays exactly the deterministic single-threaded search
+//! of [`crate::generate()`]. The driver is a simple work-stealing loop over
+//! scoped threads:
 //!
 //! * jobs are claimed from an atomic cursor, so threads stay busy even when
 //!   job costs are wildly skewed (a timeout next to a millisecond solve);
@@ -20,6 +28,7 @@
 //! The experiment harness (`rbsyn-bench`) layers Table 1 / suite reporting
 //! on top of this; the driver itself is suite-agnostic.
 
+use crate::cache::SearchCache;
 use crate::error::SynthError;
 use crate::goal::SynthesisProblem;
 use crate::options::Options;
@@ -27,7 +36,7 @@ use crate::synthesizer::{SynthResult, Synthesizer};
 use rbsyn_interp::InterpEnv;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Builds a fresh environment + problem for one job. Called once per run,
@@ -59,12 +68,18 @@ impl BatchJob {
         }
     }
 
-    /// Runs this job once on the current thread.
+    /// Runs this job once on the current thread with a private cache.
     pub fn run(&self) -> BatchOutcome {
+        self.run_shared(&Arc::new(SearchCache::new()))
+    }
+
+    /// Runs this job once on the current thread against a shared
+    /// [`SearchCache`] (what [`run_batch`] does for every job).
+    pub fn run_shared(&self, cache: &Arc<SearchCache>) -> BatchOutcome {
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let (env, problem) = (self.build)();
-            Synthesizer::new(env, problem, self.options.clone()).run()
+            Synthesizer::with_cache(env, problem, self.options.clone(), Arc::clone(cache)).run()
         }))
         .unwrap_or_else(|panic| {
             let msg = panic
@@ -125,6 +140,15 @@ pub struct BatchStats {
     pub expanded: u64,
     /// Work-list pops across all solved jobs.
     pub popped: u64,
+    /// Duplicate candidates dropped by the work-list dedup filter (solved
+    /// jobs).
+    pub deduped: u64,
+    /// Expansion lists answered from the shared memo (solved jobs).
+    pub expand_hits: u64,
+    /// Type-check verdicts answered from the shared memo (solved jobs).
+    pub type_hits: u64,
+    /// Oracle verdicts answered from the shared memo (solved jobs).
+    pub oracle_hits: u64,
     /// Wall-clock time of the whole batch.
     pub wall_clock: Duration,
     /// Sum of per-job wall-clock times — the sequential-run estimate.
@@ -170,6 +194,10 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
                 stats.tested += r.stats.search.tested;
                 stats.expanded += r.stats.search.expanded;
                 stats.popped += r.stats.search.popped;
+                stats.deduped += r.stats.search.deduped;
+                stats.expand_hits += r.stats.search.expand_hits;
+                stats.type_hits += r.stats.search.type_hits;
+                stats.oracle_hits += r.stats.search.oracle_hits;
             }
             Err(SynthError::Timeout) => stats.timeouts += 1,
             Err(_) => stats.failures += 1,
@@ -183,7 +211,40 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
 /// Outcomes are returned in submission order regardless of completion
 /// order, and every job runs under its own [`Options::timeout`] deadline —
 /// the report of a batch is a pure function of the jobs, not of the
-/// machine's scheduling.
+/// machine's scheduling. All jobs share one [`SearchCache`].
+///
+/// # Example
+///
+/// ```
+/// use rbsyn_core::{run_batch, BatchJob, Options, SynthesisProblem};
+/// use rbsyn_interp::{SetupStep, Spec};
+/// use rbsyn_lang::builder::*;
+/// use rbsyn_lang::Ty;
+/// use rbsyn_stdlib::EnvBuilder;
+///
+/// let job = |id: &str| {
+///     BatchJob::new(
+///         id,
+///         || {
+///             let env = EnvBuilder::with_stdlib().finish();
+///             let problem = SynthesisProblem::builder("m")
+///                 .returns(Ty::Bool)
+///                 .base_consts()
+///                 .spec(Spec::new(
+///                     "returns false",
+///                     vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+///                     vec![call(var("xr"), "==", [false_()])],
+///                 ))
+///                 .build();
+///             (env, problem)
+///         },
+///         Options::default(),
+///     )
+/// };
+/// let report = run_batch(&[job("a"), job("b")], 2);
+/// assert_eq!(report.stats.solved, 2);
+/// assert_eq!(report.outcomes[0].id, "a"); // submission order, always
+/// ```
 pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
     let threads = match threads {
         0 => std::thread::available_parallelism()
@@ -193,10 +254,16 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
     }
     .min(jobs.len().max(1));
 
+    // One cache for the whole batch: jobs over identical environments
+    // reuse each other's memoized search work (sound and deterministic —
+    // see the module docs). Jobs that opt out via `Options::cache = false`
+    // simply ignore it.
+    let cache = Arc::new(SearchCache::new());
+
     let started = Instant::now();
     if threads <= 1 {
         // Sequential fast path: same loop, no thread machinery.
-        let outcomes: Vec<BatchOutcome> = jobs.iter().map(BatchJob::run).collect();
+        let outcomes: Vec<BatchOutcome> = jobs.iter().map(|j| j.run_shared(&cache)).collect();
         return aggregate(outcomes, started.elapsed(), 1);
     }
 
@@ -207,7 +274,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let outcome = job.run();
+                let outcome = job.run_shared(&cache);
                 *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
             });
         }

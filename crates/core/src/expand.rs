@@ -11,37 +11,37 @@
 //! Expansion always rewrites the *leftmost* hole, mirroring the paper's
 //! deterministic implementation of the non-deterministic rules.
 
+use crate::cache::CacheHandle;
 use crate::infer::Gamma;
 use crate::options::Options;
 use rbsyn_lang::{EffectSet, Expr, Symbol, Ty, Value};
 use rbsyn_ty::{is_subtype, ClassTable};
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
 
 /// One-step expander over a class table.
 ///
 /// Candidate enumeration (instantiating every library method at every
-/// model class, S-App / S-EffApp) is the hot path of the search; results
-/// are memoized per goal type / effect and seed set, which is sound because
-/// the class table is immutable for the duration of a synthesis run.
+/// model class, S-App / S-EffApp) is the hot path of the search; the
+/// resulting call templates are memoized in the [`CacheHandle`] per goal
+/// type / effect and seed set, which is sound because the template list is
+/// a pure function of the class table — and the handle's environment token
+/// fingerprints the table, so templates are shared across every search
+/// over the same library (other specs, other batch jobs) and never leak
+/// between different configurations.
 pub struct Expander<'a> {
     /// Class table (with `Σ` configured).
     pub table: &'a ClassTable,
     /// Search options (guidance switches, hash-literal arity).
     pub opts: &'a Options,
-    ret_cache: RefCell<HashMap<String, Rc<Vec<Expr>>>>,
-    eff_cache: RefCell<HashMap<String, Rc<Vec<Expr>>>>,
+    search: &'a CacheHandle,
 }
 
 impl<'a> Expander<'a> {
-    /// Builds an expander.
-    pub fn new(table: &'a ClassTable, opts: &'a Options) -> Expander<'a> {
+    /// Builds an expander memoizing through `search`.
+    pub fn new(table: &'a ClassTable, opts: &'a Options, search: &'a CacheHandle) -> Expander<'a> {
         Expander {
             table,
             opts,
-            ret_cache: RefCell::new(HashMap::new()),
-            eff_cache: RefCell::new(HashMap::new()),
+            search,
         }
     }
 
@@ -266,30 +266,22 @@ impl<'a> Expander<'a> {
         // S-App: method-call templates with the right return type
         // (memoized per goal/seed set).
         let seeds = self.seeds(gamma);
-        let key = format!("{goal}|{}|{typed}", Self::seeds_key(&seeds));
-        let templates = {
-            let mut cache = self.ret_cache.borrow_mut();
-            cache
-                .entry(key)
-                .or_insert_with(|| {
-                    let cands = if typed {
-                        self.table.candidates_returning(goal, &seeds)
-                    } else {
-                        self.table.enumerate_candidates(&seeds)
-                    };
-                    Rc::new(
-                        cands
-                            .into_iter()
-                            .map(|c| Expr::Call {
-                                recv: Box::new(Expr::Hole(c.recv_ty)),
-                                meth: c.name,
-                                args: c.params.into_iter().map(Expr::Hole).collect(),
-                            })
-                            .collect(),
-                    )
+        let key = format!("ret|{goal}|{}|{typed}", Self::seeds_key(&seeds));
+        let templates = self.search.templates(key, || {
+            let cands = if typed {
+                self.table.candidates_returning(goal, &seeds)
+            } else {
+                self.table.enumerate_candidates(&seeds)
+            };
+            cands
+                .into_iter()
+                .map(|c| Expr::Call {
+                    recv: Box::new(Expr::Hole(c.recv_ty)),
+                    meth: c.name,
+                    args: c.params.into_iter().map(Expr::Hole).collect(),
                 })
-                .clone()
-        };
+                .collect()
+        });
         out.extend(templates.iter().cloned());
         out
     }
@@ -317,31 +309,25 @@ impl<'a> Expander<'a> {
     /// effect/seed set.
     fn fill_effect(&self, eps: &EffectSet, gamma: &Gamma) -> Vec<Expr> {
         let seeds = self.seeds(gamma);
-        let key = format!("{eps}|{}", Self::seeds_key(&seeds));
-        let templates = {
-            let mut cache = self.eff_cache.borrow_mut();
-            cache
-                .entry(key)
-                .or_insert_with(|| {
-                    let mut v = vec![Expr::Lit(Value::Nil)]; // S-EffNil
-                    for c in self.table.candidates_writing(eps, &seeds) {
-                        let callee = Expr::Call {
-                            recv: Box::new(Expr::Hole(c.recv_ty)),
-                            meth: c.name,
-                            args: c.params.into_iter().map(Expr::Hole).collect(),
-                        };
-                        // S-EffApp: the method's own read effect may need
-                        // fixing first.
-                        if c.read.is_pure() {
-                            v.push(callee);
-                        } else {
-                            v.push(Expr::Seq(vec![Expr::EffHole(c.read), callee]));
-                        }
-                    }
-                    Rc::new(v)
-                })
-                .clone()
-        };
+        let key = format!("eff|{eps}|{}", Self::seeds_key(&seeds));
+        let templates = self.search.templates(key, || {
+            let mut v = vec![Expr::Lit(Value::Nil)]; // S-EffNil
+            for c in self.table.candidates_writing(eps, &seeds) {
+                let callee = Expr::Call {
+                    recv: Box::new(Expr::Hole(c.recv_ty)),
+                    meth: c.name,
+                    args: c.params.into_iter().map(Expr::Hole).collect(),
+                };
+                // S-EffApp: the method's own read effect may need
+                // fixing first.
+                if c.read.is_pure() {
+                    v.push(callee);
+                } else {
+                    v.push(Expr::Seq(vec![Expr::EffHole(c.read), callee]));
+                }
+            }
+            v
+        });
         templates.iter().cloned().collect()
     }
 }
@@ -454,7 +440,8 @@ mod tests {
     fn evaluable_expressions_do_not_expand() {
         let (table, _) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         assert!(ex.expand_first(&int(1), &mut Gamma::new()).is_none());
     }
 
@@ -462,7 +449,8 @@ mod tests {
     fn typed_holes_offer_consts_vars_and_calls() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let mut g = Gamma::new();
         g.bind(Symbol::intern("arg0"), Ty::Instance(post));
         let fills = ex.expand_first(&hole(Ty::Instance(post)), &mut g).unwrap();
@@ -480,7 +468,8 @@ mod tests {
     fn singleton_class_holes_accept_the_constant() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let fills = ex
             .expand_first(&hole(Ty::SingletonClass(post)), &mut Gamma::new())
             .unwrap();
@@ -493,7 +482,8 @@ mod tests {
     fn hash_holes_expand_to_key_subsets() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let schema = table.hierarchy.schema(post).unwrap();
         let fh = Ty::FiniteHash(rbsyn_lang::FiniteHash::new(
             schema
@@ -519,7 +509,8 @@ mod tests {
     fn symlit_holes_expand_to_literals() {
         let (table, _) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let t = Ty::union(vec![
             Ty::SymLit(Symbol::intern("author")),
             Ty::SymLit(Symbol::intern("title")),
@@ -536,7 +527,8 @@ mod tests {
     fn effect_holes_offer_nil_and_writers() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let want = rbsyn_stdlib::eff::region(post, "title");
         let fills = ex.expand_first(&effhole(want), &mut Gamma::new()).unwrap();
         let keys: Vec<String> = fills.iter().map(|e| e.compact()).collect();
@@ -554,7 +546,8 @@ mod tests {
     fn effapp_prepends_read_effect_holes() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let want = rbsyn_stdlib::eff::class_star(post);
         let fills = ex.expand_first(&effhole(want), &mut Gamma::new()).unwrap();
         // `create` reads self.* too, so its template is ◇:Post.*; call.
@@ -568,7 +561,8 @@ mod tests {
     fn leftmost_hole_is_expanded_first() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let e = call(hole(Ty::SingletonClass(post)), "where", [hole(Ty::Obj)]);
         let fills = ex.expand_first(&e, &mut Gamma::new()).unwrap();
         // Receiver (leftmost) was expanded: the argument hole survives.
@@ -579,7 +573,8 @@ mod tests {
     fn let_bindings_are_visible_in_bodies() {
         let (table, post) = blog();
         let opts = Options::default();
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let e = let_("t0", call(cls(post), "first", []), hole(Ty::Instance(post)));
         let fills = ex.expand_first(&e, &mut Gamma::new()).unwrap();
         assert!(
@@ -592,7 +587,8 @@ mod tests {
     fn untyped_mode_ignores_goal_types() {
         let (table, _) = blog();
         let opts = Options::with_guidance(crate::Guidance::effects_only());
-        let ex = Expander::new(&table, &opts);
+        let search = CacheHandle::private();
+        let ex = Expander::new(&table, &opts, &search);
         let mut g = Gamma::new();
         g.bind(Symbol::intern("x"), Ty::Str);
         let fills = ex.expand_first(&hole(Ty::Int), &mut g).unwrap();

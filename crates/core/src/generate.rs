@@ -6,14 +6,21 @@
 //! Evaluable expansions are run against the oracle immediately; failures
 //! with impure read effects are wrapped with an effect hole (S-Eff) and
 //! re-enqueued at their fresh assert count.
+//!
+//! Candidates are hash-consed ([`rbsyn_lang::ExprId`]) and all expensive
+//! steps — expansion, type narrowing, oracle evaluation — are memoized
+//! through a [`CacheHandle`], so repeated exploration of the same search
+//! region (across specs, guard requests, or batch jobs) degenerates into
+//! table lookups. Passing `None` for the handle runs with a throwaway
+//! private cache, which reproduces the uncached search exactly.
 
+use crate::cache::{gamma_fingerprint, CacheHandle, OracleToken};
 use crate::error::SynthError;
 use crate::expand::{simplify, Expander};
 use crate::infer::{infer_ty, Gamma};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
-use rbsyn_lang::metrics::node_count;
-use rbsyn_lang::{EffectPair, EffectSet, Expr, Program, Symbol, Ty};
+use rbsyn_lang::{EffectPair, EffectSet, Expr, ExprId, FxBuild, Program, Symbol, Ty};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
@@ -22,6 +29,12 @@ use std::time::Instant;
 pub trait Oracle {
     /// Tests a candidate program.
     fn test(&self, env: &InterpEnv, program: &Program) -> OracleOutcome;
+
+    /// The memoization identity of this oracle instance (see
+    /// [`OracleToken`]). Verdicts are cached per `(token, candidate)`, so
+    /// an implementation must mint a fresh token at construction and answer
+    /// [`Oracle::test`] as a pure function of the candidate body.
+    fn token(&self) -> OracleToken;
 }
 
 /// Outcome of one oracle query.
@@ -40,6 +53,7 @@ pub struct OracleOutcome {
 /// report the failing assert's effects.
 pub struct SpecOracle {
     prepared: PreparedSpec,
+    token: OracleToken,
 }
 
 impl SpecOracle {
@@ -52,7 +66,10 @@ impl SpecOracle {
     pub fn new(env: &InterpEnv, spec: &Spec) -> SpecOracle {
         let prepared = PreparedSpec::prepare(env, spec)
             .unwrap_or_else(|e| panic!("spec {:?} setup failed: {e}", spec.name));
-        SpecOracle { prepared }
+        SpecOracle {
+            prepared,
+            token: OracleToken::fresh(),
+        }
     }
 }
 
@@ -79,6 +96,10 @@ impl Oracle for SpecOracle {
             },
         }
     }
+
+    fn token(&self) -> OracleToken {
+        self.token
+    }
 }
 
 /// Oracle for branch conditions (§3.3): the boolean program must evaluate
@@ -87,6 +108,7 @@ impl Oracle for SpecOracle {
 /// pure").
 pub struct GuardOracle {
     checks: Vec<PreparedSpec>,
+    token: OracleToken,
 }
 
 impl GuardOracle {
@@ -109,7 +131,10 @@ impl GuardOracle {
             let xr = p.result_var();
             checks.push(p.with_asserts(vec![Expr::Not(Box::new(Expr::Var(xr)))]));
         }
-        GuardOracle { checks }
+        GuardOracle {
+            checks,
+            token: OracleToken::fresh(),
+        }
     }
 }
 
@@ -133,25 +158,46 @@ impl Oracle for GuardOracle {
             effects: None,
         }
     }
+
+    fn token(&self) -> OracleToken {
+        self.token
+    }
 }
 
 /// Search-effort counters, accumulated across `generate` calls of one
 /// synthesis run.
+///
+/// The effort counters (`popped`, `expanded`, `tested`) count *requests*,
+/// not computations: a memo hit still counts, so they are identical with
+/// and without caching and two runs can be compared counter-for-counter.
+/// The cache counters (`*_hits`, `deduped`) measure how much of that work
+/// the [`CacheHandle`] absorbed.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SearchStats {
     /// Work-list pops.
     pub popped: u64,
-    /// Candidate expressions produced by expansion.
+    /// Candidate expressions produced by expansion (pre type-filter).
     pub expanded: u64,
-    /// Evaluable candidates run against the oracle.
+    /// Evaluable candidates judged by the oracle (memo hits included).
     pub tested: u64,
+    /// Duplicate candidates dropped by the work-list dedup filter.
+    pub deduped: u64,
+    /// Expansion lists answered from the memo.
+    pub expand_hits: u64,
+    /// Type-check verdicts answered from the memo.
+    pub type_hits: u64,
+    /// Oracle verdicts answered from the memo.
+    pub oracle_hits: u64,
 }
 
 struct WorkItem {
     c: usize,
     size: usize,
     seq: u64,
-    expr: Expr,
+    id: ExprId,
+    /// The candidate itself, carried alongside its id so a memo miss at
+    /// pop time needs no arena lookup. Ignored by the ordering.
+    expr: std::sync::Arc<Expr>,
 }
 
 impl PartialEq for WorkItem {
@@ -181,6 +227,46 @@ pub type GenerateOutcome = Result<Expr, SynthError>;
 
 /// Algorithm 2: searches for an evaluable expression satisfying `oracle`,
 /// starting from `□:goal` under `params`.
+///
+/// `search` is the memoization handle; pass `Some` to share hash-consed
+/// candidates and memoized verdicts with other searches over the same
+/// environment, or `None` for a self-contained (uncached) run. Caching
+/// never changes the result, only the work done to reach it.
+///
+/// # Example
+///
+/// ```
+/// use rbsyn_core::generate::{generate, SearchStats, SpecOracle};
+/// use rbsyn_core::Options;
+/// use rbsyn_interp::{SetupStep, Spec};
+/// use rbsyn_lang::builder::*;
+/// use rbsyn_lang::Ty;
+/// use rbsyn_stdlib::EnvBuilder;
+///
+/// let env = EnvBuilder::with_stdlib().finish();
+/// // Spec: m("hello") must return a value equal to "hello".
+/// let spec = Spec::new(
+///     "returns its argument",
+///     vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![str_("hello")] }],
+///     vec![call(var("xr"), "==", [str_("hello")])],
+/// );
+/// let opts = Options::default();
+/// let mut stats = SearchStats::default();
+/// let body = generate(
+///     &env,
+///     "m",
+///     &[("arg0".into(), Ty::Str)],
+///     &Ty::Str,
+///     &SpecOracle::new(&env, &spec),
+///     &opts,
+///     opts.max_size,
+///     None,
+///     &mut stats,
+///     None,
+/// )
+/// .unwrap();
+/// assert_eq!(body.compact(), "arg0");
+/// ```
 #[allow(clippy::too_many_arguments)]
 pub fn generate(
     env: &InterpEnv,
@@ -192,6 +278,7 @@ pub fn generate(
     max_size: usize,
     deadline: Option<Instant>,
     stats: &mut SearchStats,
+    search: Option<&CacheHandle>,
 ) -> GenerateOutcome {
     let mut out = generate_many(
         env,
@@ -205,6 +292,7 @@ pub fn generate(
         stats,
         1,
         u64::MAX,
+        search,
     )?;
     Ok(out.remove(0))
 }
@@ -229,9 +317,21 @@ pub fn generate_many(
     stats: &mut SearchStats,
     max_solutions: usize,
     extra_after_first: u64,
+    search: Option<&CacheHandle>,
 ) -> Result<Vec<Expr>, SynthError> {
-    let expander = Expander::new(&env.table, opts);
+    // Without a shared handle the search still runs through (its own,
+    // throwaway) cache — one code path, identical behaviour, no reuse.
+    let local;
+    let search = match search {
+        Some(h) => h,
+        None => {
+            local = CacheHandle::private();
+            &local
+        }
+    };
+    let expander = Expander::new(&env.table, opts, search);
     let mut gamma = Gamma::from_params(params);
+    let gamma_fp = gamma_fingerprint(gamma.bindings());
     let param_names: Vec<String> = params.iter().map(|(n, _)| n.as_str().to_owned()).collect();
     let make_program = |body: &Expr| {
         Program::new(
@@ -242,14 +342,18 @@ pub fn generate_many(
     };
 
     let mut heap: BinaryHeap<WorkItem> = BinaryHeap::new();
-    let mut seen: HashSet<String> = HashSet::new();
+    // Dedup filter: the work-list never holds two structurally equal
+    // candidates, and a candidate judged once is never re-judged in this
+    // call.
+    let mut seen: HashSet<ExprId, FxBuild> = HashSet::default();
     let mut seq = 0u64;
-    let root = Expr::Hole(goal.clone());
+    let root = search.intern_full(Expr::Hole(goal.clone()));
     heap.push(WorkItem {
         c: 0,
         size: 1,
         seq,
-        expr: root,
+        id: root.id,
+        expr: root.expr,
     });
 
     let mut solutions: Vec<Expr> = Vec::new();
@@ -278,26 +382,50 @@ pub fn generate_many(
             }
         }
 
-        let Some(expansions) = expander.expand_first(&item.expr, &mut gamma) else {
-            continue; // hole-free items never enter the list
-        };
-        for exp in expansions {
-            stats.expanded += 1;
-            let exp = simplify(exp);
-            // Type narrowing (§3.1): discard candidates with no typing
-            // derivation. Skipped when type guidance is off.
-            if opts.guidance.types && infer_ty(&env.table, &mut gamma, &exp).is_none() {
+        // Hole-free items never enter the list: evaluable candidates are
+        // judged (and dropped) at expansion time, and both push sites below
+        // only enqueue expressions that still carry a hole.
+        debug_assert!(item.expr.has_holes());
+        // One-step expansion + simplification + type narrowing (§3.1),
+        // memoized per (environment, Γ, candidate).
+        let expansions = search.expansions(gamma_fp, item.id, stats, |_| {
+            let subs = expander
+                .expand_first(&item.expr, &mut gamma)
+                .expect("non-evaluable expression must have a hole");
+            let raw = subs.len() as u64;
+            let mut out = Vec::with_capacity(subs.len());
+            for sub in subs {
+                let sub = simplify(sub);
+                // Type narrowing: discard candidates with no typing
+                // derivation. Skipped when type guidance is off.
+                // Checked before interning — ill-typed candidates never
+                // reach the arena, and the verdict is baked into this
+                // (memoized) expansion list, so it is computed once per
+                // distinct candidate-in-context without paying for a
+                // standalone verdict table on the hot path.
+                if opts.guidance.types && infer_ty(&env.table, &mut gamma, &sub).is_none() {
+                    continue;
+                }
+                out.push(search.intern_full(sub));
+            }
+            (raw, out)
+        });
+        for cand in expansions.iter() {
+            if !seen.insert(cand.id) {
+                stats.deduped += 1;
                 continue;
             }
-            let key = exp.compact();
-            if !seen.insert(key) {
-                continue;
-            }
-            if exp.evaluable() {
+            if cand.evaluable {
                 stats.tested += 1;
-                let out = oracle.test(env, &make_program(&exp));
+                // Fresh candidates are judged directly: within one call the
+                // dedup filter already guarantees single judgement, and
+                // storing a verdict per failing candidate was measured to
+                // cost far more than the rare cross-phase hit it could
+                // serve. The memo is consulted where re-judging actually
+                // recurs: solution reuse and merge validation.
+                let out = oracle.test(env, &make_program(&cand.expr));
                 if out.success {
-                    solutions.push(exp);
+                    solutions.push((*cand.expr).clone());
                     if solutions.len() >= max_solutions {
                         return Ok(solutions);
                     }
@@ -313,24 +441,30 @@ pub fn generate_many(
                     } else {
                         EffectSet::star()
                     };
-                    let wrapped = wrap_with_effect(env, &mut gamma, &exp, er, goal, opts);
-                    if node_count(&wrapped) <= max_size && seen.insert(wrapped.compact()) {
+                    let wrapped = wrap_with_effect(
+                        env, &mut gamma, gamma_fp, &cand.expr, cand.id, er, goal, opts, search,
+                        stats,
+                    );
+                    let w = search.intern_full(wrapped);
+                    if w.size as usize <= max_size && seen.insert(w.id) {
                         seq += 1;
                         heap.push(WorkItem {
                             c: out.passed,
-                            size: node_count(&wrapped),
+                            size: w.size as usize,
                             seq,
-                            expr: wrapped,
+                            id: w.id,
+                            expr: w.expr,
                         });
                     }
                 }
-            } else if node_count(&exp) <= max_size {
+            } else if cand.size as usize <= max_size {
                 seq += 1;
                 heap.push(WorkItem {
                     c: item.c,
-                    size: node_count(&exp),
+                    size: cand.size as usize,
                     seq,
-                    expr: exp,
+                    id: cand.id,
+                    expr: std::sync::Arc::clone(&cand.expr),
                 });
             }
         }
@@ -346,17 +480,24 @@ pub fn generate_many(
 
 /// S-Eff (Fig. 5): `e` becomes `let t = e in (◇:ε_r; □:τ)` where `τ` is
 /// `e`'s type.
+#[allow(clippy::too_many_arguments)]
 fn wrap_with_effect(
     env: &InterpEnv,
     gamma: &mut Gamma,
+    gamma_fp: u128,
     e: &Expr,
+    eid: ExprId,
     er: EffectSet,
     goal: &Ty,
     opts: &Options,
+    search: &CacheHandle,
+    stats: &mut SearchStats,
 ) -> Expr {
     let t = e.fresh_temp();
     let ty = if opts.guidance.types {
-        infer_ty(&env.table, gamma, e).unwrap_or_else(|| goal.clone())
+        search
+            .infer(gamma_fp, eid, stats, || infer_ty(&env.table, gamma, e))
+            .unwrap_or_else(|| goal.clone())
     } else {
         goal.clone()
     };
@@ -398,6 +539,7 @@ mod tests {
             opts.max_size,
             None,
             &mut stats,
+            None,
         )
     }
 
@@ -534,6 +676,7 @@ mod tests {
             opts.max_guard_size,
             None,
             &mut stats,
+            None,
         )
         .unwrap();
         // Any emptiness test of the posts table is acceptable
@@ -570,6 +713,7 @@ mod tests {
             6,
             None,
             &mut stats,
+            None,
         );
         assert!(matches!(r, Err(SynthError::NoSolution { .. })));
         assert!(stats.tested > 0);
@@ -599,6 +743,7 @@ mod tests {
             20,
             Some(past),
             &mut stats,
+            None,
         );
         assert_eq!(r, Err(SynthError::Timeout));
     }

@@ -14,6 +14,7 @@
 //! merged program against all specs decides, §3.4), so the merge backtracks
 //! over these alternatives.
 
+use crate::cache::CacheHandle;
 use crate::error::SynthError;
 use crate::generate::{generate_many, GuardOracle, Oracle, SearchStats};
 use crate::options::Options;
@@ -27,6 +28,8 @@ use std::time::Instant;
 const EXTRA_GUARD_BUDGET: u64 = 300;
 
 /// Searches for up to `k` guards satisfying `oracle`, by ascending size.
+/// `search` is the shared memoization handle (or `None` for an uncached
+/// run), as in [`crate::generate::generate`].
 #[allow(clippy::too_many_arguments)]
 pub fn search_guards(
     env: &InterpEnv,
@@ -37,6 +40,7 @@ pub fn search_guards(
     opts: &Options,
     deadline: Option<Instant>,
     stats: &mut SearchStats,
+    search: Option<&CacheHandle>,
 ) -> Result<Vec<Expr>, SynthError> {
     match generate_many(
         env,
@@ -50,6 +54,7 @@ pub fn search_guards(
         stats,
         k,
         EXTRA_GUARD_BUDGET,
+        search,
     ) {
         Ok(gs) => Ok(gs),
         Err(SynthError::Timeout) => Err(SynthError::Timeout),
@@ -71,6 +76,7 @@ pub fn synth_guard(
     opts: &Options,
     deadline: Option<Instant>,
     stats: &mut SearchStats,
+    search: Option<&CacheHandle>,
 ) -> Result<Expr, SynthError> {
     let oracle = GuardOracle::new(env, pos, neg);
     let param_names: Vec<&str> = params.iter().map(|(n, _)| n.as_str()).collect();
@@ -92,7 +98,17 @@ pub fn synth_guard(
     // Fall back to type-guided search at type Bool (effect guidance is
     // never used for guards; GuardOracle reports no effects, so S-Eff
     // cannot fire).
-    let mut found = search_guards(env, method_name, params, &oracle, 1, opts, deadline, stats)?;
+    let mut found = search_guards(
+        env,
+        method_name,
+        params,
+        &oracle,
+        1,
+        opts,
+        deadline,
+        stats,
+        search,
+    )?;
     found.pop().ok_or(SynthError::GuardNotFound)
 }
 
@@ -143,6 +159,7 @@ mod tests {
             &Options::default(),
             None,
             &mut stats,
+            None,
         )
         .unwrap();
         assert_eq!(g.compact(), "true");
@@ -170,6 +187,7 @@ mod tests {
             &Options::default(),
             None,
             &mut stats,
+            None,
         )
         .unwrap();
         assert_eq!(g.compact(), "!Post.exists?");
@@ -199,6 +217,7 @@ mod tests {
             &Options::default(),
             None,
             &mut stats,
+            None,
         )
         .unwrap();
         // Any Post-emptiness test works (`Post.count.positive?`,
@@ -232,6 +251,7 @@ mod tests {
             &Options::default(),
             None,
             &mut stats,
+            None,
         )
         .unwrap();
         assert!(gs.len() >= 2, "expected several guards, got {gs:?}");

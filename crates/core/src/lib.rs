@@ -5,7 +5,7 @@
 //! `Σ`, and a list of specs — the [`Synthesizer`]:
 //!
 //! 1. solves each spec independently with the work-list search of
-//!    Algorithm 2 ([`generate`]): typed holes are filled by type-guided
+//!    Algorithm 2 ([`generate()`]): typed holes are filled by type-guided
 //!    rules (S-Const / S-Var / S-App, Fig. 4), and failing candidates whose
 //!    assertions read region `ε_r` are wrapped with effect holes (S-Eff)
 //!    filled by methods that *write* `ε_r` (S-EffApp, Fig. 5);
@@ -20,8 +20,16 @@
 //! §5.3 guidance ablation ([`Guidance`]) and the §5.4 effect-precision
 //! ablation ([`rbsyn_ty::EffectPrecision`]) are configuration switches on
 //! [`Options`].
+//!
+//! All of the above runs through a memoized [`SearchCache`] ([`cache`]):
+//! candidates are hash-consed, and expansion / type-check / oracle work is
+//! computed at most once per distinct candidate — per run by default,
+//! across batch jobs when shared, never when `Options::cache` is off.
+
+#![deny(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod error;
 pub mod expand;
 pub mod generate;
@@ -33,6 +41,7 @@ pub mod options;
 pub mod synthesizer;
 
 pub use batch::{run_batch, BatchJob, BatchOutcome, BatchReport, BatchStats};
+pub use cache::{CacheHandle, EnvToken, ExpandItem, OracleToken, SearchCache};
 pub use error::SynthError;
 pub use generate::{generate, GenerateOutcome, Oracle};
 pub use goal::{ProblemBuilder, SynthesisProblem};

@@ -17,8 +17,9 @@
 //! the choices (an odometer over the guard picks) until a merged program
 //! validates.
 
+use crate::cache::CacheHandle;
 use crate::error::SynthError;
-use crate::generate::{GuardOracle, Oracle, SearchStats};
+use crate::generate::{GuardOracle, Oracle, SearchStats, SpecOracle};
 use crate::guards::{negate, search_guards};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec};
@@ -94,6 +95,9 @@ pub struct MergeCtx<'a> {
     pub params: &'a [(Symbol, Ty)],
     /// All specs of the problem.
     pub specs: &'a [Spec],
+    /// The prepared per-spec oracles (index-aligned with `specs`), shared
+    /// with phase 1 so merged-program validation reuses memoized verdicts.
+    pub spec_oracles: &'a [SpecOracle],
     /// Options (guard bounds).
     pub opts: &'a Options,
     /// Shared deadline.
@@ -102,6 +106,9 @@ pub struct MergeCtx<'a> {
     pub stats: &'a mut SearchStats,
     /// Conditionals synthesized so far (negation-reuse pool, §4).
     pub known_conds: Vec<Expr>,
+    /// Memoization handle shared with the per-spec searches; `None` runs
+    /// the merge uncached.
+    pub search: Option<CacheHandle>,
 }
 
 /// How many oracle-passing guards to keep per strengthening request.
@@ -114,14 +121,25 @@ impl MergeCtx<'_> {
         Program::new(self.name, self.params.iter().map(|(n, _)| n.as_str()), body)
     }
 
-    fn prepared_specs(&self) -> Vec<PreparedSpec> {
-        self.specs
-            .iter()
-            .map(|s| {
-                PreparedSpec::prepare(self.env, s)
-                    .unwrap_or_else(|e| panic!("spec {:?} setup failed: {e}", s.name))
-            })
-            .collect()
+    /// Does `body` pass every spec of the problem? Verdicts go through the
+    /// oracle memo (keyed by the per-spec tokens shared with phase 1), so
+    /// backtracking attempts that rebuild the same body cost one lookup per
+    /// spec.
+    fn passes_all_specs(&mut self, body: &Expr) -> bool {
+        let p = self.program(body.clone());
+        match self.search.clone() {
+            Some(h) => {
+                let id = h.intern(body.clone());
+                self.spec_oracles.iter().all(|o| {
+                    h.oracle_verdict(o.token(), id, self.stats, || o.test(self.env, &p))
+                        .success
+                })
+            }
+            None => self
+                .spec_oracles
+                .iter()
+                .all(|o| o.test(self.env, &p).success),
+        }
     }
 
     /// The ordered guard candidates for a request: quick hits (constants,
@@ -146,6 +164,7 @@ impl MergeCtx<'_> {
                 self.opts,
                 self.deadline,
                 self.stats,
+                self.search.as_ref(),
             )?;
             cache.insert(key.clone(), GuardSet { oracle, searched });
         }
@@ -164,7 +183,19 @@ impl MergeCtx<'_> {
                 continue;
             }
             let p = Program::new(self.name, param_names.iter().copied(), q.clone());
-            if set.oracle.test(self.env, &p).success {
+            // Quick candidates are re-tested on every backtracking attempt;
+            // the oracle memo turns the repeats into lookups.
+            let ok = match self.search.clone() {
+                Some(h) => {
+                    let id = h.intern(q.clone());
+                    h.oracle_verdict(set.oracle.token(), id, self.stats, || {
+                        set.oracle.test(self.env, &p)
+                    })
+                    .success
+                }
+                None => set.oracle.test(self.env, &p).success,
+            };
+            if ok {
                 out.push(q);
             }
         }
@@ -185,12 +216,6 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
         return Err(SynthError::MergeFailed);
     }
     let trace = std::env::var("RBSYN_TRACE").is_ok();
-    let prepared = ctx.prepared_specs();
-    let passes_all = |ctx: &MergeCtx<'_>, body: &Expr| -> bool {
-        let p = ctx.program(body.clone());
-        prepared.iter().all(|s| s.run(ctx.env, &p).passed())
-    };
-
     let mut guard_cache: HashMap<GuardKey, GuardSet> = HashMap::new();
     let orders = permutations(tuples.len(), 720);
     let mut best: Option<Expr> = None;
@@ -205,7 +230,7 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
             let chain: Vec<Tuple> = order.iter().map(|&i| tuples[i].clone()).collect();
             let (chain, used) = rewrite_chain(ctx, chain, &selector, &mut guard_cache)?;
             let body = build_body(&chain, &mut CondEncoder::default());
-            let valid = passes_all(ctx, &body);
+            let valid = ctx.passes_all_specs(&body);
             if trace {
                 let conds: Vec<String> = chain.iter().map(|t| t.cond.compact()).collect();
                 eprintln!(

@@ -99,6 +99,14 @@ pub struct Options {
     /// Wall-clock budget for the whole synthesis run (the paper uses 300 s
     /// in §5). `None` disables the deadline.
     pub timeout: Option<Duration>,
+    /// Memoize search work (candidate dedup stays on either way). `true`
+    /// shares hash-consed candidates, expansion lists, type-check verdicts
+    /// and oracle outcomes across specs, merge attempts and batch jobs;
+    /// `false` (the `--no-cache` escape hatch) gives every search call a
+    /// throwaway cache. Caching never changes the synthesized program —
+    /// memoized values are pure functions of their keys — only the time
+    /// spent finding it.
+    pub cache: bool,
 }
 
 impl Default for Options {
@@ -111,6 +119,7 @@ impl Default for Options {
             max_hash_keys: 2,
             max_expansions: 2_000_000,
             timeout: Some(Duration::from_secs(300)),
+            cache: true,
         }
     }
 }

@@ -1,15 +1,24 @@
 //! The top-level synthesis pipeline: per-spec solutions (with the §4
 //! solution-reuse optimization), then merging.
+//!
+//! Both phases share one [`SearchCache`]: spec 2's search replays spec 1's
+//! expansion and type-check work from the memo, and the merge re-validates
+//! candidate bodies against per-spec oracles through the same verdict
+//! tables. By default each [`Synthesizer`] owns a private cache; the batch
+//! driver shares one across jobs via [`Synthesizer::with_cache`], and
+//! [`Options::cache`]` = false` disables memoization entirely.
 
+use crate::cache::{CacheHandle, SearchCache};
 use crate::error::SynthError;
-use crate::generate::{generate, SearchStats, SpecOracle};
+use crate::generate::{generate, Oracle, SearchStats, SpecOracle};
 use crate::goal::SynthesisProblem;
 use crate::merge::{merge_program, MergeCtx, Tuple};
 use crate::options::Options;
-use rbsyn_interp::{run_spec, InterpEnv};
+use rbsyn_interp::InterpEnv;
 use rbsyn_lang::builder::true_;
 use rbsyn_lang::metrics::{program_paths, program_size};
 use rbsyn_lang::Program;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Search-effort and outcome statistics for one synthesis run.
@@ -37,22 +46,73 @@ pub struct SynthResult {
 }
 
 /// Drives the full pipeline for one [`SynthesisProblem`].
+///
+/// # Example
+///
+/// ```
+/// use rbsyn_core::{Options, SynthesisProblem, Synthesizer};
+/// use rbsyn_interp::{SetupStep, Spec};
+/// use rbsyn_lang::builder::*;
+/// use rbsyn_lang::Ty;
+/// use rbsyn_stdlib::EnvBuilder;
+///
+/// let env = EnvBuilder::with_stdlib().finish();
+/// // Goal: def m() returning a Bool; one spec demanding `m() == false`.
+/// let problem = SynthesisProblem::builder("m")
+///     .returns(Ty::Bool)
+///     .base_consts()
+///     .spec(Spec::new(
+///         "returns false",
+///         vec![SetupStep::CallTarget { bind: "xr".into(), args: vec![] }],
+///         vec![call(var("xr"), "==", [false_()])],
+///     ))
+///     .build();
+/// let result = Synthesizer::new(env, problem, Options::default()).run().unwrap();
+/// assert_eq!(result.program.body.compact(), "false");
+/// ```
 pub struct Synthesizer {
     env: InterpEnv,
     problem: SynthesisProblem,
     opts: Options,
+    cache: Arc<SearchCache>,
 }
 
 impl Synthesizer {
-    /// Configures a run: installs the problem's constants `Σ` and the
-    /// requested effect precision into the class table.
-    pub fn new(mut env: InterpEnv, problem: SynthesisProblem, opts: Options) -> Synthesizer {
+    /// Configures a run with a private [`SearchCache`] (see
+    /// [`Synthesizer::with_cache`] for sharing one across runs).
+    pub fn new(env: InterpEnv, problem: SynthesisProblem, opts: Options) -> Synthesizer {
+        Synthesizer::with_cache(env, problem, opts, Arc::new(SearchCache::new()))
+    }
+
+    /// Configures a run against a shared [`SearchCache`] (the batch driver
+    /// passes one cache to every job). The shared cache carries the
+    /// library-template memo across runs; candidate-level memos live in a
+    /// run-scoped cache so their memory is reclaimed per run.
+    ///
+    /// The environment's class table is reset *symmetrically* from this
+    /// run's configuration: the effect precision comes from `opts` and the
+    /// constant set `Σ` is cleared and rebuilt from `problem.consts`, so a
+    /// reused or cloned environment can never leak the previous problem's
+    /// precision or constants into this run. The cache needs no such reset
+    /// — its entries are keyed by a content fingerprint of the configured
+    /// table, so stale entries are simply unreachable.
+    pub fn with_cache(
+        mut env: InterpEnv,
+        problem: SynthesisProblem,
+        opts: Options,
+        cache: Arc<SearchCache>,
+    ) -> Synthesizer {
         env.table.set_precision(opts.precision);
         env.table.clear_consts();
         for c in &problem.consts {
             env.table.add_const(c.clone());
         }
-        Synthesizer { env, problem, opts }
+        Synthesizer {
+            env,
+            problem,
+            opts,
+            cache,
+        }
     }
 
     /// Read access to the configured environment (tests, harnesses).
@@ -69,7 +129,12 @@ impl Synthesizer {
     /// search bounds, [`SynthError::MergeFailed`] when no branch merge
     /// passes every spec.
     pub fn run(self) -> Result<SynthResult, SynthError> {
-        let Synthesizer { env, problem, opts } = self;
+        let Synthesizer {
+            env,
+            problem,
+            opts,
+            cache,
+        } = self;
         problem.validate()?;
         let start = Instant::now();
         let deadline = opts.timeout.map(|t| start + t);
@@ -77,19 +142,52 @@ impl Synthesizer {
 
         let trace = std::env::var("RBSYN_TRACE").is_ok();
 
+        // The memoization handle shared by every phase of this run: a
+        // run-scoped candidate cache (reclaimed when this run ends) plus
+        // the template cache passed in at construction (shared with
+        // sibling batch jobs). `--no-cache` drops the handle: each search
+        // call below then runs with its own throwaway cache, reproducing
+        // the uncached search.
+        let search: Option<CacheHandle> = opts.cache.then(|| {
+            CacheHandle::bind(
+                Arc::new(SearchCache::new()),
+                Arc::clone(&cache),
+                &env.table,
+                &opts,
+            )
+        });
+
+        // One prepared oracle per spec, shared by the per-spec searches,
+        // the solution-reuse check, and merged-program validation.
+        let spec_oracles: Vec<SpecOracle> = problem
+            .specs
+            .iter()
+            .map(|s| SpecOracle::new(&env, s))
+            .collect();
+
         // Phase 1: a solution expression per spec, reusing existing
         // solutions when they already pass (§4: "when confronted with a new
         // spec, RbSyn first tries existing solutions").
         let mut tuples: Vec<Tuple> = Vec::new();
         let param_names: Vec<&str> = problem.params.iter().map(|(n, _)| n.as_str()).collect();
         for (i, spec) in problem.specs.iter().enumerate() {
+            let oracle = &spec_oracles[i];
             let reused = tuples.iter_mut().find(|t| {
                 let p = Program::new(
                     problem.name.as_str(),
                     param_names.iter().copied(),
                     t.expr.clone(),
                 );
-                run_spec(&env, spec, &p).passed()
+                match &search {
+                    Some(h) => {
+                        let id = h.intern(t.expr.clone());
+                        h.oracle_verdict(oracle.token(), id, &mut stats.search, || {
+                            oracle.test(&env, &p)
+                        })
+                        .success
+                    }
+                    None => oracle.test(&env, &p).success,
+                }
             });
             if let Some(t) = reused {
                 if trace {
@@ -107,11 +205,12 @@ impl Synthesizer {
                 &problem.name,
                 &problem.params,
                 &problem.ret,
-                &SpecOracle::new(&env, spec),
+                oracle,
                 &opts,
                 opts.max_size,
                 deadline,
                 &mut stats.search,
+                search.as_ref(),
             )
             .map_err(|e| match e {
                 SynthError::NoSolution { .. } => SynthError::NoSolution {
@@ -142,10 +241,12 @@ impl Synthesizer {
             name: &problem.name,
             params: &problem.params,
             specs: &problem.specs,
+            spec_oracles: &spec_oracles,
             opts: &opts,
             deadline,
             stats: &mut stats.search,
             known_conds: Vec::new(),
+            search,
         };
         let program = merge_program(&mut ctx, tuples)?;
 

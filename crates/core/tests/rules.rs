@@ -64,6 +64,7 @@ fn s_eff_wrap_produces_let_effhole_hole_shape() {
         opts.max_size,
         None,
         &mut stats,
+        None,
     )
     .expect("a title-writing candidate exists");
     let s = sol.compact();
@@ -102,6 +103,7 @@ fn type_guidance_prunes_untypable_candidates() {
             10,
             None,
             &mut stats,
+            None,
         );
         assert!(matches!(r, Err(SynthError::NoSolution { .. })));
         stats.tested
@@ -139,15 +141,18 @@ fn merge_rule_1_collapses_identical_solutions() {
     ];
     let opts = Options::default();
     let mut stats = SearchStats::default();
+    let spec_oracles: Vec<SpecOracle> = specs.iter().map(|s| SpecOracle::new(&env, s)).collect();
     let mut ctx = MergeCtx {
         env: &env,
         name: "m",
         params: &[],
         specs: &specs,
+        spec_oracles: &spec_oracles,
         opts: &opts,
         deadline: None,
         stats: &mut stats,
         known_conds: Vec::new(),
+        search: None,
     };
     let program = merge_program(&mut ctx, tuples).expect("identical tuples merge");
     // Rule 1: one branch, no conditional at all.
@@ -199,15 +204,18 @@ fn merge_strengthens_trivial_conditions_with_rule_3() {
     ];
     let opts = Options::default();
     let mut stats = SearchStats::default();
+    let spec_oracles: Vec<SpecOracle> = specs.iter().map(|s| SpecOracle::new(&env, s)).collect();
     let mut ctx = MergeCtx {
         env: &env,
         name: "m",
         params: &[],
         specs: &specs,
+        spec_oracles: &spec_oracles,
         opts: &opts,
         deadline: None,
         stats: &mut stats,
         known_conds: Vec::new(),
+        search: None,
     };
     let program = merge_program(&mut ctx, tuples).expect("rule 3 + rules 4/5 merge");
     // Rules 4/5 then fold `if b then true else false` into `b` itself:
@@ -254,6 +262,7 @@ fn effect_guidance_off_still_wraps_but_unconstrained() {
         opts.max_size,
         None,
         &mut stats,
+        None,
     )
     .expect("small enough for brute force");
     assert!(sol.compact().contains("title="));

@@ -51,6 +51,7 @@ fn phase1_generate_surfaces_timeout() {
         6,
         expired(),
         &mut stats,
+        None,
     );
     assert!(matches!(r, Err(SynthError::Timeout)), "got {r:?}");
     // The search did run up to the deadline check, not zero work.
@@ -63,15 +64,18 @@ fn phase2_merge_surfaces_timeout() {
     let spec = unsatisfiable_spec();
     let opts = Options::default();
     let mut stats = SearchStats::default();
+    let spec_oracles = vec![SpecOracle::new(&env, &spec)];
     let mut ctx = MergeCtx {
         env: &env,
         name: "m",
         params: &[],
         specs: std::slice::from_ref(&spec),
+        spec_oracles: &spec_oracles,
         opts: &opts,
         deadline: expired(),
         stats: &mut stats,
         known_conds: Vec::new(),
+        search: None,
     };
     let tuples = vec![Tuple {
         expr: true_(),

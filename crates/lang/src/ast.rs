@@ -13,7 +13,11 @@ use crate::value::Value;
 use std::fmt;
 
 /// A λ_syn expression.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// `Expr` is structurally hashable so candidates can be hash-consed into an
+/// [`crate::intern::ExprArena`]; two expressions are equal exactly when
+/// their ASTs are.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Expr {
     /// A literal value: `nil`, `true`, `false`, integers, strings, symbols,
     /// and class constants (`Post`). Object literals `[A]` only arise at
@@ -320,7 +324,7 @@ fn is_operator(name: &str) -> bool {
 
 /// A synthesized program `def m(x…) = e` (Fig. 3; multiple parameters as in
 /// the implementation).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Program {
     /// Method name.
     pub name: Symbol,

@@ -35,6 +35,8 @@
 //! );
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod ast;
 pub mod builder;
 pub mod effects;
@@ -45,6 +47,6 @@ pub mod value;
 
 pub use ast::{Expr, Program};
 pub use effects::{Effect, EffectPair, EffectSet};
-pub use intern::Symbol;
+pub use intern::{hash128, ExprArena, ExprId, FxBuild, FxHasher, Symbol};
 pub use types::{FiniteHash, Ty};
 pub use value::{ClassId, ObjRef, Value};

@@ -11,7 +11,7 @@ use std::fmt;
 
 /// One field of a finite hash type, e.g. the `title: ?Str` in
 /// `{author: ?Str, title: ?Str}`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct HashField {
     /// Key symbol.
     pub key: Symbol,
@@ -23,7 +23,7 @@ pub struct HashField {
 
 /// A finite hash type `{k₁: τ₁, k₂: ?τ₂, …}` describing `Hash` instances
 /// with known symbol keys (RDL's finite hash types, §2).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct FiniteHash {
     /// Fields in declaration order.
     pub fields: Vec<HashField>,
@@ -51,7 +51,7 @@ impl FiniteHash {
 /// The class lattice has `Nil` as bottom and `Obj` as top (Fig. 3); the
 /// primitive classes (`Bool`, `Int`, `Str`, `Sym`, …) are immediate
 /// subclasses of `Obj`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Ty {
     /// `Nil` — the class of `nil`; bottom of the lattice.
     Nil,

@@ -59,7 +59,7 @@ impl ObjRef {
 /// *reference* equality for heap objects; Ruby-level `==` (e.g. ActiveRecord
 /// model equality by primary key) is implemented by native methods in the
 /// interpreter, not here.
-#[derive(Clone, Default, PartialEq, Eq, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, Hash, Debug)]
 pub enum Value {
     /// `nil`, the sole inhabitant of class `Nil`.
     #[default]

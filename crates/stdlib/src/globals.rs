@@ -2,7 +2,7 @@
 //!
 //! Several app benchmarks have "side effects due to … reading and writing
 //! globals" (§5.1) — Discourse's `SiteSetting`, Gitlab application
-//! settings, Diaspora pod state. [`define_global`] creates a class whose
+//! settings, Diaspora pod state. `define_global` creates a class whose
 //! singleton getters/setters read/write interpreter globals under region
 //! effects `Name.field`, so effect-guided synthesis can target them exactly
 //! like database columns.

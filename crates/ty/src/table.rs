@@ -185,6 +185,37 @@ impl ClassTable {
         }
     }
 
+    /// A content fingerprint of everything the *search* observes through
+    /// this table: the class lattice (names, parents, schemas), every
+    /// method entry (owner, signature, effects, search visibility), the
+    /// constant set `Σ`, and the configured [`EffectPrecision`].
+    ///
+    /// Two tables with equal fingerprints answer every enumeration and
+    /// typing query identically, so search caches key memoized expansion
+    /// and type-check results on this value: identical environments share
+    /// entries (across batch jobs, across repeated runs), while a problem
+    /// that swaps constants or precision gets a fresh key — nothing leaks
+    /// between configurations. 128 bits keep accidental collisions out of
+    /// reach.
+    ///
+    /// The fingerprint hashes the deterministic `Vec`-backed parts only
+    /// (never the `HashMap` dispatch index, whose iteration order is
+    /// unstable), so it is stable across instances within a process.
+    pub fn fingerprint(&self) -> u128 {
+        let mut content = String::new();
+        {
+            use std::fmt::Write;
+            let _ = write!(content, "{:?};{:?};", self.hierarchy, self.precision);
+            for e in &self.entries {
+                let _ = write!(content, "{e:?};");
+            }
+            for c in &self.consts {
+                let _ = write!(content, "{c:?};");
+            }
+        }
+        rbsyn_lang::hash128("rbsyn.table", &content)
+    }
+
     /// Dispatch-style lookup: the nearest definition of `name` along the
     /// superclass chain of `class`. Returns the entry and the class at
     /// which dispatch happened (for `self` effect resolution).
@@ -426,6 +457,29 @@ mod tests {
         assert_eq!(tys[1], &Ty::SingletonClass(post));
         assert_eq!(tys[2], &Ty::SymLit(Symbol::intern("title")));
         assert_eq!(ct.search_visible_count(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_consts_and_precision() {
+        let (ct, post, _) = blog_table();
+        let (ct2, _, _) = blog_table();
+        assert_eq!(
+            ct.fingerprint(),
+            ct2.fingerprint(),
+            "independently built identical tables share a fingerprint"
+        );
+        let mut with_const = ct.clone();
+        with_const.add_const(Value::Class(post));
+        assert_ne!(ct.fingerprint(), with_const.fingerprint());
+        with_const.clear_consts();
+        assert_eq!(ct.fingerprint(), with_const.fingerprint());
+        let mut coarse = ct.clone();
+        coarse.set_precision(EffectPrecision::Purity);
+        assert_ne!(
+            ct.fingerprint(),
+            coarse.fingerprint(),
+            "precision must separate cache keys"
+        );
     }
 
     #[test]

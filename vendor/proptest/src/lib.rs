@@ -349,7 +349,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`] (mirror of `SizeRange`).
+    /// Length specifications accepted by [`vec()`] (mirror of `SizeRange`).
     pub trait IntoSizeRange {
         /// Converts to a half-open `[lo, hi)` length range.
         fn into_len_range(self) -> Range<usize>;
