@@ -16,14 +16,21 @@
 //! cargo run --release -p rbsyn-bench --bin solve -- --all --compare --parallel 4
 //! ```
 //!
-//! `--compare` runs sequentially first, then with `--parallel N`, verifies
-//! the two deterministic sections are byte-identical, and reports both
-//! wall-clocks. Exits nonzero on mismatch or on any unsolved benchmark.
+//! `--intra N` dispatches each problem's per-spec and guard searches as N
+//! concurrent tasks on the shared pool; `--strategy NAME` selects the
+//! work-list exploration order (`paper`, `cost`). Both keep the
+//! deterministic stdout section byte-identical for a fixed strategy.
+//!
+//! `--compare` runs a fully sequential baseline first (one thread, intra
+//! 1, same strategy and cache setting), then the requested
+//! `--parallel`/`--intra` configuration, verifies the two deterministic
+//! sections are byte-identical, and reports both wall-clocks. Exits
+//! nonzero on mismatch or on any unsolved benchmark.
 
 use rbsyn_bench::harness::{
     batch_stats_json, format_batch_solutions, format_batch_stats, run_suite, Config,
 };
-use rbsyn_core::{Options, Synthesizer};
+use rbsyn_core::{Options, StrategyKind, Synthesizer};
 use rbsyn_suite::benchmark;
 use std::time::Duration;
 
@@ -39,15 +46,19 @@ struct Cli {
     /// `--no-cache`: disable the memoized search (A/B escape hatch; the
     /// deterministic output section must be byte-identical either way).
     no_cache: bool,
+    /// `--intra`, when given (overrides `RBSYN_INTRA`).
+    intra: Option<usize>,
+    /// `--strategy`, when given (overrides `RBSYN_STRATEGY`).
+    strategy: Option<StrategyKind>,
     json: Option<String>,
     single: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: solve <ID> [timeout_secs]\n       \
-         solve --all [--parallel N] [--ids S1,S2,..] [--timeout SECS] [--compare] \
-         [--no-cache] [--json PATH]"
+        "usage: solve <ID> [timeout_secs] [--intra N] [--strategy paper|cost]\n       \
+         solve --all [--parallel N] [--intra N] [--strategy paper|cost] \
+         [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -60,6 +71,8 @@ fn parse_cli() -> Cli {
         ids: None,
         timeout: None,
         no_cache: false,
+        intra: None,
+        strategy: None,
         json: None,
         single: None,
     };
@@ -101,6 +114,14 @@ fn parse_cli() -> Cli {
                 ))
             }
             "--no-cache" => cli.no_cache = true,
+            "--intra" => cli.intra = Some(value("--intra").parse().unwrap_or_else(|_| usage())),
+            "--strategy" => {
+                let name = value("--strategy");
+                cli.strategy = Some(StrategyKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown strategy {name:?} (try paper, cost)");
+                    usage()
+                }))
+            }
             "--json" => {
                 cli.json = Some(value("--json"));
                 batch_only.push("--json");
@@ -144,7 +165,7 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn run_single(id: &str, timeout: Duration, cache: bool) -> ! {
+fn run_single(id: &str, timeout: Duration, cache: bool, intra: usize, strategy: StrategyKind) -> ! {
     let Some(b) = benchmark(id) else {
         eprintln!("unknown benchmark {id:?} (try S1..S7, A1..A12)");
         std::process::exit(2);
@@ -153,6 +174,8 @@ fn run_single(id: &str, timeout: Duration, cache: bool) -> ! {
     let opts = Options {
         timeout: Some(timeout),
         cache,
+        intra_parallelism: intra,
+        strategy,
         ..(b.options)()
     };
     match Synthesizer::new(env, problem, opts).run() {
@@ -183,6 +206,8 @@ fn main() {
             id,
             cli.timeout.unwrap_or(Duration::from_secs(60)),
             !cli.no_cache,
+            cli.intra.unwrap_or(1),
+            cli.strategy.unwrap_or_default(),
         );
     }
 
@@ -197,6 +222,12 @@ fn main() {
     }
     if cli.no_cache {
         cfg.cache = false;
+    }
+    if let Some(intra) = cli.intra {
+        cfg.intra = intra;
+    }
+    if let Some(strategy) = cli.strategy {
+        cfg.strategy = strategy;
     }
 
     // A typo'd id list (flag or env) must not shrink to a silently-passing
@@ -216,23 +247,35 @@ fn main() {
         std::process::exit(2);
     }
     if cli.compare {
-        eprintln!("compare: sequential run…");
-        let seq = run_suite(&cfg, 1);
-        eprintln!("compare: parallel run ({} threads)…", cli.parallel);
+        // Baseline: one thread, no intra tasks — the reference pipeline.
+        // Same strategy (which legitimately shapes the result) and same
+        // cache setting (which must not — the determinism CI leg diffs
+        // cache on/off separately); thread counts and task widths must
+        // never change the deterministic section.
+        let baseline_cfg = Config {
+            intra: 1,
+            ..cfg.clone()
+        };
+        eprintln!("compare: sequential baseline…");
+        let seq = run_suite(&baseline_cfg, 1);
+        eprintln!(
+            "compare: parallel run ({} threads, intra {})…",
+            cli.parallel, cfg.intra
+        );
         let par = run_suite(&cfg, cli.parallel);
         let (a, b) = (format_batch_solutions(&seq), format_batch_solutions(&par));
         eprint!("sequential {}", format_batch_stats(&seq));
         eprint!("parallel   {}", format_batch_stats(&par));
         if a != b {
-            eprintln!("MISMATCH between sequential and parallel results:");
+            eprintln!("MISMATCH between sequential baseline and parallel results:");
             eprintln!("--- sequential ---\n{a}--- parallel ---\n{b}");
             std::process::exit(1);
         }
         let wall_speedup =
             seq.stats.wall_clock.as_secs_f64() / par.stats.wall_clock.as_secs_f64().max(1e-9);
         eprintln!(
-            "results byte-identical across thread counts; wall-clock speedup {wall_speedup:.2}x, \
-             in-batch estimate {:.2}x",
+            "results byte-identical across thread counts/intra widths; \
+             wall-clock speedup {wall_speedup:.2}x, in-batch estimate {:.2}x",
             par.stats.speedup()
         );
         print!("{a}");

@@ -1,0 +1,186 @@
+//! Perf-trajectory snapshot: runs the full benchmark suite under the
+//! execution configurations this repo has grown so far — sequential,
+//! inter-problem parallel (`--parallel`), intra-problem parallel
+//! (`--intra`), and both — and writes one JSON file
+//! (`BENCH_pr3.json` in CI) with wall-clocks and cache-hit counters per
+//! configuration.
+//!
+//! ```text
+//! cargo run --release -p rbsyn-bench --bin trajectory -- \
+//!     [--json BENCH_pr3.json] [--threads N] [--intra N] [--timeout SECS]
+//! ```
+//!
+//! The deterministic solution sections of every configuration are
+//! byte-compared; a mismatch (or any unsolved benchmark) exits nonzero, so
+//! the trajectory file doubles as a determinism gate.
+
+use rbsyn_bench::harness::{format_batch_solutions, run_suite, Config};
+use rbsyn_core::BatchReport;
+use std::time::Duration;
+
+struct RunSpec {
+    name: &'static str,
+    threads: usize,
+    intra: usize,
+}
+
+fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
+    let s = &r.stats;
+    format!(
+        "    {{\"config\": \"{}\", \"threads\": {}, \"intra\": {}, \
+         \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"speedup\": {:.4},\n     \
+         \"solved\": {}, \"timeouts\": {}, \"failures\": {}, \"tested\": {},\n     \
+         \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {}, \"deduped\": {},\n     \
+         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}}}",
+        spec.name,
+        spec.threads,
+        spec.intra,
+        s.wall_clock.as_secs_f64(),
+        s.cpu_time.as_secs_f64(),
+        s.speedup(),
+        s.solved,
+        s.timeouts,
+        s.failures,
+        s.tested,
+        s.expand_hits,
+        s.type_hits,
+        s.oracle_hits,
+        s.deduped,
+        s.generate_time.as_secs_f64(),
+        s.guard_time.as_secs_f64(),
+    )
+}
+
+fn main() {
+    let mut json: Option<String> = None;
+    let mut threads: usize = 4;
+    let mut intra: usize = 4;
+    let mut timeout: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--json" => json = Some(value("--json")),
+            "--threads" => {
+                threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--intra" => {
+                intra = value("--intra").parse().unwrap_or_else(|_| {
+                    eprintln!("--intra needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--timeout" => {
+                timeout = Some(Duration::from_secs(
+                    value("--timeout").parse().unwrap_or_else(|_| {
+                        eprintln!("--timeout needs seconds");
+                        std::process::exit(2);
+                    }),
+                ))
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --json PATH, --threads N, --intra N, --timeout SECS)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut base = Config::from_env();
+    if let Some(t) = timeout {
+        base.timeout = t;
+    }
+    let specs = [
+        RunSpec {
+            name: "sequential",
+            threads: 1,
+            intra: 1,
+        },
+        RunSpec {
+            name: "parallel",
+            threads,
+            intra: 1,
+        },
+        RunSpec {
+            name: "intra",
+            threads: 1,
+            intra,
+        },
+        RunSpec {
+            name: "parallel+intra",
+            threads,
+            intra,
+        },
+    ];
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut baseline_solutions: Option<String> = None;
+    let mut ok = true;
+    for spec in &specs {
+        eprintln!(
+            "trajectory: {} (threads {}, intra {})…",
+            spec.name, spec.threads, spec.intra
+        );
+        let cfg = Config {
+            intra: spec.intra,
+            ..base.clone()
+        };
+        let report = run_suite(&cfg, spec.threads);
+        eprintln!(
+            "trajectory: {} — {}/{} solved in {:.2}s",
+            spec.name,
+            report.stats.solved,
+            report.stats.jobs,
+            report.stats.wall_clock.as_secs_f64()
+        );
+        if report.stats.solved != report.stats.jobs {
+            eprintln!("trajectory: {} left benchmarks unsolved", spec.name);
+            ok = false;
+        }
+        let solutions = format_batch_solutions(&report);
+        match &baseline_solutions {
+            None => baseline_solutions = Some(solutions),
+            Some(base_sols) if *base_sols != solutions => {
+                eprintln!(
+                    "trajectory: MISMATCH — {} diverges from the sequential baseline:\n\
+                     --- sequential ---\n{base_sols}--- {} ---\n{solutions}",
+                    spec.name, spec.name
+                );
+                ok = false;
+            }
+            Some(_) => {}
+        }
+        rows.push(json_report(spec, &report));
+    }
+
+    // Wall-clocks only mean anything relative to the host's core count
+    // (a 1-core machine can never show an in-process speedup).
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = format!(
+        "{{\n  \"suite\": \"rbsyn 19-benchmark suite\",\n  \"benchmarks\": {},\n  \
+         \"timeout_secs\": {},\n  \"host_parallelism\": {},\n  \"programs_identical\": {},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        base.benchmarks().len(),
+        base.timeout.as_secs(),
+        host,
+        ok,
+        rows.join(",\n")
+    );
+    match &json {
+        Some(path) => {
+            std::fs::write(path, &out).expect("write --json file");
+            eprintln!("trajectory written to {path}");
+        }
+        None => print!("{out}"),
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

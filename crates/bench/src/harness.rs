@@ -1,6 +1,8 @@
 //! Benchmark execution and table/figure assembly.
 
-use rbsyn_core::{run_batch, BatchJob, BatchReport, Guidance, Options, SynthError, Synthesizer};
+use rbsyn_core::{
+    run_batch, BatchJob, BatchReport, Guidance, Options, StrategyKind, SynthError, Synthesizer,
+};
 use rbsyn_suite::{all_benchmarks, Benchmark};
 use rbsyn_ty::EffectPrecision;
 use std::time::Duration;
@@ -25,6 +27,13 @@ pub struct Config {
     /// Memoized search (`Options::cache`); `RBSYN_NO_CACHE=1` or
     /// `solve --no-cache` turns it off for A/B comparisons.
     pub cache: bool,
+    /// Intra-problem task width (`Options::intra_parallelism`;
+    /// `RBSYN_INTRA` / `solve --intra N`). Any width produces
+    /// byte-identical programs and effort counters.
+    pub intra: usize,
+    /// Work-list exploration order (`Options::strategy`;
+    /// `RBSYN_STRATEGY` / `solve --strategy NAME`).
+    pub strategy: StrategyKind,
 }
 
 impl Config {
@@ -54,6 +63,14 @@ impl Config {
             })
             .unwrap_or_default();
         let cache = !std::env::var("RBSYN_NO_CACHE").is_ok_and(|v| v == "1" || v == "true");
+        let intra = std::env::var("RBSYN_INTRA")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let strategy = std::env::var("RBSYN_STRATEGY")
+            .ok()
+            .and_then(|v| StrategyKind::parse(&v))
+            .unwrap_or_default();
         Config {
             runs,
             timeout,
@@ -61,6 +78,8 @@ impl Config {
             coarse_timeout,
             ids,
             cache,
+            intra,
+            strategy,
         }
     }
 
@@ -418,7 +437,7 @@ pub fn suite_jobs(
     guidance: Guidance,
     precision: EffectPrecision,
     timeout: Duration,
-    cache: bool,
+    cfg: &Config,
 ) -> Vec<BatchJob> {
     benchmarks
         .into_iter()
@@ -427,7 +446,9 @@ pub fn suite_jobs(
                 guidance,
                 precision,
                 timeout: Some(timeout),
-                cache,
+                cache: cfg.cache,
+                intra_parallelism: cfg.intra,
+                strategy: cfg.strategy,
                 ..(b.options)()
             };
             // `b.build` is a plain fn pointer: cheap to move, shares nothing.
@@ -437,14 +458,15 @@ pub fn suite_jobs(
 }
 
 /// Runs the configured suite as a parallel batch (`threads` = 0 means all
-/// cores, 1 means sequential).
+/// cores, 1 means sequential job dispatch — intra-problem tasks still run
+/// at `cfg.intra` on extra pool threads).
 pub fn run_suite(cfg: &Config, threads: usize) -> BatchReport {
     let jobs = suite_jobs(
         cfg.benchmarks(),
         Guidance::both(),
         EffectPrecision::Precise,
         cfg.timeout,
-        cfg.cache,
+        cfg,
     );
     run_batch(&jobs, threads)
 }
@@ -537,6 +559,11 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
         s.cpu_time.as_secs_f64(),
         s.speedup()
     ));
+    out.push_str(&format!(
+        "  \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6},\n",
+        s.generate_time.as_secs_f64(),
+        s.guard_time.as_secs_f64(),
+    ));
     out.push_str("  \"results\": [\n");
     for (i, o) in report.outcomes.iter().enumerate() {
         let sep = if i + 1 == report.outcomes.len() {
@@ -545,11 +572,17 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
             ","
         };
         match &o.result {
+            // Per-task phase timing: `generate_secs` is the phase-1
+            // per-spec search time, `guard_secs` the merge-time guard
+            // searches — no more single lumped total.
             Ok(r) => out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"status\": \"solved\", \"elapsed_secs\": {:.6}, \
+                 \"generate_secs\": {:.6}, \"guard_secs\": {:.6}, \
                  \"size\": {}, \"paths\": {}, \"tested\": {}, \"solution\": \"{}\"}}{sep}\n",
                 json_escape(&o.id),
                 o.elapsed.as_secs_f64(),
+                r.stats.generate_time.as_secs_f64(),
+                r.stats.guard_time.as_secs_f64(),
                 r.stats.solution_size,
                 r.stats.solution_paths,
                 r.stats.search.tested,
@@ -598,6 +631,8 @@ mod tests {
             coarse_timeout: Duration::from_secs(1),
             ids: vec!["S1".into()],
             cache: true,
+            intra: 1,
+            strategy: StrategyKind::Paper,
         };
         assert_eq!(base.benchmarks().len(), 1);
         let all = Config {

@@ -11,15 +11,22 @@
 //! another, and every cached value is a pure function of its key, so
 //! sharing never changes any job's result. (Candidate-level memos stay
 //! run-scoped inside each job — see [`crate::cache::CacheHandle`] — so
-//! batch memory stays bounded by the largest single job.) The search
-//! inside each job stays exactly the deterministic single-threaded search
-//! of [`crate::generate()`]. The driver is a simple work-stealing loop over
-//! scoped threads:
+//! batch memory stays bounded by the largest single job.)
 //!
-//! * jobs are claimed from an atomic cursor, so threads stay busy even when
-//!   job costs are wildly skewed (a timeout next to a millisecond solve);
-//! * results land in a slot indexed by submission order — the output is
-//!   **byte-identical** no matter the thread count or scheduling;
+//! Since PR 3 the driver's threads and each job's *intra*-problem tasks
+//! share one [`Executor`] pool:
+//!
+//! * the pool holds `max(threads, max intra_parallelism)` scoped threads;
+//!   the first `threads` of them claim whole jobs from an atomic cursor
+//!   (work-stealing across skewed job costs, exactly as before), while the
+//!   rest — and every job thread once the cursor runs dry — serve queued
+//!   intra-problem tasks via [`Executor::drive`] (each running search may
+//!   additionally borrow in-search speculation workers from a process-wide
+//!   core-sized budget; see [`crate::engine::SpeculationPool`]);
+//! * results land in a slot indexed by submission order, and each job's
+//!   intra tasks follow the engine's speculative-join protocol, so the
+//!   output is **byte-identical** no matter the thread count or the
+//!   `--intra` width;
 //! * a panicking job is caught and reported as that job's failure; it never
 //!   poisons its siblings;
 //! * each job's deadline comes from its own [`Options::timeout`], so one
@@ -29,6 +36,7 @@
 //! on top of this; the driver itself is suite-agnostic.
 
 use crate::cache::SearchCache;
+use crate::engine::Executor;
 use crate::error::SynthError;
 use crate::goal::SynthesisProblem;
 use crate::options::Options;
@@ -50,7 +58,8 @@ pub struct BatchJob {
     /// Environment + problem factory; must not capture shared mutable
     /// state.
     pub build: JobBuilder,
-    /// Per-job options; `options.timeout` is this job's private deadline.
+    /// Per-job options; `options.timeout` is this job's private deadline
+    /// and `options.intra_parallelism` its task width on the shared pool.
     pub options: Options,
 }
 
@@ -74,12 +83,28 @@ impl BatchJob {
     }
 
     /// Runs this job once on the current thread against a shared
-    /// [`SearchCache`] (what [`run_batch`] does for every job).
+    /// [`SearchCache`].
     pub fn run_shared(&self, cache: &Arc<SearchCache>) -> BatchOutcome {
+        self.run_on(cache, None)
+    }
+
+    /// Runs this job against a shared cache, dispatching its intra-problem
+    /// tasks (if `options.intra_parallelism` > 1) to the given executor —
+    /// what [`run_batch`] does for every job.
+    pub fn run_on(
+        &self,
+        cache: &Arc<SearchCache>,
+        executor: Option<&Arc<Executor>>,
+    ) -> BatchOutcome {
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let (env, problem) = (self.build)();
-            Synthesizer::with_cache(env, problem, self.options.clone(), Arc::clone(cache)).run()
+            let mut synth =
+                Synthesizer::with_cache(env, problem, self.options.clone(), Arc::clone(cache));
+            if let Some(exec) = executor {
+                synth = synth.with_executor(Arc::clone(exec));
+            }
+            synth.run()
         }))
         .unwrap_or_else(|panic| {
             let msg = panic
@@ -149,11 +174,15 @@ pub struct BatchStats {
     pub type_hits: u64,
     /// Oracle verdicts answered from the shared memo (solved jobs).
     pub oracle_hits: u64,
+    /// Phase-1 per-spec search time summed over solved jobs.
+    pub generate_time: Duration,
+    /// Merge-time guard search time summed over solved jobs.
+    pub guard_time: Duration,
     /// Wall-clock time of the whole batch.
     pub wall_clock: Duration,
     /// Sum of per-job wall-clock times — the sequential-run estimate.
     pub cpu_time: Duration,
-    /// Worker threads used.
+    /// Threads in the shared pool (job runners plus task servers).
     pub threads: usize,
 }
 
@@ -191,13 +220,18 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
         match &o.result {
             Ok(r) => {
                 stats.solved += 1;
-                stats.tested += r.stats.search.tested;
-                stats.expanded += r.stats.search.expanded;
-                stats.popped += r.stats.search.popped;
-                stats.deduped += r.stats.search.deduped;
-                stats.expand_hits += r.stats.search.expand_hits;
-                stats.type_hits += r.stats.search.type_hits;
-                stats.oracle_hits += r.stats.search.oracle_hits;
+                // Saturating folds: concurrent tasks were already absorbed
+                // per job in deterministic order; the batch fold only adds
+                // per-job totals.
+                stats.tested = stats.tested.saturating_add(r.stats.search.tested);
+                stats.expanded = stats.expanded.saturating_add(r.stats.search.expanded);
+                stats.popped = stats.popped.saturating_add(r.stats.search.popped);
+                stats.deduped = stats.deduped.saturating_add(r.stats.search.deduped);
+                stats.expand_hits = stats.expand_hits.saturating_add(r.stats.search.expand_hits);
+                stats.type_hits = stats.type_hits.saturating_add(r.stats.search.type_hits);
+                stats.oracle_hits = stats.oracle_hits.saturating_add(r.stats.search.oracle_hits);
+                stats.generate_time += r.stats.generate_time;
+                stats.guard_time += r.stats.guard_time;
             }
             Err(SynthError::Timeout) => stats.timeouts += 1,
             Err(_) => stats.failures += 1,
@@ -206,12 +240,15 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
     BatchReport { outcomes, stats }
 }
 
-/// Runs `jobs` on `threads` worker threads (`0` = all available cores).
+/// Runs `jobs` on a shared pool: `threads` job runners (`0` = all
+/// available cores) plus enough extra serving threads to cover the
+/// largest `intra_parallelism` any job requests.
 ///
 /// Outcomes are returned in submission order regardless of completion
 /// order, and every job runs under its own [`Options::timeout`] deadline —
 /// the report of a batch is a pure function of the jobs, not of the
-/// machine's scheduling. All jobs share one [`SearchCache`].
+/// machine's scheduling. All jobs share one [`SearchCache`] and one
+/// [`Executor`].
 ///
 /// # Example
 ///
@@ -253,6 +290,12 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
         n => n,
     }
     .min(jobs.len().max(1));
+    let intra_max = jobs
+        .iter()
+        .map(|j| j.options.intra_parallelism.max(1))
+        .max()
+        .unwrap_or(1);
+    let pool = threads.max(intra_max);
 
     // One cache for the whole batch: jobs over identical environments
     // reuse each other's memoized search work (sound and deterministic —
@@ -261,21 +304,42 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
     let cache = Arc::new(SearchCache::new());
 
     let started = Instant::now();
-    if threads <= 1 {
+    if pool <= 1 {
         // Sequential fast path: same loop, no thread machinery.
         let outcomes: Vec<BatchOutcome> = jobs.iter().map(|j| j.run_shared(&cache)).collect();
         return aggregate(outcomes, started.elapsed(), 1);
     }
 
+    // One executor for the whole batch; its serving threads are the scoped
+    // threads below, so inter-problem jobs and intra-problem tasks share
+    // one pool.
+    let executor = Executor::new();
     let cursor = AtomicUsize::new(0);
+    let jobs_done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<BatchOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let outcome = job.run_shared(&cache);
-                *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
+        for t in 0..pool {
+            let executor = &executor;
+            let cursor = &cursor;
+            let jobs_done = &jobs_done;
+            let slots = &slots;
+            let cache = &cache;
+            scope.spawn(move || {
+                // The first `threads` pool members claim whole jobs; the
+                // rest go straight to serving intra-problem tasks.
+                if t < threads {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let outcome = job.run_on(cache, Some(executor));
+                        *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
+                        jobs_done.fetch_add(1, Ordering::Release);
+                        executor.poke();
+                    }
+                }
+                // Out of jobs (or a dedicated server): run queued intra
+                // tasks until every job has completed.
+                executor.drive(|| jobs_done.load(Ordering::Acquire) == jobs.len());
             });
         }
     });
@@ -287,7 +351,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
                 .expect("worker exited without filling its claimed slot")
         })
         .collect();
-    aggregate(outcomes, started.elapsed(), threads)
+    aggregate(outcomes, started.elapsed(), pool)
 }
 
 #[cfg(test)]
@@ -380,6 +444,35 @@ mod tests {
             let (pa, pb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
             assert_eq!(pa.program.to_string(), pb.program.to_string());
             assert_eq!(pa.stats.search.tested, pb.stats.search.tested);
+        }
+    }
+
+    #[test]
+    fn intra_jobs_grow_the_pool_and_match_inline_results() {
+        let mk = |intra: usize| -> Vec<BatchJob> {
+            (0..4)
+                .map(|i| {
+                    let mut j = trivial_job(&format!("j{i}"), None);
+                    j.options.intra_parallelism = intra;
+                    j
+                })
+                .collect()
+        };
+        let inline = run_batch(&mk(1), 2);
+        let tasked = run_batch(&mk(3), 2);
+        assert_eq!(inline.stats.threads, 2);
+        assert_eq!(
+            tasked.stats.threads, 3,
+            "pool covers the largest intra width"
+        );
+        for (a, b) in inline.outcomes.iter().zip(tasked.outcomes.iter()) {
+            let (pa, pb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(pa.program.to_string(), pb.program.to_string());
+            assert_eq!(
+                pa.stats.search.effort(),
+                pb.stats.search.effort(),
+                "effort counters are width-independent"
+            );
         }
     }
 

@@ -1,0 +1,367 @@
+//! The shared task executor: one thread pool serving both inter-problem
+//! jobs and intra-problem tasks.
+//!
+//! PR 1's batch driver owned a private scoped-thread pool that could only
+//! run whole problems; per-spec searches and merge-time guard searches
+//! inside one problem stayed sequential. The [`Executor`] decouples the
+//! *pool* from the *work*: it is a shared injector queue of `'static`
+//! tasks plus a set of serving threads, and threads can be provided two
+//! ways:
+//!
+//! * **donated** — the batch driver's scoped threads call
+//!   [`Executor::drive`] between (and after) jobs, so the same OS threads
+//!   that run whole problems also execute the problems' intra tasks;
+//! * **owned** — [`Executor::with_workers`] spawns detached background
+//!   threads for standalone runs (`solve A9 --intra 4` outside a batch).
+//!
+//! Scheduling is cooperative work-stealing in two directions: serving
+//! threads pull queued tasks FIFO, and a thread blocked in
+//! [`TaskHandle::join`] *steals its own task back* from the queue and runs
+//! it inline rather than idling — so a join can never deadlock waiting for
+//! a task no thread would ever start, even on a pool of one.
+//!
+//! Tasks are `'static` (they capture `Arc`-owned environments, oracles and
+//! cache handles, never borrows), which keeps the whole pool safe Rust:
+//! the workspace denies `unsafe_code`, so there is no lifetime-erased
+//! scoped machinery here. A spawned task can be abandoned with
+//! [`TaskHandle::cancel`]: if still queued it is dropped on the spot,
+//! otherwise a cooperative flag asks the running search to stop at its
+//! next deadline check. Panics inside a task are caught and re-delivered
+//! at the join site, preserving the batch driver's per-job panic
+//! containment.
+//!
+//! Determinism: the executor never reorders *results* — callers join
+//! handles in a deterministic order of their choosing and fold task-local
+//! statistics in that same order, so everything observable is a pure
+//! function of the submitted work, not of thread scheduling.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A queued unit of work (type-erased; the typed result lives in the
+/// task's [`TaskHandle`]).
+struct Queued {
+    seq: u64,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Queued>>,
+    signal: Condvar,
+    shutdown: AtomicBool,
+    next_seq: AtomicU64,
+}
+
+impl Shared {
+    /// Pops the front task, if any.
+    fn pop_any(&self) -> Option<Queued> {
+        self.queue
+            .lock()
+            .expect("executor queue poisoned")
+            .pop_front()
+    }
+
+    /// Removes a specific task by queue sequence number (steal-back).
+    fn pop_seq(&self, seq: u64) -> Option<Queued> {
+        let mut q = self.queue.lock().expect("executor queue poisoned");
+        let pos = q.iter().position(|t| t.seq == seq)?;
+        q.remove(pos)
+    }
+}
+
+/// State of one spawned task, shared between its queue entry and its
+/// [`TaskHandle`].
+struct TaskState<T> {
+    result: Mutex<Option<thread::Result<T>>>,
+    done: AtomicBool,
+    cancelled: Arc<AtomicBool>,
+    seq: u64,
+}
+
+/// Handle to a task spawned on an [`Executor`]: join it (with steal-back)
+/// or cancel it. Dropping a handle without joining sets the cancel flag so
+/// an abandoned search winds down at its next cooperative check.
+pub struct TaskHandle<T> {
+    shared: Arc<Shared>,
+    state: Arc<TaskState<T>>,
+    joined: bool,
+}
+
+impl<T> TaskHandle<T> {
+    /// The task's cooperative cancellation flag. Long-running task bodies
+    /// (the work-list search) poll this via their scheduler and stop early
+    /// when set.
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.state.cancelled)
+    }
+
+    /// Abandons the task: drops it from the queue when still pending,
+    /// otherwise flags the running body to stop cooperatively. The result,
+    /// if any is ever produced, is discarded.
+    pub fn cancel(mut self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+        let _ = self.shared.pop_seq(self.state.seq);
+        self.joined = true; // suppress the Drop-side cancel bookkeeping
+    }
+
+    /// Waits for the task, running it inline if it is still queued
+    /// (steal-back). Returns the task's panic payload as `Err` so callers
+    /// can `resume_unwind` at a point of their choosing.
+    pub fn join(mut self) -> thread::Result<T> {
+        self.joined = true;
+        // Steal-back: if no serving thread has started the task yet, run
+        // it on this thread instead of blocking.
+        if let Some(t) = self.shared.pop_seq(self.state.seq) {
+            (t.run)();
+        }
+        let mut q = self.shared.queue.lock().expect("executor queue poisoned");
+        loop {
+            if self.state.done.load(Ordering::Acquire) {
+                drop(q);
+                return self
+                    .state
+                    .result
+                    .lock()
+                    .expect("task result poisoned")
+                    .take()
+                    .expect("completed task must hold a result");
+            }
+            // The completing thread takes the queue lock before notifying,
+            // so this check-then-wait cannot miss the wakeup.
+            q = self.shared.signal.wait(q).expect("executor queue poisoned");
+        }
+    }
+}
+
+impl<T> Drop for TaskHandle<T> {
+    fn drop(&mut self) {
+        if !self.joined {
+            self.state.cancelled.store(true, Ordering::Relaxed);
+            let _ = self.shared.pop_seq(self.state.seq);
+        }
+    }
+}
+
+/// A shared pool of serving threads over one FIFO task queue (see the
+/// [module docs](self)).
+pub struct Executor {
+    shared: Arc<Shared>,
+}
+
+impl Executor {
+    /// A queue-only executor: no threads of its own. Work happens on
+    /// threads donated via [`Executor::drive`] and on joiners stealing
+    /// their tasks back. This is what the batch driver uses — its scoped
+    /// job threads double as the serving threads.
+    pub fn new() -> Arc<Executor> {
+        Arc::new(Executor {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                signal: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                next_seq: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// An executor with `n` detached background worker threads, for
+    /// standalone (non-batch) runs. Workers exit when the last
+    /// [`Executor`] handle drops.
+    pub fn with_workers(n: usize) -> Arc<Executor> {
+        let exec = Executor::new();
+        for _ in 0..n {
+            let shared = Arc::clone(&exec.shared);
+            thread::spawn(move || loop {
+                match shared.pop_any() {
+                    Some(t) => (t.run)(),
+                    None => {
+                        let q = shared.queue.lock().expect("executor queue poisoned");
+                        if shared.shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if q.is_empty() {
+                            // Timed wait as a lost-wakeup backstop.
+                            let _ = shared
+                                .signal
+                                .wait_timeout(q, Duration::from_millis(50))
+                                .expect("executor queue poisoned");
+                        }
+                    }
+                }
+            });
+        }
+        exec
+    }
+
+    /// Spawns a task. The closure must own everything it touches (`Arc`
+    /// environments, cloned options); results come back through the
+    /// returned [`TaskHandle`].
+    pub fn spawn<T, F>(&self, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_cancellable(Arc::new(AtomicBool::new(false)), f)
+    }
+
+    /// Like [`Executor::spawn`], but wires a caller-provided cancellation
+    /// flag as the task's token, so the task body can poll the same flag
+    /// that [`TaskHandle::cancel`] (or dropping the handle) sets — the
+    /// pattern used for speculative searches whose scheduler needs the
+    /// token before the task exists.
+    pub fn spawn_cancellable<T, F>(&self, cancelled: Arc<AtomicBool>, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(TaskState {
+            result: Mutex::new(None),
+            done: AtomicBool::new(false),
+            cancelled,
+            seq,
+        });
+        let task_state = Arc::clone(&state);
+        let task_shared = Arc::clone(&self.shared);
+        let run = Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(f));
+            *task_state.result.lock().expect("task result poisoned") = Some(out);
+            task_state.done.store(true, Ordering::Release);
+            // Pair with the join-side check under the queue lock.
+            let _guard = task_shared.queue.lock().expect("executor queue poisoned");
+            task_shared.signal.notify_all();
+        });
+        self.shared
+            .queue
+            .lock()
+            .expect("executor queue poisoned")
+            .push_back(Queued { seq, run });
+        self.shared.signal.notify_all();
+        TaskHandle {
+            shared: Arc::clone(&self.shared),
+            state,
+            joined: false,
+        }
+    }
+
+    /// Serves queued tasks on the calling thread until `done()` reports
+    /// the caller's work is finished. The batch driver donates its scoped
+    /// threads here once they run out of whole jobs, so job-level and
+    /// task-level work share one pool.
+    pub fn drive(&self, done: impl Fn() -> bool) {
+        loop {
+            match self.shared.pop_any() {
+                Some(t) => (t.run)(),
+                None => {
+                    let q = self.shared.queue.lock().expect("executor queue poisoned");
+                    if done() || self.shared.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if q.is_empty() {
+                        // Timed wait: `done()` can flip without a queue
+                        // notification (a job finishing elsewhere).
+                        let _ = self
+                            .shared
+                            .signal
+                            .wait_timeout(q, Duration::from_millis(20))
+                            .expect("executor queue poisoned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes blocked serving threads so they re-check their `done`
+    /// predicates (called after external state they wait on changes).
+    pub fn poke(&self) {
+        let _guard = self.shared.queue.lock().expect("executor queue poisoned");
+        self.shared.signal.notify_all();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let _guard = self.shared.queue.lock();
+        self.shared.signal.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn steal_back_join_needs_no_workers() {
+        let exec = Executor::new();
+        let h = exec.spawn(|| 21 * 2);
+        assert_eq!(h.join().expect("no panic"), 42);
+    }
+
+    #[test]
+    fn workers_execute_queued_tasks() {
+        let exec = Executor::with_workers(2);
+        let handles: Vec<_> = (0..16).map(|i| exec.spawn(move || i * i)).collect();
+        let out: Vec<i32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(out[15], 225);
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn panics_surface_at_join() {
+        let exec = Executor::new();
+        let h = exec.spawn(|| panic!("intentional test panic"));
+        let err = h.join().expect_err("panic must be captured");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("intentional"), "unexpected payload");
+    }
+
+    #[test]
+    fn cancel_drops_queued_tasks() {
+        let exec = Executor::new(); // no workers: the task can never start
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let h = exec.spawn(move || ran2.fetch_add(1, Ordering::Relaxed));
+        let token = h.cancel_token();
+        h.cancel();
+        assert!(token.load(Ordering::Relaxed), "cancel sets the token");
+        // The queue no longer holds the task; driving to empty runs nothing.
+        exec.drive(|| true);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn drive_serves_until_done() {
+        let exec = Executor::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                exec.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let c = Arc::clone(&counter);
+        exec.drive(move || c.load(Ordering::Relaxed) == 8);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn dropped_handles_cancel_their_tasks() {
+        let exec = Executor::new();
+        let h = exec.spawn(|| 1);
+        let token = h.cancel_token();
+        drop(h);
+        assert!(token.load(Ordering::Relaxed));
+        exec.drive(|| true); // queue already empty
+    }
+}

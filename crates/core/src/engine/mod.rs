@@ -1,0 +1,43 @@
+//! The search engine: frontier, strategy, scheduler and executor.
+//!
+//! PR 3 extracted the moving parts of the work-list search out of
+//! [`crate::generate`](mod@crate::generate) into this module so each is a
+//! replaceable
+//! component:
+//!
+//! * [`Frontier`] — the hash-consed candidate priority queue of
+//!   Algorithm 2;
+//! * [`SearchStrategy`] — the pluggable exploration order
+//!   ([`PaperOrder`] reproduces §4's `(c desc, size asc, insertion
+//!   order)`; [`CostWeighted`] trades asserts against size on one scale),
+//!   selected via [`StrategyKind`] on [`Options`](crate::Options);
+//! * [`Scheduler`] — per-run deadlines, cooperative cancellation, the
+//!   memoization handle, task dispatch and deterministic stats
+//!   aggregation ([`SearchStats`]);
+//! * [`Executor`] — one shared work pool serving both inter-problem batch
+//!   jobs and intra-problem tasks (per-spec searches, merge-time guard
+//!   searches).
+//!
+//! **Determinism story.** Parallelism here is *speculative and joined in
+//! program order*: per-spec searches all start concurrently but their
+//! results are adopted in spec order under the same solution-reuse
+//! protocol the sequential pipeline runs, and a speculative search whose
+//! spec turned out to be served by reuse is cancelled and its counters
+//! discarded. Merge-time guard pairs are prefetched two-at-a-time and
+//! adopted only when the sequential rewrite would have searched them.
+//! Every memoized value is a pure function of its key, so cache warm-up
+//! order cannot change any result. Consequently synthesized programs and
+//! effort counters are byte-identical across `--intra` widths and thread
+//! counts; only wall-clock and cache-hit diagnostics vary.
+
+pub mod executor;
+pub mod frontier;
+pub mod scheduler;
+pub mod speculate;
+pub mod strategy;
+
+pub use executor::{Executor, TaskHandle};
+pub use frontier::{Frontier, FrontierItem};
+pub use scheduler::{Scheduler, SearchStats};
+pub use speculate::{SpecJob, SpeculationPool};
+pub use strategy::{CostWeighted, PaperOrder, Priority, SearchStrategy, StrategyKind};

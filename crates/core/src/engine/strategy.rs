@@ -1,0 +1,176 @@
+//! Pluggable work-list orderings ([`SearchStrategy`]).
+//!
+//! The paper fixes one frontier order — passed asserts descending, AST
+//! size ascending, insertion order (§4) — but related systems treat the
+//! schedule as a tunable component (cost-bounded exploration in
+//! *Resource-Guided Program Synthesis*, abstract-cost guidance in
+//! *Absynthe*). A [`SearchStrategy`] maps a candidate's observable search
+//! features to a [`Priority`]; the [`Frontier`](crate::engine::Frontier)
+//! pops the highest priority and always breaks remaining ties FIFO, so
+//! any strategy yields a fully deterministic exploration order.
+//!
+//! Strategies only reorder *exploration*; every memoized value (expansion
+//! lists, type verdicts, oracle outcomes) is a pure function of the
+//! candidate, so caches can be shared freely across strategies — only the
+//! path to (and possibly the identity of) the first solution changes.
+
+use std::fmt;
+
+/// Frontier priority: the frontier pops the item with the largest
+/// `(major, minor)` pair, breaking full ties by insertion order (FIFO).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Priority {
+    /// Primary key (larger pops first).
+    pub major: u64,
+    /// Secondary key (larger pops first).
+    pub minor: u64,
+}
+
+/// A deterministic work-list ordering over `(c, size)` candidate
+/// features, where `c` is the best passed-assert count of the candidate's
+/// lineage and `size` its AST node count.
+pub trait SearchStrategy: Send + Sync {
+    /// Stable identifier (CLI value, reports).
+    fn name(&self) -> &'static str;
+
+    /// Priority of a candidate with the given features.
+    fn priority(&self, c: usize, size: usize) -> Priority;
+}
+
+impl fmt::Debug for dyn SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SearchStrategy({})", self.name())
+    }
+}
+
+/// The paper's §4 ordering: `c` descending, then size ascending (then the
+/// frontier's FIFO tiebreak). This is the default and reproduces the
+/// reference implementation's exploration order exactly.
+pub struct PaperOrder;
+
+impl SearchStrategy for PaperOrder {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn priority(&self, c: usize, size: usize) -> Priority {
+        Priority {
+            major: c as u64,
+            minor: u64::MAX - size as u64,
+        }
+    }
+}
+
+/// Cost-weighted ordering: trades passed asserts against candidate size
+/// on one scale instead of ordering lexicographically. Under the paper
+/// order a candidate that passes one more assert jumps the entire queue;
+/// here it is worth only a few size units (`ASSERT_WEIGHT`), so an S-Eff wrap
+/// (which grows a candidate by ~4 nodes) does *not* leapfrog smaller
+/// unexplored candidates — the search stays closer to
+/// smallest-program-first and chases effects less eagerly.
+pub struct CostWeighted;
+
+/// How many size units one passed assert is worth under [`CostWeighted`].
+/// Deliberately equal to the S-Eff wrap's typical node growth, so a wrap
+/// re-enters the queue at its parent's effective cost — neither jumping
+/// the whole frontier (the paper order) nor sinking below it. The
+/// schedule genuinely differs from [`PaperOrder`]: smaller programs are
+/// preferred longer, effect chains are chased less eagerly.
+const ASSERT_WEIGHT: u64 = 4;
+
+/// Size saturation bound for [`CostWeighted`] (candidates never exceed the
+/// search's `max_size`, well under this).
+const SIZE_CAP: u64 = 256;
+
+impl SearchStrategy for CostWeighted {
+    fn name(&self) -> &'static str {
+        "cost"
+    }
+
+    fn priority(&self, c: usize, size: usize) -> Priority {
+        let size = (size as u64).min(SIZE_CAP);
+        Priority {
+            major: (c as u64) * ASSERT_WEIGHT + (SIZE_CAP - size),
+            minor: u64::MAX - size,
+        }
+    }
+}
+
+/// Strategy selector — the [`Options`](crate::Options) /CLI-facing enum
+/// behind the [`SearchStrategy`] implementations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StrategyKind {
+    /// [`PaperOrder`] (the default).
+    #[default]
+    Paper,
+    /// [`CostWeighted`].
+    CostWeighted,
+}
+
+impl StrategyKind {
+    /// The strategy implementation.
+    pub fn strategy(self) -> &'static dyn SearchStrategy {
+        match self {
+            StrategyKind::Paper => &PaperOrder,
+            StrategyKind::CostWeighted => &CostWeighted,
+        }
+    }
+
+    /// Stable name (CLI value, reports).
+    pub fn name(self) -> &'static str {
+        self.strategy().name()
+    }
+
+    /// Parses a CLI/env name (`paper`, `cost`).
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        match s {
+            "paper" => Some(StrategyKind::Paper),
+            "cost" | "cost-weighted" => Some(StrategyKind::CostWeighted),
+            _ => None,
+        }
+    }
+
+    /// Every selectable strategy.
+    pub fn all() -> [StrategyKind; 2] {
+        [StrategyKind::Paper, StrategyKind::CostWeighted]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_order_is_c_then_size() {
+        let s = PaperOrder;
+        assert!(s.priority(2, 10) > s.priority(1, 1), "c dominates");
+        assert!(
+            s.priority(1, 3) > s.priority(1, 4),
+            "smaller first within c"
+        );
+    }
+
+    #[test]
+    fn cost_weighted_trades_size_for_asserts() {
+        let s = CostWeighted;
+        // One extra passed assert outweighs a couple of size units…
+        assert!(s.priority(1, 3) > s.priority(0, 2));
+        // …but not five of them: unlike the paper order, passing more
+        // asserts does not jump the whole queue.
+        assert!(s.priority(0, 2) > s.priority(1, 7));
+        assert!(PaperOrder.priority(1, 7) > PaperOrder.priority(0, 2));
+    }
+
+    #[test]
+    fn kinds_round_trip_through_names() {
+        for k in StrategyKind::all() {
+            assert_eq!(StrategyKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(
+            StrategyKind::parse("cost-weighted"),
+            Some(StrategyKind::CostWeighted)
+        );
+        assert_eq!(StrategyKind::parse("nope"), None);
+        assert_eq!(StrategyKind::default(), StrategyKind::Paper);
+    }
+}

@@ -1,7 +1,9 @@
 //! The work-list search of Algorithm 2.
 //!
 //! Candidates are `(c, e)` pairs: an expression with holes and the number
-//! of assertions its best evaluable ancestor passed. The list is ordered by
+//! of assertions its best evaluable ancestor passed. The list — a
+//! [`Frontier`] ordered by the run's
+//! [`SearchStrategy`](crate::engine::SearchStrategy) — defaults to
 //! `c` descending, then AST size ascending, then insertion order (§4).
 //! Evaluable expansions are run against the oracle immediately; failures
 //! with impure read effects are wrapped with an effect hole (S-Eff) and
@@ -9,24 +11,34 @@
 //!
 //! Candidates are hash-consed ([`rbsyn_lang::ExprId`]) and all expensive
 //! steps — expansion, type narrowing, oracle evaluation — are memoized
-//! through a [`CacheHandle`], so repeated exploration of the same search
-//! region (across specs, guard requests, or batch jobs) degenerates into
-//! table lookups. Passing `None` for the handle runs with a throwaway
-//! private cache, which reproduces the uncached search exactly.
+//! through the [`Scheduler`]'s [`CacheHandle`], so repeated exploration of
+//! the same search region (across specs, guard requests, or batch jobs)
+//! degenerates into table lookups. A scheduler without a handle runs with
+//! a throwaway private cache, which reproduces the uncached search
+//! exactly. Deadlines and cooperative cancellation are polled through the
+//! same scheduler; frontier ordering, deadline handling and task dispatch
+//! all live in [`crate::engine`], not here.
 
 use crate::cache::{gamma_fingerprint, CacheHandle, OracleToken};
+use crate::engine::{Frontier, FrontierItem, Priority, Scheduler, SpecJob, SpeculationPool};
 use crate::error::SynthError;
+// Re-exported from its pre-engine home so harness and test code keeps one
+// import path for the search API.
+pub use crate::engine::SearchStats;
 use crate::expand::{simplify, Expander};
 use crate::infer::{infer_ty, Gamma};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
 use rbsyn_lang::{EffectPair, EffectSet, Expr, ExprId, FxBuild, Program, Symbol, Ty};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-use std::time::Instant;
+use std::collections::HashSet;
 
 /// What the search asks of a fully concrete candidate.
-pub trait Oracle {
+///
+/// Oracles are `Send + Sync`: [`Oracle::test`] is a pure function of the
+/// candidate body (each run clones the prepared world snapshot), so the
+/// engine may evaluate a batch of candidates concurrently — see
+/// [`crate::engine::SpeculationPool`].
+pub trait Oracle: Send + Sync {
     /// Tests a candidate program.
     fn test(&self, env: &InterpEnv, program: &Program) -> OracleOutcome;
 
@@ -164,79 +176,73 @@ impl Oracle for GuardOracle {
     }
 }
 
-/// Search-effort counters, accumulated across `generate` calls of one
-/// synthesis run.
-///
-/// The effort counters (`popped`, `expanded`, `tested`) count *requests*,
-/// not computations: a memo hit still counts, so they are identical with
-/// and without caching and two runs can be compared counter-for-counter.
-/// The cache counters (`*_hits`, `deduped`) measure how much of that work
-/// the [`CacheHandle`] absorbed.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SearchStats {
-    /// Work-list pops.
-    pub popped: u64,
-    /// Candidate expressions produced by expansion (pre type-filter).
-    pub expanded: u64,
-    /// Evaluable candidates judged by the oracle (memo hits included).
-    pub tested: u64,
-    /// Duplicate candidates dropped by the work-list dedup filter.
-    pub deduped: u64,
-    /// Expansion lists answered from the memo.
-    pub expand_hits: u64,
-    /// Type-check verdicts answered from the memo.
-    pub type_hits: u64,
-    /// Oracle verdicts answered from the memo.
-    pub oracle_hits: u64,
-}
-
-struct WorkItem {
-    c: usize,
-    size: usize,
-    seq: u64,
-    id: ExprId,
-    /// The candidate itself, carried alongside its id so a memo miss at
-    /// pop time needs no arena lookup. Ignored by the ordering.
-    expr: std::sync::Arc<Expr>,
-}
-
-impl PartialEq for WorkItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for WorkItem {}
-impl PartialOrd for WorkItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for WorkItem {
-    // BinaryHeap pops the maximum: prefer high passed-assert count, then
-    // small size, then FIFO.
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.c
-            .cmp(&other.c)
-            .then(other.size.cmp(&self.size))
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
 /// The result of a `generate` call, re-exported for harness code.
 pub type GenerateOutcome = Result<Expr, SynthError>;
+
+/// Pops to consume strictly sequentially before opening a speculation
+/// window: short searches (most guard requests, easy specs) finish inside
+/// the warm-up and never pay any pool overhead.
+const SPECULATION_WARMUP_POPS: u64 = 192;
+
+/// Frontier items evaluated per speculation window. Sized so a window
+/// amortizes the pool synchronization while keeping rollback waste small.
+const SPECULATION_WINDOW: usize = 48;
+
+/// A frontier item awaiting in-order consumption: its original rank (for
+/// rollback) and, when it came through the speculation pool, the
+/// pre-judged outcomes of its expansion list.
+struct Pending {
+    pri: Priority,
+    seq: u64,
+    item: FrontierItem,
+    prejudged: Option<Vec<Option<OracleOutcome>>>,
+}
+
+/// One-step expansion + simplification + §3.1 type narrowing for one
+/// frontier item — the compute function behind the expansion memo, shared
+/// by the sequential loop and the speculation workers. Returns the raw
+/// (pre-filter) count plus the surviving, hash-consed candidates.
+pub(crate) fn expand_compute(
+    expander: &Expander<'_>,
+    gamma: &mut Gamma,
+    env: &InterpEnv,
+    opts: &Options,
+    search: &CacheHandle,
+    expr: &Expr,
+) -> (u64, Vec<crate::cache::ExpandItem>) {
+    let subs = expander
+        .expand_first(expr, gamma)
+        .expect("non-evaluable expression must have a hole");
+    let raw = subs.len() as u64;
+    let mut out = Vec::with_capacity(subs.len());
+    for sub in subs {
+        let sub = simplify(sub);
+        // Type narrowing: discard candidates with no typing derivation
+        // (skipped when type guidance is off). Checked before interning —
+        // ill-typed candidates never reach the arena, and the verdict is
+        // baked into this (memoized) expansion list, so it is computed
+        // once per distinct candidate-in-context.
+        if opts.guidance.types && infer_ty(&env.table, gamma, &sub).is_none() {
+            continue;
+        }
+        out.push(search.intern_full(sub));
+    }
+    (raw, out)
+}
 
 /// Algorithm 2: searches for an evaluable expression satisfying `oracle`,
 /// starting from `□:goal` under `params`.
 ///
-/// `search` is the memoization handle; pass `Some` to share hash-consed
-/// candidates and memoized verdicts with other searches over the same
-/// environment, or `None` for a self-contained (uncached) run. Caching
-/// never changes the result, only the work done to reach it.
+/// `sched` carries the run's deadline, cancellation token and memoization
+/// handle (see [`Scheduler`]); [`Scheduler::sequential`] gives a
+/// self-contained uncached run. Caching never changes the result, only
+/// the work done to reach it.
 ///
 /// # Example
 ///
 /// ```
-/// use rbsyn_core::generate::{generate, SearchStats, SpecOracle};
+/// use rbsyn_core::engine::{Scheduler, SearchStats};
+/// use rbsyn_core::generate::{generate, SpecOracle};
 /// use rbsyn_core::Options;
 /// use rbsyn_interp::{SetupStep, Spec};
 /// use rbsyn_lang::builder::*;
@@ -260,9 +266,8 @@ pub type GenerateOutcome = Result<Expr, SynthError>;
 ///     &SpecOracle::new(&env, &spec),
 ///     &opts,
 ///     opts.max_size,
-///     None,
+///     &Scheduler::sequential(),
 ///     &mut stats,
-///     None,
 /// )
 /// .unwrap();
 /// assert_eq!(body.compact(), "arg0");
@@ -276,9 +281,8 @@ pub fn generate(
     oracle: &dyn Oracle,
     opts: &Options,
     max_size: usize,
-    deadline: Option<Instant>,
+    sched: &Scheduler,
     stats: &mut SearchStats,
-    search: Option<&CacheHandle>,
 ) -> GenerateOutcome {
     let mut out = generate_many(
         env,
@@ -288,11 +292,10 @@ pub fn generate(
         oracle,
         opts,
         max_size,
-        deadline,
+        sched,
         stats,
         1,
         u64::MAX,
-        search,
     )?;
     Ok(out.remove(0))
 }
@@ -313,16 +316,138 @@ pub fn generate_many(
     oracle: &dyn Oracle,
     opts: &Options,
     max_size: usize,
-    deadline: Option<Instant>,
+    sched: &Scheduler,
     stats: &mut SearchStats,
     max_solutions: usize,
     extra_after_first: u64,
-    search: Option<&CacheHandle>,
+) -> Result<Vec<Expr>, SynthError> {
+    let param_names: Vec<String> = params.iter().map(|(n, _)| n.as_str().to_owned()).collect();
+    let width = sched.oracle_width();
+    if width <= 1 {
+        return search_loop(
+            env,
+            method_name,
+            params,
+            &param_names,
+            goal,
+            oracle,
+            opts,
+            max_size,
+            sched,
+            stats,
+            max_solutions,
+            extra_after_first,
+            None,
+        );
+    }
+    // Parallel run: the speculation workers share the run's memoization
+    // handle, so an uncached run materializes its throwaway cache out here
+    // — before the thread scope — where workers can borrow it. Behaviour
+    // is unchanged: the sequential loop builds the same private cache.
+    let materialized;
+    let sched = if sched.cache().is_some() {
+        sched
+    } else {
+        materialized = sched.clone().with_cache(CacheHandle::private());
+        &materialized
+    };
+    // Scoped workers expand and judge the top of the frontier
+    // speculatively while this thread consumes the results in pop order
+    // (see `SpeculationPool` for why results stay byte-identical).
+    std::thread::scope(|scope| {
+        search_loop_parallel(
+            env,
+            method_name,
+            params,
+            &param_names,
+            goal,
+            oracle,
+            opts,
+            max_size,
+            sched,
+            stats,
+            max_solutions,
+            extra_after_first,
+            scope,
+            width,
+        )
+    })
+}
+
+/// Sets up the [`SpeculationPool`] for a parallel run. Split from
+/// [`generate_many`] so the scoped-pool borrows (memoization handle,
+/// Γ fingerprint) can be established before the pool exists.
+#[allow(clippy::too_many_arguments)]
+fn search_loop_parallel<'scope, 'env>(
+    env: &'scope InterpEnv,
+    method_name: &'scope str,
+    params: &'scope [(Symbol, Ty)],
+    param_names: &'scope [String],
+    goal: &Ty,
+    oracle: &'scope dyn Oracle,
+    opts: &'scope Options,
+    max_size: usize,
+    sched: &'scope Scheduler,
+    stats: &mut SearchStats,
+    max_solutions: usize,
+    extra_after_first: u64,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    width: usize,
+) -> Result<Vec<Expr>, SynthError> {
+    let search = sched
+        .cache()
+        .expect("parallel runs always carry a cache handle");
+    let gamma_fp = gamma_fingerprint(Gamma::from_params(params).bindings());
+    let pool = SpeculationPool::new(
+        scope,
+        width - 1,
+        oracle,
+        env,
+        method_name,
+        param_names,
+        params,
+        opts,
+        search,
+        gamma_fp,
+    );
+    search_loop(
+        env,
+        method_name,
+        params,
+        param_names,
+        goal,
+        oracle,
+        opts,
+        max_size,
+        sched,
+        stats,
+        max_solutions,
+        extra_after_first,
+        Some(&pool),
+    )
+}
+
+/// The work-list loop behind [`generate_many`].
+#[allow(clippy::too_many_arguments)]
+fn search_loop(
+    env: &InterpEnv,
+    method_name: &str,
+    params: &[(Symbol, Ty)],
+    param_names: &[String],
+    goal: &Ty,
+    oracle: &dyn Oracle,
+    opts: &Options,
+    max_size: usize,
+    sched: &Scheduler,
+    stats: &mut SearchStats,
+    max_solutions: usize,
+    extra_after_first: u64,
+    pool: Option<&SpeculationPool<'_, '_>>,
 ) -> Result<Vec<Expr>, SynthError> {
     // Without a shared handle the search still runs through (its own,
     // throwaway) cache — one code path, identical behaviour, no reuse.
     let local;
-    let search = match search {
+    let search = match sched.cache() {
         Some(h) => h,
         None => {
             local = CacheHandle::private();
@@ -332,7 +457,6 @@ pub fn generate_many(
     let expander = Expander::new(&env.table, opts, search);
     let mut gamma = Gamma::from_params(params);
     let gamma_fp = gamma_fingerprint(gamma.bindings());
-    let param_names: Vec<String> = params.iter().map(|(n, _)| n.as_str().to_owned()).collect();
     let make_program = |body: &Expr| {
         Program::new(
             method_name,
@@ -341,37 +465,92 @@ pub fn generate_many(
         )
     };
 
-    let mut heap: BinaryHeap<WorkItem> = BinaryHeap::new();
+    let mut frontier = Frontier::new(opts.strategy.strategy());
     // Dedup filter: the work-list never holds two structurally equal
     // candidates, and a candidate judged once is never re-judged in this
     // call.
     let mut seen: HashSet<ExprId, FxBuild> = HashSet::default();
-    let mut seq = 0u64;
     let root = search.intern_full(Expr::Hole(goal.clone()));
-    heap.push(WorkItem {
-        c: 0,
-        size: 1,
-        seq,
-        id: root.id,
-        expr: root.expr,
-    });
+    frontier.push(0, 1, root.id, root.expr);
 
     let mut solutions: Vec<Expr> = Vec::new();
     let mut first_solution_at: Option<u64> = None;
     let mut pops = 0u64;
-    while let Some(item) = heap.pop() {
-        stats.popped += 1;
-        pops += 1;
-        if stats.popped.is_multiple_of(64) {
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    return if solutions.is_empty() {
-                        Err(SynthError::Timeout)
-                    } else {
-                        Ok(solutions)
-                    };
+    // Speculation window: frontier items popped ahead of consumption, with
+    // their expansion lists memoized and children pre-judged by the pool.
+    let mut window: std::collections::VecDeque<Pending> = std::collections::VecDeque::new();
+    let window_size = pool.map_or(0, |_| SPECULATION_WINDOW);
+    loop {
+        let pending = match window.pop_front() {
+            Some(sp) => {
+                if frontier.outranks(sp.pri) {
+                    // A child pushed while consuming an earlier window item
+                    // outranks the speculation: roll the window back at its
+                    // original ranks and re-pop in true order.
+                    frontier.requeue(sp.pri, sp.seq, sp.item);
+                    for rest in window.drain(..) {
+                        frontier.requeue(rest.pri, rest.seq, rest.item);
+                    }
+                    continue;
+                }
+                sp
+            }
+            None => {
+                if let Some(pool) = pool {
+                    // Only speculate once the search is demonstrably large;
+                    // short searches stay strictly sequential and pay no
+                    // pool overhead.
+                    if pops >= SPECULATION_WARMUP_POPS && frontier.len() > 1 {
+                        let mut ranked: Vec<(Priority, u64, FrontierItem)> = Vec::new();
+                        while ranked.len() < window_size {
+                            match frontier.pop_ranked() {
+                                Some(r) => ranked.push(r),
+                                None => break,
+                            }
+                        }
+                        let jobs: Vec<SpecJob> = ranked
+                            .iter()
+                            .map(|(_, _, item)| SpecJob {
+                                id: item.id,
+                                expr: std::sync::Arc::clone(&item.expr),
+                            })
+                            .collect();
+                        let results = pool.evaluate(jobs);
+                        for ((pri, seq, item), prejudged) in ranked.into_iter().zip(results) {
+                            window.push_back(Pending {
+                                pri,
+                                seq,
+                                item,
+                                prejudged: Some(prejudged),
+                            });
+                        }
+                        if window.is_empty() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                let Some((pri, seq, item)) = frontier.pop_ranked() else {
+                    break;
+                };
+                Pending {
+                    pri,
+                    seq,
+                    item,
+                    prejudged: None,
                 }
             }
+        };
+        let item = pending.item;
+        let mut prejudged = pending.prejudged;
+        stats.popped += 1;
+        pops += 1;
+        if stats.popped.is_multiple_of(64) && sched.should_stop() {
+            return if solutions.is_empty() {
+                Err(SynthError::Timeout)
+            } else {
+                Ok(solutions)
+            };
         }
         if pops > opts.max_expansions {
             break;
@@ -387,30 +566,13 @@ pub fn generate_many(
         // only enqueue expressions that still carry a hole.
         debug_assert!(item.expr.has_holes());
         // One-step expansion + simplification + type narrowing (§3.1),
-        // memoized per (environment, Γ, candidate).
+        // memoized per (environment, Γ, candidate) — a guaranteed hit for
+        // speculated items (the pool computed it through the same handle),
+        // with the raw pre-filter count restored either way.
         let expansions = search.expansions(gamma_fp, item.id, stats, |_| {
-            let subs = expander
-                .expand_first(&item.expr, &mut gamma)
-                .expect("non-evaluable expression must have a hole");
-            let raw = subs.len() as u64;
-            let mut out = Vec::with_capacity(subs.len());
-            for sub in subs {
-                let sub = simplify(sub);
-                // Type narrowing: discard candidates with no typing
-                // derivation. Skipped when type guidance is off.
-                // Checked before interning — ill-typed candidates never
-                // reach the arena, and the verdict is baked into this
-                // (memoized) expansion list, so it is computed once per
-                // distinct candidate-in-context without paying for a
-                // standalone verdict table on the hot path.
-                if opts.guidance.types && infer_ty(&env.table, &mut gamma, &sub).is_none() {
-                    continue;
-                }
-                out.push(search.intern_full(sub));
-            }
-            (raw, out)
+            expand_compute(&expander, &mut gamma, env, opts, search, &item.expr)
         });
-        for cand in expansions.iter() {
+        for (j, cand) in expansions.iter().enumerate() {
             if !seen.insert(cand.id) {
                 stats.deduped += 1;
                 continue;
@@ -423,7 +585,10 @@ pub fn generate_many(
                 // cost far more than the rare cross-phase hit it could
                 // serve. The memo is consulted where re-judging actually
                 // recurs: solution reuse and merge validation.
-                let out = oracle.test(env, &make_program(&cand.expr));
+                let out = prejudged
+                    .as_mut()
+                    .and_then(|v| v.get_mut(j).and_then(Option::take))
+                    .unwrap_or_else(|| oracle.test(env, &make_program(&cand.expr)));
                 if out.success {
                     solutions.push((*cand.expr).clone());
                     if solutions.len() >= max_solutions {
@@ -447,25 +612,16 @@ pub fn generate_many(
                     );
                     let w = search.intern_full(wrapped);
                     if w.size as usize <= max_size && seen.insert(w.id) {
-                        seq += 1;
-                        heap.push(WorkItem {
-                            c: out.passed,
-                            size: w.size as usize,
-                            seq,
-                            id: w.id,
-                            expr: w.expr,
-                        });
+                        frontier.push(out.passed, w.size as usize, w.id, w.expr);
                     }
                 }
             } else if cand.size as usize <= max_size {
-                seq += 1;
-                heap.push(WorkItem {
-                    c: item.c,
-                    size: cand.size as usize,
-                    seq,
-                    id: cand.id,
-                    expr: std::sync::Arc::clone(&cand.expr),
-                });
+                frontier.push(
+                    item.c,
+                    cand.size as usize,
+                    cand.id,
+                    std::sync::Arc::clone(&cand.expr),
+                );
             }
         }
     }
@@ -511,10 +667,12 @@ fn wrap_with_effect(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StrategyKind;
     use rbsyn_interp::SetupStep;
     use rbsyn_lang::builder::*;
     use rbsyn_lang::Value;
     use rbsyn_stdlib::EnvBuilder;
+    use std::time::Instant;
 
     fn blog_env() -> (InterpEnv, rbsyn_lang::ClassId) {
         let mut b = EnvBuilder::with_stdlib();
@@ -537,9 +695,8 @@ mod tests {
             &SpecOracle::new(env, spec),
             &opts,
             opts.max_size,
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         )
     }
 
@@ -674,9 +831,8 @@ mod tests {
             &oracle,
             &opts,
             opts.max_guard_size,
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         )
         .unwrap();
         // Any emptiness test of the posts table is acceptable
@@ -711,9 +867,8 @@ mod tests {
             &SpecOracle::new(&env, &spec),
             &opts,
             6,
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         );
         assert!(matches!(r, Err(SynthError::NoSolution { .. })));
         assert!(stats.tested > 0);
@@ -741,11 +896,78 @@ mod tests {
             &SpecOracle::new(&env, &spec),
             &opts,
             20,
-            Some(past),
+            &Scheduler::new(Some(past), None),
             &mut stats,
-            None,
         );
         assert_eq!(r, Err(SynthError::Timeout));
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let (env, _) = blog_env();
+        let spec = Spec::new(
+            "impossible",
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
+            vec![false_()],
+        );
+        let opts = Options::default();
+        let mut stats = SearchStats::default();
+        let token = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let sched = Scheduler::sequential().for_task(token);
+        let r = generate(
+            &env,
+            "m",
+            &[],
+            &Ty::Bool,
+            &SpecOracle::new(&env, &spec),
+            &opts,
+            20,
+            &sched,
+            &mut stats,
+        );
+        assert_eq!(r, Err(SynthError::Timeout));
+        assert!(
+            stats.popped <= 64,
+            "cancellation must stop within one check window"
+        );
+    }
+
+    #[test]
+    fn strategies_explore_in_different_orders_but_both_solve() {
+        let (env, _) = blog_env();
+        let spec = Spec::new(
+            "returns its argument",
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![str_("hello")],
+            }],
+            vec![call(var("xr"), "==", [str_("hello")])],
+        );
+        let solve = |kind: StrategyKind| {
+            let opts = Options {
+                strategy: kind,
+                ..Options::default()
+            };
+            let mut stats = SearchStats::default();
+            generate(
+                &env,
+                "m",
+                &[("arg0".into(), Ty::Str)],
+                &Ty::Str,
+                &SpecOracle::new(&env, &spec),
+                &opts,
+                opts.max_size,
+                &Scheduler::sequential(),
+                &mut stats,
+            )
+            .unwrap()
+            .compact()
+        };
+        assert_eq!(solve(StrategyKind::Paper), "arg0");
+        assert_eq!(solve(StrategyKind::CostWeighted), "arg0");
     }
 
     #[test]

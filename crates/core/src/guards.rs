@@ -12,15 +12,18 @@
 //! [`search_guards`] collects *several* oracle-passing guards: the smallest
 //! one can be semantically wrong for the final program (only running the
 //! merged program against all specs decides, §3.4), so the merge backtracks
-//! over these alternatives.
+//! over these alternatives. During an intra-parallel run the merge
+//! dispatches the two guard searches of a Rule-3 strengthening request as
+//! concurrent tasks on the shared executor (see [`crate::merge`]); the
+//! search itself is oblivious — it just receives a task-local
+//! [`Scheduler`].
 
-use crate::cache::CacheHandle;
+use crate::engine::{Scheduler, SearchStats};
 use crate::error::SynthError;
-use crate::generate::{generate_many, GuardOracle, Oracle, SearchStats};
+use crate::generate::{generate_many, GuardOracle, Oracle};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, Spec};
 use rbsyn_lang::{Expr, Program, Symbol, Ty, Value};
-use std::time::Instant;
 
 /// Extra work-list pops to spend hunting alternative guards after the
 /// first oracle-passing one. Each pop can test hundreds of candidates, so
@@ -28,8 +31,8 @@ use std::time::Instant;
 const EXTRA_GUARD_BUDGET: u64 = 300;
 
 /// Searches for up to `k` guards satisfying `oracle`, by ascending size.
-/// `search` is the shared memoization handle (or `None` for an uncached
-/// run), as in [`crate::generate::generate`].
+/// `sched` carries the deadline, cancellation token and memoization handle,
+/// as in [`crate::generate::generate`].
 #[allow(clippy::too_many_arguments)]
 pub fn search_guards(
     env: &InterpEnv,
@@ -38,9 +41,8 @@ pub fn search_guards(
     oracle: &GuardOracle,
     k: usize,
     opts: &Options,
-    deadline: Option<Instant>,
+    sched: &Scheduler,
     stats: &mut SearchStats,
-    search: Option<&CacheHandle>,
 ) -> Result<Vec<Expr>, SynthError> {
     match generate_many(
         env,
@@ -50,11 +52,10 @@ pub fn search_guards(
         oracle,
         opts,
         opts.max_guard_size,
-        deadline,
+        sched,
         stats,
         k,
         EXTRA_GUARD_BUDGET,
-        search,
     ) {
         Ok(gs) => Ok(gs),
         Err(SynthError::Timeout) => Err(SynthError::Timeout),
@@ -74,9 +75,8 @@ pub fn synth_guard(
     neg: &[&Spec],
     known: &[Expr],
     opts: &Options,
-    deadline: Option<Instant>,
+    sched: &Scheduler,
     stats: &mut SearchStats,
-    search: Option<&CacheHandle>,
 ) -> Result<Expr, SynthError> {
     let oracle = GuardOracle::new(env, pos, neg);
     let param_names: Vec<&str> = params.iter().map(|(n, _)| n.as_str()).collect();
@@ -98,17 +98,7 @@ pub fn synth_guard(
     // Fall back to type-guided search at type Bool (effect guidance is
     // never used for guards; GuardOracle reports no effects, so S-Eff
     // cannot fire).
-    let mut found = search_guards(
-        env,
-        method_name,
-        params,
-        &oracle,
-        1,
-        opts,
-        deadline,
-        stats,
-        search,
-    )?;
+    let mut found = search_guards(env, method_name, params, &oracle, 1, opts, sched, stats)?;
     found.pop().ok_or(SynthError::GuardNotFound)
 }
 
@@ -157,9 +147,8 @@ mod tests {
             &[],
             &[],
             &Options::default(),
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         )
         .unwrap();
         assert_eq!(g.compact(), "true");
@@ -185,9 +174,8 @@ mod tests {
             &[&seeded],
             &known,
             &Options::default(),
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         )
         .unwrap();
         assert_eq!(g.compact(), "!Post.exists?");
@@ -215,9 +203,8 @@ mod tests {
             &[&empty],
             &[],
             &Options::default(),
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         )
         .unwrap();
         // Any Post-emptiness test works (`Post.count.positive?`,
@@ -249,9 +236,8 @@ mod tests {
             &oracle,
             4,
             &Options::default(),
-            None,
+            &Scheduler::sequential(),
             &mut stats,
-            None,
         )
         .unwrap();
         assert!(gs.len() >= 2, "expected several guards, got {gs:?}");

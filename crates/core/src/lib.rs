@@ -25,11 +25,17 @@
 //! candidates are hash-consed, and expansion / type-check / oracle work is
 //! computed at most once per distinct candidate — per run by default,
 //! across batch jobs when shared, never when `Options::cache` is off.
+//!
+//! The search's moving parts — frontier, exploration strategy, scheduler
+//! and the shared task [`engine::Executor`] pool behind both
+//! inter-problem (`--parallel`) and intra-problem (`--intra`) parallelism
+//! — live in [`engine`].
 
 #![deny(missing_docs)]
 
 pub mod batch;
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod expand;
 pub mod generate;
@@ -42,6 +48,7 @@ pub mod synthesizer;
 
 pub use batch::{run_batch, BatchJob, BatchOutcome, BatchReport, BatchStats};
 pub use cache::{CacheHandle, EnvToken, ExpandItem, OracleToken, SearchCache};
+pub use engine::{Executor, Scheduler, SearchStats, SearchStrategy, StrategyKind};
 pub use error::SynthError;
 pub use generate::{generate, GenerateOutcome, Oracle};
 pub use goal::{ProblemBuilder, SynthesisProblem};

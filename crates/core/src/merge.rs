@@ -16,17 +16,29 @@
 //! of oracle-passing guards per strengthening request and backtracks over
 //! the choices (an odometer over the guard picks) until a merged program
 //! validates.
+//!
+//! **Intra-problem parallelism.** A Rule-3 strengthening request always
+//! needs *two* guard searches — `Ψ₁` against `Ψ₂` and the reverse. When
+//! the run's [`Scheduler`] has an executor, the second search is
+//! prefetched as a concurrent task while the first runs inline, and its
+//! result (and task-local [`SearchStats`]) is adopted only if the
+//! sequential rewrite would have reached it — otherwise the task is
+//! cancelled and discarded — so merged programs and effort counters stay
+//! byte-identical to the single-threaded merge.
 
-use crate::cache::CacheHandle;
+use crate::engine::{Scheduler, SearchStats, TaskHandle};
 use crate::error::SynthError;
-use crate::generate::{GuardOracle, Oracle, SearchStats, SpecOracle};
+use crate::generate::{GuardOracle, Oracle, SpecOracle};
 use crate::guards::{negate, search_guards};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec};
 use rbsyn_lang::{Expr, Program, Symbol, Ty, Value};
 use rbsyn_sat::{is_valid_implication, Formula};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::panic::resume_unwind;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A merge tuple `⟨e, b, Ψ⟩` (specs by index into the problem).
 #[derive(Clone, Debug)]
@@ -81,14 +93,27 @@ type GuardKey = (Vec<usize>, Vec<usize>);
 
 /// Cached per-request state: a prepared oracle and the searched guards.
 struct GuardSet {
-    oracle: GuardOracle,
+    oracle: Arc<GuardOracle>,
     searched: Vec<Expr>,
+}
+
+/// What a prefetched guard-search task returns: the search outcome, its
+/// task-local counters, and its wall-clock cost.
+type GuardSearchResult = (Result<Vec<Expr>, SynthError>, SearchStats, Duration);
+
+/// A speculatively dispatched guard search for one [`GuardKey`] (the
+/// second half of a Rule-3 pair). Adopted into the guard cache when the
+/// sequential rewrite would have searched it, cancelled otherwise.
+struct GuardPrefetch {
+    key: GuardKey,
+    oracle: Arc<GuardOracle>,
+    task: TaskHandle<GuardSearchResult>,
 }
 
 /// Everything the merge needs from the synthesis run.
 pub struct MergeCtx<'a> {
-    /// Interpreter environment.
-    pub env: &'a InterpEnv,
+    /// Interpreter environment (`Arc` so guard searches can run as tasks).
+    pub env: &'a Arc<InterpEnv>,
     /// Method name.
     pub name: &'a str,
     /// Method parameters.
@@ -97,18 +122,18 @@ pub struct MergeCtx<'a> {
     pub specs: &'a [Spec],
     /// The prepared per-spec oracles (index-aligned with `specs`), shared
     /// with phase 1 so merged-program validation reuses memoized verdicts.
-    pub spec_oracles: &'a [SpecOracle],
+    pub spec_oracles: &'a [Arc<SpecOracle>],
     /// Options (guard bounds).
     pub opts: &'a Options,
-    /// Shared deadline.
-    pub deadline: Option<Instant>,
+    /// Deadline, cache handle and task dispatch for every guard search.
+    pub sched: &'a Scheduler,
     /// Shared search counters.
     pub stats: &'a mut SearchStats,
+    /// Wall-clock spent inside guard searches (inline time plus adopted
+    /// task time) — the merge half of the per-phase timing report.
+    pub guard_time: Duration,
     /// Conditionals synthesized so far (negation-reuse pool, §4).
     pub known_conds: Vec<Expr>,
-    /// Memoization handle shared with the per-spec searches; `None` runs
-    /// the merge uncached.
-    pub search: Option<CacheHandle>,
 }
 
 /// How many oracle-passing guards to keep per strengthening request.
@@ -127,7 +152,7 @@ impl MergeCtx<'_> {
     /// spec.
     fn passes_all_specs(&mut self, body: &Expr) -> bool {
         let p = self.program(body.clone());
-        match self.search.clone() {
+        match self.sched.cache().cloned() {
             Some(h) => {
                 let id = h.intern(body.clone());
                 self.spec_oracles.iter().all(|o| {
@@ -142,6 +167,100 @@ impl MergeCtx<'_> {
         }
     }
 
+    /// Builds the prepared oracle for a strengthening request.
+    fn guard_oracle(&self, key: &GuardKey) -> Arc<GuardOracle> {
+        let pos: Vec<&Spec> = key.0.iter().map(|i| &self.specs[*i]).collect();
+        let neg: Vec<&Spec> = key.1.iter().map(|i| &self.specs[*i]).collect();
+        Arc::new(GuardOracle::new(self.env, &pos, &neg))
+    }
+
+    /// Runs the guard search for `key` inline and caches the result.
+    fn search_into_cache(
+        &mut self,
+        key: &GuardKey,
+        cache: &mut HashMap<GuardKey, GuardSet>,
+    ) -> Result<(), SynthError> {
+        let oracle = self.guard_oracle(key);
+        let started = Instant::now();
+        let searched = search_guards(
+            self.env,
+            self.name,
+            self.params,
+            &oracle,
+            GUARDS_PER_REQUEST,
+            self.opts,
+            self.sched,
+            self.stats,
+        )?;
+        self.guard_time += started.elapsed();
+        cache.insert(key.clone(), GuardSet { oracle, searched });
+        Ok(())
+    }
+
+    /// Speculatively dispatches the guard search for `key` (the second
+    /// half of a Rule-3 pair) to the shared executor. Returns `None` when
+    /// the request is already cached or the run is single-threaded.
+    fn spawn_guard_search(
+        &mut self,
+        key: &GuardKey,
+        cache: &HashMap<GuardKey, GuardSet>,
+    ) -> Option<GuardPrefetch> {
+        if cache.contains_key(key) {
+            return None;
+        }
+        let executor = self.sched.executor()?.clone();
+        let oracle = self.guard_oracle(key);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let task_sched = self.sched.for_task(Arc::clone(&cancel));
+        let env = Arc::clone(self.env);
+        let name = self.name.to_owned();
+        let params = self.params.to_vec();
+        let opts = self.opts.clone();
+        let task_oracle = Arc::clone(&oracle);
+        let task = executor.spawn_cancellable(cancel, move || {
+            let started = Instant::now();
+            let mut stats = SearchStats::default();
+            let r = search_guards(
+                &env,
+                &name,
+                &params,
+                &task_oracle,
+                GUARDS_PER_REQUEST,
+                &opts,
+                &task_sched,
+                &mut stats,
+            );
+            (r, stats, started.elapsed())
+        });
+        Some(GuardPrefetch {
+            key: key.clone(),
+            oracle,
+            task,
+        })
+    }
+
+    /// Joins a prefetched guard search and adopts its result — counters,
+    /// timing and cached guard set — exactly as if it had run inline.
+    fn adopt_guard_search(
+        &mut self,
+        prefetch: GuardPrefetch,
+        cache: &mut HashMap<GuardKey, GuardSet>,
+    ) -> Result<(), SynthError> {
+        let GuardPrefetch { key, oracle, task } = prefetch;
+        let (result, stats, elapsed) = match task.join() {
+            Ok(out) => out,
+            Err(panic) => resume_unwind(panic),
+        };
+        if cache.contains_key(&key) {
+            return Ok(()); // raced with an inline search for the same key
+        }
+        self.stats.absorb(&stats);
+        self.guard_time += elapsed;
+        let searched = result?;
+        cache.insert(key, GuardSet { oracle, searched });
+        Ok(())
+    }
+
     /// The ordered guard candidates for a request: quick hits (constants,
     /// known conditionals and their negations, plus `extra` — typically the
     /// negation of the partner guard, §4) followed by searched guards.
@@ -152,21 +271,7 @@ impl MergeCtx<'_> {
         cache: &mut HashMap<GuardKey, GuardSet>,
     ) -> Result<Vec<Expr>, SynthError> {
         if !cache.contains_key(key) {
-            let pos: Vec<&Spec> = key.0.iter().map(|i| &self.specs[*i]).collect();
-            let neg: Vec<&Spec> = key.1.iter().map(|i| &self.specs[*i]).collect();
-            let oracle = GuardOracle::new(self.env, &pos, &neg);
-            let searched = search_guards(
-                self.env,
-                self.name,
-                self.params,
-                &oracle,
-                GUARDS_PER_REQUEST,
-                self.opts,
-                self.deadline,
-                self.stats,
-                self.search.as_ref(),
-            )?;
-            cache.insert(key.clone(), GuardSet { oracle, searched });
+            self.search_into_cache(key, cache)?;
         }
         let set = &cache[key];
         let mut out: Vec<Expr> = Vec::new();
@@ -185,7 +290,7 @@ impl MergeCtx<'_> {
             let p = Program::new(self.name, param_names.iter().copied(), q.clone());
             // Quick candidates are re-tested on every backtracking attempt;
             // the oracle memo turns the repeats into lookups.
-            let ok = match self.search.clone() {
+            let ok = match self.sched.cache().cloned() {
                 Some(h) => {
                     let id = h.intern(q.clone());
                     h.oracle_verdict(set.oracle.token(), id, self.stats, || {
@@ -222,7 +327,7 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
     for order in orders {
         let mut selector: HashMap<GuardKey, usize> = HashMap::new();
         'attempts: for _attempt in 0..ATTEMPTS_PER_ORDER {
-            if let Some(d) = ctx.deadline {
+            if let Some(d) = ctx.sched.deadline() {
                 if Instant::now() >= d {
                     return Err(SynthError::Timeout);
                 }
@@ -370,15 +475,35 @@ fn rewrite_chain(
                 continue;
             }
             // Rule 3: conditions do not distinguish differing solutions —
-            // strengthen both via guard synthesis.
+            // strengthen both via guard synthesis. The reverse request is
+            // prefetched on the shared executor while the forward one runs
+            // inline (and discarded if the forward request yields nothing,
+            // which is when the sequential merge would never search it).
             if enc.implies(&a.cond, &b.cond) {
                 let k1: GuardKey = (a.specs.clone(), b.specs.clone());
-                let Some(b1) = pick(ctx, k1, &[], &mut used, guard_cache)? else {
-                    i += 1;
-                    continue;
-                };
-                // Try the negation first for the reverse guard (§4).
                 let k2: GuardKey = (b.specs.clone(), a.specs.clone());
+                let prefetch = if k1 == k2 {
+                    None
+                } else {
+                    ctx.spawn_guard_search(&k2, guard_cache)
+                };
+                let b1 = match pick(ctx, k1, &[], &mut used, guard_cache) {
+                    Ok(Some(b1)) => b1,
+                    not_found => {
+                        // Timeout, or no forward guard: the reverse search
+                        // is not needed (and was not counted sequentially).
+                        if let Some(p) = prefetch {
+                            p.task.cancel();
+                        }
+                        not_found?;
+                        i += 1;
+                        continue;
+                    }
+                };
+                if let Some(p) = prefetch {
+                    ctx.adopt_guard_search(p, guard_cache)?;
+                }
+                // Try the negation first for the reverse guard (§4).
                 let extra = [negate(&b1)];
                 let Some(b2) = pick(ctx, k2, &extra, &mut used, guard_cache)? else {
                     i += 1;

@@ -1,6 +1,7 @@
 //! Search configuration: guidance modes (§5.3), effect precision (§5.4),
 //! size bounds and budgets.
 
+use crate::engine::StrategyKind;
 use rbsyn_ty::EffectPrecision;
 use std::time::Duration;
 
@@ -107,6 +108,20 @@ pub struct Options {
     /// memoized values are pure functions of their keys — only the time
     /// spent finding it.
     pub cache: bool,
+    /// Work-list exploration order (see
+    /// [`SearchStrategy`](crate::engine::SearchStrategy)). The default
+    /// [`StrategyKind::Paper`] reproduces §4's deterministic ordering;
+    /// alternatives reorder exploration but stay fully deterministic for a
+    /// fixed setting.
+    pub strategy: StrategyKind,
+    /// Intra-problem task width (`--intra`): how many concurrent tasks one
+    /// synthesis run may dispatch to the shared
+    /// [`Executor`](crate::engine::Executor) — speculative per-spec
+    /// searches in phase 1 and merge-time guard-pair searches. `1` (the
+    /// default) keeps the whole pipeline inline on one thread. Any width
+    /// produces byte-identical programs and effort counters; see the
+    /// [engine determinism story](crate::engine).
+    pub intra_parallelism: usize,
 }
 
 impl Default for Options {
@@ -120,6 +135,8 @@ impl Default for Options {
             max_expansions: 2_000_000,
             timeout: Some(Duration::from_secs(300)),
             cache: true,
+            strategy: StrategyKind::Paper,
+            intra_parallelism: 1,
         }
     }
 }
@@ -161,5 +178,7 @@ mod tests {
         assert_eq!(o.guidance, Guidance::both());
         assert_eq!(o.precision, EffectPrecision::Precise);
         assert!(o.timeout.is_some());
+        assert_eq!(o.strategy, StrategyKind::Paper);
+        assert_eq!(o.intra_parallelism, 1, "intra-parallel dispatch is opt-in");
     }
 }

@@ -7,10 +7,20 @@
 //! tables. By default each [`Synthesizer`] owns a private cache; the batch
 //! driver shares one across jobs via [`Synthesizer::with_cache`], and
 //! [`Options::cache`]` = false` disables memoization entirely.
+//!
+//! **Intra-problem parallelism** (`Options::intra_parallelism` > 1): the
+//! per-spec searches of phase 1 are dispatched *speculatively* as
+//! concurrent tasks on the shared [`Executor`], then joined in spec order
+//! under exactly the sequential solution-reuse protocol — a spec served by
+//! reuse cancels its speculative search and discards its counters, so
+//! synthesized programs and effort counters are byte-identical to the
+//! sequential pipeline at any width (the merge applies the same discipline
+//! to guard searches; see [`crate::merge`]).
 
 use crate::cache::{CacheHandle, SearchCache};
+use crate::engine::{Executor, Scheduler, SearchStats, TaskHandle};
 use crate::error::SynthError;
-use crate::generate::{generate, Oracle, SearchStats, SpecOracle};
+use crate::generate::{generate, GenerateOutcome, Oracle, SpecOracle};
 use crate::goal::SynthesisProblem;
 use crate::merge::{merge_program, MergeCtx, Tuple};
 use crate::options::Options;
@@ -18,6 +28,8 @@ use rbsyn_interp::InterpEnv;
 use rbsyn_lang::builder::true_;
 use rbsyn_lang::metrics::{program_paths, program_size};
 use rbsyn_lang::Program;
+use std::panic::resume_unwind;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,6 +40,11 @@ pub struct SynthStats {
     pub search: SearchStats,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Wall-clock spent in phase-1 per-spec searches (sum over adopted
+    /// searches; speculative work that was discarded is not counted).
+    pub generate_time: Duration,
+    /// Wall-clock spent in merge-time guard searches.
+    pub guard_time: Duration,
     /// AST node count of the solution (Table 1 "Meth Size").
     pub solution_size: usize,
     /// Control-flow paths through the solution (Table 1 "# Syn Paths").
@@ -44,6 +61,10 @@ pub struct SynthResult {
     /// Run statistics.
     pub stats: SynthStats,
 }
+
+/// What a speculative per-spec search task returns: the search outcome,
+/// its task-local counters, and its wall-clock cost.
+type SpecSearchResult = (GenerateOutcome, SearchStats, Duration);
 
 /// Drives the full pipeline for one [`SynthesisProblem`].
 ///
@@ -75,6 +96,7 @@ pub struct Synthesizer {
     problem: SynthesisProblem,
     opts: Options,
     cache: Arc<SearchCache>,
+    executor: Option<Arc<Executor>>,
 }
 
 impl Synthesizer {
@@ -112,7 +134,18 @@ impl Synthesizer {
             problem,
             opts,
             cache,
+            executor: None,
         }
+    }
+
+    /// Attaches a shared [`Executor`] for intra-problem task dispatch (the
+    /// batch driver passes its pool so inter- and intra-problem work share
+    /// one set of threads). Without this, a run whose
+    /// [`Options::intra_parallelism`] exceeds 1 provisions a private pool
+    /// of background workers for its own duration.
+    pub fn with_executor(mut self, executor: Arc<Executor>) -> Synthesizer {
+        self.executor = Some(executor);
+        self
     }
 
     /// Read access to the configured environment (tests, harnesses).
@@ -134,8 +167,10 @@ impl Synthesizer {
             problem,
             opts,
             cache,
+            executor,
         } = self;
         problem.validate()?;
+        let env = Arc::new(env);
         let start = Instant::now();
         let deadline = opts.timeout.map(|t| start + t);
         let mut stats = SynthStats::default();
@@ -157,13 +192,59 @@ impl Synthesizer {
             )
         });
 
+        // Task dispatch: reuse the batch driver's pool when one was
+        // attached, otherwise provision private background workers for the
+        // requested width (the joining thread is the final worker).
+        let width = opts.intra_parallelism.max(1);
+        let exec = if width > 1 {
+            Some(executor.unwrap_or_else(|| Executor::with_workers(width - 1)))
+        } else {
+            None
+        };
+        let sched = Scheduler::new(deadline, search).with_executor(exec, width);
+
         // One prepared oracle per spec, shared by the per-spec searches,
         // the solution-reuse check, and merged-program validation.
-        let spec_oracles: Vec<SpecOracle> = problem
+        let spec_oracles: Vec<Arc<SpecOracle>> = problem
             .specs
             .iter()
-            .map(|s| SpecOracle::new(&env, s))
+            .map(|s| Arc::new(SpecOracle::new(&env, s)))
             .collect();
+
+        // Speculative dispatch: start every spec's search now; the join
+        // loop below adopts or discards each in spec order.
+        let mut spec_tasks: Vec<Option<TaskHandle<SpecSearchResult>>> =
+            match (sched.executor(), problem.specs.len()) {
+                (Some(executor), n) if n > 1 => (0..n)
+                    .map(|i| {
+                        let cancel = Arc::new(AtomicBool::new(false));
+                        let task_sched = sched.for_task(Arc::clone(&cancel));
+                        let env = Arc::clone(&env);
+                        let oracle = Arc::clone(&spec_oracles[i]);
+                        let name = problem.name.clone();
+                        let params = problem.params.clone();
+                        let goal = problem.ret.clone();
+                        let opts = opts.clone();
+                        Some(executor.spawn_cancellable(cancel, move || {
+                            let started = Instant::now();
+                            let mut st = SearchStats::default();
+                            let r = generate(
+                                &env,
+                                &name,
+                                &params,
+                                &goal,
+                                &*oracle,
+                                &opts,
+                                opts.max_size,
+                                &task_sched,
+                                &mut st,
+                            );
+                            (r, st, started.elapsed())
+                        }))
+                    })
+                    .collect(),
+                _ => problem.specs.iter().map(|_| None).collect(),
+            };
 
         // Phase 1: a solution expression per spec, reusing existing
         // solutions when they already pass (§4: "when confronted with a new
@@ -178,7 +259,7 @@ impl Synthesizer {
                     param_names.iter().copied(),
                     t.expr.clone(),
                 );
-                match &search {
+                match sched.cache() {
                     Some(h) => {
                         let id = h.intern(t.expr.clone());
                         h.oracle_verdict(oracle.token(), id, &mut stats.search, || {
@@ -198,21 +279,41 @@ impl Synthesizer {
                     );
                 }
                 t.specs.push(i);
+                // The speculative search's result is not needed; discard
+                // it (and its counters) so the run matches the sequential
+                // pipeline, which never searches a reused spec.
+                if let Some(task) = spec_tasks[i].take() {
+                    task.cancel();
+                }
                 continue;
             }
-            let expr = generate(
-                &env,
-                &problem.name,
-                &problem.params,
-                &problem.ret,
-                oracle,
-                &opts,
-                opts.max_size,
-                deadline,
-                &mut stats.search,
-                search.as_ref(),
-            )
-            .map_err(|e| match e {
+            let outcome = match spec_tasks[i].take() {
+                Some(task) => match task.join() {
+                    Ok((r, st, elapsed)) => {
+                        stats.search.absorb(&st);
+                        stats.generate_time += elapsed;
+                        r
+                    }
+                    Err(panic) => resume_unwind(panic),
+                },
+                None => {
+                    let started = Instant::now();
+                    let r = generate(
+                        &env,
+                        &problem.name,
+                        &problem.params,
+                        &problem.ret,
+                        &**oracle,
+                        &opts,
+                        opts.max_size,
+                        &sched,
+                        &mut stats.search,
+                    );
+                    stats.generate_time += started.elapsed();
+                    r
+                }
+            };
+            let expr = outcome.map_err(|e| match e {
                 SynthError::NoSolution { .. } => SynthError::NoSolution {
                     spec: spec.name.clone(),
                 },
@@ -233,6 +334,7 @@ impl Synthesizer {
                 specs: vec![i],
             });
         }
+        drop(spec_tasks); // any still-pending handles cancel on drop
         stats.tuples = tuples.len();
 
         // Phase 2: merge into a single branching program (Algorithm 1).
@@ -243,12 +345,13 @@ impl Synthesizer {
             specs: &problem.specs,
             spec_oracles: &spec_oracles,
             opts: &opts,
-            deadline,
+            sched: &sched,
             stats: &mut stats.search,
+            guard_time: Duration::ZERO,
             known_conds: Vec::new(),
-            search,
         };
         let program = merge_program(&mut ctx, tuples)?;
+        stats.guard_time = ctx.guard_time;
 
         stats.elapsed = start.elapsed();
         stats.solution_size = program_size(&program);
@@ -367,6 +470,64 @@ mod tests {
         // Post table.
         let s = out.program.body.compact();
         assert!(s.contains("Post."), "expected a Post query in {s}");
+    }
+
+    #[test]
+    fn intra_parallel_run_matches_sequential() {
+        // The same two-spec merge problem, run sequentially and at width 4
+        // on a self-provisioned pool: programs and effort counters must be
+        // identical (the engine determinism contract).
+        let build = || {
+            let (env, post) = blog_env();
+            let seeded = rbsyn_interp::Spec::new(
+                "seeded returns true",
+                vec![
+                    SetupStep::Exec(call(
+                        cls(post),
+                        "create",
+                        [hash([("author", str_("alice"))])],
+                    )),
+                    SetupStep::CallTarget {
+                        bind: "xr".into(),
+                        args: vec![],
+                    },
+                ],
+                vec![call(var("xr"), "==", [true_()])],
+            );
+            let empty = rbsyn_interp::Spec::new(
+                "empty returns false",
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![],
+                }],
+                vec![call(var("xr"), "==", [false_()])],
+            );
+            let problem = SynthesisProblem::builder("m")
+                .returns(Ty::Bool)
+                .base_consts()
+                .constant(Value::Class(post))
+                .spec(seeded)
+                .spec(empty)
+                .build();
+            (env, problem)
+        };
+        let run = |intra: usize| {
+            let (env, problem) = build();
+            let opts = Options {
+                intra_parallelism: intra,
+                ..Options::default()
+            };
+            Synthesizer::new(env, problem, opts).run().unwrap()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(
+            seq.program.to_string(),
+            par.program.to_string(),
+            "programs must be byte-identical across intra widths"
+        );
+        assert_eq!(seq.stats.search.effort(), par.stats.search.effort());
+        assert_eq!(seq.stats.tuples, par.stats.tuples);
     }
 
     #[test]

@@ -107,6 +107,7 @@ fn solve_once(p: &RandomProblem, search: Option<&CacheHandle>) -> (String, Searc
         .collect();
     let opts = Options::default();
     let mut stats = SearchStats::default();
+    let sched = rbsyn_core::engine::Scheduler::new(None, search.cloned());
     let expr = generate(
         &env,
         "m",
@@ -115,9 +116,8 @@ fn solve_once(p: &RandomProblem, search: Option<&CacheHandle>) -> (String, Searc
         &SpecOracle::new(&env, &spec),
         &opts,
         opts.max_size,
-        None,
+        &sched,
         &mut stats,
-        search,
     )
     .expect("generated problems are solvable");
     (expr.compact(), stats)

@@ -1,0 +1,262 @@
+//! Engine determinism: programs and effort counters must be a pure
+//! function of the problem and the configured [`StrategyKind`] — never of
+//! the intra-problem task width, the thread pool, or cache state.
+//!
+//! * `--intra 1` vs `--intra 4` over problems exercising every parallel
+//!   dispatch site (multi-spec phase 1 with and without solution reuse,
+//!   Rule-3 guard pairs in the merge) must produce byte-identical
+//!   programs and identical `(popped, expanded, tested, deduped)`;
+//! * the same holds per strategy when the strategy is fixed — including
+//!   the non-default cost-weighted order;
+//! * a property test sweeps randomized spec sets through both widths.
+
+use proptest::prelude::*;
+use rbsyn_core::{Options, StrategyKind, SynthResult, SynthesisProblem, Synthesizer};
+use rbsyn_interp::{InterpEnv, SetupStep, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+fn blog_env() -> (InterpEnv, rbsyn_lang::ClassId) {
+    let mut b = EnvBuilder::with_stdlib();
+    let post = b.define_model(
+        "Post",
+        &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+    );
+    (b.finish(), post)
+}
+
+/// A two-spec problem whose merge needs a Rule-3 guard pair (the parallel
+/// prefetch path) and whose phase 1 has no reuse.
+fn branching_problem() -> (InterpEnv, SynthesisProblem) {
+    let (env, post) = blog_env();
+    let seeded = Spec::new(
+        "seeded returns true",
+        vec![
+            SetupStep::Exec(call(
+                cls(post),
+                "create",
+                [hash([("author", str_("alice"))])],
+            )),
+            SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            },
+        ],
+        vec![call(var("xr"), "==", [true_()])],
+    );
+    let empty = Spec::new(
+        "empty returns false",
+        vec![SetupStep::CallTarget {
+            bind: "xr".into(),
+            args: vec![],
+        }],
+        vec![call(var("xr"), "==", [false_()])],
+    );
+    let problem = SynthesisProblem::builder("m")
+        .returns(Ty::Bool)
+        .base_consts()
+        .constant(Value::Class(post))
+        .spec(seeded)
+        .spec(empty)
+        .build();
+    (env, problem)
+}
+
+/// A three-spec problem where specs 2 and 3 are served by solution reuse —
+/// the speculative searches for them must be cancelled and discarded.
+fn reuse_problem() -> (InterpEnv, SynthesisProblem) {
+    let (env, _) = blog_env();
+    let mk = |name: &str| {
+        Spec::new(
+            name,
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
+            vec![call(var("xr"), "==", [int(1)])],
+        )
+    };
+    let problem = SynthesisProblem::builder("m")
+        .returns(Ty::Int)
+        .base_consts()
+        .spec(mk("a"))
+        .spec(mk("b"))
+        .spec(mk("c"))
+        .build();
+    (env, problem)
+}
+
+fn run_with(
+    build: &dyn Fn() -> (InterpEnv, SynthesisProblem),
+    intra: usize,
+    strategy: StrategyKind,
+) -> SynthResult {
+    let (env, problem) = build();
+    let opts = Options {
+        intra_parallelism: intra,
+        strategy,
+        ..Options::default()
+    };
+    Synthesizer::new(env, problem, opts)
+        .run()
+        .expect("determinism problems are solvable")
+}
+
+fn assert_width_independent(
+    build: &dyn Fn() -> (InterpEnv, SynthesisProblem),
+    strategy: StrategyKind,
+) {
+    let seq = run_with(build, 1, strategy);
+    let par = run_with(build, 4, strategy);
+    assert_eq!(
+        seq.program.to_string(),
+        par.program.to_string(),
+        "programs must be byte-identical for strategy {strategy:?}"
+    );
+    assert_eq!(
+        seq.stats.search.effort(),
+        par.stats.search.effort(),
+        "effort counters must be width-independent for strategy {strategy:?}"
+    );
+    assert_eq!(seq.stats.tuples, par.stats.tuples);
+    assert_eq!(seq.stats.solution_size, par.stats.solution_size);
+    assert_eq!(seq.stats.solution_paths, par.stats.solution_paths);
+}
+
+#[test]
+fn guard_pair_merge_is_width_independent() {
+    assert_width_independent(&branching_problem, StrategyKind::Paper);
+}
+
+#[test]
+fn solution_reuse_is_width_independent() {
+    let seq = run_with(&reuse_problem, 1, StrategyKind::Paper);
+    let par = run_with(&reuse_problem, 4, StrategyKind::Paper);
+    assert_eq!(seq.program.to_string(), par.program.to_string());
+    assert_eq!(seq.stats.search.effort(), par.stats.search.effort());
+    assert_eq!(
+        seq.stats.tuples, 1,
+        "specs b and c must reuse spec a's solution"
+    );
+    assert_eq!(par.stats.tuples, 1);
+}
+
+#[test]
+fn fixed_alternative_strategy_is_width_independent() {
+    // The cost-weighted order may synthesize a different program than the
+    // paper order — but for a fixed strategy the result must not depend on
+    // the task width.
+    assert_width_independent(&branching_problem, StrategyKind::CostWeighted);
+    assert_width_independent(&reuse_problem, StrategyKind::CostWeighted);
+}
+
+#[test]
+fn caching_is_invisible_at_any_width() {
+    let run = |intra: usize, cache: bool| {
+        let (env, problem) = branching_problem();
+        let opts = Options {
+            intra_parallelism: intra,
+            cache,
+            ..Options::default()
+        };
+        Synthesizer::new(env, problem, opts).run().unwrap()
+    };
+    let reference = run(1, true);
+    for (intra, cache) in [(1, false), (4, true), (4, false)] {
+        let r = run(intra, cache);
+        assert_eq!(
+            reference.program.to_string(),
+            r.program.to_string(),
+            "intra {intra}, cache {cache}"
+        );
+        assert_eq!(
+            reference.stats.search.effort(),
+            r.stats.search.effort(),
+            "intra {intra}, cache {cache}"
+        );
+    }
+}
+
+/// Randomized spec sets: any subset/ordering of these specs must solve
+/// identically at both widths (programs and effort counters).
+fn arb_spec_mask() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..4, 1..4)
+}
+
+fn masked_problem(mask: &[usize]) -> (InterpEnv, SynthesisProblem) {
+    let (env, post) = blog_env();
+    let specs: Vec<Spec> = mask
+        .iter()
+        .map(|&which| match which {
+            // Constant result.
+            0 => Spec::new(
+                "one",
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![str_("x")],
+                }],
+                vec![call(var("xr"), "==", [int(1)])],
+            ),
+            // Identity-flavoured: result equals the argument's length
+            // bucket — solved by a constant too, enabling reuse chains.
+            1 => Spec::new(
+                "one again",
+                vec![SetupStep::CallTarget {
+                    bind: "xr".into(),
+                    args: vec![str_("y")],
+                }],
+                vec![call(var("xr"), "==", [int(1)])],
+            ),
+            // DB-dependent: seeded world, result 0.
+            2 => Spec::new(
+                "seeded zero",
+                vec![
+                    SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("s"))])])),
+                    SetupStep::CallTarget {
+                        bind: "xr".into(),
+                        args: vec![str_("z")],
+                    },
+                ],
+                vec![call(var("xr"), "==", [int(0)])],
+            ),
+            // Doubly-seeded world, also result 0 (reuses spec 2's
+            // solution when both appear; still distinguishable from the
+            // empty-world specs by any emptiness test).
+            _ => Spec::new(
+                "doubly seeded zero",
+                vec![
+                    SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("a"))])])),
+                    SetupStep::Exec(call(cls(post), "create", [hash([("slug", str_("b"))])])),
+                    SetupStep::CallTarget {
+                        bind: "xr".into(),
+                        args: vec![str_("w")],
+                    },
+                ],
+                vec![call(var("xr"), "==", [int(0)])],
+            ),
+        })
+        .collect();
+    let mut b = SynthesisProblem::builder("m")
+        .param("arg0", Ty::Str)
+        .returns(Ty::Int)
+        .base_consts()
+        .constant(Value::Class(post));
+    for s in specs {
+        b = b.spec(s);
+    }
+    (env, b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_spec_sets_are_width_independent(mask in arb_spec_mask()) {
+        let build = move || masked_problem(&mask);
+        let seq = run_with(&build, 1, StrategyKind::Paper);
+        let par = run_with(&build, 4, StrategyKind::Paper);
+        prop_assert_eq!(seq.program.to_string(), par.program.to_string());
+        prop_assert_eq!(seq.stats.search.effort(), par.stats.search.effort());
+    }
+}

@@ -4,6 +4,7 @@
 //! one job's timeout to that job.
 
 use rbsyn_core::batch::{run_batch, BatchJob};
+use rbsyn_core::engine::Scheduler;
 use rbsyn_core::generate::{generate, SearchStats, SpecOracle};
 use rbsyn_core::merge::{merge_program, MergeCtx, Tuple};
 use rbsyn_core::{Options, SynthError, SynthesisProblem, Synthesizer};
@@ -11,6 +12,7 @@ use rbsyn_interp::{InterpEnv, SetupStep, Spec};
 use rbsyn_lang::builder::*;
 use rbsyn_lang::Ty;
 use rbsyn_stdlib::EnvBuilder;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn env() -> InterpEnv {
@@ -35,6 +37,11 @@ fn expired() -> Option<Instant> {
     Some(Instant::now())
 }
 
+/// A scheduler with an already-expired deadline and no cache/executor.
+fn expired_sched() -> Scheduler {
+    Scheduler::new(expired(), None)
+}
+
 #[test]
 fn phase1_generate_surfaces_timeout() {
     let env = env();
@@ -49,9 +56,8 @@ fn phase1_generate_surfaces_timeout() {
         &SpecOracle::new(&env, &spec),
         &opts,
         6,
-        expired(),
+        &expired_sched(),
         &mut stats,
-        None,
     );
     assert!(matches!(r, Err(SynthError::Timeout)), "got {r:?}");
     // The search did run up to the deadline check, not zero work.
@@ -60,11 +66,12 @@ fn phase1_generate_surfaces_timeout() {
 
 #[test]
 fn phase2_merge_surfaces_timeout() {
-    let env = env();
+    let env = Arc::new(env());
     let spec = unsatisfiable_spec();
     let opts = Options::default();
     let mut stats = SearchStats::default();
-    let spec_oracles = vec![SpecOracle::new(&env, &spec)];
+    let spec_oracles = vec![Arc::new(SpecOracle::new(&env, &spec))];
+    let sched = expired_sched();
     let mut ctx = MergeCtx {
         env: &env,
         name: "m",
@@ -72,10 +79,10 @@ fn phase2_merge_surfaces_timeout() {
         specs: std::slice::from_ref(&spec),
         spec_oracles: &spec_oracles,
         opts: &opts,
-        deadline: expired(),
+        sched: &sched,
         stats: &mut stats,
+        guard_time: Duration::ZERO,
         known_conds: Vec::new(),
-        search: None,
     };
     let tuples = vec![Tuple {
         expr: true_(),
