@@ -21,10 +21,10 @@ fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_te");
     group.sample_size(10);
     for b in all_benchmarks() {
-        if !SAMPLED.contains(&b.id) {
+        if !SAMPLED.contains(&b.id.as_str()) {
             continue;
         }
-        group.bench_function(b.id, |bench| {
+        group.bench_function(&b.id, |bench| {
             bench.iter(|| {
                 let out = run_benchmark(
                     &b,

@@ -1,18 +1,22 @@
 //! Runs benchmarks and prints synthesized programs.
 //!
-//! Single-benchmark mode (prints the program, handy for inspection):
+//! Single-benchmark mode (prints the program, handy for inspection) — a
+//! registry id or a `.rbspec` file:
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --bin solve -- A7 [timeout_secs]
+//! cargo run --release -p rbsyn-bench --bin solve -- --spec examples/blog.rbspec
 //! ```
 //!
-//! Batch mode — the whole registry (or `--ids`) through the parallel batch
-//! driver. The stdout section is deterministic (no timings), so two runs
-//! with different `--parallel` values can be byte-compared; timing goes to
-//! stderr:
+//! Batch mode — the whole registry (or `--ids`), or a `.rbspec` corpus
+//! directory, through the parallel batch driver. The stdout section is
+//! deterministic (no timings), so two runs with different `--parallel`
+//! values — or a registry run against a `--spec-dir` run — can be
+//! byte-compared; timing goes to stderr:
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --bin solve -- --all --parallel 4
+//! cargo run --release -p rbsyn-bench --bin solve -- --all --spec-dir benchmarks --parallel 4
 //! cargo run --release -p rbsyn-bench --bin solve -- --all --compare --parallel 4
 //! ```
 //!
@@ -26,12 +30,22 @@
 //! `--parallel`/`--intra` configuration, verifies the two deterministic
 //! sections are byte-identical, and reports both wall-clocks. Exits
 //! nonzero on mismatch or on any unsolved benchmark.
+//!
+//! ## Exit codes
+//!
+//! `0` solved · `1` other failure · `2` usage · `3` `.rbspec` parse/lower
+//! error · `4` timeout · `5` search exhausted with no solution. Batch runs
+//! exit with the dominant failing class (timeout > no-solution > other);
+//! the same codes appear as `"exit_code"` in `--json` output.
 
 use rbsyn_bench::harness::{
-    batch_stats_json, format_batch_solutions, format_batch_stats, run_suite, Config,
+    batch_stats_json, exit_codes, format_batch_solutions, format_batch_stats, json_escape,
+    run_suite_on, Config,
 };
-use rbsyn_core::{Options, StrategyKind, Synthesizer};
-use rbsyn_suite::benchmark;
+use rbsyn_core::{BatchReport, Options, StrategyKind, SynthesisProblem, Synthesizer};
+use rbsyn_interp::InterpEnv;
+use rbsyn_suite::{benchmark, benchmarks_from_dir, Benchmark};
+use std::path::Path;
 use std::time::Duration;
 
 struct Cli {
@@ -50,6 +64,11 @@ struct Cli {
     intra: Option<usize>,
     /// `--strategy`, when given (overrides `RBSYN_STRATEGY`).
     strategy: Option<StrategyKind>,
+    /// `--spec FILE`: synthesize one problem from a `.rbspec` file.
+    spec: Option<String>,
+    /// `--spec-dir DIR`: with `--all`, run the file-driven corpus instead
+    /// of the Rust registry.
+    spec_dir: Option<String>,
     json: Option<String>,
     single: Option<String>,
 }
@@ -57,10 +76,12 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: solve <ID> [timeout_secs] [--intra N] [--strategy paper|cost]\n       \
-         solve --all [--parallel N] [--intra N] [--strategy paper|cost] \
+         solve --spec FILE.rbspec [--timeout SECS] [--intra N] [--strategy paper|cost] \
+         [--json PATH]\n       \
+         solve --all [--spec-dir DIR] [--parallel N] [--intra N] [--strategy paper|cost] \
          [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--json PATH]"
     );
-    std::process::exit(2);
+    std::process::exit(exit_codes::USAGE);
 }
 
 fn parse_cli() -> Cli {
@@ -73,6 +94,8 @@ fn parse_cli() -> Cli {
         no_cache: false,
         intra: None,
         strategy: None,
+        spec: None,
+        spec_dir: None,
         json: None,
         single: None,
     };
@@ -122,14 +145,20 @@ fn parse_cli() -> Cli {
                     usage()
                 }))
             }
-            "--json" => {
-                cli.json = Some(value("--json"));
-                batch_only.push("--json");
+            "--spec" => cli.spec = Some(value("--spec")),
+            "--spec-dir" => {
+                cli.spec_dir = Some(value("--spec-dir"));
+                batch_only.push("--spec-dir");
             }
+            "--json" => cli.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => positional.push(a),
         }
+    }
+    if cli.spec.is_some() && (cli.all || !positional.is_empty() || !batch_only.is_empty()) {
+        eprintln!("--spec runs exactly one file; it combines only with --timeout/--intra/--strategy/--json");
+        usage();
     }
     if cli.all {
         if !positional.is_empty() {
@@ -139,7 +168,7 @@ fn parse_cli() -> Cli {
             );
             usage();
         }
-    } else {
+    } else if cli.spec.is_none() {
         // A batch flag without --all must not degrade to a single default
         // benchmark that exits 0 — this binary gates CI.
         if !batch_only.is_empty() {
@@ -165,50 +194,158 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn run_single(id: &str, timeout: Duration, cache: bool, intra: usize, strategy: StrategyKind) -> ! {
-    let Some(b) = benchmark(id) else {
-        eprintln!("unknown benchmark {id:?} (try S1..S7, A1..A12)");
-        std::process::exit(2);
-    };
-    let (env, problem) = (b.build)();
-    let opts = Options {
-        timeout: Some(timeout),
-        cache,
-        intra_parallelism: intra,
-        strategy,
-        ..(b.options)()
-    };
+/// Synthesizes one problem, prints the outcome (and `--json` if asked),
+/// and exits with the class-specific code. CLI flags override `base` only
+/// when actually given — a `.rbspec` file's `options do … end` (strategy,
+/// intra, cache, timeout) is honoured otherwise. `default_timeout` backs
+/// the registry path's historical 60 s default; `None` leaves the base
+/// deadline alone (including a file's explicit `timeout_secs: 0` =
+/// unlimited).
+fn run_one(
+    label: &str,
+    display: &str,
+    env: InterpEnv,
+    problem: SynthesisProblem,
+    base: Options,
+    cli: &Cli,
+    default_timeout: Option<Duration>,
+) -> ! {
+    let mut opts = base;
+    match (cli.timeout, default_timeout) {
+        (Some(t), _) => opts.timeout = Some(t),
+        (None, Some(d)) => opts.timeout = Some(d),
+        (None, None) => {}
+    }
+    if cli.no_cache {
+        opts.cache = false;
+    }
+    if let Some(intra) = cli.intra {
+        opts.intra_parallelism = intra;
+    }
+    if let Some(strategy) = cli.strategy {
+        opts.strategy = strategy;
+    }
     match Synthesizer::new(env, problem, opts).run() {
         Ok(r) => {
             println!(
-                "{} ({}) solved in {:?} — {} candidates tested, size {}, paths {}",
-                b.id,
-                b.name,
+                "{label} ({display}) solved in {:?} — {} candidates tested, size {}, paths {}",
                 r.stats.elapsed,
                 r.stats.search.tested,
                 r.stats.solution_size,
                 r.stats.solution_paths
             );
             println!("{}", r.program);
-            std::process::exit(0);
+            if let Some(path) = &cli.json {
+                let json = format!(
+                    "{{\"id\": \"{}\", \"status\": \"solved\", \"exit_code\": 0, \
+                     \"elapsed_secs\": {:.6}, \"size\": {}, \"paths\": {}, \"tested\": {}}}\n",
+                    json_escape(label),
+                    r.stats.elapsed.as_secs_f64(),
+                    r.stats.solution_size,
+                    r.stats.solution_paths,
+                    r.stats.search.tested,
+                );
+                std::fs::write(path, json).expect("write --json file");
+            }
+            std::process::exit(exit_codes::OK);
         }
         Err(e) => {
-            println!("{} failed: {e}", b.id);
-            std::process::exit(1);
+            let code = exit_codes::for_error(&e);
+            println!("{label} failed: {e}");
+            if let Some(path) = &cli.json {
+                let status = if code == exit_codes::TIMEOUT {
+                    "timeout"
+                } else if code == exit_codes::NO_SOLUTION {
+                    "no_solution"
+                } else {
+                    "failed"
+                };
+                let json = format!(
+                    "{{\"id\": \"{}\", \"status\": \"{status}\", \"exit_code\": {code}, \
+                     \"error\": \"{}\"}}\n",
+                    json_escape(label),
+                    json_escape(&e.to_string()),
+                );
+                std::fs::write(path, json).expect("write --json file");
+            }
+            std::process::exit(code);
         }
     }
 }
 
+fn run_single(id: &str, cli: &Cli) -> ! {
+    let Some(b) = benchmark(id) else {
+        eprintln!("unknown benchmark {id:?} (try S1..S7, A1..A12, or --spec FILE)");
+        std::process::exit(exit_codes::USAGE);
+    };
+    let (env, problem) = (b.build)();
+    run_one(
+        &b.id,
+        &b.name,
+        env,
+        problem,
+        (b.options)(),
+        cli,
+        Some(Duration::from_secs(60)),
+    );
+}
+
+fn run_spec_file(path: &str, cli: &Cli) -> ! {
+    let spec = match rbsyn_front::load_file(Path::new(path)) {
+        Ok(s) => s,
+        Err(rendered) => {
+            eprint!("{rendered}");
+            std::process::exit(exit_codes::PARSE);
+        }
+    };
+    let b = Benchmark::from_spec(spec);
+    let (env, problem) = (b.build)();
+    let name = b.name.clone();
+    run_one(&b.id, &name, env, problem, (b.options)(), cli, None);
+}
+
+/// The batch benchmark set: the Rust registry, or — with `--spec-dir` —
+/// the file-driven corpus. Exits with `PARSE` when a corpus file fails.
+fn batch_benchmarks(cli: &Cli, cfg: &Config) -> Vec<Benchmark> {
+    let mut benchmarks = match &cli.spec_dir {
+        Some(dir) => match benchmarks_from_dir(Path::new(dir)) {
+            Ok(v) => v,
+            Err(rendered) => {
+                eprint!("{rendered}");
+                std::process::exit(exit_codes::PARSE);
+            }
+        },
+        None => rbsyn_suite::all_benchmarks(),
+    };
+    // A typo'd id list (flag or env) must not shrink to a silently-passing
+    // empty or partial batch — this binary gates CI.
+    let known: Vec<String> = benchmarks.iter().map(|b| b.id.clone()).collect();
+    let unknown: Vec<&str> = cfg
+        .ids
+        .iter()
+        .map(String::as_str)
+        .filter(|i| !known.iter().any(|k| k == i))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown benchmark id(s) {unknown:?} (known: {})",
+            known.join(",")
+        );
+        std::process::exit(exit_codes::USAGE);
+    }
+    if !cfg.ids.is_empty() {
+        benchmarks.retain(|b| cfg.ids.contains(&b.id));
+    }
+    benchmarks
+}
+
 fn main() {
     let cli = parse_cli();
-    if let Some(id) = &cli.single {
-        run_single(
-            id,
-            cli.timeout.unwrap_or(Duration::from_secs(60)),
-            !cli.no_cache,
-            cli.intra.unwrap_or(1),
-            cli.strategy.unwrap_or_default(),
-        );
+    if let Some(path) = cli.spec.clone() {
+        run_spec_file(&path, &cli);
+    }
+    if let Some(id) = cli.single.clone() {
+        run_single(&id, &cli);
     }
 
     // Flags override the harness env knobs (RBSYN_BENCH_IDS /
@@ -230,22 +367,10 @@ fn main() {
         cfg.strategy = strategy;
     }
 
-    // A typo'd id list (flag or env) must not shrink to a silently-passing
-    // empty or partial batch — this binary gates CI.
-    let known: Vec<&'static str> = rbsyn_suite::all_benchmarks().iter().map(|b| b.id).collect();
-    let unknown: Vec<&str> = cfg
-        .ids
-        .iter()
-        .map(String::as_str)
-        .filter(|i| !known.contains(i))
-        .collect();
-    if !unknown.is_empty() {
-        eprintln!(
-            "unknown benchmark id(s) {unknown:?} (known: {})",
-            known.join(",")
-        );
-        std::process::exit(2);
-    }
+    let benchmarks = batch_benchmarks(&cli, &cfg);
+    let run = |cfg: &Config, threads: usize| -> BatchReport {
+        run_suite_on(benchmarks.clone(), cfg, threads)
+    };
     if cli.compare {
         // Baseline: one thread, no intra tasks — the reference pipeline.
         // Same strategy (which legitimately shapes the result) and same
@@ -257,19 +382,19 @@ fn main() {
             ..cfg.clone()
         };
         eprintln!("compare: sequential baseline…");
-        let seq = run_suite(&baseline_cfg, 1);
+        let seq = run(&baseline_cfg, 1);
         eprintln!(
             "compare: parallel run ({} threads, intra {})…",
             cli.parallel, cfg.intra
         );
-        let par = run_suite(&cfg, cli.parallel);
+        let par = run(&cfg, cli.parallel);
         let (a, b) = (format_batch_solutions(&seq), format_batch_solutions(&par));
         eprint!("sequential {}", format_batch_stats(&seq));
         eprint!("parallel   {}", format_batch_stats(&par));
         if a != b {
             eprintln!("MISMATCH between sequential baseline and parallel results:");
             eprintln!("--- sequential ---\n{a}--- parallel ---\n{b}");
-            std::process::exit(1);
+            std::process::exit(exit_codes::OTHER);
         }
         let wall_speedup =
             seq.stats.wall_clock.as_secs_f64() / par.stats.wall_clock.as_secs_f64().max(1e-9);
@@ -282,22 +407,14 @@ fn main() {
         if let Some(path) = &cli.json {
             std::fs::write(path, batch_stats_json(&par)).expect("write --json file");
         }
-        std::process::exit(if seq.stats.solved == seq.stats.jobs {
-            0
-        } else {
-            1
-        });
+        std::process::exit(exit_codes::for_batch(&seq));
     }
 
-    let report = run_suite(&cfg, cli.parallel);
+    let report = run(&cfg, cli.parallel);
     print!("{}", format_batch_solutions(&report));
     eprint!("{}", format_batch_stats(&report));
     if let Some(path) = &cli.json {
         std::fs::write(path, batch_stats_json(&report)).expect("write --json file");
     }
-    std::process::exit(if report.stats.solved == report.stats.jobs {
-        0
-    } else {
-        1
-    });
+    std::process::exit(exit_codes::for_batch(&report));
 }

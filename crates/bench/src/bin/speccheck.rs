@@ -1,0 +1,119 @@
+//! Corpus lint: parse + lower every `.rbspec` file and report diagnostics
+//! without synthesizing — the fast CI gate over `benchmarks/` (and any
+//! other spec directories or files passed as arguments).
+//!
+//! ```text
+//! cargo run --release -p rbsyn-bench --bin speccheck -- [PATH …]
+//! ```
+//!
+//! Paths may be directories (every `.rbspec` inside, non-recursive) or
+//! individual files; the default is `benchmarks`. Per file, the tool
+//! reports parse and lower wall time, spec/assert counts, and every
+//! diagnostic; it keeps going after a failure so one pass names every
+//! broken file. Exit code 3 (the spec parse/lower class, shared with
+//! `solve`) when any file fails, 0 otherwise.
+
+use rbsyn_bench::harness::exit_codes;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn collect(paths: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            files.extend(rbsyn_front::spec_paths(path)?);
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("{p}: no such file or directory"));
+        }
+    }
+    Ok(files)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: speccheck [PATH …]   (default: benchmarks)");
+        std::process::exit(exit_codes::USAGE);
+    }
+    let paths = if args.is_empty() {
+        vec!["benchmarks".to_owned()]
+    } else {
+        args
+    };
+    let files = match collect(&paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("speccheck: {e}");
+            std::process::exit(exit_codes::USAGE);
+        }
+    };
+
+    let started = Instant::now();
+    let mut failures = 0usize;
+    let mut parse_secs = 0f64;
+    let mut lower_secs = 0f64;
+    for path in &files {
+        let origin = path.display().to_string();
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("FAIL  {origin}: cannot read: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let t0 = Instant::now();
+        let parsed = rbsyn_front::parse(&source);
+        let parse_time = t0.elapsed().as_secs_f64();
+        parse_secs += parse_time;
+        let file = match parsed {
+            Ok(f) => f,
+            Err(d) => {
+                println!("FAIL  {origin} (parse)");
+                print!("{}", d.render(&origin, &source));
+                failures += 1;
+                continue;
+            }
+        };
+        let t1 = Instant::now();
+        let lowered = rbsyn_front::lower(&file);
+        let lower_time = t1.elapsed().as_secs_f64();
+        lower_secs += lower_time;
+        match lowered {
+            Ok(l) => {
+                let asserts: usize = l.problem.specs.iter().map(|s| s.asserts.len()).sum();
+                println!(
+                    "ok    {origin}: {} — {} spec(s), {} assert(s), {} search-visible methods \
+                     (parse {:.1} ms, lower {:.1} ms)",
+                    l.problem.name,
+                    l.problem.specs.len(),
+                    asserts,
+                    l.env.table.search_visible_count(),
+                    parse_time * 1e3,
+                    lower_time * 1e3,
+                );
+            }
+            Err(d) => {
+                println!("FAIL  {origin} (lower)");
+                print!("{}", d.render(&origin, &source));
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "speccheck: {}/{} file(s) ok in {:.2}s (parse {:.3}s, lower {:.3}s)",
+        files.len() - failures,
+        files.len(),
+        started.elapsed().as_secs_f64(),
+        parse_secs,
+        lower_secs,
+    );
+    std::process::exit(if failures == 0 {
+        exit_codes::OK
+    } else {
+        exit_codes::PARSE
+    });
+}

@@ -1,33 +1,41 @@
 //! Perf-trajectory snapshot: runs the full benchmark suite under the
 //! execution configurations this repo has grown so far — sequential,
 //! inter-problem parallel (`--parallel`), intra-problem parallel
-//! (`--intra`), and both — and writes one JSON file
-//! (`BENCH_pr3.json` in CI) with wall-clocks and cache-hit counters per
-//! configuration.
+//! (`--intra`), both, and (since PR 4) the **file-driven corpus**
+//! (`benchmarks/*.rbspec` through the textual frontend) — and writes one
+//! JSON file (`BENCH_pr4.json` in CI) with wall-clocks, cache-hit
+//! counters per configuration, and the corpus parse+lower time.
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --bin trajectory -- \
-//!     [--json BENCH_pr3.json] [--threads N] [--intra N] [--timeout SECS]
+//!     [--json BENCH_pr4.json] [--threads N] [--intra N] [--timeout SECS] \
+//!     [--spec-dir benchmarks]
 //! ```
 //!
-//! The deterministic solution sections of every configuration are
-//! byte-compared; a mismatch (or any unsolved benchmark) exits nonzero, so
-//! the trajectory file doubles as a determinism gate.
+//! The deterministic solution sections of every configuration — including
+//! the corpus run — are byte-compared against the sequential registry
+//! baseline; a mismatch (or any unsolved benchmark) exits nonzero, so the
+//! trajectory file doubles as both the parallelism determinism gate and
+//! the registry-fidelity gate.
 
-use rbsyn_bench::harness::{format_batch_solutions, run_suite, Config};
+use rbsyn_bench::harness::{format_batch_solutions, run_suite, run_suite_on, Config};
 use rbsyn_core::BatchReport;
-use std::time::Duration;
+use rbsyn_suite::Benchmark;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 struct RunSpec {
     name: &'static str,
     threads: usize,
     intra: usize,
+    /// Run over the `.rbspec` corpus instead of the Rust registry.
+    corpus: bool,
 }
 
 fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
     let s = &r.stats;
     format!(
-        "    {{\"config\": \"{}\", \"threads\": {}, \"intra\": {}, \
+        "    {{\"config\": \"{}\", \"threads\": {}, \"intra\": {}, \"source\": \"{}\",\n     \
          \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"speedup\": {:.4},\n     \
          \"solved\": {}, \"timeouts\": {}, \"failures\": {}, \"tested\": {},\n     \
          \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {}, \"deduped\": {},\n     \
@@ -35,6 +43,11 @@ fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
         spec.name,
         spec.threads,
         spec.intra,
+        if spec.corpus {
+            "rbspec-corpus"
+        } else {
+            "registry"
+        },
         s.wall_clock.as_secs_f64(),
         s.cpu_time.as_secs_f64(),
         s.speedup(),
@@ -51,11 +64,40 @@ fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
     )
 }
 
+/// Parse+lower wall time over the corpus (the frontend's own cost, kept
+/// separate from synthesis time so the trajectory series can track it).
+struct CorpusCost {
+    files: usize,
+    parse_secs: f64,
+    lower_secs: f64,
+}
+
+fn measure_corpus(dir: &Path) -> Result<CorpusCost, String> {
+    let paths = rbsyn_front::spec_paths(dir)?;
+    let mut cost = CorpusCost {
+        files: paths.len(),
+        parse_secs: 0.0,
+        lower_secs: 0.0,
+    };
+    for p in &paths {
+        let source = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let t0 = Instant::now();
+        let file =
+            rbsyn_front::parse(&source).map_err(|d| d.render(&p.display().to_string(), &source))?;
+        cost.parse_secs += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        rbsyn_front::lower(&file).map_err(|d| d.render(&p.display().to_string(), &source))?;
+        cost.lower_secs += t1.elapsed().as_secs_f64();
+    }
+    Ok(cost)
+}
+
 fn main() {
     let mut json: Option<String> = None;
     let mut threads: usize = 4;
     let mut intra: usize = 4;
     let mut timeout: Option<Duration> = None;
+    let mut spec_dir = "benchmarks".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -86,8 +128,12 @@ fn main() {
                     }),
                 ))
             }
+            "--spec-dir" => spec_dir = value("--spec-dir"),
             other => {
-                eprintln!("unknown argument {other:?} (try --json PATH, --threads N, --intra N, --timeout SECS)");
+                eprintln!(
+                    "unknown argument {other:?} (try --json PATH, --threads N, --intra N, \
+                     --timeout SECS, --spec-dir DIR)"
+                );
                 std::process::exit(2);
             }
         }
@@ -97,26 +143,55 @@ fn main() {
     if let Some(t) = timeout {
         base.timeout = t;
     }
+
+    // Frontend cost: parse+lower the whole corpus (fails fast on a broken
+    // file — the trajectory doubles as a corpus gate).
+    let corpus_cost = match measure_corpus(Path::new(&spec_dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("trajectory: corpus failed to parse/lower:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "trajectory: corpus {} file(s) parse {:.1} ms + lower {:.1} ms",
+        corpus_cost.files,
+        corpus_cost.parse_secs * 1e3,
+        corpus_cost.lower_secs * 1e3
+    );
+
     let specs = [
         RunSpec {
             name: "sequential",
             threads: 1,
             intra: 1,
+            corpus: false,
         },
         RunSpec {
             name: "parallel",
             threads,
             intra: 1,
+            corpus: false,
         },
         RunSpec {
             name: "intra",
             threads: 1,
             intra,
+            corpus: false,
         },
         RunSpec {
             name: "parallel+intra",
             threads,
             intra,
+            corpus: false,
+        },
+        // The file-driven corpus through the textual frontend must
+        // synthesize byte-identical programs (registry fidelity).
+        RunSpec {
+            name: "corpus-files",
+            threads,
+            intra: 1,
+            corpus: true,
         },
     ];
 
@@ -132,7 +207,19 @@ fn main() {
             intra: spec.intra,
             ..base.clone()
         };
-        let report = run_suite(&cfg, spec.threads);
+        let report = if spec.corpus {
+            let benchmarks: Vec<Benchmark> =
+                match rbsyn_suite::benchmarks_from_dir(Path::new(&spec_dir)) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("trajectory: corpus load failed:\n{e}");
+                        std::process::exit(1);
+                    }
+                };
+            run_suite_on(benchmarks, &cfg, spec.threads)
+        } else {
+            run_suite(&cfg, spec.threads)
+        };
         eprintln!(
             "trajectory: {} — {}/{} solved in {:.2}s",
             spec.name,
@@ -168,11 +255,18 @@ fn main() {
     let out = format!(
         "{{\n  \"suite\": \"rbsyn 19-benchmark suite\",\n  \"benchmarks\": {},\n  \
          \"timeout_secs\": {},\n  \"host_parallelism\": {},\n  \"programs_identical\": {},\n  \
+         \"corpus\": {{\"dir\": \"{}\", \"files\": {}, \"parse_secs\": {:.6}, \
+         \"lower_secs\": {:.6}, \"parse_lower_secs\": {:.6}}},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         base.benchmarks().len(),
         base.timeout.as_secs(),
         host,
         ok,
+        rbsyn_bench::harness::json_escape(&spec_dir),
+        corpus_cost.files,
+        corpus_cost.parse_secs,
+        corpus_cost.lower_secs,
+        corpus_cost.parse_secs + corpus_cost.lower_secs,
         rows.join(",\n")
     );
     match &json {

@@ -90,7 +90,7 @@ impl Config {
             all
         } else {
             all.into_iter()
-                .filter(|b| self.ids.iter().any(|i| i == b.id))
+                .filter(|b| self.ids.contains(&b.id))
                 .collect()
         }
     }
@@ -181,9 +181,9 @@ pub struct Table1Row {
     /// Group label.
     pub group: &'static str,
     /// Benchmark id.
-    pub id: &'static str,
+    pub id: String,
     /// Benchmark name.
-    pub name: &'static str,
+    pub name: String,
     /// Spec count.
     pub specs: usize,
     /// Assert min/max.
@@ -258,8 +258,8 @@ pub fn table1_rows(cfg: &Config) -> Vec<Table1Row> {
             let asserts = (b.expected.asserts_min, b.expected.asserts_max);
             Table1Row {
                 group: b.group.label(),
-                id: b.id,
-                name: b.name,
+                id: b.id.clone(),
+                name: b.name.clone(),
                 specs: b.expected.specs,
                 asserts,
                 orig_paths: b.expected.orig_paths,
@@ -377,7 +377,7 @@ pub fn format_fig7(rows: &[Fig7Row]) -> String {
 #[derive(Clone, Debug)]
 pub struct Fig8Row {
     /// Benchmark id.
-    pub id: &'static str,
+    pub id: String,
     /// Median solve time per precision (Precise, Class, Purity); `None` =
     /// timeout.
     pub times: [Option<Duration>; 3],
@@ -397,7 +397,10 @@ pub fn fig8_rows(cfg: &Config) -> Vec<Fig8Row> {
                 let out = run_benchmark(b, Guidance::both(), p, timeout, cfg.cache);
                 out.succeeded().then_some(out.time)
             });
-            Fig8Row { id: b.id, times }
+            Fig8Row {
+                id: b.id.clone(),
+                times,
+            }
         })
         .collect()
 }
@@ -451,8 +454,10 @@ pub fn suite_jobs(
                 strategy: cfg.strategy,
                 ..(b.options)()
             };
-            // `b.build` is a plain fn pointer: cheap to move, shares nothing.
-            BatchJob::new(b.id, b.build, opts)
+            // `b.build` is a shared factory closure: cheap to move,
+            // shares no mutable state.
+            let id = b.id.clone();
+            BatchJob::new(id, move || (b.build)(), opts)
         })
         .collect()
 }
@@ -461,14 +466,74 @@ pub fn suite_jobs(
 /// cores, 1 means sequential job dispatch — intra-problem tasks still run
 /// at `cfg.intra` on extra pool threads).
 pub fn run_suite(cfg: &Config, threads: usize) -> BatchReport {
+    run_suite_on(cfg.benchmarks(), cfg, threads)
+}
+
+/// Like [`run_suite`] over an explicit benchmark list — the entry point
+/// for file-driven corpora (`solve --spec-dir`), where the benchmarks come
+/// from `.rbspec` files instead of the Rust registry.
+pub fn run_suite_on(benchmarks: Vec<Benchmark>, cfg: &Config, threads: usize) -> BatchReport {
     let jobs = suite_jobs(
-        cfg.benchmarks(),
+        benchmarks,
         Guidance::both(),
         EffectPrecision::Precise,
         cfg.timeout,
         cfg,
     );
     run_batch(&jobs, threads)
+}
+
+/// Process exit codes for synthesis outcomes, shared by `solve` and
+/// `speccheck` so scripts and CI can tell failure classes apart:
+/// `0` solved, `1` other failure, `2` usage error, `3` spec parse/lower
+/// error, `4` timeout, `5` search exhausted without a program.
+pub mod exit_codes {
+    use rbsyn_core::SynthError;
+
+    /// Everything synthesized (or, for `speccheck`, parsed) cleanly.
+    pub const OK: i32 = 0;
+    /// A failure outside the named classes (bad problem, panic, …).
+    pub const OTHER: i32 = 1;
+    /// Bad command line.
+    pub const USAGE: i32 = 2;
+    /// A `.rbspec` file failed to parse or lower.
+    pub const PARSE: i32 = 3;
+    /// Synthesis hit its deadline.
+    pub const TIMEOUT: i32 = 4;
+    /// The bounded search space was exhausted with no solution (no
+    /// per-spec solution, merge failure, or missing guard).
+    pub const NO_SOLUTION: i32 = 5;
+
+    /// The exit code for one synthesis error.
+    pub fn for_error(e: &SynthError) -> i32 {
+        match e {
+            SynthError::Timeout => TIMEOUT,
+            SynthError::NoSolution { .. } | SynthError::MergeFailed | SynthError::GuardNotFound => {
+                NO_SOLUTION
+            }
+            SynthError::BadProblem(_) => OTHER,
+        }
+    }
+
+    /// The exit code for a whole batch: `OK` when every job solved, else
+    /// the most specific failing class (timeout before no-solution before
+    /// other), so CI logs name the dominant failure.
+    pub fn for_batch(report: &rbsyn_core::BatchReport) -> i32 {
+        let codes: Vec<i32> = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err().map(for_error))
+            .collect();
+        if codes.is_empty() {
+            OK
+        } else if codes.contains(&TIMEOUT) {
+            TIMEOUT
+        } else if codes.contains(&NO_SOLUTION) {
+            NO_SOLUTION
+        } else {
+            OTHER
+        }
+    }
 }
 
 /// Renders a batch report's *deterministic* section: one line per job with
@@ -520,7 +585,9 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
     )
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in the hand-rolled JSON reports (the
+/// workspace is dependency-free, so there is no serde).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -544,6 +611,10 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
     out.push_str(&format!(
         "  \"jobs\": {}, \"threads\": {}, \"solved\": {}, \"timeouts\": {}, \"failures\": {},\n",
         s.jobs, s.threads, s.solved, s.timeouts, s.failures
+    ));
+    out.push_str(&format!(
+        "  \"exit_code\": {},\n",
+        exit_codes::for_batch(report)
     ));
     out.push_str(&format!(
         "  \"tested\": {}, \"expanded\": {}, \"popped\": {},\n",
@@ -576,7 +647,8 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
             // per-spec search time, `guard_secs` the merge-time guard
             // searches — no more single lumped total.
             Ok(r) => out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"status\": \"solved\", \"elapsed_secs\": {:.6}, \
+                "    {{\"id\": \"{}\", \"status\": \"solved\", \"exit_code\": 0, \
+                 \"elapsed_secs\": {:.6}, \
                  \"generate_secs\": {:.6}, \"guard_secs\": {:.6}, \
                  \"size\": {}, \"paths\": {}, \"tested\": {}, \"solution\": \"{}\"}}{sep}\n",
                 json_escape(&o.id),
@@ -589,10 +661,11 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
                 json_escape(&r.program.body.compact()),
             )),
             Err(e) => out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"status\": \"{}\", \"elapsed_secs\": {:.6}, \
-                 \"error\": \"{}\"}}{sep}\n",
+                "    {{\"id\": \"{}\", \"status\": \"{}\", \"exit_code\": {}, \
+                 \"elapsed_secs\": {:.6}, \"error\": \"{}\"}}{sep}\n",
                 json_escape(&o.id),
                 if o.timed_out() { "timeout" } else { "failed" },
+                exit_codes::for_error(e),
                 o.elapsed.as_secs_f64(),
                 json_escape(&e.to_string()),
             )),

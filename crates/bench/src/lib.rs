@@ -11,7 +11,7 @@
 pub mod harness;
 
 pub use harness::{
-    batch_stats_json, fig7_rows, fig8_rows, format_batch_solutions, format_batch_stats,
-    median_siqr, run_benchmark, run_suite, suite_jobs, table1_rows, Config, Fig7Row, Fig8Row,
-    RunOutcome, Table1Row,
+    batch_stats_json, exit_codes, fig7_rows, fig8_rows, format_batch_solutions, format_batch_stats,
+    median_siqr, run_benchmark, run_suite, run_suite_on, suite_jobs, table1_rows, Config, Fig7Row,
+    Fig8Row, RunOutcome, Table1Row,
 };

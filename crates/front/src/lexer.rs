@@ -1,0 +1,430 @@
+//! Hand-written lexer for `.rbspec` files.
+//!
+//! Newlines are insignificant (the statement grammar is unambiguous without
+//! them); `#` starts a comment running to end of line. Identifiers may end
+//! in `?` or `!` (Ruby method-name convention), and identifiers starting
+//! with an uppercase letter are *constants* (class names), matching Ruby's
+//! lexical rule.
+
+use crate::span::{Diagnostic, Span};
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Lowercase-led identifier or keyword (`model`, `spec`, `title`,
+    /// `exists?`, `use!`).
+    Ident(String),
+    /// Uppercase-led identifier: a class constant (`User`, `Str`,
+    /// `SiteSetting`).
+    Const(String),
+    /// Integer literal (optionally negative).
+    Int(i64),
+    /// Double-quoted string literal, escapes resolved.
+    Str(String),
+    /// Symbol literal `:name`.
+    Sym(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `:` (hash keys, field types; *not* part of symbol literals, which
+    /// the lexer folds into [`Tok::Sym`])
+    Colon,
+    /// `?` (optional-field marker in finite hash types)
+    Question,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `->`
+    Arrow,
+    /// `.`
+    Dot,
+    /// `!`
+    Bang,
+    /// `||`
+    OrOr,
+    /// `*` (effect paths `User.*`)
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable token name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Const(s) => format!("`{s}`"),
+            Tok::Int(i) => format!("`{i}`"),
+            Tok::Str(s) => format!("{s:?}"),
+            Tok::Sym(s) => format!("`:{s}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Question => "`?`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::OrOr => "`||`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Eof => "end of file".into(),
+        }
+    }
+}
+
+/// A token plus its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Lexes a whole source string.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on unterminated strings, stray characters and
+/// malformed escapes.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        // Decode a full character: a multi-byte byte cast to `char` would
+        // mis-decode and build spans that split UTF-8 boundaries.
+        let c = source[i..].chars().next().expect("in-bounds char");
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push(&mut toks, Tok::LParen, start, &mut i),
+            ')' => push(&mut toks, Tok::RParen, start, &mut i),
+            '{' => push(&mut toks, Tok::LBrace, start, &mut i),
+            '}' => push(&mut toks, Tok::RBrace, start, &mut i),
+            '[' => push(&mut toks, Tok::LBracket, start, &mut i),
+            ']' => push(&mut toks, Tok::RBracket, start, &mut i),
+            '<' => push(&mut toks, Tok::Lt, start, &mut i),
+            '>' => push(&mut toks, Tok::Gt, start, &mut i),
+            ',' => push(&mut toks, Tok::Comma, start, &mut i),
+            '?' => push(&mut toks, Tok::Question, start, &mut i),
+            '.' => push(&mut toks, Tok::Dot, start, &mut i),
+            '*' => push(&mut toks, Tok::Star, start, &mut i),
+            '!' => push(&mut toks, Tok::Bang, start, &mut i),
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    toks.push(Token {
+                        tok: Tok::EqEq,
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    push(&mut toks, Tok::Eq, start, &mut i);
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    toks.push(Token {
+                        tok: Tok::OrOr,
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    return Err(Diagnostic::new(
+                        "stray `|` (did you mean `||`?)",
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    toks.push(Token {
+                        tok: Tok::Arrow,
+                        span: Span::new(start, i),
+                    });
+                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    i += 1;
+                    let n = lex_int(source, &mut i, start, true)?;
+                    toks.push(Token {
+                        tok: Tok::Int(n),
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    return Err(Diagnostic::new(
+                        "stray `-` (only `->` and negative integer literals use it)",
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            ':' => {
+                // `:name` is a symbol literal; a bare `:` is the key/type
+                // separator.
+                if bytes
+                    .get(i + 1)
+                    .is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_')
+                {
+                    i += 1;
+                    let word = lex_word(source, &mut i);
+                    toks.push(Token {
+                        tok: Tok::Sym(word),
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    push(&mut toks, Tok::Colon, start, &mut i);
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    let Some(&b) = bytes.get(i) else {
+                        return Err(Diagnostic::new(
+                            "unterminated string literal",
+                            Span::new(start, source.len()),
+                        ));
+                    };
+                    match b {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = bytes.get(i + 1).copied();
+                            match esc {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                _ => {
+                                    return Err(Diagnostic::new(
+                                        "unknown escape (supported: \\\" \\\\ \\n \\t)",
+                                        Span::new(i, i + 2),
+                                    ))
+                                }
+                            }
+                            i += 2;
+                        }
+                        b'\n' => {
+                            return Err(Diagnostic::new(
+                                "unterminated string literal (newline before closing quote)",
+                                Span::new(start, i),
+                            ))
+                        }
+                        _ => {
+                            // Advance one whole character (strings may hold
+                            // multi-byte text, e.g. the `…` in benchmark
+                            // names).
+                            let ch = source[i..].chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_int(source, &mut i, start, false)?;
+                toks.push(Token {
+                    tok: Tok::Int(n),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let word = lex_word(source, &mut i);
+                let tok = if c.is_ascii_uppercase() {
+                    Tok::Const(word)
+                } else {
+                    Tok::Ident(word)
+                };
+                toks.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            other => {
+                return Err(Diagnostic::new(
+                    format!("unexpected character {other:?}"),
+                    Span::new(start, start + other.len_utf8()),
+                ));
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(toks)
+}
+
+fn push(toks: &mut Vec<Token>, tok: Tok, start: usize, i: &mut usize) {
+    *i += 1;
+    toks.push(Token {
+        tok,
+        span: Span::new(start, *i),
+    });
+}
+
+/// Lexes `[a-zA-Z0-9_]*[?!=]?` starting at `*i` (the caller has checked the
+/// first character). The optional trailing `?`/`!` follows Ruby method
+/// naming; a trailing `=` is *not* consumed (writer calls are parsed as
+/// assignment sugar instead).
+fn lex_word(source: &str, i: &mut usize) -> String {
+    let bytes = source.as_bytes();
+    let start = *i;
+    while *i < bytes.len() && (bytes[*i].is_ascii_alphanumeric() || bytes[*i] == b'_') {
+        *i += 1;
+    }
+    if *i < bytes.len() && (bytes[*i] == b'?' || bytes[*i] == b'!') {
+        *i += 1;
+    }
+    source[start..*i].to_owned()
+}
+
+fn lex_int(source: &str, i: &mut usize, start: usize, negative: bool) -> Result<i64, Diagnostic> {
+    let bytes = source.as_bytes();
+    let digits_start = *i;
+    while *i < bytes.len() && (bytes[*i].is_ascii_digit() || bytes[*i] == b'_') {
+        *i += 1;
+    }
+    let text: String = source[digits_start..*i]
+        .chars()
+        .filter(|c| *c != '_')
+        .collect();
+    let n: i64 = text
+        .parse()
+        .map_err(|_| Diagnostic::new("integer literal out of range", Span::new(start, *i)))?;
+    Ok(if negative { -n } else { n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn words_and_constants() {
+        assert_eq!(
+            kinds("model User exists? use! nil"),
+            vec![
+                Tok::Ident("model".into()),
+                Tok::Const("User".into()),
+                Tok::Ident("exists?".into()),
+                Tok::Ident("use!".into()),
+                Tok::Ident("nil".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols_vs_colons() {
+        assert_eq!(
+            kinds("title: :title"),
+            vec![
+                Tok::Ident("title".into()),
+                Tok::Colon,
+                Tok::Sym("title".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(
+            kinds(r#""a\"b" "User#clear_glob…""#),
+            vec![
+                Tok::Str("a\"b".into()),
+                Tok::Str("User#clear_glob…".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn stray_multibyte_characters_error_on_char_boundaries() {
+        // `…` is 3 bytes; the error span must cover the whole character,
+        // not split it (a split span makes diagnostic rendering panic).
+        let err = lex("ab …").unwrap_err();
+        assert_eq!(err.span, Span::new(3, 6));
+        assert!(
+            err.message.contains("unexpected character '…'"),
+            "{}",
+            err.message
+        );
+        // Rendering the diagnostic must not panic on the boundary.
+        let rendered = err.render("x.rbspec", "ab …");
+        assert!(rendered.contains("^"), "{rendered}");
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        assert_eq!(
+            kinds("-> == = || ! -5 2_000_000"),
+            vec![
+                Tok::Arrow,
+                Tok::EqEq,
+                Tok::Eq,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Int(-5),
+                Tok::Int(2_000_000),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a # comment == stray \" quote\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.span, Span::new(4, 5));
+        let err = lex("\"open").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Byte spans and rendered diagnostics.
+//!
+//! Every token, AST node and lowering error carries a [`Span`] into the
+//! original source; [`Diagnostic::render`] turns a span back into the
+//! `file:line:column` + source-excerpt form compilers print.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// 1-based line and column of a byte offset (columns count characters, so
+/// diagnostics stay aligned on multi-byte source).
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// A parse or lowering error anchored to a source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where (into the source the file was parsed from).
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders as `origin:line:col: message` followed by the offending
+    /// source line with a caret run under the spanned text.
+    pub fn render(&self, origin: &str, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start);
+        let mut out = format!("{origin}:{line}:{col}: error: {}\n", self.message);
+        // The full source line containing the span start.
+        let line_start = source[..self.span.start.min(source.len())]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let line_end = source[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(source.len());
+        let text = &source[line_start..line_end];
+        out.push_str(&format!("{line:>5} | {text}\n"));
+        // Both the padding and the caret run count *characters*, so the
+        // underline stays aligned over multi-byte source.
+        let span_start = self.span.start.min(source.len());
+        let caret_len = source[span_start..self.span.end.min(line_end).max(span_start)]
+            .chars()
+            .count()
+            .max(1);
+        let pad: usize = source[line_start..span_start].chars().count();
+        out.push_str(&format!(
+            "      | {}{}\n",
+            " ".repeat(pad),
+            "^".repeat(caret_len)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at bytes {}..{}",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+        assert_eq!(line_col(src, 999), (3, 3), "clamped to the end");
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let src = "model User do\n  nmae: Str\nend\n";
+        let d = Diagnostic::new("unknown type", Span::new(22, 25));
+        let r = d.render("x.rbspec", src);
+        assert!(r.starts_with("x.rbspec:2:9: error: unknown type\n"), "{r}");
+        assert!(r.contains("  nmae: Str"), "{r}");
+        assert!(r.contains("        ^^^"), "{r}");
+    }
+
+    #[test]
+    fn spans_join() {
+        assert_eq!(Span::new(3, 5).to(Span::new(9, 12)), Span::new(3, 12));
+    }
+
+    #[test]
+    fn carets_count_characters_not_bytes() {
+        // `é` is two bytes; the span covers `éé` (4 bytes, 2 chars) after
+        // a 2-char prefix — expect 2 spaces of padding and 2 carets.
+        let src = "ab\u{e9}\u{e9}cd";
+        let d = Diagnostic::new("boom", Span::new(2, 6));
+        let r = d.render("x", src);
+        assert!(r.contains("\n      |   ^^\n"), "{r}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Round-trip properties of the pretty-printer: pretty-print a parsed (and
+//! lowered) file, reparse it, and the result must lower identically.
+//!
+//! Two flavours:
+//! * the whole `benchmarks/` corpus (real files, every construct the suite
+//!   uses);
+//! * proptest-generated random spec files (adversarial shapes: operator
+//!   nesting that needs parentheses, writer sugar, empty arg lists, …).
+
+use proptest::prelude::*;
+use rbsyn_front::ast::*;
+use rbsyn_front::span::Span;
+use rbsyn_front::{lower, parse, to_rbspec};
+use std::path::Path;
+
+/// Lowers and fingerprints a file: problem AST + environment fingerprint.
+fn lowered_signature(file: &SpecFile) -> (String, u128) {
+    let l = lower(file).expect("must lower");
+    (format!("{:?}", l.problem), l.env.table.fingerprint())
+}
+
+#[test]
+fn corpus_files_round_trip() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks"));
+    let mut checked = 0;
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rbspec"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse(&src).unwrap_or_else(|d| panic!("{}: {d}", path.display()));
+        let printed = to_rbspec(&parsed);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|d| panic!("{}: reparse failed: {d}\n{printed}", path.display()));
+        assert_eq!(
+            lowered_signature(&parsed),
+            lowered_signature(&reparsed),
+            "{}: pretty-print → reparse changed the lowering",
+            path.display()
+        );
+        // The printer is a fixpoint: printing the reparse is identical.
+        assert_eq!(
+            printed,
+            to_rbspec(&reparsed),
+            "{}: printer is not a fixpoint",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 19, "only {checked} corpus files checked");
+}
+
+// ── random spec files ───────────────────────────────────────────────────
+
+fn sp() -> Span {
+    Span::default()
+}
+
+fn node(kind: ExprKind) -> ExprNode {
+    ExprNode { kind, span: sp() }
+}
+
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        Just(Lit::Nil),
+        any::<bool>().prop_map(Lit::Bool),
+        any::<i32>().prop_map(|i| Lit::Int(i as i64)),
+        "[ -~]{0,8}".prop_map(Lit::Str),
+        "[a-z][a-z0-9_]{0,5}".prop_map(Lit::Sym),
+    ]
+}
+
+/// Random expressions over a fixed scope: the model `Post`, the variables
+/// `updated` and `x`, and literals. Covers every operator the printer must
+/// re-parenthesize.
+fn arb_expr() -> impl Strategy<Value = ExprNode> {
+    let leaf = prop_oneof![
+        arb_lit().prop_map(|l| node(ExprKind::Lit(l))),
+        Just(node(ExprKind::Var("updated".into()))),
+        Just(node(ExprKind::Var("x".into()))),
+        Just(node(ExprKind::ClassRef("Post".into()))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            // recv.m(args…) — plain names plus the ?/! suffix forms and the
+            // infix-rendered `==`/`[]`/writer forms.
+            (
+                inner.clone(),
+                prop_oneof![
+                    "[a-z][a-z0-9_]{0,5}".boxed(),
+                    "[a-z][a-z0-9_]{0,4}[?!]".boxed(),
+                    Just("==".to_owned()).boxed(),
+                    Just("[]".to_owned()).boxed(),
+                    Just("title=".to_owned()).boxed(),
+                ],
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(r, m, mut a)| {
+                    // `==`, `[]` and writers are unary in the surface
+                    // syntax; pad/trim the argument list to fit.
+                    if m == "==" || m == "[]" || m.ends_with('=') {
+                        a.truncate(1);
+                        if a.is_empty() {
+                            a.push(node(ExprKind::Lit(Lit::Int(0))));
+                        }
+                    }
+                    node(ExprKind::Call {
+                        recv: Box::new(r),
+                        meth: m,
+                        args: a,
+                    })
+                }),
+            prop::collection::vec(("[a-z][a-z0-9_]{0,4}", inner.clone()), 0..3).prop_map(
+                |entries| {
+                    let mut seen = std::collections::HashSet::new();
+                    node(ExprKind::HashLit(
+                        entries
+                            .into_iter()
+                            .filter(|(k, _)| seen.insert(k.clone()))
+                            .map(|(k, v)| (k, sp(), v))
+                            .collect(),
+                    ))
+                }
+            ),
+            inner.clone().prop_map(|e| node(ExprKind::Not(Box::new(e)))),
+            (inner.clone(), inner).prop_map(|(a, b)| node(ExprKind::Or(Box::new(a), Box::new(b)))),
+        ]
+    })
+}
+
+/// A random (valid) spec file over one `Post` model: a bind of `x`, the
+/// target call, and a couple of assertions built from random expressions.
+fn arb_file() -> impl Strategy<Value = SpecFile> {
+    (
+        arb_expr(),
+        prop::collection::vec(arb_expr(), 1..4),
+        prop::collection::vec(arb_expr(), 0..3),
+    )
+        .prop_map(|(bind_value, asserts, target_args)| SpecFile {
+            meta: None,
+            decls: vec![Decl::Model(ModelDecl {
+                name: "Post".into(),
+                name_span: sp(),
+                writers: true,
+                fields: vec![FieldDecl {
+                    name: "title".into(),
+                    name_span: sp(),
+                    ty: TypeExpr {
+                        kind: TypeKind::Named("Str".into()),
+                        span: sp(),
+                    },
+                }],
+            })],
+            options: vec![],
+            define: Define {
+                name: "m".into(),
+                name_span: sp(),
+                params: vec![ParamDecl {
+                    name: "arg0".into(),
+                    name_span: sp(),
+                    ty: TypeExpr {
+                        kind: TypeKind::Named("Str".into()),
+                        span: sp(),
+                    },
+                }],
+                ret: TypeExpr {
+                    kind: TypeKind::Named("Bool".into()),
+                    span: sp(),
+                },
+                consts: vec![ConstItem {
+                    kind: ConstKind::Base,
+                    span: sp(),
+                }],
+                specs: vec![SpecBlock {
+                    title: "generated".into(),
+                    title_span: sp(),
+                    stmts: {
+                        // `x` must be bound before any expression uses it;
+                        // the bind's own value must not reference `x` or
+                        // `updated`.
+                        let mut stmts = vec![Stmt::Bind {
+                            name: "x".into(),
+                            name_span: sp(),
+                            value: strip_vars(bind_value),
+                        }];
+                        stmts.push(Stmt::Target {
+                            bind: "updated".into(),
+                            args: target_args.into_iter().map(strip_updated).collect(),
+                            span: sp(),
+                        });
+                        stmts.extend(asserts.into_iter().map(|e| Stmt::Assert(e, sp())));
+                        stmts
+                    },
+                    span: sp(),
+                }],
+                span: sp(),
+            },
+        })
+}
+
+/// Replaces variable references with a literal (for positions where the
+/// variable is not yet in scope).
+fn strip_vars(e: ExprNode) -> ExprNode {
+    map_expr(e, &|kind| match kind {
+        ExprKind::Var(_) => ExprKind::Lit(Lit::Int(1)),
+        other => other,
+    })
+}
+
+/// Replaces `updated` (bound only after the target call) with `x`.
+fn strip_updated(e: ExprNode) -> ExprNode {
+    map_expr(e, &|kind| match kind {
+        ExprKind::Var(v) if v == "updated" => ExprKind::Var("x".into()),
+        other => other,
+    })
+}
+
+fn map_expr(e: ExprNode, f: &dyn Fn(ExprKind) -> ExprKind) -> ExprNode {
+    let kind = match e.kind {
+        ExprKind::Call { recv, meth, args } => ExprKind::Call {
+            recv: Box::new(map_expr(*recv, f)),
+            meth,
+            args: args.into_iter().map(|a| map_expr(a, f)).collect(),
+        },
+        ExprKind::HashLit(entries) => ExprKind::HashLit(
+            entries
+                .into_iter()
+                .map(|(k, s, v)| (k, s, map_expr(v, f)))
+                .collect(),
+        ),
+        ExprKind::Not(inner) => ExprKind::Not(Box::new(map_expr(*inner, f))),
+        ExprKind::Or(a, b) => ExprKind::Or(Box::new(map_expr(*a, f)), Box::new(map_expr(*b, f))),
+        other => other,
+    };
+    map_leaf(node_with(kind, e.span), f)
+}
+
+fn node_with(kind: ExprKind, span: Span) -> ExprNode {
+    ExprNode { kind, span }
+}
+
+fn map_leaf(e: ExprNode, f: &dyn Fn(ExprKind) -> ExprKind) -> ExprNode {
+    match &e.kind {
+        ExprKind::Var(_) | ExprKind::Lit(_) | ExprKind::ClassRef(_) => ExprNode {
+            kind: f(e.kind.clone()),
+            span: e.span,
+        },
+        _ => e,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn generated_files_round_trip(file in arb_file()) {
+        let printed = to_rbspec(&file);
+        let reparsed = match parse(&printed) {
+            Ok(f) => f,
+            Err(d) => panic!("reparse failed: {d}\n--- printed ---\n{printed}"),
+        };
+        // The generated AST lowers (all names resolve by construction)…
+        let sig = lowered_signature(&file);
+        // …and the reparse of its pretty-print lowers to the same problem.
+        prop_assert_eq!(&sig, &lowered_signature(&reparsed),
+            "pretty-print → reparse changed the lowering:\n{}", printed);
+        // Printer fixpoint.
+        prop_assert_eq!(printed.clone(), to_rbspec(&reparsed), "printer not a fixpoint");
+    }
+}

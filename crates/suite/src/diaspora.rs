@@ -11,6 +11,7 @@ use rbsyn_interp::{InterpEnv, SetupStep, Spec};
 use rbsyn_lang::builder::*;
 use rbsyn_lang::{ClassId, Ty, Value};
 use rbsyn_stdlib::EnvBuilder;
+use std::sync::Arc;
 
 struct DiasporaEnv {
     b: EnvBuilder,
@@ -308,11 +309,11 @@ fn a12() -> (InterpEnv, SynthesisProblem) {
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark {
-            id: "A9",
+            id: "A9".into(),
             group: Group::Diaspora,
-            name: "Pod#schedule_…",
-            build: a9,
-            options: Options::default,
+            name: "Pod#schedule_…".into(),
+            build: Arc::new(a9),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 3,
                 asserts_min: 1,
@@ -321,11 +322,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A10",
+            id: "A10".into(),
             group: Group::Diaspora,
-            name: "User#process_inv…",
-            build: a10,
-            options: Options::default,
+            name: "User#process_inv…".into(),
+            build: Arc::new(a10),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 2,
@@ -334,11 +335,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A11",
+            id: "A11".into(),
             group: Group::Diaspora,
-            name: "InvitationCode#use!",
-            build: a11,
-            options: Options::default,
+            name: "InvitationCode#use!".into(),
+            build: Arc::new(a11),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 1,
@@ -347,14 +348,14 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A12",
+            id: "A12".into(),
             group: Group::Diaspora,
-            name: "User#confirm_email",
-            build: a12,
-            options: || Options {
+            name: "User#confirm_email".into(),
+            build: Arc::new(a12),
+            options: Arc::new(|| Options {
                 max_size: 40,
                 ..Options::default()
-            },
+            }),
             expected: Expected {
                 specs: 7,
                 asserts_min: 4,

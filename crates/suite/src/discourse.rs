@@ -13,6 +13,7 @@ use rbsyn_interp::{InterpEnv, SetupStep, Spec};
 use rbsyn_lang::builder::*;
 use rbsyn_lang::{ClassId, Expr, Ty, Value};
 use rbsyn_stdlib::EnvBuilder;
+use std::sync::Arc;
 
 /// The Discourse environment: a `User` model and the `SiteSetting` global.
 fn discourse_env() -> (EnvBuilder, ClassId, ClassId) {
@@ -310,11 +311,11 @@ fn a4() -> (InterpEnv, SynthesisProblem) {
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark {
-            id: "A1",
+            id: "A1".into(),
             group: Group::Discourse,
-            name: "User#clear_glob…",
-            build: a1,
-            options: Options::default,
+            name: "User#clear_glob…".into(),
+            build: Arc::new(a1),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 3,
                 asserts_min: 2,
@@ -323,11 +324,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A2",
+            id: "A2".into(),
             group: Group::Discourse,
-            name: "User#activate",
-            build: a2,
-            options: Options::default,
+            name: "User#activate".into(),
+            build: Arc::new(a2),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 2,
                 asserts_min: 1,
@@ -336,11 +337,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A3",
+            id: "A3".into(),
             group: Group::Discourse,
-            name: "User#unstage",
-            build: a3,
-            options: Options::default,
+            name: "User#unstage".into(),
+            build: Arc::new(a3),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 3,
                 asserts_min: 1,
@@ -349,11 +350,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A4",
+            id: "A4".into(),
             group: Group::Discourse,
-            name: "User#check_site…",
-            build: a4,
-            options: Options::default,
+            name: "User#check_site…".into(),
+            build: Arc::new(a4),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 5,
                 asserts_min: 1,

@@ -13,6 +13,7 @@ use rbsyn_interp::{InterpEnv, SetupStep, Spec};
 use rbsyn_lang::builder::*;
 use rbsyn_lang::{ClassId, Ty, Value};
 use rbsyn_stdlib::EnvBuilder;
+use std::sync::Arc;
 
 struct GitlabEnv {
     b: EnvBuilder,
@@ -261,11 +262,11 @@ fn a8() -> (InterpEnv, SynthesisProblem) {
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark {
-            id: "A5",
+            id: "A5".into(),
             group: Group::Gitlab,
-            name: "Discussion#build",
-            build: a5,
-            options: Options::default,
+            name: "Discussion#build".into(),
+            build: Arc::new(a5),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 4,
@@ -274,14 +275,14 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A6",
+            id: "A6".into(),
             group: Group::Gitlab,
-            name: "User#disable_two…",
-            build: a6,
-            options: || Options {
+            name: "User#disable_two…".into(),
+            build: Arc::new(a6),
+            options: Arc::new(|| Options {
                 max_size: 44,
                 ..Options::default()
-            },
+            }),
             expected: Expected {
                 specs: 1,
                 asserts_min: 10,
@@ -290,11 +291,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A7",
+            id: "A7".into(),
             group: Group::Gitlab,
-            name: "Issue#close",
-            build: a7,
-            options: Options::default,
+            name: "Issue#close".into(),
+            build: Arc::new(a7),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 3,
@@ -303,11 +304,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "A8",
+            id: "A8".into(),
             group: Group::Gitlab,
-            name: "Issue#reopen",
-            build: a8,
-            options: Options::default,
+            name: "Issue#reopen".into(),
+            build: Arc::new(a8),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 5,

@@ -20,4 +20,6 @@ pub mod helpers;
 pub mod registry;
 pub mod synthetic;
 
-pub use registry::{all_benchmarks, benchmark, Benchmark, Expected, Group};
+pub use registry::{
+    all_benchmarks, benchmark, benchmarks_from_dir, Benchmark, BuildFn, Expected, Group, OptionsFn,
+};

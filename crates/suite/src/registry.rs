@@ -1,7 +1,24 @@
 //! Benchmark registry and metadata.
+//!
+//! Benchmarks come from two sources that produce the identical
+//! [`Benchmark`] shape:
+//!
+//! * the **Rust registry** — the hand-written builders in
+//!   [`crate::synthetic`], [`crate::discourse`], [`crate::gitlab`] and
+//!   [`crate::diaspora`] ([`all_benchmarks`]);
+//! * **`.rbspec` corpus files** — parsed and lowered by `rbsyn-front`
+//!   ([`benchmarks_from_dir`]), the file-driven path `solve --spec-dir`
+//!   uses.
+//!
+//! A CI diff gate keeps the two in lockstep: every corpus file must lower
+//! to a problem byte-identical to its Rust twin (see
+//! `tests/rbspec_fidelity.rs`).
 
 use rbsyn_core::{Options, SynthesisProblem};
+use rbsyn_front::LoadedSpec;
 use rbsyn_interp::InterpEnv;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Benchmark group (Table 1's first column).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -26,11 +43,23 @@ impl Group {
             Group::Diaspora => "Diaspora",
         }
     }
+
+    /// Parses a group name (the `group:` value of a `.rbspec` metadata
+    /// block).
+    pub fn parse(s: &str) -> Option<Group> {
+        match s {
+            "Synthetic" => Some(Group::Synthetic),
+            "Discourse" => Some(Group::Discourse),
+            "Gitlab" => Some(Group::Gitlab),
+            "Diaspora" => Some(Group::Diaspora),
+            _ => None,
+        }
+    }
 }
 
 /// The statistics Table 1 reports for a benchmark, used by the harness for
 /// the static columns and by tests as a cross-check.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Expected {
     /// Number of specs (after merging same-setup unit tests).
     pub specs: usize,
@@ -42,20 +71,28 @@ pub struct Expected {
     pub orig_paths: usize,
 }
 
-/// One benchmark: metadata plus a builder for a fresh run.
+/// Builds a fresh environment + problem (environments are cheap to rebuild
+/// and must not leak state between runs).
+pub type BuildFn = Arc<dyn Fn() -> (InterpEnv, SynthesisProblem) + Send + Sync>;
+
+/// Builds the benchmark's default options (size bounds and the like;
+/// guidance, precision and timeout are overridden by the harness).
+pub type OptionsFn = Arc<dyn Fn() -> Options + Send + Sync>;
+
+/// One benchmark: metadata plus builders for a fresh run.
+#[derive(Clone)]
 pub struct Benchmark {
-    /// Table 1 id (`S1`…`S7`, `A1`…`A12`).
-    pub id: &'static str,
+    /// Table 1 id (`S1`…`S7`, `A1`…`A12`) or, for corpus files without
+    /// metadata, the file stem.
+    pub id: String,
     /// Group.
     pub group: Group,
     /// Human-readable name.
-    pub name: &'static str,
-    /// Builds a fresh environment + problem (environments are cheap to
-    /// rebuild and must not leak state between runs).
-    pub build: fn() -> (InterpEnv, SynthesisProblem),
-    /// Default options tuned for the benchmark (size bounds). Guidance,
-    /// precision and timeout are overridden by the harness.
-    pub options: fn() -> Options,
+    pub name: String,
+    /// Environment + problem factory.
+    pub build: BuildFn,
+    /// Default-options factory.
+    pub options: OptionsFn,
     /// Paper-reported statistics.
     pub expected: Expected,
 }
@@ -66,6 +103,53 @@ impl Benchmark {
     pub fn lib_method_count(&self) -> usize {
         let (env, _) = (self.build)();
         env.table.search_visible_count()
+    }
+
+    /// Builds a benchmark from a loaded `.rbspec` file: id/group/name come
+    /// from the metadata block (with file-stem/`Synthetic` fallbacks),
+    /// `Expected` spec and assertion counts are derived from the lowered
+    /// problem, and the build closure re-lowers the parsed AST so every
+    /// run gets a fresh environment, exactly like the Rust builders.
+    pub fn from_spec(spec: LoadedSpec) -> Benchmark {
+        let id = spec.id();
+        let group = spec
+            .lowered
+            .group
+            .as_deref()
+            .and_then(Group::parse)
+            .unwrap_or(Group::Synthetic);
+        let name = spec
+            .lowered
+            .display_name
+            .clone()
+            .unwrap_or_else(|| spec.lowered.problem.name.clone());
+        let assert_counts: Vec<usize> = spec
+            .lowered
+            .problem
+            .specs
+            .iter()
+            .map(|s| s.asserts.len())
+            .collect();
+        let expected = Expected {
+            specs: assert_counts.len(),
+            asserts_min: assert_counts.iter().copied().min().unwrap_or(0),
+            asserts_max: assert_counts.iter().copied().max().unwrap_or(0),
+            orig_paths: spec.lowered.orig_paths,
+        };
+        let options = spec.lowered.options.clone();
+        let file = Arc::clone(&spec.file);
+        Benchmark {
+            id,
+            group,
+            name,
+            build: Arc::new(move || {
+                let lowered =
+                    rbsyn_front::lower(&file).expect("re-lowering a validated file succeeds");
+                (lowered.env, lowered.problem)
+            }),
+            options: Arc::new(move || options.clone()),
+            expected,
+        }
     }
 }
 
@@ -83,6 +167,44 @@ pub fn benchmark(id: &str) -> Option<Benchmark> {
     all_benchmarks().into_iter().find(|b| b.id == id)
 }
 
+/// Sort key reproducing Table 1 order for corpus files: `S*` rows first,
+/// then `A*`, each numerically; anything else after, alphabetically.
+fn table1_order(id: &str) -> (u8, u64, String) {
+    let numbered =
+        |prefix: char| -> Option<u64> { id.strip_prefix(prefix).and_then(|n| n.parse().ok()) };
+    if let Some(n) = numbered('S') {
+        (0, n, String::new())
+    } else if let Some(n) = numbered('A') {
+        (1, n, String::new())
+    } else {
+        (2, 0, id.to_owned())
+    }
+}
+
+/// Loads every `.rbspec` file of a corpus directory as [`Benchmark`]s, in
+/// Table 1 order — the file-backed twin of [`all_benchmarks`].
+///
+/// # Errors
+///
+/// Returns the concatenated rendered diagnostics of every file that fails
+/// to parse or lower, or an error for an unreadable/empty directory.
+pub fn benchmarks_from_dir(dir: &Path) -> Result<Vec<Benchmark>, String> {
+    let specs = rbsyn_front::load_dir(dir)?;
+    let mut v: Vec<Benchmark> = specs.into_iter().map(Benchmark::from_spec).collect();
+    let mut seen = std::collections::HashSet::new();
+    for b in &v {
+        if !seen.insert(b.id.clone()) {
+            return Err(format!(
+                "{}: duplicate benchmark id {:?} in the corpus",
+                dir.display(),
+                b.id
+            ));
+        }
+    }
+    v.sort_by_key(|b| table1_order(&b.id));
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,7 +213,7 @@ mod tests {
     fn registry_has_all_nineteen() {
         let all = all_benchmarks();
         assert_eq!(all.len(), 19);
-        let ids: Vec<&str> = all.iter().map(|b| b.id).collect();
+        let ids: Vec<&str> = all.iter().map(|b| b.id.as_str()).collect();
         for want in ["S1", "S7", "A1", "A4", "A5", "A8", "A9", "A12"] {
             assert!(ids.contains(&want), "missing {want}");
         }
@@ -131,5 +253,25 @@ mod tests {
             let n = b.lib_method_count();
             assert!(n >= 100, "{}: only {n} search-visible methods", b.id);
         }
+    }
+
+    #[test]
+    fn groups_round_trip_through_names() {
+        for g in [
+            Group::Synthetic,
+            Group::Discourse,
+            Group::Gitlab,
+            Group::Diaspora,
+        ] {
+            assert_eq!(Group::parse(g.label()), Some(g));
+        }
+        assert_eq!(Group::parse("Unknown"), None);
+    }
+
+    #[test]
+    fn table1_order_matches_the_paper() {
+        let mut ids = vec!["A2", "S1", "A12", "A1", "S7", "custom"];
+        ids.sort_by_key(|i| table1_order(i));
+        assert_eq!(ids, ["S1", "S7", "A1", "A2", "A12", "custom"]);
     }
 }

@@ -10,6 +10,7 @@ use rbsyn_lang::builder::*;
 use rbsyn_lang::types::HashField;
 use rbsyn_lang::{ClassId, FiniteHash, Ty, Value};
 use rbsyn_stdlib::EnvBuilder;
+use std::sync::Arc;
 
 /// The overview blog environment: `User` and `Post` models.
 pub fn blog_env() -> (EnvBuilder, ClassId, ClassId) {
@@ -332,11 +333,11 @@ impl FromBool for Expr {
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark {
-            id: "S1",
+            id: "S1".into(),
             group: Group::Synthetic,
-            name: "lvar",
-            build: s1,
-            options: Options::default,
+            name: "lvar".into(),
+            build: Arc::new(s1),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 1,
@@ -345,11 +346,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "S2",
+            id: "S2".into(),
             group: Group::Synthetic,
-            name: "false",
-            build: s2,
-            options: Options::default,
+            name: "false".into(),
+            build: Arc::new(s2),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 1,
                 asserts_min: 1,
@@ -358,11 +359,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "S3",
+            id: "S3".into(),
             group: Group::Synthetic,
-            name: "method chains",
-            build: s3,
-            options: Options::default,
+            name: "method chains".into(),
+            build: Arc::new(s3),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 2,
                 asserts_min: 1,
@@ -371,11 +372,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "S4",
+            id: "S4".into(),
             group: Group::Synthetic,
-            name: "user exists",
-            build: s4,
-            options: Options::default,
+            name: "user exists".into(),
+            build: Arc::new(s4),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 2,
                 asserts_min: 1,
@@ -384,11 +385,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "S5",
+            id: "S5".into(),
             group: Group::Synthetic,
-            name: "branching",
-            build: s5,
-            options: Options::default,
+            name: "branching".into(),
+            build: Arc::new(s5),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 3,
                 asserts_min: 1,
@@ -397,14 +398,14 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "S6",
+            id: "S6".into(),
             group: Group::Synthetic,
-            name: "overview (ext)",
-            build: s6,
-            options: || Options {
+            name: "overview (ext)".into(),
+            build: Arc::new(s6),
+            options: Arc::new(|| Options {
                 max_size: 48,
                 ..Options::default()
-            },
+            }),
             expected: Expected {
                 specs: 3,
                 asserts_min: 4,
@@ -413,11 +414,11 @@ pub fn benchmarks() -> Vec<Benchmark> {
             },
         },
         Benchmark {
-            id: "S7",
+            id: "S7".into(),
             group: Group::Synthetic,
-            name: "fold branches",
-            build: s7,
-            options: Options::default,
+            name: "fold branches".into(),
+            build: Arc::new(s7),
+            options: Arc::new(Options::default),
             expected: Expected {
                 specs: 3,
                 asserts_min: 1,

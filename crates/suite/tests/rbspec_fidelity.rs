@@ -1,0 +1,119 @@
+//! Registry-fidelity diff gate: every `.rbspec` corpus file must lower to
+//! exactly the problem its Rust-built registry twin produces.
+//!
+//! "Exactly" means: equal problem ASTs (compared via `Debug`, which
+//! includes class ids, so any drift in declaration order shows up),
+//! equal environment fingerprints, equal options and equal Table 1
+//! metadata. A fast subset is synthesized end-to-end from both sources
+//! and must produce byte-identical programs; CI runs the same check over
+//! all 19 via `solve --all` vs `solve --all --spec-dir benchmarks`.
+
+use rbsyn_core::{Options, Synthesizer};
+use rbsyn_suite::{all_benchmarks, benchmarks_from_dir, Benchmark};
+use std::path::Path;
+use std::time::Duration;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks"))
+}
+
+fn corpus() -> Vec<Benchmark> {
+    benchmarks_from_dir(corpus_dir()).unwrap_or_else(|e| panic!("corpus must load:\n{e}"))
+}
+
+#[test]
+fn corpus_covers_the_whole_registry_in_order() {
+    let registry = all_benchmarks();
+    let files = corpus();
+    let registry_ids: Vec<&str> = registry.iter().map(|b| b.id.as_str()).collect();
+    let file_ids: Vec<&str> = files.iter().map(|b| b.id.as_str()).collect();
+    assert_eq!(
+        file_ids, registry_ids,
+        "corpus ids must match Table 1 order"
+    );
+}
+
+#[test]
+fn every_corpus_file_lowers_to_its_registry_twin() {
+    let registry = all_benchmarks();
+    for file_bench in corpus() {
+        let reg = registry
+            .iter()
+            .find(|b| b.id == file_bench.id)
+            .unwrap_or_else(|| panic!("{} has no registry twin", file_bench.id));
+
+        // Metadata and Table 1 statistics.
+        assert_eq!(file_bench.group, reg.group, "{} group", reg.id);
+        assert_eq!(file_bench.name, reg.name, "{} name", reg.id);
+        assert_eq!(
+            file_bench.expected, reg.expected,
+            "{} expected stats",
+            reg.id
+        );
+
+        // Options (no PartialEq on Options; Debug covers every field).
+        assert_eq!(
+            format!("{:?}", (file_bench.options)()),
+            format!("{:?}", (reg.options)()),
+            "{} options",
+            reg.id
+        );
+
+        // The problem, structurally: Debug includes param types, return
+        // type, every setup step / assertion expression, and the Σ
+        // constants (class ids included — declaration-order drift fails).
+        let (file_env, file_problem) = (file_bench.build)();
+        let (reg_env, reg_problem) = (reg.build)();
+        assert_eq!(
+            format!("{file_problem:#?}"),
+            format!("{reg_problem:#?}"),
+            "{} problem",
+            reg.id
+        );
+
+        // The environment: class table fingerprint covers the hierarchy,
+        // schemas, method signatures with effects, and precision.
+        assert_eq!(
+            file_env.table.fingerprint(),
+            reg_env.table.fingerprint(),
+            "{} environment fingerprint",
+            reg.id
+        );
+        assert_eq!(
+            file_env.table.search_visible_count(),
+            reg_env.table.search_visible_count(),
+            "{} search-visible method count",
+            reg.id
+        );
+    }
+}
+
+/// End-to-end: a fast subset synthesized from files must produce programs
+/// byte-identical to the registry run (the full 19 run in CI's diff gate).
+#[test]
+fn fast_subset_synthesizes_identically_from_files() {
+    let registry = all_benchmarks();
+    for file_bench in corpus() {
+        if !["S1", "S2", "S3", "A11"].contains(&file_bench.id.as_str()) {
+            continue;
+        }
+        let reg = registry.iter().find(|b| b.id == file_bench.id).unwrap();
+        let solve = |b: &Benchmark| -> String {
+            let (env, problem) = (b.build)();
+            let opts = Options {
+                timeout: Some(Duration::from_secs(60)),
+                ..(b.options)()
+            };
+            let out = Synthesizer::new(env, problem, opts)
+                .run()
+                .unwrap_or_else(|e| panic!("{} must synthesize: {e}", b.id));
+            format!("{}\n(tested {})", out.program, out.stats.search.tested)
+        };
+        assert_eq!(
+            solve(&file_bench),
+            solve(reg),
+            "{}: file-driven and registry programs must be byte-identical",
+            file_bench.id
+        );
+    }
+}

@@ -14,12 +14,15 @@
 //! * [`sat`] — DPLL SAT solver for branch-condition implications;
 //! * [`stdlib`] — the annotated "Ruby core + ActiveRecord" library;
 //! * [`core`] — the synthesizer itself (goals, search, merging);
-//! * [`suite`] — the 19 evaluation benchmarks of the paper.
+//! * [`front`] — the textual `.rbspec` frontend (problems as data);
+//! * [`suite`] — the 19 evaluation benchmarks of the paper, buildable
+//!   from the Rust registry or from `benchmarks/*.rbspec`.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use rbsyn_core as core;
 pub use rbsyn_db as db;
+pub use rbsyn_front as front;
 pub use rbsyn_interp as interp;
 pub use rbsyn_lang as lang;
 pub use rbsyn_sat as sat;
