@@ -60,6 +60,10 @@ struct Cli {
     /// `--no-cache`: disable the memoized search (A/B escape hatch; the
     /// deterministic output section must be byte-identical either way).
     no_cache: bool,
+    /// `--no-obs-equiv`: disable observational-equivalence pruning (A/B
+    /// escape hatch; programs must be byte-identical either way, while the
+    /// effort counters legitimately shrink with pruning on).
+    no_obs_equiv: bool,
     /// `--intra`, when given (overrides `RBSYN_INTRA`).
     intra: Option<usize>,
     /// `--strategy`, when given (overrides `RBSYN_STRATEGY`).
@@ -79,7 +83,8 @@ fn usage() -> ! {
          solve --spec FILE.rbspec [--timeout SECS] [--intra N] [--strategy paper|cost] \
          [--json PATH]\n       \
          solve --all [--spec-dir DIR] [--parallel N] [--intra N] [--strategy paper|cost] \
-         [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--json PATH]"
+         [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--no-obs-equiv] \
+         [--json PATH]"
     );
     std::process::exit(exit_codes::USAGE);
 }
@@ -92,6 +97,7 @@ fn parse_cli() -> Cli {
         ids: None,
         timeout: None,
         no_cache: false,
+        no_obs_equiv: false,
         intra: None,
         strategy: None,
         spec: None,
@@ -137,6 +143,7 @@ fn parse_cli() -> Cli {
                 ))
             }
             "--no-cache" => cli.no_cache = true,
+            "--no-obs-equiv" => cli.no_obs_equiv = true,
             "--intra" => cli.intra = Some(value("--intra").parse().unwrap_or_else(|_| usage())),
             "--strategy" => {
                 let name = value("--strategy");
@@ -219,6 +226,9 @@ fn run_one(
     if cli.no_cache {
         opts.cache = false;
     }
+    if cli.no_obs_equiv {
+        opts.obs_equiv = false;
+    }
     if let Some(intra) = cli.intra {
         opts.intra_parallelism = intra;
     }
@@ -228,22 +238,38 @@ fn run_one(
     match Synthesizer::new(env, problem, opts).run() {
         Ok(r) => {
             println!(
-                "{label} ({display}) solved in {:?} — {} candidates tested, size {}, paths {}",
+                "{label} ({display}) solved in {:?} — {} candidates tested ({} obs-pruned), \
+                 size {}, paths {}",
                 r.stats.elapsed,
                 r.stats.search.tested,
+                r.stats.search.obs_pruned,
                 r.stats.solution_size,
                 r.stats.solution_paths
+            );
+            println!(
+                "phases: generate {:.2}s | guard {:.2}s | eval {:.2}s",
+                r.stats.generate_time.as_secs_f64(),
+                r.stats.guard_time.as_secs_f64(),
+                r.stats.search.eval_nanos as f64 / 1e9,
             );
             println!("{}", r.program);
             if let Some(path) = &cli.json {
                 let json = format!(
                     "{{\"id\": \"{}\", \"status\": \"solved\", \"exit_code\": 0, \
-                     \"elapsed_secs\": {:.6}, \"size\": {}, \"paths\": {}, \"tested\": {}}}\n",
+                     \"elapsed_secs\": {:.6}, \"generate_secs\": {:.6}, \
+                     \"guard_secs\": {:.6}, \"eval_secs\": {:.6}, \
+                     \"size\": {}, \"paths\": {}, \"tested\": {}, \"obs_pruned\": {}, \
+                     \"vector_hits\": {}}}\n",
                     json_escape(label),
                     r.stats.elapsed.as_secs_f64(),
+                    r.stats.generate_time.as_secs_f64(),
+                    r.stats.guard_time.as_secs_f64(),
+                    r.stats.search.eval_nanos as f64 / 1e9,
                     r.stats.solution_size,
                     r.stats.solution_paths,
                     r.stats.search.tested,
+                    r.stats.search.obs_pruned,
+                    r.stats.search.vector_hits,
                 );
                 std::fs::write(path, json).expect("write --json file");
             }
@@ -359,6 +385,9 @@ fn main() {
     }
     if cli.no_cache {
         cfg.cache = false;
+    }
+    if cli.no_obs_equiv {
+        cfg.obs_equiv = false;
     }
     if let Some(intra) = cli.intra {
         cfg.intra = intra;

@@ -1,24 +1,35 @@
 //! Perf-trajectory snapshot: runs the full benchmark suite under the
 //! execution configurations this repo has grown so far — sequential,
 //! inter-problem parallel (`--parallel`), intra-problem parallel
-//! (`--intra`), both, and (since PR 4) the **file-driven corpus**
-//! (`benchmarks/*.rbspec` through the textual frontend) — and writes one
-//! JSON file (`BENCH_pr4.json` in CI) with wall-clocks, cache-hit
-//! counters per configuration, and the corpus parse+lower time.
+//! (`--intra`), both, the **file-driven corpus** (`benchmarks/*.rbspec`
+//! through the textual frontend), and (since PR 5) the
+//! **observational-equivalence ablation** (`no-obs-equiv`) — and writes
+//! one JSON file (`BENCH_pr5.json` in CI) with wall-clocks, effort and
+//! cache counters per configuration, and the corpus parse+lower time.
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --bin trajectory -- \
-//!     [--json BENCH_pr4.json] [--threads N] [--intra N] [--timeout SECS] \
+//!     [--json BENCH_pr5.json] [--threads N] [--intra N] [--timeout SECS] \
 //!     [--spec-dir benchmarks]
 //! ```
 //!
+//! Two speedup figures per run: `wall_speedup` (sequential wall clock over
+//! this configuration's wall clock — the number that means "faster") and
+//! `cpu_ratio` (cpu time over wall time — the old, misleading `speedup`
+//! field, kept under its honest name: a 1-core host can report 2.6× while
+//! being slower than sequential).
+//!
 //! The deterministic solution sections of every configuration — including
 //! the corpus run — are byte-compared against the sequential registry
-//! baseline; a mismatch (or any unsolved benchmark) exits nonzero, so the
-//! trajectory file doubles as both the parallelism determinism gate and
-//! the registry-fidelity gate.
+//! baseline (the `no-obs-equiv` ablation compares programs only, since its
+//! effort counters legitimately differ); a mismatch (or any unsolved
+//! benchmark) exits nonzero, so the trajectory file doubles as the
+//! parallelism determinism gate, the registry-fidelity gate, and the
+//! obs-equiv soundness gate.
 
-use rbsyn_bench::harness::{format_batch_solutions, run_suite, run_suite_on, Config};
+use rbsyn_bench::harness::{
+    format_batch_programs, format_batch_solutions, run_suite, run_suite_on, Config,
+};
 use rbsyn_core::BatchReport;
 use rbsyn_suite::Benchmark;
 use std::path::Path;
@@ -30,16 +41,26 @@ struct RunSpec {
     intra: usize,
     /// Run over the `.rbspec` corpus instead of the Rust registry.
     corpus: bool,
+    /// Disable observational-equivalence pruning (the A/B ablation leg:
+    /// programs must match the baseline byte-for-byte, effort may not).
+    no_obs_equiv: bool,
 }
 
-fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
+fn json_report(spec: &RunSpec, r: &BatchReport, sequential_wall_secs: Option<f64>) -> String {
     let s = &r.stats;
+    let wall = s.wall_clock.as_secs_f64();
+    // Sequential wall over this config's wall: the honest speedup. The
+    // sequential row itself reports 1.0 by construction.
+    let wall_speedup = sequential_wall_secs.map_or(1.0, |base| base / wall.max(1e-9));
     format!(
-        "    {{\"config\": \"{}\", \"threads\": {}, \"intra\": {}, \"source\": \"{}\",\n     \
-         \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"speedup\": {:.4},\n     \
+        "    {{\"config\": \"{}\", \"threads\": {}, \"intra\": {}, \"source\": \"{}\", \
+         \"obs_equiv\": {},\n     \
+         \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"wall_speedup\": {:.4}, \
+         \"cpu_ratio\": {:.4},\n     \
          \"solved\": {}, \"timeouts\": {}, \"failures\": {}, \"tested\": {},\n     \
-         \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {}, \"deduped\": {},\n     \
-         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}}}",
+         \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {}, \"deduped\": {}, \
+         \"obs_pruned\": {}, \"vector_hits\": {},\n     \
+         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \"eval_time_secs\": {:.6}}}",
         spec.name,
         spec.threads,
         spec.intra,
@@ -48,8 +69,10 @@ fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
         } else {
             "registry"
         },
-        s.wall_clock.as_secs_f64(),
+        !spec.no_obs_equiv,
+        wall,
         s.cpu_time.as_secs_f64(),
+        wall_speedup,
         s.speedup(),
         s.solved,
         s.timeouts,
@@ -59,8 +82,11 @@ fn json_report(spec: &RunSpec, r: &BatchReport) -> String {
         s.type_hits,
         s.oracle_hits,
         s.deduped,
+        s.obs_pruned,
+        s.vector_hits,
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
+        s.eval_time.as_secs_f64(),
     )
 }
 
@@ -166,24 +192,28 @@ fn main() {
             threads: 1,
             intra: 1,
             corpus: false,
+            no_obs_equiv: false,
         },
         RunSpec {
             name: "parallel",
             threads,
             intra: 1,
             corpus: false,
+            no_obs_equiv: false,
         },
         RunSpec {
             name: "intra",
             threads: 1,
             intra,
             corpus: false,
+            no_obs_equiv: false,
         },
         RunSpec {
             name: "parallel+intra",
             threads,
             intra,
             corpus: false,
+            no_obs_equiv: false,
         },
         // The file-driven corpus through the textual frontend must
         // synthesize byte-identical programs (registry fidelity).
@@ -192,19 +222,40 @@ fn main() {
             threads,
             intra: 1,
             corpus: true,
+            no_obs_equiv: false,
+        },
+        // Pruning ablation: observational-equivalence dedup off must
+        // synthesize byte-identical *programs* (it legitimately tests
+        // more candidates — that is the point of the pruning).
+        RunSpec {
+            name: "no-obs-equiv",
+            threads: 1,
+            intra: 1,
+            corpus: false,
+            no_obs_equiv: true,
         },
     ];
 
     let mut rows: Vec<String> = Vec::new();
     let mut baseline_solutions: Option<String> = None;
+    let mut baseline_programs: Option<String> = None;
+    let mut sequential_wall: Option<f64> = None;
     let mut ok = true;
     for spec in &specs {
         eprintln!(
-            "trajectory: {} (threads {}, intra {})…",
-            spec.name, spec.threads, spec.intra
+            "trajectory: {} (threads {}, intra {}{})…",
+            spec.name,
+            spec.threads,
+            spec.intra,
+            if spec.no_obs_equiv {
+                ", obs-equiv off"
+            } else {
+                ""
+            }
         );
         let cfg = Config {
             intra: spec.intra,
+            obs_equiv: !spec.no_obs_equiv,
             ..base.clone()
         };
         let report = if spec.corpus {
@@ -231,20 +282,45 @@ fn main() {
             eprintln!("trajectory: {} left benchmarks unsolved", spec.name);
             ok = false;
         }
-        let solutions = format_batch_solutions(&report);
-        match &baseline_solutions {
-            None => baseline_solutions = Some(solutions),
-            Some(base_sols) if *base_sols != solutions => {
-                eprintln!(
-                    "trajectory: MISMATCH — {} diverges from the sequential baseline:\n\
-                     --- sequential ---\n{base_sols}--- {} ---\n{solutions}",
-                    spec.name, spec.name
-                );
-                ok = false;
+        if spec.no_obs_equiv {
+            // The ablation's effort counters differ by design; its
+            // *programs* must not.
+            let programs = format_batch_programs(&report);
+            match &baseline_programs {
+                Some(base_progs) if *base_progs != programs => {
+                    eprintln!(
+                        "trajectory: MISMATCH — {} synthesizes different programs:\n\
+                         --- baseline ---\n{base_progs}--- {} ---\n{programs}",
+                        spec.name, spec.name
+                    );
+                    ok = false;
+                }
+                None => {
+                    eprintln!("trajectory: no baseline before the ablation leg");
+                    ok = false;
+                }
+                Some(_) => {}
             }
-            Some(_) => {}
+        } else {
+            let solutions = format_batch_solutions(&report);
+            match &baseline_solutions {
+                None => {
+                    baseline_solutions = Some(solutions);
+                    baseline_programs = Some(format_batch_programs(&report));
+                    sequential_wall = Some(report.stats.wall_clock.as_secs_f64());
+                }
+                Some(base_sols) if *base_sols != solutions => {
+                    eprintln!(
+                        "trajectory: MISMATCH — {} diverges from the sequential baseline:\n\
+                         --- sequential ---\n{base_sols}--- {} ---\n{solutions}",
+                        spec.name, spec.name
+                    );
+                    ok = false;
+                }
+                Some(_) => {}
+            }
         }
-        rows.push(json_report(spec, &report));
+        rows.push(json_report(spec, &report, sequential_wall));
     }
 
     // Wall-clocks only mean anything relative to the host's core count

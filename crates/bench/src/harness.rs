@@ -27,6 +27,10 @@ pub struct Config {
     /// Memoized search (`Options::cache`); `RBSYN_NO_CACHE=1` or
     /// `solve --no-cache` turns it off for A/B comparisons.
     pub cache: bool,
+    /// Observational-equivalence pruning (`Options::obs_equiv`);
+    /// `RBSYN_NO_OBS_EQUIV=1` or `solve --no-obs-equiv` turns it off for
+    /// the byte-identity A/B gate.
+    pub obs_equiv: bool,
     /// Intra-problem task width (`Options::intra_parallelism`;
     /// `RBSYN_INTRA` / `solve --intra N`). Any width produces
     /// byte-identical programs and effort counters.
@@ -63,6 +67,7 @@ impl Config {
             })
             .unwrap_or_default();
         let cache = !std::env::var("RBSYN_NO_CACHE").is_ok_and(|v| v == "1" || v == "true");
+        let obs_equiv = !std::env::var("RBSYN_NO_OBS_EQUIV").is_ok_and(|v| v == "1" || v == "true");
         let intra = std::env::var("RBSYN_INTRA")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -78,6 +83,7 @@ impl Config {
             coarse_timeout,
             ids,
             cache,
+            obs_equiv,
             intra,
             strategy,
         }
@@ -450,6 +456,7 @@ pub fn suite_jobs(
                 precision,
                 timeout: Some(timeout),
                 cache: cfg.cache,
+                obs_equiv: cfg.obs_equiv,
                 intra_parallelism: cfg.intra,
                 strategy: cfg.strategy,
                 ..(b.options)()
@@ -561,6 +568,21 @@ pub fn format_batch_solutions(report: &BatchReport) -> String {
     out
 }
 
+/// Renders only the synthesized programs of a batch (id + solution text),
+/// for byte-comparing runs whose *effort counters* legitimately differ —
+/// the observational-equivalence on/off gate compares this section, since
+/// pruning changes how much work finds the program, never the program.
+pub fn format_batch_programs(report: &BatchReport) -> String {
+    let mut out = String::new();
+    for o in &report.outcomes {
+        match &o.result {
+            Ok(r) => out.push_str(&format!("{:<4} {}\n", o.id, r.program.body.compact())),
+            Err(e) => out.push_str(&format!("{:<4} failed  {e}\n", o.id)),
+        }
+    }
+    out
+}
+
 /// Renders a batch report's timing summary (non-deterministic section; keep
 /// it on stderr when byte-comparing runs).
 pub fn format_batch_stats(report: &BatchReport) -> String {
@@ -568,7 +590,9 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
     format!(
         "batch: {} jobs on {} thread(s) — {} solved, {} timeout, {} failed; \
          {} candidates tested; cache hits {} expand / {} type / {} oracle, \
-         {} deduped; wall {:.2}s, cpu {:.2}s, speedup {:.2}x\n",
+         {} deduped, {} obs-pruned, {} vector hits; \
+         phases generate {:.2}s | guard {:.2}s | eval {:.2}s; \
+         wall {:.2}s, cpu {:.2}s, cpu-ratio {:.2}x\n",
         s.jobs,
         s.threads,
         s.solved,
@@ -579,6 +603,11 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
         s.type_hits,
         s.oracle_hits,
         s.deduped,
+        s.obs_pruned,
+        s.vector_hits,
+        s.generate_time.as_secs_f64(),
+        s.guard_time.as_secs_f64(),
+        s.eval_time.as_secs_f64(),
         s.wall_clock.as_secs_f64(),
         s.cpu_time.as_secs_f64(),
         s.speedup(),
@@ -621,19 +650,26 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
         s.tested, s.expanded, s.popped
     ));
     out.push_str(&format!(
-        "  \"deduped\": {}, \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {},\n",
-        s.deduped, s.expand_hits, s.type_hits, s.oracle_hits
+        "  \"deduped\": {}, \"obs_pruned\": {}, \"vector_hits\": {}, \"expand_hits\": {}, \
+         \"type_hits\": {}, \"oracle_hits\": {},\n",
+        s.deduped, s.obs_pruned, s.vector_hits, s.expand_hits, s.type_hits, s.oracle_hits
     ));
+    // `cpu_ratio` is the old `speedup` field renamed: cpu-time over wall
+    // time, which a 1-core host can report > 1 while the wall clock is
+    // *worse* than sequential. Real speedups are `wall_speedup` in the
+    // trajectory report (sequential wall / config wall), which needs a
+    // sequential baseline a single batch run does not have.
     out.push_str(&format!(
-        "  \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"speedup\": {:.4},\n",
+        "  \"wall_clock_secs\": {:.6}, \"cpu_time_secs\": {:.6}, \"cpu_ratio\": {:.4},\n",
         s.wall_clock.as_secs_f64(),
         s.cpu_time.as_secs_f64(),
         s.speedup()
     ));
     out.push_str(&format!(
-        "  \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6},\n",
+        "  \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \"eval_time_secs\": {:.6},\n",
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
+        s.eval_time.as_secs_f64(),
     ));
     out.push_str("  \"results\": [\n");
     for (i, o) in report.outcomes.iter().enumerate() {
@@ -645,19 +681,24 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
         match &o.result {
             // Per-task phase timing: `generate_secs` is the phase-1
             // per-spec search time, `guard_secs` the merge-time guard
-            // searches — no more single lumped total.
+            // covering, `eval_secs` the oracle/interpreter time across
+            // all phases — no more single lumped total.
             Ok(r) => out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"status\": \"solved\", \"exit_code\": 0, \
                  \"elapsed_secs\": {:.6}, \
-                 \"generate_secs\": {:.6}, \"guard_secs\": {:.6}, \
-                 \"size\": {}, \"paths\": {}, \"tested\": {}, \"solution\": \"{}\"}}{sep}\n",
+                 \"generate_secs\": {:.6}, \"guard_secs\": {:.6}, \"eval_secs\": {:.6}, \
+                 \"size\": {}, \"paths\": {}, \"tested\": {}, \"obs_pruned\": {}, \
+                 \"vector_hits\": {}, \"solution\": \"{}\"}}{sep}\n",
                 json_escape(&o.id),
                 o.elapsed.as_secs_f64(),
                 r.stats.generate_time.as_secs_f64(),
                 r.stats.guard_time.as_secs_f64(),
+                r.stats.search.eval_nanos as f64 / 1e9,
                 r.stats.solution_size,
                 r.stats.solution_paths,
                 r.stats.search.tested,
+                r.stats.search.obs_pruned,
+                r.stats.search.vector_hits,
                 json_escape(&r.program.body.compact()),
             )),
             Err(e) => out.push_str(&format!(
@@ -704,6 +745,7 @@ mod tests {
             coarse_timeout: Duration::from_secs(1),
             ids: vec!["S1".into()],
             cache: true,
+            obs_equiv: true,
             intra: 1,
             strategy: StrategyKind::Paper,
         };

@@ -168,6 +168,12 @@ pub struct BatchStats {
     /// Duplicate candidates dropped by the work-list dedup filter (solved
     /// jobs).
     pub deduped: u64,
+    /// Frontier items pruned by observational-equivalence dedup (solved
+    /// jobs).
+    pub obs_pruned: u64,
+    /// Guard requests answered purely from pass/fail bitvectors (solved
+    /// jobs).
+    pub vector_hits: u64,
     /// Expansion lists answered from the shared memo (solved jobs).
     pub expand_hits: u64,
     /// Type-check verdicts answered from the shared memo (solved jobs).
@@ -178,6 +184,9 @@ pub struct BatchStats {
     pub generate_time: Duration,
     /// Merge-time guard search time summed over solved jobs.
     pub guard_time: Duration,
+    /// Interpreter/oracle wall time summed over solved jobs (the `eval`
+    /// slice of the phase breakdown).
+    pub eval_time: Duration,
     /// Wall-clock time of the whole batch.
     pub wall_clock: Duration,
     /// Sum of per-job wall-clock times — the sequential-run estimate.
@@ -227,11 +236,14 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
                 stats.expanded = stats.expanded.saturating_add(r.stats.search.expanded);
                 stats.popped = stats.popped.saturating_add(r.stats.search.popped);
                 stats.deduped = stats.deduped.saturating_add(r.stats.search.deduped);
+                stats.obs_pruned = stats.obs_pruned.saturating_add(r.stats.search.obs_pruned);
+                stats.vector_hits = stats.vector_hits.saturating_add(r.stats.search.vector_hits);
                 stats.expand_hits = stats.expand_hits.saturating_add(r.stats.search.expand_hits);
                 stats.type_hits = stats.type_hits.saturating_add(r.stats.search.type_hits);
                 stats.oracle_hits = stats.oracle_hits.saturating_add(r.stats.search.oracle_hits);
                 stats.generate_time += r.stats.generate_time;
                 stats.guard_time += r.stats.guard_time;
+                stats.eval_time += Duration::from_nanos(r.stats.search.eval_nanos);
             }
             Err(SynthError::Timeout) => stats.timeouts += 1,
             Err(_) => stats.failures += 1,

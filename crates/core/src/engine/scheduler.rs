@@ -42,15 +42,34 @@ pub struct SearchStats {
     /// Candidate expressions produced by expansion (pre type-filter).
     pub expanded: u64,
     /// Evaluable candidates judged by the oracle (memo hits included).
+    /// In the guard pool a candidate counts once — when its evaluation
+    /// vector gains its first bits; a later request that *widens* an
+    /// existing vector with more spec bits adds interpreter runs but no
+    /// count (it is neither a fresh judgement nor a pure
+    /// [`vector_hits`](Self::vector_hits) answer).
     pub tested: u64,
     /// Duplicate candidates dropped by the work-list dedup filter.
     pub deduped: u64,
+    /// Frontier items pruned by observational-equivalence dedup: their
+    /// evaluation vector matched an already-enqueued candidate of equal or
+    /// smaller size, so their whole subtree was skipped. Deterministic for
+    /// a fixed [`Options::obs_equiv`](crate::Options) setting (and zero
+    /// when it is off).
+    pub obs_pruned: u64,
+    /// Guard-covering requests answered purely from already-computed
+    /// pass/fail bitvectors — no interpreter run (see
+    /// [`GuardPool`](crate::guards::GuardPool)).
+    pub vector_hits: u64,
     /// Expansion lists answered from the memo.
     pub expand_hits: u64,
     /// Type-check verdicts answered from the memo.
     pub type_hits: u64,
     /// Oracle verdicts answered from the memo.
     pub oracle_hits: u64,
+    /// Wall-clock nanoseconds spent running the interpreter-backed oracle
+    /// on this thread (candidate tests, guard bit evaluation, merged-
+    /// program validation). Timing, not effort: varies run to run.
+    pub eval_nanos: u64,
 }
 
 impl SearchStats {
@@ -63,16 +82,29 @@ impl SearchStats {
         self.expanded = self.expanded.saturating_add(other.expanded);
         self.tested = self.tested.saturating_add(other.tested);
         self.deduped = self.deduped.saturating_add(other.deduped);
+        self.obs_pruned = self.obs_pruned.saturating_add(other.obs_pruned);
+        self.vector_hits = self.vector_hits.saturating_add(other.vector_hits);
         self.expand_hits = self.expand_hits.saturating_add(other.expand_hits);
         self.type_hits = self.type_hits.saturating_add(other.type_hits);
         self.oracle_hits = self.oracle_hits.saturating_add(other.oracle_hits);
+        self.eval_nanos = self.eval_nanos.saturating_add(other.eval_nanos);
     }
 
     /// The cache-independent effort counters `(popped, expanded, tested,
-    /// deduped)` — the tuple the determinism gates compare across thread
-    /// counts and cache settings.
-    pub fn effort(&self) -> (u64, u64, u64, u64) {
-        (self.popped, self.expanded, self.tested, self.deduped)
+    /// deduped, obs_pruned, vector_hits)` — the tuple the determinism
+    /// gates compare across thread counts and cache settings. Pruning and
+    /// guard-covering counters are included: for a fixed
+    /// [`Options::obs_equiv`](crate::Options) setting they are pure
+    /// functions of the problem, never of width or cache state.
+    pub fn effort(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.popped,
+            self.expanded,
+            self.tested,
+            self.deduped,
+            self.obs_pruned,
+            self.vector_hits,
+        )
     }
 }
 
@@ -207,7 +239,7 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.popped, u64::MAX);
         assert_eq!(a.tested, 3);
-        assert_eq!(a.effort(), (u64::MAX, 0, 3, 0));
+        assert_eq!(a.effort(), (u64::MAX, 0, 3, 0, 0, 0));
     }
 
     #[test]

@@ -30,7 +30,8 @@ use crate::infer::{infer_ty, Gamma};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
 use rbsyn_lang::{EffectPair, EffectSet, Expr, ExprId, FxBuild, Program, Symbol, Ty};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// What the search asks of a fully concrete candidate.
 ///
@@ -59,6 +60,12 @@ pub struct OracleOutcome {
     /// Effects of the failing assertion, when one failed with observable
     /// reads (drives S-Eff).
     pub effects: Option<EffectPair>,
+    /// Evaluation-vector fingerprint of the candidate's behavior on the
+    /// oracle's test states (see [`PreparedSpec::run_traced`]), when the
+    /// oracle computes one. Drives observational-equivalence pruning;
+    /// `None` (guard oracles, crashed candidates) just disables pruning
+    /// for this candidate.
+    pub fp: Option<u128>,
 }
 
 /// Oracle for one spec (prepared once; see [`PreparedSpec`]): run it,
@@ -87,11 +94,13 @@ impl SpecOracle {
 
 impl Oracle for SpecOracle {
     fn test(&self, env: &InterpEnv, program: &Program) -> OracleOutcome {
-        match self.prepared.run(env, program) {
+        let (outcome, fp) = self.prepared.run_traced(env, program);
+        match outcome {
             SpecOutcome::Passed { asserts } => OracleOutcome {
                 success: true,
                 passed: asserts,
                 effects: None,
+                fp,
             },
             SpecOutcome::Failed { passed, effects } => {
                 let has_reads = !effects.read.is_pure();
@@ -99,12 +108,14 @@ impl Oracle for SpecOracle {
                     success: false,
                     passed,
                     effects: has_reads.then_some(effects),
+                    fp,
                 }
             }
             SpecOutcome::SetupError(_) => OracleOutcome {
                 success: false,
                 passed: 0,
                 effects: None,
+                fp: None,
             },
         }
     }
@@ -161,6 +172,7 @@ impl Oracle for GuardOracle {
                     success: false,
                     passed,
                     effects: None,
+                    fp: None,
                 };
             }
         }
@@ -168,6 +180,7 @@ impl Oracle for GuardOracle {
             success: true,
             passed,
             effects: None,
+            fp: None,
         }
     }
 
@@ -470,6 +483,15 @@ fn search_loop(
     // candidates, and a candidate judged once is never re-judged in this
     // call.
     let mut seen: HashSet<ExprId, FxBuild> = HashSet::default();
+    // Observational-equivalence filter over S-Eff wraps: maps a failing
+    // candidate's (evaluation vector, inferred type) to the smallest
+    // candidate size already enqueued with that behavior. A later
+    // same-or-larger candidate is pruned: its wrap's completions evaluate
+    // from an identical post-run world and binding, and the earlier,
+    // smaller representative's subtree reaches every corresponding
+    // completion first under the frontier order — so the pruned subtree
+    // could only re-derive work, never change the first solution found.
+    let mut obs_seen: HashMap<(u128, Ty), u32, FxBuild> = HashMap::default();
     let root = search.intern_full(Expr::Hole(goal.clone()));
     frontier.push(0, 1, root.id, root.expr);
 
@@ -588,7 +610,14 @@ fn search_loop(
                 let out = prejudged
                     .as_mut()
                     .and_then(|v| v.get_mut(j).and_then(Option::take))
-                    .unwrap_or_else(|| oracle.test(env, &make_program(&cand.expr)));
+                    .unwrap_or_else(|| {
+                        let started = Instant::now();
+                        let out = oracle.test(env, &make_program(&cand.expr));
+                        stats.eval_nanos = stats
+                            .eval_nanos
+                            .saturating_add(started.elapsed().as_nanos() as u64);
+                        out
+                    });
                 if out.success {
                     solutions.push((*cand.expr).clone());
                     if solutions.len() >= max_solutions {
@@ -606,10 +635,36 @@ fn search_loop(
                     } else {
                         EffectSet::star()
                     };
-                    let wrapped = wrap_with_effect(
-                        env, &mut gamma, gamma_fp, &cand.expr, cand.id, er, goal, opts, search,
-                        stats,
-                    );
+                    let ty = if opts.guidance.types {
+                        search
+                            .infer(gamma_fp, cand.id, stats, || {
+                                infer_ty(&env.table, &mut gamma, &cand.expr)
+                            })
+                            .unwrap_or_else(|| goal.clone())
+                    } else {
+                        goal.clone()
+                    };
+                    // Observational-equivalence dedup: skip the wrap (and
+                    // with it the whole continuation subtree) when an
+                    // equally-behaving candidate of equal or smaller size
+                    // is already enqueued.
+                    if opts.obs_equiv {
+                        if let Some(fp) = out.fp {
+                            match obs_seen.entry((fp, ty.clone())) {
+                                std::collections::hash_map::Entry::Occupied(mut o) => {
+                                    if cand.size >= *o.get() {
+                                        stats.obs_pruned += 1;
+                                        continue;
+                                    }
+                                    o.insert(cand.size);
+                                }
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    v.insert(cand.size);
+                                }
+                            }
+                        }
+                    }
+                    let wrapped = wrap_with_effect(&cand.expr, er, ty);
                     let w = search.intern_full(wrapped);
                     if w.size as usize <= max_size && seen.insert(w.id) {
                         frontier.push(out.passed, w.size as usize, w.id, w.expr);
@@ -635,28 +690,9 @@ fn search_loop(
 }
 
 /// S-Eff (Fig. 5): `e` becomes `let t = e in (◇:ε_r; □:τ)` where `τ` is
-/// `e`'s type.
-#[allow(clippy::too_many_arguments)]
-fn wrap_with_effect(
-    env: &InterpEnv,
-    gamma: &mut Gamma,
-    gamma_fp: u128,
-    e: &Expr,
-    eid: ExprId,
-    er: EffectSet,
-    goal: &Ty,
-    opts: &Options,
-    search: &CacheHandle,
-    stats: &mut SearchStats,
-) -> Expr {
+/// `e`'s (pre-resolved) type.
+fn wrap_with_effect(e: &Expr, er: EffectSet, ty: Ty) -> Expr {
     let t = e.fresh_temp();
-    let ty = if opts.guidance.types {
-        search
-            .infer(gamma_fp, eid, stats, || infer_ty(&env.table, gamma, e))
-            .unwrap_or_else(|| goal.clone())
-    } else {
-        goal.clone()
-    };
     Expr::Let {
         var: t,
         val: Box::new(e.clone()),

@@ -1,4 +1,4 @@
-//! Branch-condition synthesis (§3.3).
+//! Branch-condition synthesis (§3.3) and the bitvector guard pool.
 //!
 //! A guard for spec set `Ψ₁` against `Ψ₂` is a boolean expression that
 //! evaluates truthy under every setup in `Ψ₁` and falsy under every setup
@@ -9,21 +9,43 @@
 //! synthesized conditionals, and their negations ("the condition in one
 //! spec often turns out to be the negation of the condition in another").
 //!
-//! [`search_guards`] collects *several* oracle-passing guards: the smallest
-//! one can be semantically wrong for the final program (only running the
-//! merged program against all specs decides, §3.4), so the merge backtracks
-//! over these alternatives. During an intra-parallel run the merge
-//! dispatches the two guard searches of a Rule-3 strengthening request as
-//! concurrent tasks on the shared executor (see [`crate::merge`]); the
-//! search itself is oblivious — it just receives a task-local
-//! [`Scheduler`].
+//! **The guard pool.** A merge issues *many* strengthening requests
+//! (every Rule-3 pair needs two, across every `⊕` order), and every
+//! request used to launch its own work-list search over what is — because
+//! guard oracles never report effects, so S-Eff can never reorder the
+//! frontier — always the *same* boolean candidate stream. [`GuardPool`]
+//! exploits that: it enumerates the stream **once per problem** (lazily,
+//! as far as the deepest request needs) and records, per evaluable
+//! candidate, a pass/fail **bitvector** over the problem's specs — bit
+//! `i` answers "does this candidate run without error under spec `i`'s
+//! setup, and is `x_r` truthy?". One interpreter run fills both the
+//! truthy and the ok bit for a spec, and a request `(Ψ₁, Ψ₂)` is then
+//! decided by `AND`/`NOT` over `u64` words: ok∧truthy on every `Ψ₁` bit,
+//! ok∧¬truthy on every `Ψ₂` bit. Bits are filled lazily per (candidate,
+//! spec) — exactly the specs a request touches — so re-requests,
+//! reversed pairs and backtracking re-checks are pure bit arithmetic
+//! ([`SearchStats::vector_hits`]).
+//!
+//! [`search_guards`] (the per-request search the pool replaced on the
+//! merge path) remains for single-shot callers: it collects *several*
+//! oracle-passing guards because the smallest one can be semantically
+//! wrong for the final program (only running the merged program against
+//! all specs decides, §3.4), so the merge backtracks over alternatives —
+//! the pool's [`GuardPool::covering_guards`] reproduces exactly that
+//! candidate order and stopping rule.
 
-use crate::engine::{Scheduler, SearchStats};
+use crate::cache::CacheHandle;
+use crate::engine::{Frontier, Scheduler, SearchStats};
 use crate::error::SynthError;
-use crate::generate::{generate_many, GuardOracle, Oracle};
+use crate::expand::Expander;
+use crate::generate::{expand_compute, generate_many, GuardOracle, Oracle};
+use crate::infer::Gamma;
 use crate::options::Options;
-use rbsyn_interp::{InterpEnv, Spec};
-use rbsyn_lang::{Expr, Program, Symbol, Ty, Value};
+use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
+use rbsyn_lang::{Expr, ExprId, FxBuild, Program, Symbol, Ty, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Extra work-list pops to spend hunting alternative guards after the
 /// first oracle-passing one. Each pop can test hundreds of candidates, so
@@ -100,6 +122,571 @@ pub fn synth_guard(
     // cannot fire).
     let mut found = search_guards(env, method_name, params, &oracle, 1, opts, sched, stats)?;
     found.pop().ok_or(SynthError::GuardNotFound)
+}
+
+/// Everything a [`GuardPool`] needs from the enclosing synthesis run,
+/// passed by reference on every call so the pool itself stays a plain
+/// owned value inside the merge context.
+pub struct GuardQuery<'a> {
+    /// Interpreter environment.
+    pub env: &'a InterpEnv,
+    /// Method name (guard programs are built under it).
+    pub name: &'a str,
+    /// Method parameters.
+    pub params: &'a [(Symbol, Ty)],
+    /// All specs of the problem — bit `i` of every vector refers to
+    /// `specs[i]`.
+    pub specs: &'a [Spec],
+    /// Search options (guard size bound, pop budget, strategy).
+    pub opts: &'a Options,
+    /// Deadline/cancellation and the run's memoization handle.
+    pub sched: &'a Scheduler,
+}
+
+/// Per-spec prepared check, or why it cannot be evaluated.
+enum CheckSlot {
+    /// `assert x_r` over the spec's prepared setup.
+    Ready(Box<PreparedSpec>),
+    /// The spec's own setup failed (a suite bug): the message raised when
+    /// a covering request actually touches this spec, mirroring the panic
+    /// `GuardOracle::new` used to raise at request time.
+    Failed(String),
+}
+
+/// Lazily filled pass/fail bitvector of one guard candidate over the
+/// problem's specs: `evald` marks which bits are known, `ok` whether the
+/// candidate ran to the assert without error, `truthy` whether `x_r` was
+/// truthy. One interpreter run per bit, ever; everything else is word
+/// arithmetic.
+#[derive(Clone, Copy, Default)]
+struct Bits {
+    ok: u64,
+    truthy: u64,
+    evald: u64,
+}
+
+/// One enumerated evaluable boolean candidate: its hash-consed identity,
+/// the work-list pop that produced it (for per-request stopping budgets),
+/// and its lazily filled bitvector.
+struct GuardCand {
+    expr: Arc<Expr>,
+    pop: u64,
+    bits: Bits,
+}
+
+/// A strengthening request's lazy scan state: how far into the shared
+/// candidate stream it has looked, the covering guards found so far, and
+/// whether its (per-request) stopping rule has latched.
+#[derive(Default)]
+struct ReqState {
+    found: Vec<Expr>,
+    next_cand: usize,
+    first: Option<u64>,
+    done: bool,
+}
+
+/// A strengthening request: spec indices that must be truthy / falsy.
+type ReqKey = (Vec<usize>, Vec<usize>);
+
+/// The per-problem guard-covering pool (see the [module docs](self)).
+///
+/// The pool is deterministic by construction: the candidate stream is the
+/// same oracle-independent enumeration every per-request search performed
+/// (same expander, same memoized expansion lists, same frontier strategy,
+/// same dedup), so [`GuardPool::nth_covering_guard`] returns byte-identical
+/// guards in byte-identical order — it just never re-enumerates or
+/// re-judges anything, and it is **lazy twice over**: the stream extends
+/// only as far as the deepest request needs, and a request only scans far
+/// enough to answer the guard index the merge actually consumes. The old
+/// eager per-request search burned its worst time hunting alternatives
+/// #2–#5 plus a 300-pop tail for an odometer that rarely turns; here that
+/// work is deferred until a failed validation actually asks for it.
+pub struct GuardPool {
+    ready: bool,
+    checks: Vec<CheckSlot>,
+    frontier: Option<Frontier<'static>>,
+    seen: HashSet<ExprId, FxBuild>,
+    gamma: Option<Gamma>,
+    gamma_fp: u128,
+    pops: u64,
+    exhausted: bool,
+    cands: Vec<GuardCand>,
+    /// Per-request lazy scan state.
+    reqs: HashMap<ReqKey, ReqState, FxBuild>,
+    /// Bitvectors for ad-hoc expressions (the merge's quick candidates and
+    /// rule-6/7 negation guesses), keyed structurally.
+    extra_bits: HashMap<Expr, Bits, FxBuild>,
+    /// Throwaway memo handle for uncached runs — one per pool, so the
+    /// enumeration stream is identical with and without the shared cache.
+    local_cache: Option<CacheHandle>,
+}
+
+impl Default for GuardPool {
+    fn default() -> GuardPool {
+        GuardPool::new()
+    }
+}
+
+impl GuardPool {
+    /// An empty pool; all state (prepared checks, the enumeration
+    /// frontier) is created lazily on the first request, so merges that
+    /// never need a guard pay nothing.
+    pub fn new() -> GuardPool {
+        GuardPool {
+            ready: false,
+            checks: Vec::new(),
+            frontier: None,
+            seen: HashSet::default(),
+            gamma: None,
+            gamma_fp: 0,
+            pops: 0,
+            exhausted: false,
+            cands: Vec::new(),
+            reqs: HashMap::default(),
+            extra_bits: HashMap::default(),
+            local_cache: None,
+        }
+    }
+
+    /// The run's memoization handle, or this pool's private throwaway one.
+    fn handle(&mut self, q: &GuardQuery<'_>) -> CacheHandle {
+        if let Some(h) = q.sched.cache() {
+            return h.clone();
+        }
+        self.local_cache
+            .get_or_insert_with(CacheHandle::private)
+            .clone()
+    }
+
+    fn ensure_ready(&mut self, q: &GuardQuery<'_>) {
+        if self.ready {
+            return;
+        }
+        self.ready = true;
+        self.checks = q
+            .specs
+            .iter()
+            .map(|s| match PreparedSpec::prepare(q.env, s) {
+                Ok(p) => {
+                    let xr = p.result_var();
+                    CheckSlot::Ready(Box::new(p.with_asserts(vec![Expr::Var(xr)])))
+                }
+                Err(e) => CheckSlot::Failed(format!("spec {:?} setup failed: {e}", s.name)),
+            })
+            .collect();
+        let gamma = Gamma::from_params(q.params);
+        self.gamma_fp = crate::cache::gamma_fingerprint(gamma.bindings());
+        self.gamma = Some(gamma);
+        let handle = self.handle(q);
+        let mut frontier = Frontier::new(q.opts.strategy.strategy());
+        let root = handle.intern_full(Expr::Hole(Ty::Bool));
+        frontier.push(0, 1, root.id, root.expr);
+        self.frontier = Some(frontier);
+    }
+
+    /// Specs exceed one bitvector word: fall back to the legacy
+    /// per-request search (correct, just without sharing). No Table-1
+    /// benchmark comes close; this keeps arbitrary problems working.
+    fn oversized(&self, q: &GuardQuery<'_>) -> bool {
+        q.specs.len() > 64
+    }
+
+    /// Advances the shared enumeration by one work-list pop, recording
+    /// evaluable candidates (unjudged) and re-enqueueing partial ones —
+    /// the exact loop body of the per-request search, minus S-Eff (guard
+    /// oracles never report effects, so it could never fire).
+    fn extend_one_pop(
+        &mut self,
+        q: &GuardQuery<'_>,
+        stats: &mut SearchStats,
+    ) -> Result<(), SynthError> {
+        let Some((pri, seq, item)) = self.frontier.as_mut().and_then(|f| f.pop_ranked()) else {
+            self.exhausted = true;
+            return Ok(());
+        };
+        self.pops += 1;
+        stats.popped += 1;
+        if self.pops.is_multiple_of(64) && q.sched.should_stop() {
+            // Roll the un-expanded item (and the pop count) back so a
+            // hypothetical post-deadline continuation resumes exactly
+            // here; the caller decides whether the timeout is fatal.
+            self.pops -= 1;
+            stats.popped -= 1;
+            self.frontier
+                .as_mut()
+                .expect("pool is ready")
+                .requeue(pri, seq, item);
+            return Err(SynthError::Timeout);
+        }
+        let handle = self.handle(q);
+        let expander = Expander::new(&q.env.table, q.opts, &handle);
+        let gamma_fp = self.gamma_fp;
+        let expansions = {
+            let gamma = self.gamma.as_mut().expect("pool is ready");
+            handle.expansions(gamma_fp, item.id, stats, |_| {
+                expand_compute(&expander, gamma, q.env, q.opts, &handle, &item.expr)
+            })
+        };
+        for cand in expansions.iter() {
+            if !self.seen.insert(cand.id) {
+                stats.deduped += 1;
+                continue;
+            }
+            if cand.evaluable {
+                self.cands.push(GuardCand {
+                    expr: Arc::clone(&cand.expr),
+                    pop: self.pops,
+                    bits: Bits::default(),
+                });
+            } else if cand.size as usize <= q.opts.max_guard_size {
+                self.frontier.as_mut().expect("pool is ready").push(
+                    0,
+                    cand.size as usize,
+                    cand.id,
+                    Arc::clone(&cand.expr),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes (lazily) whether candidate bits satisfy a request.
+    #[allow(clippy::too_many_arguments)]
+    fn bits_satisfy(
+        checks: &[CheckSlot],
+        bits: &mut Bits,
+        expr: &Expr,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        stats: &mut SearchStats,
+    ) -> bool {
+        let mut program: Option<Program> = None;
+        for (specs, want_truthy) in [(pos, true), (neg, false)] {
+            for &s in specs {
+                let mask = 1u64 << s;
+                if bits.evald & mask == 0 {
+                    let check = match &checks[s] {
+                        CheckSlot::Ready(p) => p,
+                        CheckSlot::Failed(_) => return false,
+                    };
+                    let p = program.get_or_insert_with(|| {
+                        Program::new(
+                            q.name,
+                            q.params.iter().map(|(n, _)| n.as_str()),
+                            expr.clone(),
+                        )
+                    });
+                    let started = Instant::now();
+                    let outcome = check.run(q.env, p);
+                    stats.eval_nanos = stats
+                        .eval_nanos
+                        .saturating_add(started.elapsed().as_nanos() as u64);
+                    bits.evald |= mask;
+                    match outcome {
+                        SpecOutcome::Passed { .. } => {
+                            bits.ok |= mask;
+                            bits.truthy |= mask;
+                        }
+                        SpecOutcome::Failed { .. } => bits.ok |= mask,
+                        SpecOutcome::SetupError(_) => {}
+                    }
+                }
+                let ok = bits.ok & mask != 0;
+                let truthy = bits.truthy & mask != 0;
+                if !(ok && truthy == want_truthy) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Does candidate `i` cover the request? Fills missing bits,
+    /// maintains the tested/vector-hit counters.
+    fn cand_passes(
+        &mut self,
+        i: usize,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        stats: &mut SearchStats,
+    ) -> bool {
+        let mut bits = self.cands[i].bits;
+        let before = bits.evald;
+        let expr = Arc::clone(&self.cands[i].expr);
+        let pass = Self::bits_satisfy(&self.checks, &mut bits, &expr, q, pos, neg, stats);
+        self.cands[i].bits = bits;
+        if before == 0 && bits.evald != 0 {
+            stats.tested += 1;
+        } else if bits.evald == before {
+            stats.vector_hits += 1;
+        }
+        pass
+    }
+
+    /// Advances one request's lazy scan over the shared stream until it
+    /// has found `need` guards, hit its per-request stopping rule (`k`
+    /// guards, or [`EXTRA_GUARD_BUDGET`] pops past the first one, or the
+    /// pop budget, or stream exhaustion), or timed out. The stopping rule
+    /// latches — once a request is done, its guard list is final, exactly
+    /// like the one-shot search it replaces.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_request(
+        &mut self,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        state: &mut ReqState,
+        need: usize,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<(), SynthError> {
+        while state.found.len() < need && !state.done {
+            let bound = state.first.map_or(q.opts.max_expansions, |f| {
+                (f + EXTRA_GUARD_BUDGET).min(q.opts.max_expansions)
+            });
+            if state.next_cand == self.cands.len() {
+                if self.exhausted || self.pops >= bound {
+                    state.done = true;
+                    break;
+                }
+                match self.extend_one_pop(q, stats) {
+                    Ok(()) => continue,
+                    Err(SynthError::Timeout) if !state.found.is_empty() => {
+                        // A timeout after the first guard finalizes the
+                        // partial list (the eager search returned it).
+                        state.done = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let i = state.next_cand;
+            if self.cands[i].pop > bound {
+                state.done = true;
+                break;
+            }
+            if self.cand_passes(i, q, pos, neg, stats) {
+                if std::env::var("RBSYN_TRACE").is_ok() {
+                    eprintln!(
+                        "[rbsyn]   guard-pool {pos:?}/{neg:?}: passer #{} `{}` at cand {} (pop {}, stream {} cands / {} pops)",
+                        state.found.len(),
+                        self.cands[i].expr.compact(),
+                        i,
+                        self.cands[i].pop,
+                        self.cands.len(),
+                        self.pops,
+                    );
+                }
+                state.found.push((*self.cands[i].expr).clone());
+                if state.found.len() >= k {
+                    state.done = true;
+                }
+                if state.first.is_none() {
+                    state.first = Some(self.cands[i].pop);
+                }
+            }
+            state.next_cand += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` with the request's scan state temporarily checked out of
+    /// the pool (so `f` may extend the shared stream through `&mut self`).
+    fn with_request<T>(
+        &mut self,
+        pos: &[usize],
+        neg: &[usize],
+        f: impl FnOnce(&mut Self, &mut ReqState) -> Result<T, SynthError>,
+    ) -> Result<T, SynthError> {
+        let key: ReqKey = (pos.to_vec(), neg.to_vec());
+        let mut state = self.reqs.remove(&key).unwrap_or_default();
+        let out = f(self, &mut state);
+        self.reqs.insert(key, state);
+        out
+    }
+
+    /// The `n`-th (0-based) covering guard for a strengthening request
+    /// (`pos` truthy, `neg` falsy) under the request cap `k` — the same
+    /// guard, in the same position, that the eager per-request search
+    /// would have put at index `n` of its result list. Scans lazily: a
+    /// merge that validates on the first guard never pays for the
+    /// alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a requested spec's own setup raises — that is a suite
+    /// bug, not a candidate failure (same contract as `GuardOracle::new`).
+    pub fn nth_covering_guard(
+        &mut self,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        n: usize,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Option<Expr>, SynthError> {
+        self.prepare_request(q, pos, neg, k, stats)?;
+        self.with_request(pos, neg, |pool, state| {
+            pool.advance_request(q, pos, neg, state, n + 1, k, stats)?;
+            Ok(state.found.get(n).cloned())
+        })
+    }
+
+    /// The final number of covering guards a request yields under cap `k`
+    /// (materializes the request's full list — the merge only calls this
+    /// from the backtracking odometer, after a failed validation).
+    pub fn covering_count(
+        &mut self,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<usize, SynthError> {
+        self.prepare_request(q, pos, neg, k, stats)?;
+        self.with_request(pos, neg, |pool, state| {
+            pool.advance_request(q, pos, neg, state, k, k, stats)?;
+            Ok(state.found.len())
+        })
+    }
+
+    /// Shared request entry: readiness, the suite-bug panic contract, and
+    /// the oversized-problem fallback (legacy search materialized into the
+    /// request state once).
+    fn prepare_request(
+        &mut self,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<(), SynthError> {
+        if self.oversized(q) {
+            let key: ReqKey = (pos.to_vec(), neg.to_vec());
+            if !self.reqs.contains_key(&key) {
+                let found = self.covering_guards_legacy(q, pos, neg, k, stats)?;
+                self.reqs.insert(
+                    key,
+                    ReqState {
+                        found,
+                        next_cand: 0,
+                        first: None,
+                        done: true,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        self.ensure_ready(q);
+        for &s in pos.iter().chain(neg) {
+            if let CheckSlot::Failed(msg) = &self.checks[s] {
+                panic!("{msg}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Eagerly materializes the ordered covering guards of a request, up
+    /// to `k` — [`search_guards`] semantics served from the pool. Tests
+    /// and one-shot callers use this; the merge goes through the lazy
+    /// [`GuardPool::nth_covering_guard`].
+    pub fn covering_guards(
+        &mut self,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Expr>, SynthError> {
+        self.prepare_request(q, pos, neg, k, stats)?;
+        self.with_request(pos, neg, |pool, state| {
+            pool.advance_request(q, pos, neg, state, k, k, stats)?;
+            Ok(state.found.clone())
+        })
+    }
+
+    /// Checks an ad-hoc expression (quick candidate, negation guess)
+    /// against a request, through the same lazily filled bitvectors.
+    /// Unpreparable specs answer `false` (the lenient contract
+    /// `guard_holds` always had).
+    pub fn check_expr(
+        &mut self,
+        q: &GuardQuery<'_>,
+        e: &Expr,
+        pos: &[usize],
+        neg: &[usize],
+        stats: &mut SearchStats,
+    ) -> bool {
+        if self.oversized(q) {
+            return self.check_expr_legacy(q, e, pos, neg, stats);
+        }
+        self.ensure_ready(q);
+        // Unpreparable specs answer `false` without touching (or
+        // counting) any bit — the lenient `guard_holds` contract.
+        if pos
+            .iter()
+            .chain(neg)
+            .any(|&s| matches!(self.checks[s], CheckSlot::Failed(_)))
+        {
+            return false;
+        }
+        let mut bits = self.extra_bits.get(e).copied().unwrap_or_default();
+        let before = bits.evald;
+        let pass = Self::bits_satisfy(&self.checks, &mut bits, e, q, pos, neg, stats);
+        if bits.evald == before {
+            // Pure word-op hit: nothing new to store — skip the AST clone
+            // and re-hash (this is the merge's hottest re-check loop).
+            stats.vector_hits += 1;
+        } else {
+            self.extra_bits.insert(e.clone(), bits);
+        }
+        pass
+    }
+
+    /// Legacy per-request search for problems with more than 64 specs.
+    fn covering_guards_legacy(
+        &mut self,
+        q: &GuardQuery<'_>,
+        pos: &[usize],
+        neg: &[usize],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Expr>, SynthError> {
+        let pos: Vec<&Spec> = pos.iter().map(|&i| &q.specs[i]).collect();
+        let neg: Vec<&Spec> = neg.iter().map(|&i| &q.specs[i]).collect();
+        let oracle = GuardOracle::new(q.env, &pos, &neg);
+        search_guards(q.env, q.name, q.params, &oracle, k, q.opts, q.sched, stats)
+    }
+
+    /// Legacy direct oracle check for problems with more than 64 specs.
+    fn check_expr_legacy(
+        &mut self,
+        q: &GuardQuery<'_>,
+        e: &Expr,
+        pos: &[usize],
+        neg: &[usize],
+        stats: &mut SearchStats,
+    ) -> bool {
+        let all_preparable = pos
+            .iter()
+            .chain(neg)
+            .all(|&i| PreparedSpec::prepare(q.env, &q.specs[i]).is_ok());
+        if !all_preparable {
+            return false;
+        }
+        let pos: Vec<&Spec> = pos.iter().map(|&i| &q.specs[i]).collect();
+        let neg: Vec<&Spec> = neg.iter().map(|&i| &q.specs[i]).collect();
+        let oracle = GuardOracle::new(q.env, &pos, &neg);
+        let p = Program::new(q.name, q.params.iter().map(|(n, _)| n.as_str()), e.clone());
+        let started = Instant::now();
+        let out = oracle.test(q.env, &p);
+        stats.eval_nanos = stats
+            .eval_nanos
+            .saturating_add(started.elapsed().as_nanos() as u64);
+        out.success
+    }
 }
 
 /// `!b`, collapsing double negation.
@@ -257,5 +844,128 @@ mod tests {
         assert_eq!(negate(&not(var("b"))).compact(), "b");
         assert_eq!(negate(&var("b")).compact(), "!b");
         assert_eq!(negate(&true_()).compact(), "false");
+    }
+
+    /// Two specs a guard must separate: seeded world vs empty world.
+    fn pool_fixture() -> (InterpEnv, Vec<Spec>) {
+        let (env, post) = env_with_post();
+        let seeded = call_spec(
+            "seeded",
+            vec![SetupStep::Exec(call(
+                cls(post),
+                "create",
+                [hash([("author", str_("alice"))])],
+            ))],
+        );
+        let empty = call_spec("none", vec![]);
+        (env, vec![seeded, empty])
+    }
+
+    #[test]
+    fn pool_covering_matches_the_per_request_search() {
+        let (env, specs) = pool_fixture();
+        let opts = Options::default();
+        let sched = Scheduler::sequential();
+        let q = GuardQuery {
+            env: &env,
+            name: "m",
+            params: &[],
+            specs: &specs,
+            opts: &opts,
+            sched: &sched,
+        };
+        // Reference: the legacy per-request search.
+        let oracle = GuardOracle::new(&env, &[&specs[0]], &[&specs[1]]);
+        let mut ref_stats = SearchStats::default();
+        let reference = search_guards(
+            &env,
+            "m",
+            &[],
+            &oracle,
+            4,
+            &opts,
+            &Scheduler::sequential(),
+            &mut ref_stats,
+        )
+        .unwrap();
+        // Pool: same guards, same order — eager and lazy agree.
+        let mut pool = GuardPool::new();
+        let mut stats = SearchStats::default();
+        let pooled = pool.covering_guards(&q, &[0], &[1], 4, &mut stats).unwrap();
+        assert_eq!(
+            pooled.iter().map(|g| g.compact()).collect::<Vec<_>>(),
+            reference.iter().map(|g| g.compact()).collect::<Vec<_>>(),
+            "pool covering must reproduce the per-request search"
+        );
+        for (n, g) in pooled.iter().enumerate() {
+            let nth = pool
+                .nth_covering_guard(&q, &[0], &[1], n, 4, &mut stats)
+                .unwrap();
+            assert_eq!(nth.as_ref().map(|e| e.compact()), Some(g.compact()));
+        }
+        assert_eq!(
+            pool.covering_count(&q, &[0], &[1], 4, &mut stats).unwrap(),
+            pooled.len()
+        );
+    }
+
+    #[test]
+    fn pool_reverse_request_reuses_bitvectors() {
+        let (env, specs) = pool_fixture();
+        let opts = Options::default();
+        let sched = Scheduler::sequential();
+        let q = GuardQuery {
+            env: &env,
+            name: "m",
+            params: &[],
+            specs: &specs,
+            opts: &opts,
+            sched: &sched,
+        };
+        let mut pool = GuardPool::new();
+        let mut stats = SearchStats::default();
+        let fwd = pool
+            .nth_covering_guard(&q, &[0], &[1], 0, 1, &mut stats)
+            .unwrap()
+            .expect("a separating guard exists");
+        let tested_after_fwd = stats.tested;
+        // The reverse request re-walks already-judged candidates: any
+        // candidate whose bits are fully known answers from the vector.
+        let rev = pool
+            .nth_covering_guard(&q, &[1], &[0], 0, 1, &mut stats)
+            .unwrap()
+            .expect("the reverse guard exists");
+        assert_ne!(fwd.compact(), rev.compact());
+        assert!(stats.tested >= tested_after_fwd);
+        // Ad-hoc checks ride the same bitvectors: the found guards really
+        // cover their requests, and their negations cover the reverse.
+        assert!(pool.check_expr(&q, &fwd, &[0], &[1], &mut stats));
+        assert!(pool.check_expr(&q, &negate(&fwd), &[1], &[0], &mut stats));
+        assert!(!pool.check_expr(&q, &fwd, &[1], &[0], &mut stats));
+        // Repeating an ad-hoc check is a pure vector hit.
+        let hits = stats.vector_hits;
+        assert!(pool.check_expr(&q, &fwd, &[0], &[1], &mut stats));
+        assert_eq!(stats.vector_hits, hits + 1);
+    }
+
+    #[test]
+    fn pool_guard_holds_semantics() {
+        let (env, specs) = pool_fixture();
+        let opts = Options::default();
+        let sched = Scheduler::sequential();
+        let q = GuardQuery {
+            env: &env,
+            name: "m",
+            params: &[],
+            specs: &specs,
+            opts: &opts,
+            sched: &sched,
+        };
+        let mut pool = GuardPool::new();
+        let mut stats = SearchStats::default();
+        // `true` holds under every setup; `false` under none (pos-only
+        // requests are the rule-6/7 `guard_holds` checks).
+        assert!(pool.check_expr(&q, &true_(), &[0, 1], &[], &mut stats));
+        assert!(!pool.check_expr(&q, &false_(), &[0, 1], &[], &mut stats));
     }
 }

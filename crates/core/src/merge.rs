@@ -17,26 +17,26 @@
 //! the choices (an odometer over the guard picks) until a merged program
 //! validates.
 //!
-//! **Intra-problem parallelism.** A Rule-3 strengthening request always
-//! needs *two* guard searches — `Ψ₁` against `Ψ₂` and the reverse. When
-//! the run's [`Scheduler`] has an executor, the second search is
-//! prefetched as a concurrent task while the first runs inline, and its
-//! result (and task-local [`SearchStats`]) is adopted only if the
-//! sequential rewrite would have reached it — otherwise the task is
-//! cancelled and discarded — so merged programs and effort counters stay
-//! byte-identical to the single-threaded merge.
+//! **Guard covering is pooled.** Every strengthening request — both halves
+//! of every Rule-3 pair, across every `⊕` order — is answered by the
+//! problem's shared [`GuardPool`]: one lazily extended enumeration of the
+//! boolean candidate stream, one pass/fail bitvector per candidate, and a
+//! request is `AND`/`NOT` over `u64` words instead of a fresh work-list
+//! search re-running the interpreter (see [`crate::guards`]). The guards a
+//! request yields — content and order — are byte-identical to the
+//! per-request searches this replaced, so merged programs are unchanged;
+//! only the oracle work collapses. Quick candidates and the rule-6/7
+//! negation guesses go through the same bitvectors.
 
-use crate::engine::{Scheduler, SearchStats, TaskHandle};
+use crate::engine::{Scheduler, SearchStats};
 use crate::error::SynthError;
-use crate::generate::{GuardOracle, Oracle, SpecOracle};
-use crate::guards::{negate, search_guards};
+use crate::generate::{Oracle, SpecOracle};
+use crate::guards::{negate, GuardPool, GuardQuery};
 use crate::options::Options;
-use rbsyn_interp::{InterpEnv, PreparedSpec, Spec};
+use rbsyn_interp::{InterpEnv, Spec};
 use rbsyn_lang::{Expr, Program, Symbol, Ty, Value};
 use rbsyn_sat::{is_valid_implication, Formula};
 use std::collections::HashMap;
-use std::panic::resume_unwind;
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -91,25 +91,6 @@ impl CondEncoder {
 /// A strengthening request: guard truthy on `pos` specs, falsy on `neg`.
 type GuardKey = (Vec<usize>, Vec<usize>);
 
-/// Cached per-request state: a prepared oracle and the searched guards.
-struct GuardSet {
-    oracle: Arc<GuardOracle>,
-    searched: Vec<Expr>,
-}
-
-/// What a prefetched guard-search task returns: the search outcome, its
-/// task-local counters, and its wall-clock cost.
-type GuardSearchResult = (Result<Vec<Expr>, SynthError>, SearchStats, Duration);
-
-/// A speculatively dispatched guard search for one [`GuardKey`] (the
-/// second half of a Rule-3 pair). Adopted into the guard cache when the
-/// sequential rewrite would have searched it, cancelled otherwise.
-struct GuardPrefetch {
-    key: GuardKey,
-    oracle: Arc<GuardOracle>,
-    task: TaskHandle<GuardSearchResult>,
-}
-
 /// Everything the merge needs from the synthesis run.
 pub struct MergeCtx<'a> {
     /// Interpreter environment (`Arc` so guard searches can run as tasks).
@@ -129,11 +110,14 @@ pub struct MergeCtx<'a> {
     pub sched: &'a Scheduler,
     /// Shared search counters.
     pub stats: &'a mut SearchStats,
-    /// Wall-clock spent inside guard searches (inline time plus adopted
-    /// task time) — the merge half of the per-phase timing report.
+    /// Wall-clock spent inside guard covering — the merge half of the
+    /// per-phase timing report.
     pub guard_time: Duration,
     /// Conditionals synthesized so far (negation-reuse pool, §4).
     pub known_conds: Vec<Expr>,
+    /// The problem-wide guard-covering pool (shared enumeration +
+    /// bitvectors; see [`crate::guards::GuardPool`]).
+    pub guards: GuardPool,
 }
 
 /// How many oracle-passing guards to keep per strengthening request.
@@ -141,9 +125,23 @@ const GUARDS_PER_REQUEST: usize = 5;
 /// How many guard-choice combinations to try per `⊕` order.
 const ATTEMPTS_PER_ORDER: usize = 64;
 
-impl MergeCtx<'_> {
+impl<'a> MergeCtx<'a> {
     fn program(&self, body: Expr) -> Program {
         Program::new(self.name, self.params.iter().map(|(n, _)| n.as_str()), body)
+    }
+
+    /// The pool query for this merge — a bundle of the context's borrowed
+    /// fields with the *context's* lifetime (not `&self`'s), so pool calls
+    /// can borrow `self.guards` and `self.stats` disjointly.
+    fn guard_query(&self) -> GuardQuery<'a> {
+        GuardQuery {
+            env: self.env,
+            name: self.name,
+            params: self.params,
+            specs: self.specs,
+            opts: self.opts,
+            sched: self.sched,
+        }
     }
 
     /// Does `body` pass every spec of the problem? Verdicts go through the
@@ -152,7 +150,8 @@ impl MergeCtx<'_> {
     /// spec.
     fn passes_all_specs(&mut self, body: &Expr) -> bool {
         let p = self.program(body.clone());
-        match self.sched.cache().cloned() {
+        let started = Instant::now();
+        let valid = match self.sched.cache().cloned() {
             Some(h) => {
                 let id = h.intern(body.clone());
                 self.spec_oracles.iter().all(|o| {
@@ -164,116 +163,19 @@ impl MergeCtx<'_> {
                 .spec_oracles
                 .iter()
                 .all(|o| o.test(self.env, &p).success),
-        }
-    }
-
-    /// Builds the prepared oracle for a strengthening request.
-    fn guard_oracle(&self, key: &GuardKey) -> Arc<GuardOracle> {
-        let pos: Vec<&Spec> = key.0.iter().map(|i| &self.specs[*i]).collect();
-        let neg: Vec<&Spec> = key.1.iter().map(|i| &self.specs[*i]).collect();
-        Arc::new(GuardOracle::new(self.env, &pos, &neg))
-    }
-
-    /// Runs the guard search for `key` inline and caches the result.
-    fn search_into_cache(
-        &mut self,
-        key: &GuardKey,
-        cache: &mut HashMap<GuardKey, GuardSet>,
-    ) -> Result<(), SynthError> {
-        let oracle = self.guard_oracle(key);
-        let started = Instant::now();
-        let searched = search_guards(
-            self.env,
-            self.name,
-            self.params,
-            &oracle,
-            GUARDS_PER_REQUEST,
-            self.opts,
-            self.sched,
-            self.stats,
-        )?;
-        self.guard_time += started.elapsed();
-        cache.insert(key.clone(), GuardSet { oracle, searched });
-        Ok(())
-    }
-
-    /// Speculatively dispatches the guard search for `key` (the second
-    /// half of a Rule-3 pair) to the shared executor. Returns `None` when
-    /// the request is already cached or the run is single-threaded.
-    fn spawn_guard_search(
-        &mut self,
-        key: &GuardKey,
-        cache: &HashMap<GuardKey, GuardSet>,
-    ) -> Option<GuardPrefetch> {
-        if cache.contains_key(key) {
-            return None;
-        }
-        let executor = self.sched.executor()?.clone();
-        let oracle = self.guard_oracle(key);
-        let cancel = Arc::new(AtomicBool::new(false));
-        let task_sched = self.sched.for_task(Arc::clone(&cancel));
-        let env = Arc::clone(self.env);
-        let name = self.name.to_owned();
-        let params = self.params.to_vec();
-        let opts = self.opts.clone();
-        let task_oracle = Arc::clone(&oracle);
-        let task = executor.spawn_cancellable(cancel, move || {
-            let started = Instant::now();
-            let mut stats = SearchStats::default();
-            let r = search_guards(
-                &env,
-                &name,
-                &params,
-                &task_oracle,
-                GUARDS_PER_REQUEST,
-                &opts,
-                &task_sched,
-                &mut stats,
-            );
-            (r, stats, started.elapsed())
-        });
-        Some(GuardPrefetch {
-            key: key.clone(),
-            oracle,
-            task,
-        })
-    }
-
-    /// Joins a prefetched guard search and adopts its result — counters,
-    /// timing and cached guard set — exactly as if it had run inline.
-    fn adopt_guard_search(
-        &mut self,
-        prefetch: GuardPrefetch,
-        cache: &mut HashMap<GuardKey, GuardSet>,
-    ) -> Result<(), SynthError> {
-        let GuardPrefetch { key, oracle, task } = prefetch;
-        let (result, stats, elapsed) = match task.join() {
-            Ok(out) => out,
-            Err(panic) => resume_unwind(panic),
         };
-        if cache.contains_key(&key) {
-            return Ok(()); // raced with an inline search for the same key
-        }
-        self.stats.absorb(&stats);
-        self.guard_time += elapsed;
-        let searched = result?;
-        cache.insert(key, GuardSet { oracle, searched });
-        Ok(())
+        self.stats.eval_nanos = self
+            .stats
+            .eval_nanos
+            .saturating_add(started.elapsed().as_nanos() as u64);
+        valid
     }
 
-    /// The ordered guard candidates for a request: quick hits (constants,
-    /// known conditionals and their negations, plus `extra` — typically the
-    /// negation of the partner guard, §4) followed by searched guards.
-    fn guard_candidates(
-        &mut self,
-        key: &GuardKey,
-        extra: &[Expr],
-        cache: &mut HashMap<GuardKey, GuardSet>,
-    ) -> Result<Vec<Expr>, SynthError> {
-        if !cache.contains_key(key) {
-            self.search_into_cache(key, cache)?;
-        }
-        let set = &cache[key];
+    /// The quick guard candidates for a request that actually pass it:
+    /// constants, `extra` (typically the negation of the partner guard,
+    /// §4), and known conditionals with their negations — each decided by
+    /// the pool's bitvectors, so backtracking re-checks are word ops.
+    fn quick_passers(&mut self, key: &GuardKey, extra: &[Expr]) -> Vec<Expr> {
         let mut out: Vec<Expr> = Vec::new();
         let mut quick: Vec<Expr> =
             vec![Expr::Lit(Value::Bool(true)), Expr::Lit(Value::Bool(false))];
@@ -282,35 +184,136 @@ impl MergeCtx<'_> {
             quick.push(k.clone());
             quick.push(negate(k));
         }
-        let param_names: Vec<&str> = self.params.iter().map(|(n, _)| n.as_str()).collect();
-        for q in quick {
-            if out.contains(&q) {
+        let q = self.guard_query();
+        for cand in quick {
+            if out.contains(&cand) {
                 continue;
             }
-            let p = Program::new(self.name, param_names.iter().copied(), q.clone());
-            // Quick candidates are re-tested on every backtracking attempt;
-            // the oracle memo turns the repeats into lookups.
-            let ok = match self.sched.cache().cloned() {
-                Some(h) => {
-                    let id = h.intern(q.clone());
-                    h.oracle_verdict(set.oracle.token(), id, self.stats, || {
-                        set.oracle.test(self.env, &p)
-                    })
-                    .success
-                }
-                None => set.oracle.test(self.env, &p).success,
-            };
-            if ok {
-                out.push(q);
+            if self
+                .guards
+                .check_expr(&q, &cand, &key.0, &key.1, self.stats)
+            {
+                out.push(cand);
             }
         }
-        for s in &set.searched {
-            if !out.contains(s) {
-                out.push(s.clone());
-            }
-        }
-        Ok(out)
+        out
     }
+
+    /// The `idx`-th guard candidate for a request — quick passers first,
+    /// then the pool's covering guards (lazily fetched, deduplicated
+    /// against the quick ones), clamped to the last available candidate;
+    /// `None` when the request has no candidate at all. Exactly the list
+    /// the eager per-request materialization produced, paged on demand:
+    /// a merge that validates with guard 0 never pays for alternatives.
+    fn guard_pick(
+        &mut self,
+        key: &GuardKey,
+        extra: &[Expr],
+        idx: usize,
+    ) -> Result<Option<Expr>, SynthError> {
+        let started = Instant::now();
+        let r = self.guard_pick_inner(key, extra, idx);
+        self.guard_time += started.elapsed();
+        r
+    }
+
+    fn guard_pick_inner(
+        &mut self,
+        key: &GuardKey,
+        extra: &[Expr],
+        idx: usize,
+    ) -> Result<Option<Expr>, SynthError> {
+        let quick = self.quick_passers(key, extra);
+        if idx < quick.len() {
+            return Ok(Some(quick[idx].clone()));
+        }
+        let q = self.guard_query();
+        let mut last: Option<Expr> = quick.last().cloned();
+        let mut combined = quick.len();
+        let mut n = 0;
+        loop {
+            let g = self.guards.nth_covering_guard(
+                &q,
+                &key.0,
+                &key.1,
+                n,
+                GUARDS_PER_REQUEST,
+                self.stats,
+            )?;
+            let Some(g) = g else {
+                return Ok(last);
+            };
+            n += 1;
+            if quick.contains(&g) {
+                continue;
+            }
+            if combined == idx {
+                return Ok(Some(g));
+            }
+            last = Some(g);
+            combined += 1;
+        }
+    }
+
+    /// The final combined candidate-list length for a request (quick
+    /// passers plus all covering guards, deduplicated) — the odometer
+    /// digit base. Materializes the request's full guard list; only the
+    /// backtracking path calls this.
+    fn combined_len(&mut self, key: &GuardKey, extra: &[Expr]) -> Result<usize, SynthError> {
+        let started = Instant::now();
+        let quick = self.quick_passers(key, extra);
+        let q = self.guard_query();
+        let total =
+            self.guards
+                .covering_count(&q, &key.0, &key.1, GUARDS_PER_REQUEST, self.stats)?;
+        let mut len = quick.len();
+        for n in 0..total {
+            let g = self
+                .guards
+                .nth_covering_guard(&q, &key.0, &key.1, n, GUARDS_PER_REQUEST, self.stats)?
+                .expect("covering_count bounds the list");
+            if !quick.contains(&g) {
+                len += 1;
+            }
+        }
+        self.guard_time += started.elapsed();
+        Ok(len)
+    }
+
+    /// Advances the guard-choice odometer: increments the *first* used key
+    /// (the structurally dominant pick), carrying rightward; returns
+    /// `Ok(false)` when all combinations are exhausted. Digit bases come
+    /// from [`MergeCtx::combined_len`], so only a failed validation pays
+    /// for materializing the alternatives.
+    fn bump_selector(
+        &mut self,
+        selector: &mut HashMap<GuardKey, usize>,
+        used: &GuardUses,
+    ) -> Result<bool, SynthError> {
+        bump_digits(selector, used, |ctx_key, extra| {
+            self.combined_len(ctx_key, extra)
+        })
+    }
+}
+
+/// The pure odometer step over lazily sized digits: `len_of` supplies each
+/// used key's candidate-list length only when that digit is actually
+/// inspected.
+fn bump_digits(
+    selector: &mut HashMap<GuardKey, usize>,
+    used: &GuardUses,
+    mut len_of: impl FnMut(&GuardKey, &[Expr]) -> Result<usize, SynthError>,
+) -> Result<bool, SynthError> {
+    for (key, extra) in used.iter() {
+        let len = len_of(key, extra)?;
+        let slot = selector.entry(key.clone()).or_insert(0);
+        if *slot + 1 < len {
+            *slot += 1;
+            return Ok(true);
+        }
+        *slot = 0; // carry
+    }
+    Ok(false)
 }
 
 /// Algorithm 1: try every `⊕` order (and, per order, a bounded number of
@@ -321,7 +324,6 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
         return Err(SynthError::MergeFailed);
     }
     let trace = std::env::var("RBSYN_TRACE").is_ok();
-    let mut guard_cache: HashMap<GuardKey, GuardSet> = HashMap::new();
     let orders = permutations(tuples.len(), 720);
     let mut best: Option<Expr> = None;
     for order in orders {
@@ -333,7 +335,7 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
                 }
             }
             let chain: Vec<Tuple> = order.iter().map(|&i| tuples[i].clone()).collect();
-            let (chain, used) = rewrite_chain(ctx, chain, &selector, &mut guard_cache)?;
+            let (chain, used) = rewrite_chain(ctx, chain, &selector)?;
             let body = build_body(&chain, &mut CondEncoder::default());
             let valid = ctx.passes_all_specs(&body);
             if trace {
@@ -345,6 +347,19 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
                 );
             }
             if valid {
+                // §4: remember the validated branch conditions. Later `⊕`
+                // orders try them (and their negations) as quick
+                // candidates, answered by the pool's bitvectors — which
+                // turns the reversed request of an already-solved pair
+                // from a deep stream scan into a word op.
+                for t in &chain {
+                    if matches!(t.cond, Expr::Lit(Value::Bool(_))) {
+                        continue;
+                    }
+                    if !ctx.known_conds.contains(&t.cond) {
+                        ctx.known_conds.push(t.cond.clone());
+                    }
+                }
                 let sz = rbsyn_lang::metrics::node_count(&body);
                 match &best {
                     Some(b) if rbsyn_lang::metrics::node_count(b) <= sz => {}
@@ -353,7 +368,7 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
                 break 'attempts;
             }
             // Odometer over the guard choices this attempt consumed.
-            if !bump_selector(&mut selector, &used) {
+            if !ctx.bump_selector(&mut selector, &used)? {
                 break 'attempts;
             }
         }
@@ -364,63 +379,37 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
     }
 }
 
-/// Guard requests a rewrite consumed, with the candidate-list length at
-/// each request — the digits of the selector odometer.
-type GuardUses = Vec<(GuardKey, usize)>;
-
-/// Advances the guard-choice odometer: increments the *first* used key
-/// (the structurally dominant pick), carrying rightward; returns `false`
-/// when all combinations are exhausted.
-fn bump_selector(selector: &mut HashMap<GuardKey, usize>, used: &GuardUses) -> bool {
-    for (key, len) in used.iter() {
-        let slot = selector.entry(key.clone()).or_insert(0);
-        if *slot + 1 < *len {
-            *slot += 1;
-            return true;
-        }
-        *slot = 0; // carry
-    }
-    false
-}
+/// Guard requests a rewrite consumed, with the `extra` quick candidates in
+/// effect at each request — enough to re-derive the odometer digit bases
+/// lazily when (and only when) a validation fails.
+type GuardUses = Vec<(GuardKey, Vec<Expr>)>;
 
 /// Applies rules (1)–(7) until no rewrite fires (bounded for safety).
-/// Returns the rewritten chain plus the guard requests it consumed (with
-/// candidate-list lengths) for the odometer.
+/// Returns the rewritten chain plus the guard requests it consumed for
+/// the odometer.
 fn rewrite_chain(
     ctx: &mut MergeCtx<'_>,
     mut chain: Vec<Tuple>,
     selector: &HashMap<GuardKey, usize>,
-    guard_cache: &mut HashMap<GuardKey, GuardSet>,
 ) -> Result<(Vec<Tuple>, GuardUses), SynthError> {
     let mut enc = CondEncoder::default();
-    let mut used: Vec<(GuardKey, usize)> = Vec::new();
+    let mut used: GuardUses = Vec::new();
     let pick = |ctx: &mut MergeCtx<'_>,
                 key: GuardKey,
                 extra: &[Expr],
-                used: &mut Vec<(GuardKey, usize)>,
-                cache: &mut HashMap<GuardKey, GuardSet>|
+                used: &mut GuardUses|
      -> Result<Option<Expr>, SynthError> {
-        let cands = ctx.guard_candidates(&key, extra, cache)?;
-        if cands.is_empty() {
-            return Ok(None);
-        }
-        let idx = selector
-            .get(&key)
-            .copied()
-            .unwrap_or(0)
-            .min(cands.len() - 1);
+        let idx = selector.get(&key).copied().unwrap_or(0);
+        let g = ctx.guard_pick(&key, extra, idx)?;
         if !used.iter().any(|(k, _)| *k == key) {
-            used.push((key.clone(), cands.len()));
+            used.push((key.clone(), extra.to_vec()));
         }
-        let g = cands[idx].clone();
-        if std::env::var("RBSYN_TRACE").is_ok() {
-            eprintln!(
-                "[rbsyn]   pick {key:?} idx {idx}/{} → {}",
-                cands.len(),
-                g.compact()
-            );
+        if let Some(g) = &g {
+            if std::env::var("RBSYN_TRACE").is_ok() {
+                eprintln!("[rbsyn]   pick {key:?} idx {idx} → {}", g.compact());
+            }
         }
-        Ok(Some(g))
+        Ok(g)
     };
 
     for _round in 0..24 {
@@ -475,37 +464,21 @@ fn rewrite_chain(
                 continue;
             }
             // Rule 3: conditions do not distinguish differing solutions —
-            // strengthen both via guard synthesis. The reverse request is
-            // prefetched on the shared executor while the forward one runs
-            // inline (and discarded if the forward request yields nothing,
-            // which is when the sequential merge would never search it).
+            // strengthen both via guard covering. Both halves of the pair
+            // (and every backtracking re-request) are answered from the
+            // problem's shared guard pool.
             if enc.implies(&a.cond, &b.cond) {
                 let k1: GuardKey = (a.specs.clone(), b.specs.clone());
                 let k2: GuardKey = (b.specs.clone(), a.specs.clone());
-                let prefetch = if k1 == k2 {
-                    None
-                } else {
-                    ctx.spawn_guard_search(&k2, guard_cache)
+                let Some(b1) = pick(ctx, k1, &[], &mut used)? else {
+                    // Timeout propagated above; no forward guard means the
+                    // reverse request is never needed.
+                    i += 1;
+                    continue;
                 };
-                let b1 = match pick(ctx, k1, &[], &mut used, guard_cache) {
-                    Ok(Some(b1)) => b1,
-                    not_found => {
-                        // Timeout, or no forward guard: the reverse search
-                        // is not needed (and was not counted sequentially).
-                        if let Some(p) = prefetch {
-                            p.task.cancel();
-                        }
-                        not_found?;
-                        i += 1;
-                        continue;
-                    }
-                };
-                if let Some(p) = prefetch {
-                    ctx.adopt_guard_search(p, guard_cache)?;
-                }
                 // Try the negation first for the reverse guard (§4).
                 let extra = [negate(&b1)];
-                let Some(b2) = pick(ctx, k2, &extra, &mut used, guard_cache)? else {
+                let Some(b2) = pick(ctx, k2, &extra, &mut used)? else {
                     i += 1;
                     continue;
                 };
@@ -542,19 +515,10 @@ fn rewrite_chain(
 }
 
 /// Does `bg` evaluate truthy under every setup of the given specs?
+/// Answered from the guard pool's bitvectors (a pos-only request).
 fn guard_holds(ctx: &mut MergeCtx<'_>, bg: &Expr, specs: &[usize]) -> bool {
-    let p = ctx.program(bg.clone());
-    specs.iter().all(|&i| {
-        let spec = &ctx.specs[i];
-        let Some(xr) = spec.result_var() else {
-            return false;
-        };
-        let check = spec.with_asserts(vec![Expr::Var(xr)]);
-        match PreparedSpec::prepare(ctx.env, &check) {
-            Ok(prepared) => prepared.run(ctx.env, &p).passed(),
-            Err(_) => false,
-        }
-    })
+    let q = ctx.guard_query();
+    ctx.guards.check_expr(&q, bg, specs, &[], ctx.stats)
 }
 
 /// Builds `if b₁ then e₁ else if b₂ then e₂ … else nil`, with the
@@ -706,15 +670,24 @@ mod tests {
     fn odometer_carries_and_terminates() {
         let k1: GuardKey = (vec![0], vec![1]);
         let k2: GuardKey = (vec![1], vec![0]);
-        let used = vec![(k1.clone(), 2), (k2.clone(), 2)];
+        let used: GuardUses = vec![(k1.clone(), vec![]), (k2.clone(), vec![])];
         let mut sel = HashMap::new();
+        let mut queried = 0usize;
+        let mut bump = |sel: &mut HashMap<GuardKey, usize>| {
+            bump_digits(sel, &used, |_, _| {
+                queried += 1;
+                Ok(2)
+            })
+            .unwrap()
+        };
         // 2×2 grid: 3 bumps then exhaustion; the first key varies fastest.
-        assert!(bump_selector(&mut sel, &used));
+        assert!(bump(&mut sel));
         assert_eq!(sel[&k1], 1);
-        assert!(bump_selector(&mut sel, &used));
+        assert!(bump(&mut sel));
         assert_eq!((sel[&k1], sel[&k2]), (0, 1));
-        assert!(bump_selector(&mut sel, &used));
+        assert!(bump(&mut sel));
         assert_eq!((sel[&k1], sel[&k2]), (1, 1));
-        assert!(!bump_selector(&mut sel, &used));
+        assert!(!bump(&mut sel));
+        assert!(queried >= 4, "digit bases are supplied lazily per bump");
     }
 }

@@ -108,6 +108,16 @@ pub struct Options {
     /// memoized values are pure functions of their keys — only the time
     /// spent finding it.
     pub cache: bool,
+    /// Observational-equivalence pruning: candidates whose evaluation
+    /// vector (result value, effect trace, post-run state hash on the
+    /// spec's test states) matches an already-enqueued candidate of equal
+    /// or smaller size are pruned from the frontier before their subtree
+    /// is ever explored. Defaults to `true`; the 19-benchmark byte-identity
+    /// gate (`trajectory`'s `no-obs-equiv` leg, the CI `obs-equiv`
+    /// determinism leg) holds the default to "programs are unchanged, only
+    /// the work to find them shrinks". `--no-obs-equiv` is the A/B escape
+    /// hatch.
+    pub obs_equiv: bool,
     /// Work-list exploration order (see
     /// [`SearchStrategy`](crate::engine::SearchStrategy)). The default
     /// [`StrategyKind::Paper`] reproduces §4's deterministic ordering;
@@ -135,6 +145,7 @@ impl Default for Options {
             max_expansions: 2_000_000,
             timeout: Some(Duration::from_secs(300)),
             cache: true,
+            obs_equiv: true,
             strategy: StrategyKind::Paper,
             intra_parallelism: 1,
         }
@@ -180,5 +191,6 @@ mod tests {
         assert!(o.timeout.is_some());
         assert_eq!(o.strategy, StrategyKind::Paper);
         assert_eq!(o.intra_parallelism, 1, "intra-parallel dispatch is opt-in");
+        assert!(o.obs_equiv, "observational-equivalence pruning is on");
     }
 }

@@ -253,6 +253,7 @@ impl Synthesizer {
         let param_names: Vec<&str> = problem.params.iter().map(|(n, _)| n.as_str()).collect();
         for (i, spec) in problem.specs.iter().enumerate() {
             let oracle = &spec_oracles[i];
+            let reuse_started = Instant::now();
             let reused = tuples.iter_mut().find(|t| {
                 let p = Program::new(
                     problem.name.as_str(),
@@ -270,6 +271,10 @@ impl Synthesizer {
                     None => oracle.test(&env, &p).success,
                 }
             });
+            stats.search.eval_nanos = stats
+                .search
+                .eval_nanos
+                .saturating_add(reuse_started.elapsed().as_nanos() as u64);
             if let Some(t) = reused {
                 if trace {
                     eprintln!(
@@ -349,6 +354,7 @@ impl Synthesizer {
             stats: &mut stats.search,
             guard_time: Duration::ZERO,
             known_conds: Vec::new(),
+            guards: crate::guards::GuardPool::new(),
         };
         let program = merge_program(&mut ctx, tuples)?;
         stats.guard_time = ctx.guard_time;

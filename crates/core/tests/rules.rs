@@ -196,6 +196,7 @@ fn merge_rule_1_collapses_identical_solutions() {
         stats: &mut stats,
         guard_time: Duration::ZERO,
         known_conds: Vec::new(),
+        guards: rbsyn_core::guards::GuardPool::new(),
     };
     let program = merge_program(&mut ctx, tuples).expect("identical tuples merge");
     // Rule 1: one branch, no conditional at all.
@@ -264,6 +265,7 @@ fn merge_strengthens_trivial_conditions_with_rule_3() {
         stats: &mut stats,
         guard_time: Duration::ZERO,
         known_conds: Vec::new(),
+        guards: rbsyn_core::guards::GuardPool::new(),
     };
     let program = merge_program(&mut ctx, tuples).expect("rule 3 + rules 4/5 merge");
     // Rules 4/5 then fold `if b then true else false` into `b` itself:

@@ -83,6 +83,7 @@ fn phase2_merge_surfaces_timeout() {
         stats: &mut stats,
         guard_time: Duration::ZERO,
         known_conds: Vec::new(),
+        guards: rbsyn_core::guards::GuardPool::new(),
     };
     let tuples = vec![Tuple {
         expr: true_(),

@@ -25,8 +25,9 @@
 //! );
 //! ```
 
-use rbsyn_lang::{Symbol, Value};
+use rbsyn_lang::{ObsHasher, Symbol, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a table within a [`Database`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -198,13 +199,43 @@ impl Table {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Deterministic content digest of this table (schema, id counter and
+    /// rows), folded into the given observation hasher. Used by the
+    /// evaluation-vector fingerprints of `rbsyn-interp`: hashing goes by
+    /// string content and row values, never by interner indices, so two
+    /// runs that leave a table in the same state digest identically across
+    /// threads and processes.
+    pub fn obs_hash(&self, h: &mut ObsHasher) {
+        h.put_symbol(self.schema.name);
+        h.put_u64(self.schema.columns.len() as u64);
+        for c in &self.schema.columns {
+            h.put_symbol(*c);
+        }
+        h.put_i64(self.next_id);
+        h.put_u64(self.rows.len() as u64);
+        for r in &self.rows {
+            h.put_i64(r.id.0);
+            for v in &r.values {
+                h.put_value(v);
+            }
+        }
+    }
 }
 
 /// A collection of tables; cloning snapshots the entire store, which is how
 /// candidate runs are isolated.
+///
+/// Snapshots are **copy-on-write**: tables live behind [`Arc`]s, so a clone
+/// is one refcount bump per table and a table's rows are only deep-copied
+/// on the first write through [`Database::table_mut`]. The search clones a
+/// prepared spec's database snapshot once per candidate run — over a
+/// million times per hard benchmark — and most candidates touch at most
+/// one table, so the fork cost drops from O(total rows) to O(tables
+/// written).
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    tables: Vec<Table>,
+    tables: Vec<Arc<Table>>,
 }
 
 impl Database {
@@ -216,7 +247,7 @@ impl Database {
     /// Creates a table and returns its id.
     pub fn create_table(&mut self, schema: TableSchema) -> TableId {
         let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table::new(schema));
+        self.tables.push(Arc::new(Table::new(schema)));
         id
     }
 
@@ -238,13 +269,14 @@ impl Database {
         &self.tables[id.0 as usize]
     }
 
-    /// Mutable access to a table.
+    /// Mutable access to a table. This is the copy-on-write point: a table
+    /// still shared with a snapshot is deep-copied here, once.
     ///
     /// # Panics
     ///
     /// Panics when `id` does not belong to this database.
     pub fn table_mut(&mut self, id: TableId) -> &mut Table {
-        &mut self.tables[id.0 as usize]
+        Arc::make_mut(&mut self.tables[id.0 as usize])
     }
 
     /// Number of tables.
@@ -252,11 +284,27 @@ impl Database {
         self.tables.len()
     }
 
+    /// Does this database still share the storage of table `id` with
+    /// `base` (i.e. neither side has written it since the fork)? The
+    /// evaluation-vector fingerprint uses this to digest untouched tables
+    /// as a constant marker instead of re-hashing their contents.
+    pub fn shares_table(&self, base: &Database, id: TableId) -> bool {
+        match (
+            self.tables.get(id.0 as usize),
+            base.tables.get(id.0 as usize),
+        ) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Deletes all rows everywhere, keeping schemas and id counters — the
     /// "clear the database" reset hook of §4.
     pub fn clear_rows(&mut self) {
         for t in &mut self.tables {
-            t.rows.clear();
+            if !t.rows.is_empty() {
+                Arc::make_mut(t).rows.clear();
+            }
         }
     }
 }
@@ -383,6 +431,51 @@ mod tests {
             .insert(vec![(Symbol::intern("title"), sv("y"))]);
         assert_eq!(db.table(t).len(), 2);
         assert_eq!(snapshot.table(t).len(), 1);
+    }
+
+    #[test]
+    fn clones_share_tables_until_written() {
+        let (mut db, t) = posts_db();
+        db.table_mut(t)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
+        let fork = db.clone();
+        assert!(fork.shares_table(&db, t), "a fresh fork shares storage");
+        let mut fork2 = db.clone();
+        fork2.table_mut(t).insert(vec![]);
+        assert!(
+            !fork2.shares_table(&db, t),
+            "the first write breaks sharing"
+        );
+        assert_eq!(db.table(t).len(), 1, "the base is untouched");
+        assert!(!db.shares_table(&Database::new(), t), "missing table");
+    }
+
+    #[test]
+    fn obs_hash_tracks_content() {
+        let digest = |db: &Database, t: TableId| {
+            let mut h = rbsyn_lang::ObsHasher::new();
+            db.table(t).obs_hash(&mut h);
+            h.finish128()
+        };
+        let (mut a, ta) = posts_db();
+        let (mut b, tb) = posts_db();
+        a.table_mut(ta)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
+        b.table_mut(tb)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
+        assert_eq!(digest(&a, ta), digest(&b, tb), "equal content, equal fp");
+        b.table_mut(tb)
+            .set(RowId(1), Symbol::intern("title"), sv("y"));
+        assert_ne!(digest(&a, ta), digest(&b, tb));
+        // Deleting and re-inserting bumps next_id: observably different.
+        let (mut c, tc) = posts_db();
+        let id = c
+            .table_mut(tc)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
+        c.table_mut(tc).delete(id);
+        c.table_mut(tc)
+            .insert(vec![(Symbol::intern("title"), sv("x"))]);
+        assert_ne!(digest(&a, ta), digest(&c, tc));
     }
 
     #[test]

@@ -63,12 +63,26 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Builds an evaluator with the default fuel budget.
     pub fn new(env: &'a InterpEnv, state: &'a mut WorldState) -> Evaluator<'a> {
+        Evaluator::with_fuel(env, state, DEFAULT_FUEL)
+    }
+
+    /// Builds an evaluator with an explicit fuel budget — used by callers
+    /// that split one logical run across several evaluators (the traced
+    /// spec runner pauses between phases to fingerprint the state) and
+    /// must keep the run's total budget identical to a single-evaluator
+    /// run.
+    pub fn with_fuel(env: &'a InterpEnv, state: &'a mut WorldState, fuel: u64) -> Evaluator<'a> {
         Evaluator {
             env,
             state,
             tracker: None,
-            fuel: DEFAULT_FUEL,
+            fuel,
         }
+    }
+
+    /// Fuel remaining in this evaluator's budget.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
     }
 
     fn burn(&mut self) -> Result<(), RuntimeError> {

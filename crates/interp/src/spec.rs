@@ -15,7 +15,7 @@
 use crate::error::RuntimeError;
 use crate::eval::{Evaluator, Locals};
 use crate::world::{InterpEnv, WorldState};
-use rbsyn_lang::{EffectPair, Expr, Program, Symbol};
+use rbsyn_lang::{EffectPair, Expr, ObsHasher, Program, Symbol};
 use std::fmt;
 use std::sync::Arc;
 
@@ -198,6 +198,9 @@ impl PreparedSpec {
                 }
             }
         };
+        // Collapse the state's copy-on-write layers so the per-candidate
+        // clone in `run` is a handful of refcount bumps.
+        state.freeze();
         Ok(PreparedSpec {
             snapshot: state,
             locals,
@@ -235,13 +238,78 @@ impl PreparedSpec {
 
     /// Runs one candidate from the snapshot.
     pub fn run(&self, env: &InterpEnv, program: &Program) -> SpecOutcome {
+        self.run_impl(env, program, false).0
+    }
+
+    /// Like [`PreparedSpec::run`], but also returns the candidate's
+    /// **evaluation-vector entry**: a 128-bit fingerprint of its observed
+    /// behavior on this test — the call's result value, the world state it
+    /// left behind (copy-on-write-aware, see
+    /// [`WorldState::obs_fingerprint`]), plus the outcome tag, passed
+    /// count and failing-assert effect trace.
+    ///
+    /// Two candidates with equal fingerprints behave identically w.r.t.
+    /// *this* prepared test: any expression completed around either
+    /// evaluates from the same post-call world and binding, so the search
+    /// may prune one of them (observational-equivalence dedup). The
+    /// fingerprint is `None` only when the candidate itself crashed — such
+    /// candidates are rejected outright and never compared.
+    pub fn run_traced(&self, env: &InterpEnv, program: &Program) -> (SpecOutcome, Option<u128>) {
+        self.run_impl(env, program, true)
+    }
+
+    fn run_impl(
+        &self,
+        env: &InterpEnv,
+        program: &Program,
+        trace: bool,
+    ) -> (SpecOutcome, Option<u128>) {
         let mut state = self.snapshot.clone();
         let mut locals = self.locals.clone();
-        let mut ev = Evaluator::new(env, &mut state);
-        match ev.call_program(program, self.args.clone()) {
-            Ok(v) => locals.bind(self.bind, v),
-            Err(e) => return SpecOutcome::SetupError(e),
-        }
+        // Phase 1: call the candidate. The evaluator is scoped so the
+        // state borrow ends before fingerprinting; the remaining fuel is
+        // carried into phase 2, keeping the total budget identical to a
+        // single-evaluator run.
+        let (call_result, fuel_left) = {
+            let mut ev = Evaluator::new(env, &mut state);
+            let r = ev.call_program(program, self.args.clone());
+            (r, ev.fuel())
+        };
+        let v = match call_result {
+            Ok(v) => v,
+            Err(e) => return (SpecOutcome::SetupError(e), None),
+        };
+        // The vector core is captured *here* — right after the call —
+        // because completions of a pruned candidate re-evaluate from
+        // exactly this point; later post-steps/asserts are a deterministic
+        // function of it.
+        let core_fp = trace.then(|| {
+            let mut h = ObsHasher::new();
+            h.put_value(&v);
+            h.put_u128(state.obs_fingerprint(&self.snapshot));
+            h.finish128()
+        });
+        locals.bind(self.bind, v);
+        let mut ev = Evaluator::with_fuel(env, &mut state, fuel_left);
+        let fp = |outcome: &SpecOutcome| {
+            core_fp.map(|core| {
+                let mut h = ObsHasher::new();
+                h.put_u128(core);
+                match outcome {
+                    SpecOutcome::Passed { asserts } => {
+                        h.put_u64(0);
+                        h.put_u64(*asserts as u64);
+                    }
+                    SpecOutcome::Failed { passed, effects } => {
+                        h.put_u64(1);
+                        h.put_u64(*passed as u64);
+                        h.put_effect_pair(effects);
+                    }
+                    SpecOutcome::SetupError(_) => h.put_u64(2),
+                }
+                h.finish128()
+            })
+        };
         for step in &self.post_steps {
             let r: Result<(), RuntimeError> = match step {
                 SetupStep::Bind(x, e) => ev.eval(&mut locals, e).map(|v| locals.bind(*x, v)),
@@ -252,7 +320,9 @@ impl PreparedSpec {
                 )),
             };
             if let Err(e) = r {
-                return SpecOutcome::SetupError(e);
+                let out = SpecOutcome::SetupError(e);
+                let f = fp(&out);
+                return (out, f);
             }
         }
 
@@ -267,10 +337,16 @@ impl PreparedSpec {
                 Ok(v) if v.truthy() => passed += 1,
                 // E-AssertFail — and asserts that *raise* also fail,
                 // carrying whatever effects were collected up to the raise.
-                Ok(_) | Err(_) => return SpecOutcome::Failed { passed, effects },
+                Ok(_) | Err(_) => {
+                    let out = SpecOutcome::Failed { passed, effects };
+                    let f = fp(&out);
+                    return (out, f);
+                }
             }
         }
-        SpecOutcome::Passed { asserts: passed }
+        let out = SpecOutcome::Passed { asserts: passed };
+        let f = fp(&out);
+        (out, f)
     }
 }
 
@@ -488,6 +564,42 @@ mod tests {
         let p = Program::new("m", [], int(1));
         assert!(run_spec(&env, &spec, &p).passed());
         assert_eq!(spec.result_var(), Some(Symbol::intern("xr")));
+    }
+
+    #[test]
+    fn traced_runs_fingerprint_behavior() {
+        let env = counter_env();
+        let c = counter_cls(&env);
+        // Spec fails for nil-returning candidates (assert xr).
+        let spec = Spec::new(
+            "truthy result",
+            vec![SetupStep::CallTarget {
+                bind: "xr".into(),
+                args: vec![],
+            }],
+            vec![var("xr")],
+        );
+        let prepared = PreparedSpec::prepare(&env, &spec).unwrap();
+        // Two syntactically different candidates with identical behavior
+        // (both return nil, touch nothing) share a fingerprint.
+        let p1 = Program::new("m", [], nil());
+        let p2 = Program::new("m", [], if_(true_(), nil(), int(1)));
+        let (o1, f1) = prepared.run_traced(&env, &p1);
+        let (o2, f2) = prepared.run_traced(&env, &p2);
+        assert!(!o1.passed() && !o2.passed());
+        assert_eq!(f1, f2, "equal behavior, equal vector entry");
+        assert!(f1.is_some());
+        // A candidate that mutates global state diverges.
+        let p3 = Program::new("m", [], call(c, "bump", []));
+        let (_, f3) = prepared.run_traced(&env, &p3);
+        assert_ne!(f1, f3, "state writes are observable");
+        // A crashing candidate has no vector entry.
+        let boom = Program::new("m", [], call(nil(), "boom", []));
+        let (ob, fb) = prepared.run_traced(&env, &boom);
+        assert!(matches!(ob, SpecOutcome::SetupError(_)));
+        assert_eq!(fb, None);
+        // The untraced runner agrees on outcomes.
+        assert_eq!(prepared.run(&env, &p1).passed_count(), o1.passed_count());
     }
 
     #[test]

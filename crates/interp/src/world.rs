@@ -3,7 +3,7 @@
 
 use crate::error::RuntimeError;
 use rbsyn_db::{Database, RowId, TableId};
-use rbsyn_lang::{ClassId, ObjRef, Symbol, Value};
+use rbsyn_lang::{unordered_obs_fold, ClassId, ObjRef, ObsHasher, Symbol, Value};
 use rbsyn_ty::{ClassTable, MethodKind};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -121,14 +121,80 @@ pub struct ObjData {
     pub row: Option<(TableId, RowId)>,
 }
 
+/// A copy-on-write object heap.
+///
+/// A prepared spec's snapshot heap is *frozen* into the shared `base`; a
+/// candidate run clones the heap (one `Arc` bump), allocates new objects
+/// into `extra`, and mutations of base objects land in the `dirty` overlay
+/// — so forking the heap for a run never copies the snapshot's objects,
+/// and a run's footprint is exactly what it touched.
+#[derive(Clone, Default)]
+struct Heap {
+    /// Frozen snapshot slots, shared between all forks.
+    base: Arc<Vec<ObjData>>,
+    /// Slots allocated after the freeze (`base.len()..`).
+    extra: Vec<ObjData>,
+    /// Copy-on-write overlay for mutated base slots.
+    dirty: HashMap<u32, ObjData>,
+}
+
+impl Heap {
+    fn len(&self) -> usize {
+        self.base.len() + self.extra.len()
+    }
+
+    fn get(&self, i: usize) -> &ObjData {
+        if i < self.base.len() {
+            self.dirty.get(&(i as u32)).unwrap_or_else(|| &self.base[i])
+        } else {
+            &self.extra[i - self.base.len()]
+        }
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut ObjData {
+        if i < self.base.len() {
+            let base = &self.base;
+            self.dirty
+                .entry(i as u32)
+                .or_insert_with(|| base[i].clone())
+        } else {
+            let off = self.base.len();
+            &mut self.extra[i - off]
+        }
+    }
+
+    fn push(&mut self, data: ObjData) -> usize {
+        self.extra.push(data);
+        self.len() - 1
+    }
+
+    /// Collapses overlay and extras into a fresh shared base, so clones of
+    /// this heap fork in O(1).
+    fn freeze(&mut self) {
+        if self.dirty.is_empty() && self.extra.is_empty() {
+            return;
+        }
+        let mut flat: Vec<ObjData> = Vec::with_capacity(self.len());
+        for i in 0..self.base.len() {
+            flat.push(self.get(i).clone());
+        }
+        flat.append(&mut self.extra);
+        self.dirty.clear();
+        self.base = Arc::new(flat);
+    }
+}
+
 /// The mutable per-run state: a database snapshot, a heap, and globals.
 ///
-/// Built fresh from the environment before each candidate run.
+/// Built fresh from the environment before each candidate run. Both the
+/// database and the heap are copy-on-write, so cloning a prepared
+/// snapshot — the per-candidate fork on the oracle hot path — costs a few
+/// refcount bumps plus the (usually empty) globals map.
 #[derive(Clone)]
 pub struct WorldState {
     /// The run's private database.
     pub db: Database,
-    heap: Vec<ObjData>,
+    heap: Heap,
     /// Global key-value state (simulates app-level singletons like
     /// Discourse's site settings).
     pub globals: HashMap<Symbol, Value>,
@@ -139,16 +205,14 @@ impl WorldState {
     pub fn fresh(env: &InterpEnv) -> WorldState {
         WorldState {
             db: env.db_template.clone(),
-            heap: Vec::new(),
+            heap: Heap::default(),
             globals: HashMap::new(),
         }
     }
 
     /// Allocates a heap object.
     pub fn alloc(&mut self, data: ObjData) -> ObjRef {
-        let r = ObjRef(self.heap.len() as u32);
-        self.heap.push(data);
-        r
+        ObjRef(self.heap.push(data) as u32)
     }
 
     /// Allocates a model instance fronting `row` of `table`.
@@ -167,16 +231,16 @@ impl WorldState {
     ///
     /// Panics if `r` is not a reference into this heap.
     pub fn obj(&self, r: ObjRef) -> &ObjData {
-        &self.heap[r.index()]
+        self.heap.get(r.index())
     }
 
-    /// Mutable access to a heap object.
+    /// Mutable access to a heap object (the heap's copy-on-write point).
     ///
     /// # Panics
     ///
     /// Panics if `r` is not a reference into this heap.
     pub fn obj_mut(&mut self, r: ObjRef) -> &mut ObjData {
-        &mut self.heap[r.index()]
+        self.heap.get_mut(r.index())
     }
 
     /// The database row a model value fronts, if any.
@@ -191,6 +255,83 @@ impl WorldState {
     pub fn heap_len(&self) -> usize {
         self.heap.len()
     }
+
+    /// Collapses copy-on-write layers so future clones of this state fork
+    /// in O(1). Called once per prepared spec, after setup ran.
+    pub fn freeze(&mut self) {
+        self.heap.freeze();
+    }
+
+    /// Deterministic digest of this state's *divergence* from `base` (the
+    /// snapshot it was forked from) — the state component of an evaluation
+    /// vector.
+    ///
+    /// Copy-on-write makes this cheap *and* comparable: database tables
+    /// and the heap base still shared with the snapshot digest as constant
+    /// markers; only written tables, dirty heap slots, run-allocated
+    /// objects and globals are content-hashed (identifiers by string, see
+    /// [`ObsHasher`]). Two runs forked from the **same** snapshot get
+    /// equal digests iff they left the world in the same observable state
+    /// (modulo the false-*negative* of a run rewriting a table to its
+    /// original contents, which costs pruning power, never soundness).
+    pub fn obs_fingerprint(&self, base: &WorldState) -> u128 {
+        let mut h = ObsHasher::new();
+        h.put_u64(self.db.table_count() as u64);
+        for i in 0..self.db.table_count() {
+            let id = TableId(i as u32);
+            if self.db.shares_table(&base.db, id) {
+                h.put_u64(0);
+            } else {
+                h.put_u64(1);
+                self.db.table(id).obs_hash(&mut h);
+            }
+        }
+        if Arc::ptr_eq(&self.heap.base, &base.heap.base) {
+            h.put_u64(0);
+        } else {
+            // Forked from a different snapshot: digest the full base. Runs
+            // against the same prepared spec never take this branch.
+            h.put_u64(1);
+            h.put_u64(self.heap.base.len() as u64);
+            for o in self.heap.base.iter() {
+                obs_hash_obj(&mut h, o);
+            }
+        }
+        let mut dirty: Vec<u32> = self.heap.dirty.keys().copied().collect();
+        dirty.sort_unstable();
+        h.put_u64(dirty.len() as u64);
+        for i in dirty {
+            h.put_u64(u64::from(i));
+            obs_hash_obj(&mut h, &self.heap.dirty[&i]);
+        }
+        h.put_u64(self.heap.extra.len() as u64);
+        for o in &self.heap.extra {
+            obs_hash_obj(&mut h, o);
+        }
+        h.put_u128(unordered_obs_fold(self.globals.iter(), |h, (k, v)| {
+            h.put_symbol(*k);
+            h.put_value(v);
+        }));
+        h.finish128()
+    }
+}
+
+/// Folds one heap object into an observation digest (ivar maps are
+/// unordered, so they get the order-independent combine).
+fn obs_hash_obj(h: &mut ObsHasher, o: &ObjData) {
+    h.put_class(o.class);
+    match o.row {
+        Some((t, r)) => {
+            h.put_u64(1);
+            h.put_u64(u64::from(t.0));
+            h.put_i64(r.0);
+        }
+        None => h.put_u64(0),
+    }
+    h.put_u128(unordered_obs_fold(o.ivars.iter(), |h, (k, v)| {
+        h.put_symbol(*k);
+        h.put_value(v);
+    }));
 }
 
 #[cfg(test)]
@@ -269,5 +410,73 @@ mod tests {
         assert_eq!(env.model_table(post), Some(posts));
         let h = &env.table.hierarchy;
         assert_eq!(env.model_table(h.integer()), None);
+    }
+
+    #[test]
+    fn frozen_heap_forks_are_isolated() {
+        let (env, post, posts) = env_with_post();
+        let mut snap = WorldState::fresh(&env);
+        let row = snap.db.table_mut(posts).insert(vec![]);
+        let v = snap.alloc_model(post, posts, row);
+        snap.freeze();
+        let Value::Obj(r) = v else { unreachable!() };
+        // Two forks: one mutates the snapshot object, one allocates more.
+        let mut a = snap.clone();
+        a.obj_mut(r)
+            .ivars
+            .insert(Symbol::intern("x"), Value::Int(1));
+        let mut b = snap.clone();
+        let extra = b.alloc(ObjData {
+            class: post,
+            ivars: HashMap::new(),
+            row: None,
+        });
+        assert_eq!(
+            a.obj(r).ivars.get(&Symbol::intern("x")),
+            Some(&Value::Int(1))
+        );
+        assert!(snap.obj(r).ivars.is_empty(), "the snapshot is untouched");
+        assert!(b.obj(r).ivars.is_empty());
+        assert_eq!(b.heap_len(), 2);
+        assert_eq!(extra.index(), 1);
+        assert_eq!(a.heap_len(), 1);
+    }
+
+    #[test]
+    fn obs_fingerprint_separates_observable_outcomes() {
+        let (env, post, posts) = env_with_post();
+        let mut snap = WorldState::fresh(&env);
+        let row = snap.db.table_mut(posts).insert(vec![]);
+        snap.alloc_model(post, posts, row);
+        snap.freeze();
+
+        // An untouched fork digests like another untouched fork.
+        let a = snap.clone();
+        let b = snap.clone();
+        assert_eq!(a.obs_fingerprint(&snap), b.obs_fingerprint(&snap));
+
+        // Same mutation → same digest; different mutation → different.
+        let title = Symbol::intern("title");
+        let mut c = snap.clone();
+        c.db.table_mut(posts).set(row, title, Value::str("X"));
+        let mut d = snap.clone();
+        d.db.table_mut(posts).set(row, title, Value::str("X"));
+        let mut e = snap.clone();
+        e.db.table_mut(posts).set(row, title, Value::str("Y"));
+        assert_eq!(c.obs_fingerprint(&snap), d.obs_fingerprint(&snap));
+        assert_ne!(c.obs_fingerprint(&snap), e.obs_fingerprint(&snap));
+        assert_ne!(a.obs_fingerprint(&snap), c.obs_fingerprint(&snap));
+
+        // Globals and fresh allocations are observable too.
+        let mut g = snap.clone();
+        g.globals.insert(Symbol::intern("flag"), Value::Bool(true));
+        assert_ne!(a.obs_fingerprint(&snap), g.obs_fingerprint(&snap));
+        let mut al = snap.clone();
+        al.alloc(ObjData {
+            class: post,
+            ivars: HashMap::new(),
+            row: None,
+        });
+        assert_ne!(a.obs_fingerprint(&snap), al.obs_fingerprint(&snap));
     }
 }

@@ -42,11 +42,13 @@ pub mod builder;
 pub mod effects;
 pub mod intern;
 pub mod metrics;
+pub mod obs;
 pub mod types;
 pub mod value;
 
 pub use ast::{Expr, Program};
 pub use effects::{Effect, EffectPair, EffectSet};
 pub use intern::{hash128, ExprArena, ExprId, FxBuild, FxHasher, Symbol};
+pub use obs::{unordered_obs_fold, ObsHasher};
 pub use types::{FiniteHash, Ty};
 pub use value::{ClassId, ObjRef, Value};
