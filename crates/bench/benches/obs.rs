@@ -129,7 +129,7 @@ fn bench_guard_covering(c: &mut Criterion) {
     let sched = Scheduler::sequential();
     let q = GuardQuery {
         env: &env,
-        name: "m",
+        name: "m".into(),
         params: &[],
         specs: &specs,
         opts: &opts,

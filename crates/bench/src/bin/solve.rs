@@ -39,8 +39,8 @@
 //! the same codes appear as `"exit_code"` in `--json` output.
 
 use rbsyn_bench::harness::{
-    batch_stats_json, exit_codes, format_batch_solutions, format_batch_stats, json_escape,
-    run_suite_on, Config,
+    batch_stats_json, exit_codes, format_batch_solutions, format_batch_stats,
+    format_contention_report, json_escape, run_suite_on, Config,
 };
 use rbsyn_core::{BatchReport, Options, StrategyKind, SynthesisProblem, Synthesizer};
 use rbsyn_interp::InterpEnv;
@@ -442,6 +442,14 @@ fn main() {
     let report = run(&cfg, cli.parallel);
     print!("{}", format_batch_solutions(&report));
     eprint!("{}", format_batch_stats(&report));
+    // Per-lock wait/hold lines (stderr, like the stats — the stdout
+    // solution section stays byte-comparable); instrumented builds only.
+    if rbsyn_lang::contention::enabled() {
+        eprint!(
+            "{}",
+            format_contention_report(&rbsyn_lang::contention::snapshot())
+        );
+    }
     if let Some(path) = &cli.json {
         std::fs::write(path, batch_stats_json(&report)).expect("write --json file");
     }

@@ -4,14 +4,24 @@
 //! (`--intra`), both, the **file-driven corpus** (`benchmarks/*.rbspec`
 //! through the textual frontend), and (since PR 5) the
 //! **observational-equivalence ablation** (`no-obs-equiv`) — and writes
-//! one JSON file (`BENCH_pr5.json` in CI) with wall-clocks, effort and
-//! cache counters per configuration, and the corpus parse+lower time.
+//! one JSON file (`BENCH_pr6.json` in CI) with wall-clocks, effort and
+//! cache counters per configuration, the corpus parse+lower time, and
+//! (since PR 6) a per-run `contention` delta from the per-lock telemetry
+//! in `rbsyn_lang::contention` (all zeros unless built with
+//! `--features contention`).
 //!
 //! ```text
-//! cargo run --release -p rbsyn-bench --bin trajectory -- \
-//!     [--json BENCH_pr5.json] [--threads N] [--intra N] [--timeout SECS] \
-//!     [--spec-dir benchmarks]
+//! cargo run --release -p rbsyn-bench --features contention --bin trajectory -- \
+//!     [--json BENCH_pr6.json] [--threads N] [--intra N] [--timeout SECS] \
+//!     [--spec-dir benchmarks] [--contention-json PATH] [--require-speedup]
 //! ```
+//!
+//! `--contention-json PATH` additionally writes a standalone contention
+//! report (the CI artifact uploaded next to the trajectory file);
+//! `--require-speedup` makes a multi-core host fail the run when the
+//! inter-problem `parallel` configuration does not beat the sequential
+//! wall clock (`wall_speedup > 1.0`) — a single-core host skips the
+//! assertion with a note, since no in-process speedup is possible there.
 //!
 //! Two speedup figures per run: `wall_speedup` (sequential wall clock over
 //! this configuration's wall clock — the number that means "faster") and
@@ -28,9 +38,11 @@
 //! obs-equiv soundness gate.
 
 use rbsyn_bench::harness::{
-    format_batch_programs, format_batch_solutions, run_suite, run_suite_on, Config,
+    contention_json, format_batch_programs, format_batch_solutions, format_contention_report,
+    run_suite, run_suite_on, Config,
 };
 use rbsyn_core::BatchReport;
+use rbsyn_lang::contention::{self, SiteReport};
 use rbsyn_suite::Benchmark;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -46,7 +58,12 @@ struct RunSpec {
     no_obs_equiv: bool,
 }
 
-fn json_report(spec: &RunSpec, r: &BatchReport, sequential_wall_secs: Option<f64>) -> String {
+fn json_report(
+    spec: &RunSpec,
+    r: &BatchReport,
+    sequential_wall_secs: Option<f64>,
+    locks: &[SiteReport],
+) -> String {
     let s = &r.stats;
     let wall = s.wall_clock.as_secs_f64();
     // Sequential wall over this config's wall: the honest speedup. The
@@ -60,7 +77,8 @@ fn json_report(spec: &RunSpec, r: &BatchReport, sequential_wall_secs: Option<f64
          \"solved\": {}, \"timeouts\": {}, \"failures\": {}, \"tested\": {},\n     \
          \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {}, \"deduped\": {}, \
          \"obs_pruned\": {}, \"vector_hits\": {},\n     \
-         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \"eval_time_secs\": {:.6}}}",
+         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \"eval_time_secs\": {:.6},\n     \
+         \"contention\": {}}}",
         spec.name,
         spec.threads,
         spec.intra,
@@ -87,6 +105,7 @@ fn json_report(spec: &RunSpec, r: &BatchReport, sequential_wall_secs: Option<f64
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
         s.eval_time.as_secs_f64(),
+        contention_json(locks, "     "),
     )
 }
 
@@ -124,6 +143,8 @@ fn main() {
     let mut intra: usize = 4;
     let mut timeout: Option<Duration> = None;
     let mut spec_dir = "benchmarks".to_owned();
+    let mut contention_path: Option<String> = None;
+    let mut require_speedup = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -155,10 +176,12 @@ fn main() {
                 ))
             }
             "--spec-dir" => spec_dir = value("--spec-dir"),
+            "--contention-json" => contention_path = Some(value("--contention-json")),
+            "--require-speedup" => require_speedup = true,
             other => {
                 eprintln!(
                     "unknown argument {other:?} (try --json PATH, --threads N, --intra N, \
-                     --timeout SECS, --spec-dir DIR)"
+                     --timeout SECS, --spec-dir DIR, --contention-json PATH, --require-speedup)"
                 );
                 std::process::exit(2);
             }
@@ -240,6 +263,7 @@ fn main() {
     let mut baseline_solutions: Option<String> = None;
     let mut baseline_programs: Option<String> = None;
     let mut sequential_wall: Option<f64> = None;
+    let mut parallel_speedup: Option<f64> = None;
     let mut ok = true;
     for spec in &specs {
         eprintln!(
@@ -258,6 +282,7 @@ fn main() {
             obs_equiv: !spec.no_obs_equiv,
             ..base.clone()
         };
+        let locks_before = contention::snapshot();
         let report = if spec.corpus {
             let benchmarks: Vec<Benchmark> =
                 match rbsyn_suite::benchmarks_from_dir(Path::new(&spec_dir)) {
@@ -320,7 +345,17 @@ fn main() {
                 Some(_) => {}
             }
         }
-        rows.push(json_report(spec, &report, sequential_wall));
+        // Per-run lock-telemetry delta: the registry counters are
+        // process-wide, so each configuration reports only what it added.
+        let locks = contention::snapshot_since(&locks_before);
+        if contention::enabled() {
+            eprint!("{}", format_contention_report(&locks));
+        }
+        if spec.name == "parallel" {
+            let wall = report.stats.wall_clock.as_secs_f64();
+            parallel_speedup = sequential_wall.map(|base| base / wall.max(1e-9));
+        }
+        rows.push(json_report(spec, &report, sequential_wall, &locks));
     }
 
     // Wall-clocks only mean anything relative to the host's core count
@@ -328,9 +363,31 @@ fn main() {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    if require_speedup {
+        match parallel_speedup {
+            _ if host <= 1 => {
+                eprintln!("trajectory: single-core host, skipping the wall-speedup assertion");
+            }
+            Some(sp) if sp > 1.0 => {
+                eprintln!("trajectory: parallel wall_speedup {sp:.2}x > 1.0 — OK");
+            }
+            Some(sp) => {
+                eprintln!(
+                    "trajectory: FAIL — parallel wall_speedup {sp:.2}x on a {host}-core host \
+                     (expected > 1.0)"
+                );
+                ok = false;
+            }
+            None => {
+                eprintln!("trajectory: FAIL — no parallel run to assert a speedup on");
+                ok = false;
+            }
+        }
+    }
     let out = format!(
         "{{\n  \"suite\": \"rbsyn 19-benchmark suite\",\n  \"benchmarks\": {},\n  \
          \"timeout_secs\": {},\n  \"host_parallelism\": {},\n  \"programs_identical\": {},\n  \
+         \"contention_enabled\": {},\n  \
          \"corpus\": {{\"dir\": \"{}\", \"files\": {}, \"parse_secs\": {:.6}, \
          \"lower_secs\": {:.6}, \"parse_lower_secs\": {:.6}}},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
@@ -338,6 +395,7 @@ fn main() {
         base.timeout.as_secs(),
         host,
         ok,
+        contention::enabled(),
         rbsyn_bench::harness::json_escape(&spec_dir),
         corpus_cost.files,
         corpus_cost.parse_secs,
@@ -351,6 +409,16 @@ fn main() {
             eprintln!("trajectory written to {path}");
         }
         None => print!("{out}"),
+    }
+    if let Some(path) = &contention_path {
+        // Whole-process totals (every configuration summed) — the CI
+        // artifact a profiling session starts from.
+        let report = format!(
+            "{{\n  \"contention\": {}\n}}\n",
+            contention_json(&contention::snapshot(), "  ")
+        );
+        std::fs::write(path, &report).expect("write --contention-json file");
+        eprintln!("contention report written to {path}");
     }
     std::process::exit(if ok { 0 } else { 1 });
 }

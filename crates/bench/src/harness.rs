@@ -3,6 +3,7 @@
 use rbsyn_core::{
     run_batch, BatchJob, BatchReport, Guidance, Options, StrategyKind, SynthError, Synthesizer,
 };
+use rbsyn_lang::contention::{self, SiteReport};
 use rbsyn_suite::{all_benchmarks, Benchmark};
 use rbsyn_ty::EffectPrecision;
 use std::time::Duration;
@@ -632,6 +633,56 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Serializes a contention snapshot (or a [`SiteReport::since`] delta) as
+/// a JSON object: `{"enabled": …, "sites": [{name, acquisitions,
+/// contended, wait_nanos, hold_nanos}, …]}`. Sites with zero acquisitions
+/// are skipped so the `contention` feature being off yields an empty
+/// `sites` list rather than nine rows of zeros. `indent` prefixes every
+/// emitted line so the object nests at any depth of the hand-rolled
+/// reports.
+pub fn contention_json(sites: &[SiteReport], indent: &str) -> String {
+    let mut out = format!("{{\n{indent}  \"enabled\": {},\n", contention::enabled());
+    out.push_str(&format!("{indent}  \"sites\": ["));
+    let live: Vec<&SiteReport> = sites.iter().filter(|s| s.acquisitions > 0).collect();
+    for (i, s) in live.iter().enumerate() {
+        let sep = if i + 1 == live.len() { "" } else { "," };
+        out.push_str(&format!(
+            "\n{indent}    {{\"name\": \"{}\", \"acquisitions\": {}, \"contended\": {}, \
+             \"wait_nanos\": {}, \"hold_nanos\": {}}}{sep}",
+            s.name, s.acquisitions, s.contended, s.wait_nanos, s.hold_nanos
+        ));
+    }
+    if !live.is_empty() {
+        out.push('\n');
+        out.push_str(indent);
+        out.push_str("  ");
+    }
+    out.push_str(&format!("]\n{indent}}}"));
+    out
+}
+
+/// Renders a contention snapshot for humans: one line per touched site
+/// with wait/hold milliseconds and the contended-acquisition rate. Returns
+/// a one-line note instead when the `contention` feature is off.
+pub fn format_contention_report(sites: &[SiteReport]) -> String {
+    if !contention::enabled() {
+        return "contention: telemetry off (build with --features contention)\n".to_string();
+    }
+    let mut out =
+        String::from("contention: site                acquisitions  contended  wait_ms  hold_ms\n");
+    for s in sites.iter().filter(|s| s.acquisitions > 0) {
+        out.push_str(&format!(
+            "contention: {:<20} {:>11} {:>10} {:>8.2} {:>8.2}\n",
+            s.name,
+            s.acquisitions,
+            s.contended,
+            s.wait_nanos as f64 / 1e6,
+            s.hold_nanos as f64 / 1e6,
+        ));
+    }
+    out
+}
+
 /// Serializes a batch report as JSON (hand-rolled — the workspace is
 /// dependency-free). This is the CI bench-smoke artifact format.
 pub fn batch_stats_json(report: &BatchReport) -> String {
@@ -670,6 +721,12 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
         s.eval_time.as_secs_f64(),
+    ));
+    // Per-lock telemetry (process-wide counters; all zeros — and an empty
+    // site list — unless built with `--features contention`).
+    out.push_str(&format!(
+        "  \"contention\": {},\n",
+        contention_json(&contention::snapshot(), "  ")
     ));
     out.push_str("  \"results\": [\n");
     for (i, o) in report.outcomes.iter().enumerate() {

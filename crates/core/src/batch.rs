@@ -42,6 +42,7 @@ use crate::goal::SynthesisProblem;
 use crate::options::Options;
 use crate::synthesizer::{SynthResult, Synthesizer};
 use rbsyn_interp::InterpEnv;
+use rbsyn_lang::contention::{self, LockSite};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -344,7 +345,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
                         let outcome = job.run_on(cache, Some(executor));
-                        *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
+                        *contention::lock(LockSite::BatchSlot, &slots[i]) = Some(outcome);
                         jobs_done.fetch_add(1, Ordering::Release);
                         executor.poke();
                     }

@@ -41,6 +41,7 @@
 
 use crate::generate::OracleOutcome;
 use crate::options::Options;
+use rbsyn_lang::contention::{self, LockSite};
 use rbsyn_lang::{hash128, Expr, ExprArena, ExprId, FxBuild, FxHasher, Symbol, Ty};
 use rbsyn_ty::ClassTable;
 use std::collections::HashMap;
@@ -108,14 +109,18 @@ pub fn gamma_fingerprint(bindings: &[(Symbol, Ty)]) -> u128 {
 /// here are deterministic functions of their key, so the race is benign).
 struct ShardedMap<K, V> {
     shards: Vec<RwLock<HashMap<K, V, FxBuild>>>,
+    /// Telemetry identity of this table's stripes (see
+    /// [`rbsyn_lang::contention`]).
+    site: LockSite,
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
-    fn new() -> ShardedMap<K, V> {
+    fn new(site: LockSite) -> ShardedMap<K, V> {
         ShardedMap {
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
+            site,
         }
     }
 
@@ -126,17 +131,11 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     }
 
     fn get(&self, k: &K) -> Option<V> {
-        self.shard(k)
-            .read()
-            .expect("cache shard poisoned")
-            .get(k)
-            .cloned()
+        contention::read(self.site, self.shard(k)).get(k).cloned()
     }
 
     fn insert_if_absent(&self, k: K, v: V) -> V {
-        self.shard(&k)
-            .write()
-            .expect("cache shard poisoned")
+        contention::write(self.site, self.shard(&k))
             .entry(k)
             .or_insert(v)
             .clone()
@@ -145,7 +144,7 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
+            .map(|s| contention::read(self.site, s).len())
             .sum()
     }
 }
@@ -209,10 +208,10 @@ impl SearchCache {
             arena: (0..SHARDS)
                 .map(|i| RwLock::new(ExprArena::with_stride(i as u32, SHARDS as u32)))
                 .collect(),
-            expand: ShardedMap::new(),
-            types: ShardedMap::new(),
-            oracle: ShardedMap::new(),
-            templates: ShardedMap::new(),
+            expand: ShardedMap::new(LockSite::CacheExpand),
+            types: ShardedMap::new(LockSite::CacheTypes),
+            oracle: ShardedMap::new(LockSite::CacheOracle),
+            templates: ShardedMap::new(LockSite::CacheTemplates),
         }
     }
 
@@ -222,16 +221,10 @@ impl SearchCache {
     pub fn intern(&self, e: Expr) -> ExprId {
         let hash = ExprArena::hash_of(&e);
         let lock = &self.arena[(hash as usize) % SHARDS];
-        if let Some(id) = lock
-            .read()
-            .expect("arena shard poisoned")
-            .lookup_hashed(hash, &e)
-        {
+        if let Some(id) = contention::read(LockSite::CacheArena, lock).lookup_hashed(hash, &e) {
             return id;
         }
-        lock.write()
-            .expect("arena shard poisoned")
-            .intern_hashed(hash, e)
+        contention::write(LockSite::CacheArena, lock).intern_hashed(hash, e)
     }
 
     /// [`SearchCache::intern`] plus the interned `Arc` and both precomputed
@@ -240,7 +233,7 @@ impl SearchCache {
         let hash = ExprArena::hash_of(&e);
         let lock = &self.arena[(hash as usize) % SHARDS];
         {
-            let shard = lock.read().expect("arena shard poisoned");
+            let shard = contention::read(LockSite::CacheArena, lock);
             if let Some(id) = shard.lookup_hashed(hash, &e) {
                 let (size, evaluable) = shard.meta(id);
                 return ExpandItem {
@@ -251,7 +244,7 @@ impl SearchCache {
                 };
             }
         }
-        let mut shard = lock.write().expect("arena shard poisoned");
+        let mut shard = contention::write(LockSite::CacheArena, lock);
         let id = shard.intern_hashed(hash, e);
         let (size, evaluable) = shard.meta(id);
         ExpandItem {
@@ -265,46 +258,32 @@ impl SearchCache {
     /// The interned expression behind an id (cheap `Arc` clone).
     pub fn expr(&self, id: ExprId) -> Arc<Expr> {
         let shard = (id.index() as usize) % SHARDS;
-        Arc::clone(
-            self.arena[shard]
-                .read()
-                .expect("arena shard poisoned")
-                .get(id),
-        )
+        Arc::clone(contention::read(LockSite::CacheArena, &self.arena[shard]).get(id))
     }
 
     /// Precomputed node count of an interned expression.
     pub fn size(&self, id: ExprId) -> usize {
         let shard = (id.index() as usize) % SHARDS;
-        self.arena[shard]
-            .read()
-            .expect("arena shard poisoned")
-            .size(id)
+        contention::read(LockSite::CacheArena, &self.arena[shard]).size(id)
     }
 
     /// Precomputed hole-free flag of an interned expression.
     pub fn evaluable(&self, id: ExprId) -> bool {
         let shard = (id.index() as usize) % SHARDS;
-        self.arena[shard]
-            .read()
-            .expect("arena shard poisoned")
-            .evaluable(id)
+        contention::read(LockSite::CacheArena, &self.arena[shard]).evaluable(id)
     }
 
     /// Precomputed `(node count, evaluable)` in one shard roundtrip.
     pub fn meta(&self, id: ExprId) -> (usize, bool) {
         let shard = (id.index() as usize) % SHARDS;
-        self.arena[shard]
-            .read()
-            .expect("arena shard poisoned")
-            .meta(id)
+        contention::read(LockSite::CacheArena, &self.arena[shard]).meta(id)
     }
 
     /// Number of distinct candidates interned so far (diagnostics/tests).
     pub fn interned_exprs(&self) -> usize {
         self.arena
             .iter()
-            .map(|a| a.read().expect("arena shard poisoned").len())
+            .map(|a| contention::read(LockSite::CacheArena, a).len())
             .sum()
     }
 

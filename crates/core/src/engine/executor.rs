@@ -35,6 +35,7 @@
 //! statistics in that same order, so everything observable is a pure
 //! function of the submitted work, not of thread scheduling.
 
+use rbsyn_lang::contention::{self, LockSite};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,7 +68,7 @@ impl Shared {
 
     /// Removes a specific task by queue sequence number (steal-back).
     fn pop_seq(&self, seq: u64) -> Option<Queued> {
-        let mut q = self.queue.lock().expect("executor queue poisoned");
+        let mut q = contention::lock(LockSite::ExecutorQueue, &self.queue);
         let pos = q.iter().position(|t| t.seq == seq)?;
         q.remove(pos)
     }
@@ -118,7 +119,7 @@ impl<T> TaskHandle<T> {
         if let Some(t) = self.shared.pop_seq(self.state.seq) {
             (t.run)();
         }
-        let mut q = self.shared.queue.lock().expect("executor queue poisoned");
+        let mut q = contention::lock(LockSite::ExecutorQueue, &self.shared.queue);
         loop {
             if self.state.done.load(Ordering::Acquire) {
                 drop(q);
@@ -179,7 +180,7 @@ impl Executor {
                 match shared.pop_any() {
                     Some(t) => (t.run)(),
                     None => {
-                        let q = shared.queue.lock().expect("executor queue poisoned");
+                        let q = contention::lock(LockSite::ExecutorQueue, &shared.queue);
                         if shared.shutdown.load(Ordering::Relaxed) {
                             return;
                         }
@@ -232,7 +233,7 @@ impl Executor {
             *task_state.result.lock().expect("task result poisoned") = Some(out);
             task_state.done.store(true, Ordering::Release);
             // Pair with the join-side check under the queue lock.
-            let _guard = task_shared.queue.lock().expect("executor queue poisoned");
+            let _guard = contention::lock(LockSite::ExecutorQueue, &task_shared.queue);
             task_shared.signal.notify_all();
         });
         self.shared
@@ -257,7 +258,7 @@ impl Executor {
             match self.shared.pop_any() {
                 Some(t) => (t.run)(),
                 None => {
-                    let q = self.shared.queue.lock().expect("executor queue poisoned");
+                    let q = contention::lock(LockSite::ExecutorQueue, &self.shared.queue);
                     if done() || self.shared.shutdown.load(Ordering::Relaxed) {
                         return;
                     }
@@ -278,7 +279,7 @@ impl Executor {
     /// Wakes blocked serving threads so they re-check their `done`
     /// predicates (called after external state they wait on changes).
     pub fn poke(&self) {
-        let _guard = self.shared.queue.lock().expect("executor queue poisoned");
+        let _guard = contention::lock(LockSite::ExecutorQueue, &self.shared.queue);
         self.shared.signal.notify_all();
     }
 }

@@ -39,6 +39,7 @@ use crate::generate::{expand_compute, Oracle, OracleOutcome};
 use crate::infer::Gamma;
 use crate::options::Options;
 use rbsyn_interp::InterpEnv;
+use rbsyn_lang::contention::{self, LockSite};
 use rbsyn_lang::{Expr, ExprId, Program, Symbol, Ty};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicIsize, Ordering};
@@ -118,8 +119,7 @@ struct Shared {
 struct Ctx<'a> {
     oracle: &'a dyn Oracle,
     env: &'a InterpEnv,
-    method_name: &'a str,
-    param_names: &'a [String],
+    method_name: Symbol,
     params: &'a [(Symbol, Ty)],
     opts: &'a Options,
     search: &'a CacheHandle,
@@ -140,9 +140,9 @@ fn run_job(
         .iter()
         .map(|cand| {
             cand.evaluable.then(|| {
-                let program = Program::new(
+                let program = Program::from_parts(
                     ctx.method_name,
-                    ctx.param_names.iter().map(|s| s.as_str()),
+                    ctx.params.iter().map(|(n, _)| *n).collect(),
                     (*cand.expr).clone(),
                 );
                 ctx.oracle.test(ctx.env, &program)
@@ -177,8 +177,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
         workers: usize,
         oracle: &'scope dyn Oracle,
         env: &'scope InterpEnv,
-        method_name: &'scope str,
-        param_names: &'scope [String],
+        method_name: Symbol,
         params: &'scope [(Symbol, Ty)],
         opts: &'scope Options,
         search: &'scope CacheHandle,
@@ -190,7 +189,6 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                 oracle,
                 env,
                 method_name,
-                param_names,
                 params,
                 opts,
                 search,
@@ -227,7 +225,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                 // root bindings; see the expansion-memo contract).
                 let mut gamma = Gamma::from_params(ctx.params);
                 let mut scratch = SearchStats::default();
-                let mut state = shared.state.lock().expect("speculation pool poisoned");
+                let mut state = contention::lock(LockSite::SpeculationPool, &shared.state);
                 loop {
                     if state.shutdown {
                         return;
@@ -241,7 +239,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                         };
                         drop(state);
                         let out = run_job(&ctx, &mut gamma, &mut scratch, &job);
-                        state = shared.state.lock().expect("speculation pool poisoned");
+                        state = contention::lock(LockSite::SpeculationPool, &shared.state);
                         state.results[i] = Some(out);
                         state.done += 1;
                         if state.done == state.jobs.len() {
@@ -268,7 +266,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
         }
         self.ensure_workers();
         {
-            let mut state = self.shared.state.lock().expect("speculation pool poisoned");
+            let mut state = contention::lock(LockSite::SpeculationPool, &self.shared.state);
             debug_assert!(state.jobs.is_empty(), "one window at a time");
             state.jobs = jobs;
             state.next = 0;
@@ -283,7 +281,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
             let job;
             let i;
             {
-                let mut state = self.shared.state.lock().expect("speculation pool poisoned");
+                let mut state = contention::lock(LockSite::SpeculationPool, &self.shared.state);
                 if state.next >= n {
                     break;
                 }
@@ -295,7 +293,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                 };
             }
             let out = run_job(&self.ctx, &mut gamma, &mut scratch, &job);
-            let mut state = self.shared.state.lock().expect("speculation pool poisoned");
+            let mut state = contention::lock(LockSite::SpeculationPool, &self.shared.state);
             state.results[i] = Some(out);
             state.done += 1;
             if state.done == n {
@@ -303,7 +301,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
             }
         }
         // …then wait for stragglers running on workers.
-        let mut state = self.shared.state.lock().expect("speculation pool poisoned");
+        let mut state = contention::lock(LockSite::SpeculationPool, &self.shared.state);
         while state.done < n {
             state = self
                 .shared
@@ -323,7 +321,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
 impl Drop for SpeculationPool<'_, '_> {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("speculation pool poisoned");
+            let mut state = contention::lock(LockSite::SpeculationPool, &self.shared.state);
             state.shutdown = true;
             self.shared.signal.notify_all();
         }

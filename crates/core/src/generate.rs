@@ -334,14 +334,18 @@ pub fn generate_many(
     max_solutions: usize,
     extra_after_first: u64,
 ) -> Result<Vec<Expr>, SynthError> {
-    let param_names: Vec<String> = params.iter().map(|(n, _)| n.as_str().to_owned()).collect();
+    // Hot path: the oracle builds a `Program` for every candidate it
+    // tests, so the method name is interned ONCE here and the (already
+    // interned) parameter symbols are reused — no per-candidate trips
+    // through the global symbol table.
+    let method_sym = Symbol::intern(method_name);
     let width = sched.oracle_width();
     if width <= 1 {
         return search_loop(
             env,
             method_name,
+            method_sym,
             params,
-            &param_names,
             goal,
             oracle,
             opts,
@@ -371,8 +375,8 @@ pub fn generate_many(
         search_loop_parallel(
             env,
             method_name,
+            method_sym,
             params,
-            &param_names,
             goal,
             oracle,
             opts,
@@ -394,8 +398,8 @@ pub fn generate_many(
 fn search_loop_parallel<'scope, 'env>(
     env: &'scope InterpEnv,
     method_name: &'scope str,
+    method_sym: Symbol,
     params: &'scope [(Symbol, Ty)],
-    param_names: &'scope [String],
     goal: &Ty,
     oracle: &'scope dyn Oracle,
     opts: &'scope Options,
@@ -416,8 +420,7 @@ fn search_loop_parallel<'scope, 'env>(
         width - 1,
         oracle,
         env,
-        method_name,
-        param_names,
+        method_sym,
         params,
         opts,
         search,
@@ -426,8 +429,8 @@ fn search_loop_parallel<'scope, 'env>(
     search_loop(
         env,
         method_name,
+        method_sym,
         params,
-        param_names,
         goal,
         oracle,
         opts,
@@ -445,8 +448,8 @@ fn search_loop_parallel<'scope, 'env>(
 fn search_loop(
     env: &InterpEnv,
     method_name: &str,
+    method_sym: Symbol,
     params: &[(Symbol, Ty)],
-    param_names: &[String],
     goal: &Ty,
     oracle: &dyn Oracle,
     opts: &Options,
@@ -470,13 +473,9 @@ fn search_loop(
     let expander = Expander::new(&env.table, opts, search);
     let mut gamma = Gamma::from_params(params);
     let gamma_fp = gamma_fingerprint(gamma.bindings());
-    let make_program = |body: &Expr| {
-        Program::new(
-            method_name,
-            param_names.iter().map(|s| s.as_str()),
-            body.clone(),
-        )
-    };
+    let param_syms: Vec<Symbol> = params.iter().map(|(n, _)| *n).collect();
+    let make_program =
+        |body: &Expr| Program::from_parts(method_sym, param_syms.clone(), body.clone());
 
     let mut frontier = Frontier::new(opts.strategy.strategy());
     // Dedup filter: the work-list never holds two structurally equal

@@ -101,7 +101,8 @@ pub fn synth_guard(
     stats: &mut SearchStats,
 ) -> Result<Expr, SynthError> {
     let oracle = GuardOracle::new(env, pos, neg);
-    let param_names: Vec<&str> = params.iter().map(|(n, _)| n.as_str()).collect();
+    let name_sym = Symbol::intern(method_name);
+    let param_syms: Vec<Symbol> = params.iter().map(|(n, _)| *n).collect();
 
     // Fast path: constants, known conditionals, and negations thereof.
     let mut quick: Vec<Expr> = vec![Expr::Lit(Value::Bool(true)), Expr::Lit(Value::Bool(false))];
@@ -111,7 +112,7 @@ pub fn synth_guard(
     }
     for cand in quick {
         stats.tested += 1;
-        let p = Program::new(method_name, param_names.iter().copied(), cand.clone());
+        let p = Program::from_parts(name_sym, param_syms.clone(), cand.clone());
         if oracle.test(env, &p).success {
             return Ok(cand);
         }
@@ -130,8 +131,9 @@ pub fn synth_guard(
 pub struct GuardQuery<'a> {
     /// Interpreter environment.
     pub env: &'a InterpEnv,
-    /// Method name (guard programs are built under it).
-    pub name: &'a str,
+    /// Method name (guard programs are built under it), pre-interned so
+    /// per-candidate program construction never touches the symbol table.
+    pub name: Symbol,
     /// Method parameters.
     pub params: &'a [(Symbol, Ty)],
     /// All specs of the problem — bit `i` of every vector refers to
@@ -371,9 +373,9 @@ impl GuardPool {
                         CheckSlot::Failed(_) => return false,
                     };
                     let p = program.get_or_insert_with(|| {
-                        Program::new(
+                        Program::from_parts(
                             q.name,
-                            q.params.iter().map(|(n, _)| n.as_str()),
+                            q.params.iter().map(|(n, _)| *n).collect(),
                             expr.clone(),
                         )
                     });
@@ -657,7 +659,16 @@ impl GuardPool {
         let pos: Vec<&Spec> = pos.iter().map(|&i| &q.specs[i]).collect();
         let neg: Vec<&Spec> = neg.iter().map(|&i| &q.specs[i]).collect();
         let oracle = GuardOracle::new(q.env, &pos, &neg);
-        search_guards(q.env, q.name, q.params, &oracle, k, q.opts, q.sched, stats)
+        search_guards(
+            q.env,
+            q.name.as_str(),
+            q.params,
+            &oracle,
+            k,
+            q.opts,
+            q.sched,
+            stats,
+        )
     }
 
     /// Legacy direct oracle check for problems with more than 64 specs.
@@ -679,7 +690,11 @@ impl GuardPool {
         let pos: Vec<&Spec> = pos.iter().map(|&i| &q.specs[i]).collect();
         let neg: Vec<&Spec> = neg.iter().map(|&i| &q.specs[i]).collect();
         let oracle = GuardOracle::new(q.env, &pos, &neg);
-        let p = Program::new(q.name, q.params.iter().map(|(n, _)| n.as_str()), e.clone());
+        let p = Program::from_parts(
+            q.name,
+            q.params.iter().map(|(n, _)| *n).collect(),
+            e.clone(),
+        );
         let started = Instant::now();
         let out = oracle.test(q.env, &p);
         stats.eval_nanos = stats
@@ -868,7 +883,7 @@ mod tests {
         let sched = Scheduler::sequential();
         let q = GuardQuery {
             env: &env,
-            name: "m",
+            name: Symbol::intern("m"),
             params: &[],
             specs: &specs,
             opts: &opts,
@@ -916,7 +931,7 @@ mod tests {
         let sched = Scheduler::sequential();
         let q = GuardQuery {
             env: &env,
-            name: "m",
+            name: Symbol::intern("m"),
             params: &[],
             specs: &specs,
             opts: &opts,
@@ -955,7 +970,7 @@ mod tests {
         let sched = Scheduler::sequential();
         let q = GuardQuery {
             env: &env,
-            name: "m",
+            name: Symbol::intern("m"),
             params: &[],
             specs: &specs,
             opts: &opts,

@@ -95,8 +95,8 @@ type GuardKey = (Vec<usize>, Vec<usize>);
 pub struct MergeCtx<'a> {
     /// Interpreter environment (`Arc` so guard searches can run as tasks).
     pub env: &'a Arc<InterpEnv>,
-    /// Method name.
-    pub name: &'a str,
+    /// Method name, pre-interned once per problem.
+    pub name: Symbol,
     /// Method parameters.
     pub params: &'a [(Symbol, Ty)],
     /// All specs of the problem.
@@ -127,7 +127,11 @@ const ATTEMPTS_PER_ORDER: usize = 64;
 
 impl<'a> MergeCtx<'a> {
     fn program(&self, body: Expr) -> Program {
-        Program::new(self.name, self.params.iter().map(|(n, _)| n.as_str()), body)
+        Program::from_parts(
+            self.name,
+            self.params.iter().map(|(n, _)| *n).collect(),
+            body,
+        )
     }
 
     /// The pool query for this merge — a bundle of the context's borrowed

@@ -27,7 +27,7 @@ use crate::options::Options;
 use rbsyn_interp::InterpEnv;
 use rbsyn_lang::builder::true_;
 use rbsyn_lang::metrics::{program_paths, program_size};
-use rbsyn_lang::Program;
+use rbsyn_lang::{Program, Symbol};
 use std::panic::resume_unwind;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -250,16 +250,13 @@ impl Synthesizer {
         // solutions when they already pass (§4: "when confronted with a new
         // spec, RbSyn first tries existing solutions").
         let mut tuples: Vec<Tuple> = Vec::new();
-        let param_names: Vec<&str> = problem.params.iter().map(|(n, _)| n.as_str()).collect();
+        let name_sym = Symbol::intern(&problem.name);
+        let param_syms: Vec<Symbol> = problem.params.iter().map(|(n, _)| *n).collect();
         for (i, spec) in problem.specs.iter().enumerate() {
             let oracle = &spec_oracles[i];
             let reuse_started = Instant::now();
             let reused = tuples.iter_mut().find(|t| {
-                let p = Program::new(
-                    problem.name.as_str(),
-                    param_names.iter().copied(),
-                    t.expr.clone(),
-                );
+                let p = Program::from_parts(name_sym, param_syms.clone(), t.expr.clone());
                 match sched.cache() {
                     Some(h) => {
                         let id = h.intern(t.expr.clone());
@@ -345,7 +342,7 @@ impl Synthesizer {
         // Phase 2: merge into a single branching program (Algorithm 1).
         let mut ctx = MergeCtx {
             env: &env,
-            name: &problem.name,
+            name: name_sym,
             params: &problem.params,
             specs: &problem.specs,
             spec_oracles: &spec_oracles,

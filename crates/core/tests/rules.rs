@@ -187,7 +187,7 @@ fn merge_rule_1_collapses_identical_solutions() {
     let sched = Scheduler::sequential();
     let mut ctx = MergeCtx {
         env: &env,
-        name: "m",
+        name: "m".into(),
         params: &[],
         specs: &specs,
         spec_oracles: &spec_oracles,
@@ -256,7 +256,7 @@ fn merge_strengthens_trivial_conditions_with_rule_3() {
     let sched = Scheduler::sequential();
     let mut ctx = MergeCtx {
         env: &env,
-        name: "m",
+        name: "m".into(),
         params: &[],
         specs: &specs,
         spec_oracles: &spec_oracles,

@@ -74,7 +74,7 @@ fn phase2_merge_surfaces_timeout() {
     let sched = expired_sched();
     let mut ctx = MergeCtx {
         env: &env,
-        name: "m",
+        name: "m".into(),
         params: &[],
         specs: std::slice::from_ref(&spec),
         spec_oracles: &spec_oracles,

@@ -25,6 +25,8 @@
 //! );
 //! ```
 
+#![deny(missing_docs)]
+
 use rbsyn_lang::{ObsHasher, Symbol, Value};
 use std::fmt;
 use std::sync::Arc;

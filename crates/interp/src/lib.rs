@@ -16,6 +16,8 @@
 //! evaluation — the paper's "reset the global state before any setup block"
 //! hook (§4).
 
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod eval;
 pub mod spec;

@@ -157,7 +157,7 @@ impl Expr {
         }
         let mut cur = -1;
         max_temp(self, &mut cur);
-        Symbol::intern(&format!("t{}", cur + 1))
+        temp_symbol((cur + 1) as usize)
     }
 
     /// Single-line rendering used as a canonical deduplication key and in
@@ -314,6 +314,22 @@ impl fmt::Display for Expr {
     }
 }
 
+/// Returns the symbol `tN`, serving low indices from a pre-interned pool.
+///
+/// `fresh_temp` runs once per S-Eff wrap in the expansion loop; without the
+/// pool each call re-formats and re-interns a name from a tiny fixed set
+/// (tens of millions of symbol-table probes per suite run, per the
+/// `intern_shard` contention counters).
+fn temp_symbol(n: usize) -> Symbol {
+    const POOL: usize = 32;
+    static TEMPS: std::sync::OnceLock<[Symbol; POOL]> = std::sync::OnceLock::new();
+    let pool = TEMPS.get_or_init(|| std::array::from_fn(|i| Symbol::intern(&format!("t{i}"))));
+    match pool.get(n) {
+        Some(s) => *s,
+        None => Symbol::intern(&format!("t{n}")),
+    }
+}
+
 /// Is this method name rendered infix by the pretty printer?
 fn is_operator(name: &str) -> bool {
     matches!(
@@ -346,6 +362,15 @@ impl Program {
             params: params.into_iter().map(Symbol::intern).collect(),
             body,
         }
+    }
+
+    /// Builds a program from already-interned parts. This is the hot-path
+    /// constructor: the oracle wraps every candidate body in a `Program`,
+    /// and re-interning the method and parameter names per candidate
+    /// (hundreds of thousands of times per problem) is pure symbol-table
+    /// traffic — callers intern once and clone the `Symbol`s.
+    pub fn from_parts(name: Symbol, params: Vec<Symbol>, body: Expr) -> Program {
+        Program { name, params, body }
     }
 }
 

@@ -4,9 +4,12 @@
 //! Identifiers (variables, method names, hash keys, effect regions, class
 //! names) appear everywhere in the synthesizer's inner loop, so they are
 //! interned once into a [`Symbol`] — a `Copy` integer handle with O(1)
-//! equality and hashing. The interner is a process-wide table guarded by a
-//! [`std::sync::RwLock`]; interning the same string twice returns the same
-//! handle for the lifetime of the process.
+//! equality and hashing. The interner is a process-wide [`SymbolTable`]:
+//! inserts are striped over independently locked shards, and *resolution*
+//! ([`Symbol::as_str`], which every observation hash and every symbol
+//! comparison hits) is a lock-free indexed load from an append-only
+//! segment arena. Interning the same string twice returns the same handle
+//! for the lifetime of the process.
 //!
 //! Candidate *expressions* get the same treatment via [`ExprArena`]:
 //! structurally equal [`Expr`]s are hash-consed to one [`ExprId`], so the
@@ -17,10 +20,12 @@
 //! dropped.
 
 use crate::ast::Expr;
+use crate::contention::{self, LockSite};
 use crate::metrics::node_count;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// The rustc-style multiply-xor hasher (FxHash).
@@ -122,7 +127,8 @@ pub fn hash128(tag: &str, content: &impl std::hash::Hash) -> u128 {
 /// Construct with [`Symbol::intern`] (or the `From<&str>` impl) and convert
 /// back with [`Symbol::as_str`]. Symbols are ordered by their *string*
 /// contents so that search exploration order is independent of interning
-/// order.
+/// order — and, since the table went sharded, independent of the shard
+/// layout too.
 ///
 /// # Example
 ///
@@ -136,47 +142,193 @@ pub fn hash128(tag: &str, content: &impl std::hash::Hash) -> u128 {
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Symbol(u32);
 
-struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+/// Log₂ of the first segment's capacity: segment `i` holds
+/// `512 << i` slots, so a shard's capacity doubles with each segment and
+/// 24 segments cover the whole `u32` slot space.
+const SEG0_BITS: u32 = 9;
+
+/// Segments per shard (enough that `segment_of` can never run off the
+/// end for any encodable slot).
+const SEGMENTS: usize = 24;
+
+/// `(segment, offset)` of a slot under the doubling layout: segment `s`
+/// spans slots `[512·(2^s − 1), 512·(2^{s+1} − 1))`.
+fn segment_of(slot: u32) -> (usize, usize) {
+    let k = (slot >> SEG0_BITS) + 1;
+    let seg = (31 - k.leading_zeros()) as usize;
+    let base = ((1u32 << seg) - 1) << SEG0_BITS;
+    (seg, (slot - base) as usize)
 }
 
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
+/// One stripe of a [`SymbolTable`]: a locked insert map plus a lock-free,
+/// append-only resolution arena.
+///
+/// The arena is a chain of exponentially growing segments, each slot a
+/// [`OnceLock`]: readers resolve with two atomic loads (segment pointer,
+/// slot) and never block, writers fill slots strictly once while holding
+/// the shard's insert lock. Nothing is ever moved or freed, so a published
+/// `&'static str` stays valid for the process lifetime.
+struct Shard {
+    /// String → encoded [`Symbol`] id. Taken shared for the lookup fast
+    /// path, exclusively for inserts; never touched by resolution.
+    map: RwLock<HashMap<&'static str, u32, FxBuild>>,
+    /// Lazily allocated resolution segments (see [`segment_of`]).
+    segments: [OnceLock<Box<[OnceLock<&'static str>]>>; SEGMENTS],
+    /// Published slot count (diagnostics; resolution trusts the slots).
+    len: AtomicU32,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: RwLock::new(HashMap::default()),
+            segments: std::array::from_fn(|_| OnceLock::new()),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Lock-free resolution of a local slot.
+    fn resolve(&self, slot: u32) -> &'static str {
+        let (seg, off) = segment_of(slot);
+        self.segments[seg]
+            .get()
+            .and_then(|s| s[off].get())
+            .expect("symbol slot resolved before publication")
+    }
+}
+
+/// A sharded string interner with lock-free resolution.
+///
+/// Interning stripes strings over independently
+/// locked insert maps (striped by content hash, so two threads interning
+/// different identifiers almost never touch the same lock), while
+/// *resolution* — the hot direction, hit on every [`Symbol::as_str`],
+/// every content-based observation hash and every [`Symbol`] comparison —
+/// is a plain indexed load from an append-only segment arena with **no
+/// lock at all**.
+///
+/// Ids encode `slot << shard_bits | shard`, so `id & (shards − 1)`
+/// recovers the owning stripe. The encoding (and therefore the raw
+/// [`Symbol::index`] values) varies with the shard count, but nothing
+/// observable does: symbols compare, order, print and observation-hash by
+/// string content. The process-wide table reads `RBSYN_INTERN_SHARDS`
+/// once (power of two, clamped to `1..=64`, default 16); the determinism
+/// CI matrix pins shard counts 1/4/16 against each other to enforce the
+/// "layout is unobservable" contract end to end.
+///
+/// The table is instantiable for tests; everything else goes through the
+/// process-wide instance behind [`Symbol::intern`].
+pub struct SymbolTable {
+    shards: Box<[Shard]>,
+    shard_bits: u32,
+}
+
+impl SymbolTable {
+    /// A table with `shards` stripes, rounded up to a power of two and
+    /// clamped to `1..=64`.
+    pub fn with_shards(shards: usize) -> SymbolTable {
+        let n = shards.clamp(1, 64).next_power_of_two();
+        SymbolTable {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            shard_bits: n.trailing_zeros(),
+        }
+    }
+
+    /// The stripe count (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total symbols interned across all stripes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Relaxed) as usize)
+            .sum()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_of(&self, s: &str) -> usize {
+        let mut h = FxHasher::default();
+        h.write(s.as_bytes());
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Interns `s`, returning its encoded id. Idempotent: equal strings
+    /// always map to one id for the table's lifetime.
+    pub fn intern(&self, s: &str) -> u32 {
+        let shard_idx = self.shard_of(s);
+        let shard = &self.shards[shard_idx];
+        if let Some(&id) = contention::read(LockSite::InternShard, &shard.map).get(s) {
+            return id;
+        }
+        let mut map = contention::write(LockSite::InternShard, &shard.map);
+        if let Some(&id) = map.get(s) {
+            // A racing intern published this string between our probes.
+            return id;
+        }
+        // Leaking is fine: the set of identifiers in a synthesis session is
+        // small and bounded by the library surface plus spec text.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let slot = shard.len.load(Ordering::Relaxed);
+        let (seg, off) = segment_of(slot);
+        let segment = shard.segments[seg].get_or_init(|| {
+            (0..(1usize << (SEG0_BITS as usize + seg)))
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        segment[off]
+            .set(leaked)
+            .expect("fresh slot filled twice (insert lock violated)");
+        shard.len.store(slot + 1, Ordering::Release);
+        let id = (slot << self.shard_bits) | (shard_idx as u32);
+        map.insert(leaked, id);
+        id
+    }
+
+    /// Lock-free resolution of an id produced by [`SymbolTable::intern`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id this table never handed out.
+    pub fn resolve(&self, id: u32) -> &'static str {
+        let shard = (id as usize) & (self.shards.len() - 1);
+        self.shards[shard].resolve(id >> self.shard_bits)
+    }
+}
+
+/// The process-wide table behind [`Symbol`]. Shard count comes from
+/// `RBSYN_INTERN_SHARDS`, read exactly once.
+fn global() -> &'static SymbolTable {
+    static GLOBAL: OnceLock<SymbolTable> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let shards = std::env::var("RBSYN_INTERN_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16);
+        SymbolTable::with_shards(shards)
     })
 }
 
 impl Symbol {
     /// Interns `s`, returning its stable handle.
     pub fn intern(s: &str) -> Symbol {
-        let lock = interner();
-        if let Some(&id) = lock.read().expect("interner poisoned").map.get(s) {
-            return Symbol(id);
-        }
-        let mut w = lock.write().expect("interner poisoned");
-        if let Some(&id) = w.map.get(s) {
-            return Symbol(id);
-        }
-        // Leaking is fine: the set of identifiers in a synthesis session is
-        // small and bounded by the library surface plus spec text.
-        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = w.strings.len() as u32;
-        w.strings.push(leaked);
-        w.map.insert(leaked, id);
-        Symbol(id)
+        Symbol(global().intern(s))
     }
 
-    /// Returns the interned string.
+    /// Returns the interned string (a lock-free indexed load).
     pub fn as_str(self) -> &'static str {
-        interner().read().expect("interner poisoned").strings[self.0 as usize]
+        global().resolve(self.0)
     }
 
-    /// Raw handle; exposed for dense indexing in tables.
+    /// Raw encoded handle (`slot << shard_bits | shard`). Stable for the
+    /// process lifetime but **sparse and layout-dependent** — key maps on
+    /// the `Symbol` itself, or order by contents, never index dense arrays
+    /// with this.
     pub fn index(self) -> u32 {
         self.0
     }

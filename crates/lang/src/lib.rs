@@ -39,6 +39,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod contention;
 pub mod effects;
 pub mod intern;
 pub mod metrics;
@@ -48,7 +49,7 @@ pub mod value;
 
 pub use ast::{Expr, Program};
 pub use effects::{Effect, EffectPair, EffectSet};
-pub use intern::{hash128, ExprArena, ExprId, FxBuild, FxHasher, Symbol};
+pub use intern::{hash128, ExprArena, ExprId, FxBuild, FxHasher, Symbol, SymbolTable};
 pub use obs::{unordered_obs_fold, ObsHasher};
 pub use types::{FiniteHash, Ty};
 pub use value::{ClassId, ObjRef, Value};

@@ -63,7 +63,10 @@ macro_rules! builtin_accessors {
         $(
             #[doc = concat!("`ClassId` of the builtin `", $name, "` class.")]
             pub fn $fn_name(&self) -> ClassId {
-                ClassId::new($idx, Symbol::intern($name))
+                // Interned once: `class_of_ty` sits inside `infer_ty`, so this
+                // accessor runs tens of millions of times per suite run.
+                static SYM: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+                ClassId::new($idx, *SYM.get_or_init(|| Symbol::intern($name)))
             }
         )*
     };
