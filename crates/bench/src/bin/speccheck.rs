@@ -6,8 +6,9 @@
 //! cargo run --release -p rbsyn-bench --bin speccheck -- [PATH …]
 //! ```
 //!
-//! Paths may be directories (every `.rbspec` inside, non-recursive) or
-//! individual files; the default is `benchmarks`. Per file, the tool
+//! Paths may be directories (every `.rbspec` inside, subdirectories
+//! included) or individual files; the default is `benchmarks`. Per file,
+//! the tool
 //! reports parse and lower wall time, spec/assert counts, and every
 //! diagnostic; it keeps going after a failure so one pass names every
 //! broken file. Exit code 3 (the spec parse/lower class, shared with
@@ -22,7 +23,7 @@ fn collect(paths: &[String]) -> Result<Vec<PathBuf>, String> {
     for p in paths {
         let path = Path::new(p);
         if path.is_dir() {
-            files.extend(rbsyn_front::spec_paths(path)?);
+            files.extend(rbsyn_front::spec_paths_recursive(path)?);
         } else if path.is_file() {
             files.push(path.to_path_buf());
         } else {

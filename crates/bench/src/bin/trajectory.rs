@@ -2,9 +2,11 @@
 //! execution configurations this repo has grown so far — sequential,
 //! inter-problem parallel (`--parallel`), intra-problem parallel
 //! (`--intra`), both, the **file-driven corpus** (`benchmarks/*.rbspec`
-//! through the textual frontend), and (since PR 5) the
-//! **observational-equivalence ablation** (`no-obs-equiv`) — and writes
-//! one JSON file (`BENCH_pr6.json` in CI) with wall-clocks, effort and
+//! through the textual frontend), (since PR 5) the
+//! **observational-equivalence ablation** (`no-obs-equiv`), and (since
+//! PR 7) a deterministic **1-in-20 sample of the specgen stress corpus**
+//! (`generated`, 25 of the 500 pinned problems) — and writes
+//! one JSON file (`BENCH_pr7.json` in CI) with wall-clocks, effort and
 //! cache counters per configuration, the corpus parse+lower time, and
 //! (since PR 6) a per-run `contention` delta from the per-lock telemetry
 //! in `rbsyn_lang::contention` (all zeros unless built with
@@ -12,7 +14,7 @@
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --features contention --bin trajectory -- \
-//!     [--json BENCH_pr6.json] [--threads N] [--intra N] [--timeout SECS] \
+//!     [--json BENCH_pr7.json] [--threads N] [--intra N] [--timeout SECS] \
 //!     [--spec-dir benchmarks] [--contention-json PATH] [--require-speedup]
 //! ```
 //!
@@ -32,7 +34,8 @@
 //! The deterministic solution sections of every configuration — including
 //! the corpus run — are byte-compared against the sequential registry
 //! baseline (the `no-obs-equiv` ablation compares programs only, since its
-//! effort counters legitimately differ); a mismatch (or any unsolved
+//! effort counters legitimately differ, and the `generated` row is a
+//! different problem set, so its gate is solved-count only); a mismatch (or any unsolved
 //! benchmark) exits nonzero, so the trajectory file doubles as the
 //! parallelism determinism gate, the registry-fidelity gate, and the
 //! obs-equiv soundness gate.
@@ -53,6 +56,11 @@ struct RunSpec {
     intra: usize,
     /// Run over the `.rbspec` corpus instead of the Rust registry.
     corpus: bool,
+    /// Run over a deterministic sample of `benchmarks/generated/` (the
+    /// specgen stress corpus) instead of the Rust registry. These are not
+    /// the 19 registry problems, so the row is excluded from the
+    /// baseline byte-compare — its gate is "every sampled problem solves".
+    generated: bool,
     /// Disable observational-equivalence pruning (the A/B ablation leg:
     /// programs must match the baseline byte-for-byte, effort may not).
     no_obs_equiv: bool,
@@ -82,7 +90,9 @@ fn json_report(
         spec.name,
         spec.threads,
         spec.intra,
-        if spec.corpus {
+        if spec.generated {
+            "generated-sample"
+        } else if spec.corpus {
             "rbspec-corpus"
         } else {
             "registry"
@@ -107,6 +117,20 @@ fn json_report(
         s.eval_time.as_secs_f64(),
         contention_json(locks, "     "),
     )
+}
+
+/// Sampling stride for the `generated` row: every 20th file of the
+/// 500-problem pinned specgen corpus, in path order — 25 problems,
+/// deterministic so the row is comparable across trajectory runs.
+const GENERATED_SAMPLE_STRIDE: usize = 20;
+
+fn load_generated_sample(dir: &Path) -> Result<Vec<Benchmark>, String> {
+    let paths = rbsyn_front::spec_paths(dir)?;
+    paths
+        .iter()
+        .step_by(GENERATED_SAMPLE_STRIDE)
+        .map(|p| rbsyn_front::load_file(p).map(Benchmark::from_spec))
+        .collect()
 }
 
 /// Parse+lower wall time over the corpus (the frontend's own cost, kept
@@ -215,6 +239,7 @@ fn main() {
             threads: 1,
             intra: 1,
             corpus: false,
+            generated: false,
             no_obs_equiv: false,
         },
         RunSpec {
@@ -222,6 +247,7 @@ fn main() {
             threads,
             intra: 1,
             corpus: false,
+            generated: false,
             no_obs_equiv: false,
         },
         RunSpec {
@@ -229,6 +255,7 @@ fn main() {
             threads: 1,
             intra,
             corpus: false,
+            generated: false,
             no_obs_equiv: false,
         },
         RunSpec {
@@ -236,6 +263,7 @@ fn main() {
             threads,
             intra,
             corpus: false,
+            generated: false,
             no_obs_equiv: false,
         },
         // The file-driven corpus through the textual frontend must
@@ -245,6 +273,7 @@ fn main() {
             threads,
             intra: 1,
             corpus: true,
+            generated: false,
             no_obs_equiv: false,
         },
         // Pruning ablation: observational-equivalence dedup off must
@@ -255,7 +284,20 @@ fn main() {
             threads: 1,
             intra: 1,
             corpus: false,
+            generated: false,
             no_obs_equiv: true,
+        },
+        // A deterministic 1-in-20 sample of the specgen stress corpus
+        // (since PR 7): different problems than the registry, so no
+        // baseline compare — the gate is that every sampled problem
+        // solves within its own file-pinned budget.
+        RunSpec {
+            name: "generated",
+            threads,
+            intra: 1,
+            corpus: false,
+            generated: true,
+            no_obs_equiv: false,
         },
     ];
 
@@ -283,7 +325,21 @@ fn main() {
             ..base.clone()
         };
         let locks_before = contention::snapshot();
-        let report = if spec.corpus {
+        let report = if spec.generated {
+            let benchmarks = match load_generated_sample(&Path::new(&spec_dir).join("generated")) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("trajectory: generated sample load failed:\n{e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "trajectory: generated sample — {} of the pinned corpus (1 in {})",
+                benchmarks.len(),
+                GENERATED_SAMPLE_STRIDE
+            );
+            run_suite_on(benchmarks, &cfg, spec.threads)
+        } else if spec.corpus {
             let benchmarks: Vec<Benchmark> =
                 match rbsyn_suite::benchmarks_from_dir(Path::new(&spec_dir)) {
                     Ok(v) => v,
@@ -307,7 +363,10 @@ fn main() {
             eprintln!("trajectory: {} left benchmarks unsolved", spec.name);
             ok = false;
         }
-        if spec.no_obs_equiv {
+        if spec.generated {
+            // Different problem set: nothing to byte-compare against. The
+            // solved-count gate above already covers it.
+        } else if spec.no_obs_equiv {
             // The ablation's effort counters differ by design; its
             // *programs* must not.
             let programs = format_batch_programs(&report);

@@ -1,0 +1,72 @@
+//! End-to-end exit-code contract for `solve --spec`, driven through the
+//! real binary so the process-level codes (not just the internal
+//! mapping) are pinned: 3 = parse/lower failure, 4 = timeout,
+//! 5 = search budget exhausted with no solution.
+
+use std::path::Path;
+use std::process::Command;
+
+fn solve_spec(fixture: &str) -> std::process::Output {
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../suite/tests/fixtures"
+    ))
+    .join(fixture);
+    Command::new(env!("CARGO_BIN_EXE_solve"))
+        .arg("--spec")
+        .arg(&path)
+        .output()
+        .expect("solve binary runs")
+}
+
+#[test]
+fn solve_spec_parse_error_exits_3() {
+    let out = solve_spec("parse_error.rbspec");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:"),
+        "diagnostic must be rendered on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn solve_spec_timeout_exits_4() {
+    let out = solve_spec("timeout.rbspec");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn solve_spec_no_solution_exits_5() {
+    let out = solve_spec("no_solution.rbspec");
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn solve_unknown_flag_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_solve"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("solve binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

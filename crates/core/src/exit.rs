@@ -1,0 +1,52 @@
+//! Process exit codes for synthesis outcomes, shared by `solve`,
+//! `speccheck` and `specgen` so scripts and CI can tell failure classes
+//! apart: `0` solved, `1` other failure, `2` usage error, `3` spec
+//! parse/lower error, `4` timeout, `5` search exhausted without a program.
+
+use crate::batch::BatchReport;
+use crate::error::SynthError;
+
+/// Everything synthesized (or, for `speccheck`, parsed) cleanly.
+pub const OK: i32 = 0;
+/// A failure outside the named classes (bad problem, panic, …).
+pub const OTHER: i32 = 1;
+/// Bad command line.
+pub const USAGE: i32 = 2;
+/// A `.rbspec` file failed to parse or lower.
+pub const PARSE: i32 = 3;
+/// Synthesis hit its deadline.
+pub const TIMEOUT: i32 = 4;
+/// The bounded search space was exhausted with no solution (no
+/// per-spec solution, merge failure, or missing guard).
+pub const NO_SOLUTION: i32 = 5;
+
+/// The exit code for one synthesis error.
+pub fn for_error(e: &SynthError) -> i32 {
+    match e {
+        SynthError::Timeout => TIMEOUT,
+        SynthError::NoSolution { .. } | SynthError::MergeFailed | SynthError::GuardNotFound => {
+            NO_SOLUTION
+        }
+        SynthError::BadProblem(_) => OTHER,
+    }
+}
+
+/// The exit code for a whole batch: `OK` when every job solved, else
+/// the most specific failing class (timeout before no-solution before
+/// other), so CI logs name the dominant failure.
+pub fn for_batch(report: &BatchReport) -> i32 {
+    let codes: Vec<i32> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().err().map(for_error))
+        .collect();
+    if codes.is_empty() {
+        OK
+    } else if codes.contains(&TIMEOUT) {
+        TIMEOUT
+    } else if codes.contains(&NO_SOLUTION) {
+        NO_SOLUTION
+    } else {
+        OTHER
+    }
+}

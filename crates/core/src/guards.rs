@@ -963,6 +963,113 @@ mod tests {
         assert_eq!(stats.vector_hits, hits + 1);
     }
 
+    /// A 65-spec problem — one spec past the bitvector word — whose first
+    /// spec seeds a `Post` and whose last is empty. Requests over it must
+    /// take the legacy per-request fallback, not the pool.
+    fn oversized_fixture() -> (InterpEnv, Vec<Spec>) {
+        let (env, post) = env_with_post();
+        let mut specs = Vec::with_capacity(65);
+        for i in 0..65 {
+            if i < 32 {
+                specs.push(call_spec(
+                    "seeded",
+                    vec![SetupStep::Exec(call(
+                        cls(post),
+                        "create",
+                        [hash([("author", str_("alice"))])],
+                    ))],
+                ));
+            } else {
+                specs.push(call_spec("empty", vec![]));
+            }
+        }
+        (env, specs)
+    }
+
+    #[test]
+    fn oversized_pool_matches_legacy_search() {
+        let (env, specs) = oversized_fixture();
+        assert!(specs.len() > 64, "fixture must overflow one bitvector word");
+        let opts = Options::default();
+        let sched = Scheduler::sequential();
+        let q = GuardQuery {
+            env: &env,
+            name: Symbol::intern("m"),
+            params: &[],
+            specs: &specs,
+            opts: &opts,
+            sched: &sched,
+        };
+        // Reference: the legacy per-request search on the same request.
+        let oracle = GuardOracle::new(&env, &[&specs[0]], &[&specs[64]]);
+        let mut ref_stats = SearchStats::default();
+        let reference = search_guards(
+            &env,
+            "m",
+            &[],
+            &oracle,
+            4,
+            &opts,
+            &Scheduler::sequential(),
+            &mut ref_stats,
+        )
+        .unwrap();
+        assert!(!reference.is_empty(), "a separating guard exists");
+
+        let mut pool = GuardPool::new();
+        let mut stats = SearchStats::default();
+        let pooled = pool
+            .covering_guards(&q, &[0], &[64], 4, &mut stats)
+            .unwrap();
+        assert_eq!(
+            pooled.iter().map(|g| g.compact()).collect::<Vec<_>>(),
+            reference.iter().map(|g| g.compact()).collect::<Vec<_>>(),
+            "oversized fallback must reproduce the per-request search"
+        );
+        // The fallback materializes once per request: nth/count answer from
+        // the stored list without re-searching.
+        let popped = stats.popped;
+        for (n, g) in pooled.iter().enumerate() {
+            let nth = pool
+                .nth_covering_guard(&q, &[0], &[64], n, 4, &mut stats)
+                .unwrap();
+            assert_eq!(nth.as_ref().map(|e| e.compact()), Some(g.compact()));
+        }
+        assert_eq!(
+            pool.covering_count(&q, &[0], &[64], 4, &mut stats).unwrap(),
+            pooled.len()
+        );
+        assert_eq!(
+            stats.popped, popped,
+            "request state is reused, not re-searched"
+        );
+    }
+
+    #[test]
+    fn oversized_check_expr_agrees_with_oracle() {
+        let (env, specs) = oversized_fixture();
+        let opts = Options::default();
+        let sched = Scheduler::sequential();
+        let q = GuardQuery {
+            env: &env,
+            name: Symbol::intern("m"),
+            params: &[],
+            specs: &specs,
+            opts: &opts,
+            sched: &sched,
+        };
+        let post = env.table.hierarchy.find("Post").unwrap();
+        let exists = call(cls(post), "exists?", []);
+        let mut pool = GuardPool::new();
+        let mut stats = SearchStats::default();
+        // Bits span the whole 65-spec index range, including spec 64.
+        assert!(pool.check_expr(&q, &exists, &[0, 31], &[32, 64], &mut stats));
+        assert!(!pool.check_expr(&q, &exists, &[64], &[0], &mut stats));
+        assert!(pool.check_expr(&q, &negate(&exists), &[64], &[0], &mut stats));
+        assert!(pool.check_expr(&q, &true_(), &[0, 64], &[], &mut stats));
+        assert!(!pool.check_expr(&q, &false_(), &[0, 64], &[], &mut stats));
+    }
+
     #[test]
     fn pool_guard_holds_semantics() {
         let (env, specs) = pool_fixture();

@@ -37,6 +37,7 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod exit;
 pub mod expand;
 pub mod generate;
 pub mod goal;

@@ -135,6 +135,43 @@ pub fn spec_paths(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(paths)
 }
 
+/// Like [`spec_paths`], but walks subdirectories too (depth-first,
+/// children sorted by name), so nested corpora such as
+/// `benchmarks/generated/` are found. Used by `speccheck`; the benchmark
+/// registry stays non-recursive on purpose (the 19-benchmark corpus must
+/// not silently absorb generated problems).
+///
+/// # Errors
+///
+/// Unreadable directories are errors; so is a walk that finds no
+/// `.rbspec` file at all.
+pub fn spec_paths_recursive(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: cannot read directory: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                walk(&p, out)?;
+            } else if p.extension().is_some_and(|e| e == "rbspec") {
+                out.push(p);
+            }
+        }
+        Ok(())
+    }
+    let mut paths = Vec::new();
+    walk(dir, &mut paths)?;
+    if paths.is_empty() {
+        return Err(format!(
+            "{}: no .rbspec files found (recursive)",
+            dir.display()
+        ));
+    }
+    Ok(paths)
+}
+
 /// Loads every `.rbspec` file in a directory (via [`spec_paths`]).
 /// Collects *all* failures instead of stopping at the first, so a corpus
 /// lint reports every broken file in one pass.
@@ -205,6 +242,31 @@ end
         let (env2, p2) = s.build();
         assert_eq!(env1.table.fingerprint(), env2.table.fingerprint());
         assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
+    }
+
+    #[test]
+    fn recursive_walk_finds_nested_specs() {
+        let root = std::env::temp_dir().join("rbsyn-front-recursive-test");
+        let nested = root.join("sub").join("deeper");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(root.join("b.rbspec"), "x").unwrap();
+        std::fs::write(root.join("a.rbspec"), "x").unwrap();
+        std::fs::write(nested.join("c.rbspec"), "x").unwrap();
+        std::fs::write(root.join("ignored.txt"), "x").unwrap();
+        let found = spec_paths_recursive(&root).unwrap();
+        let names: Vec<String> = found
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        assert_eq!(names, ["a.rbspec", "b.rbspec", "sub/deeper/c.rbspec"]);
+        // The non-recursive walk must not see the nested file.
+        assert_eq!(spec_paths(&root).unwrap().len(), 2);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Frontend fuzzing: mutate well-formed `.rbspec` sources and check the
+//! lexer → parser → lowering path is total — it either accepts or rejects
+//! with a well-formed, in-bounds diagnostic. It must never panic.
+//!
+//! Mutations are byte-level (flip/insert/delete/truncate), line-level
+//! (duplicate/delete/swap), and token-level (splice keywords, operators,
+//! and pathological literals such as an overflowing integer). Bases are
+//! drawn from the generator ([`crate::gen::gen_candidate`]) so the fuzzer
+//! explores mutations *near* realistic files, not just ASCII noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbsyn_front::{lower, parse, Diagnostic};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A static fallback base for iterations where the generator declines.
+const MINI: &str = r#"model Issue do
+  title: Str
+  state: Str
+end
+
+define close_issue(arg0: Str) -> Issue do
+  consts base, "closed", Issue
+
+  spec "closing flips the state" do
+    Issue.create({title: "open", state: "opened"})
+    updated = target("open")
+    assert updated.state == "closed"
+  end
+end
+"#;
+
+/// Tokens spliced into sources by the token-level mutation.
+const SPLICE_TOKENS: [&str; 16] = [
+    "do",
+    "end",
+    "spec",
+    "define",
+    "model",
+    "assert",
+    "target",
+    "consts",
+    "->",
+    "==",
+    "{",
+    "}",
+    "(",
+    ")",
+    "99999999999999999999999999",
+    "\"unterminated",
+];
+
+/// Outcome of a fuzzing run.
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Mutants the frontend accepted (parsed and lowered).
+    pub accepted: usize,
+    /// Mutants rejected with a well-formed diagnostic.
+    pub rejected: usize,
+    /// Contract violations: panics, empty messages, out-of-bounds spans.
+    pub failures: Vec<String>,
+}
+
+fn diagnostic_ok(d: &Diagnostic, src: &str) -> Result<(), String> {
+    if d.message.is_empty() {
+        return Err("empty diagnostic message".to_owned());
+    }
+    if d.span.start > d.span.end || d.span.end > src.len() {
+        return Err(format!(
+            "diagnostic span {}..{} out of bounds for source of {} bytes",
+            d.span.start,
+            d.span.end,
+            src.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the frontend on one source under `catch_unwind`, checking the
+/// totality contract. `Ok(accepted)` on contract compliance.
+fn check_one(src: &str) -> Result<bool, String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match parse(src) {
+        Ok(file) => match lower(&file) {
+            Ok(_) => Ok(true),
+            Err(d) => diagnostic_ok(&d, src).map(|()| {
+                // Rendering must be total too (it slices the source).
+                let _ = d.render("fuzz.rbspec", src);
+                false
+            }),
+        },
+        Err(d) => diagnostic_ok(&d, src).map(|()| {
+            let _ = d.render("fuzz.rbspec", src);
+            false
+        }),
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(_) => Err("frontend panicked".to_owned()),
+    }
+}
+
+fn mutate(rng: &mut StdRng, base: &str) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    let ops = 1 + rng.gen_range(0..3u32);
+    for _ in 0..ops {
+        if bytes.is_empty() {
+            bytes.extend_from_slice(b"spec");
+        }
+        match rng.gen_range(0..7u32) {
+            0 => {
+                // Replace one byte with a random printable-or-not byte.
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(0..256u32) as u8;
+            }
+            1 => {
+                // Insert a random byte.
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.insert(i, rng.gen_range(0..256u32) as u8);
+            }
+            2 => {
+                // Delete a short range.
+                let i = rng.gen_range(0..bytes.len());
+                let n = (1 + rng.gen_range(0..8usize)).min(bytes.len() - i);
+                bytes.drain(i..i + n);
+            }
+            3 => {
+                // Truncate.
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.truncate(i);
+            }
+            4 => {
+                // Duplicate, delete, or swap whole lines.
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let mut lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    match rng.gen_range(0..3u32) {
+                        0 => {
+                            let i = rng.gen_range(0..lines.len());
+                            let l = lines[i];
+                            lines.insert(i, l);
+                        }
+                        1 => {
+                            let i = rng.gen_range(0..lines.len());
+                            lines.remove(i);
+                        }
+                        _ => {
+                            let i = rng.gen_range(0..lines.len());
+                            let j = rng.gen_range(0..lines.len());
+                            lines.swap(i, j);
+                        }
+                    }
+                }
+                bytes = lines.join("\n").into_bytes();
+            }
+            5 => {
+                // Splice a token at a random position.
+                let tok = SPLICE_TOKENS[rng.gen_range(0..SPLICE_TOKENS.len())];
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.splice(i..i, tok.bytes());
+            }
+            _ => {
+                // Splice a token in place of a short range.
+                let tok = SPLICE_TOKENS[rng.gen_range(0..SPLICE_TOKENS.len())];
+                let i = rng.gen_range(0..bytes.len());
+                let n = (1 + rng.gen_range(0..6usize)).min(bytes.len() - i);
+                bytes.splice(i..i + n, tok.bytes());
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Fuzzes the frontend for `iterations` mutants derived from `seed`.
+/// Every 20th iteration refreshes the mutation base with a freshly
+/// generated file (falling back to a static one); the rest mutate the
+/// current base. Failures collect the offending source (truncated) with
+/// the violated contract.
+pub fn run_fuzz(seed: u64, iterations: usize) -> FuzzReport {
+    // Panics are expected to be *absent*; keep the default hook quiet so
+    // a violating iteration doesn't spew a backtrace per mutant.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6675_7a7a); // "fuzz"
+    let mut report = FuzzReport {
+        iterations,
+        accepted: 0,
+        rejected: 0,
+        failures: Vec::new(),
+    };
+    let mut base = MINI.to_owned();
+    for i in 0..iterations {
+        if i % 20 == 0 {
+            let fresh_seed = rng.next_u64();
+            base = (0..8)
+                .find_map(|attempt| crate::gen::gen_candidate(fresh_seed, 0, attempt))
+                .map(|c| c.text)
+                .unwrap_or_else(|| MINI.to_owned());
+        }
+        let src = mutate(&mut rng, &base);
+        match check_one(&src) {
+            Ok(true) => report.accepted += 1,
+            Ok(false) => report.rejected += 1,
+            Err(why) => {
+                let excerpt: String = src.chars().take(200).collect();
+                report
+                    .failures
+                    .push(format!("iteration {i}: {why}\n  source: {excerpt:?}"));
+            }
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_base_is_accepted() {
+        assert_eq!(check_one(MINI), Ok(true));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_spanned_diagnostic() {
+        assert_eq!(check_one("model do end ???"), Ok(false));
+        assert_eq!(check_one(""), Ok(false));
+        assert_eq!(check_one("\u{0}\u{1}\u{2}"), Ok(false));
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean_and_deterministic() {
+        let a = run_fuzz(42, 200);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+        assert_eq!(a.accepted + a.rejected, 200);
+        let b = run_fuzz(42, 200);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+    }
+}

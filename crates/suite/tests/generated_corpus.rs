@@ -1,0 +1,214 @@
+//! Gates over the file-driven stress corpora that ride alongside the
+//! 19-benchmark registry:
+//!
+//! - `benchmarks/generated/` — the 500 specgen problems: every file must
+//!   parse, lower, validate, round-trip through the canonical printer,
+//!   and carry a unique id matching the corpus manifest;
+//! - `benchmarks/scenarios/` — the two hand-authored effectful scenarios
+//!   (checkout with inventory writes; rate-limited messaging fan-out):
+//!   hand-written reference programs must pass their specs, and the
+//!   synthesizer must solve them end-to-end (release profile);
+//! - `crates/suite/tests/fixtures/` — the `solve --spec` exit-code
+//!   fixtures: each must produce exactly its contracted failure class.
+
+use rbsyn_core::{exit, SynthError, Synthesizer};
+use rbsyn_interp::run_spec;
+use rbsyn_lang::builder::{call, cls, false_, hash, if_, seq, true_, var};
+use rbsyn_lang::{ClassId, Expr, Program};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(rel)
+}
+
+// ── benchmarks/generated/ ───────────────────────────────────────────────
+
+#[test]
+fn generated_corpus_matches_manifest_and_loads() {
+    let dir = repo_path("benchmarks/generated");
+    let manifest =
+        std::fs::read_to_string(dir.join("MANIFEST.txt")).expect("generated corpus has a manifest");
+    let count: usize = manifest
+        .lines()
+        .find_map(|l| l.strip_prefix("count "))
+        .expect("manifest has a count line")
+        .trim()
+        .parse()
+        .expect("count parses");
+    let paths = rbsyn_front::spec_paths(&dir).expect("corpus dir lists");
+    assert_eq!(paths.len(), count, "file count must match MANIFEST.txt");
+
+    let mut ids = HashSet::new();
+    for path in &paths {
+        let origin = path.display().to_string();
+        let source = std::fs::read_to_string(path).expect("readable");
+        let loaded = rbsyn_front::load_str(&source, &origin)
+            .unwrap_or_else(|e| panic!("{origin} must load:\n{e}"));
+        loaded
+            .lowered
+            .problem
+            .validate()
+            .unwrap_or_else(|e| panic!("{origin}: invalid problem: {e}"));
+        assert!(
+            ids.insert(loaded.id()),
+            "{origin}: duplicate benchmark id {}",
+            loaded.id()
+        );
+        // Canonical-printer round trip: re-printing the parsed file must
+        // reproduce the body (everything after the provenance header).
+        let body = source
+            .split_once("\n\n")
+            .map(|(_, rest)| rest)
+            .expect("header separated from body by a blank line");
+        assert_eq!(
+            rbsyn_front::to_rbspec(&loaded.file),
+            body,
+            "{origin}: not in canonical form"
+        );
+        // Provenance header present and well-formed.
+        assert!(
+            source.lines().nth(1).is_some_and(|l| {
+                l.starts_with("# specgen: seed=") && l.contains("index=") && l.contains("attempt=")
+            }),
+            "{origin}: missing specgen provenance header"
+        );
+    }
+}
+
+// ── benchmarks/scenarios/ ───────────────────────────────────────────────
+
+fn load_scenario(name: &str) -> rbsyn_front::LoadedSpec {
+    let path = repo_path(&format!("benchmarks/scenarios/{name}"));
+    rbsyn_front::load_file(&path).unwrap_or_else(|e| panic!("{name} must load:\n{e}"))
+}
+
+fn class_of(env: &rbsyn_interp::InterpEnv, name: &str) -> ClassId {
+    env.table
+        .hierarchy
+        .find(name)
+        .unwrap_or_else(|| panic!("class {name} exists"))
+}
+
+fn assert_reference_passes(spec: &rbsyn_front::LoadedSpec, params: &[&str], body: Expr) {
+    let (env, problem) = spec.build();
+    let program = Program::new(problem.name.as_str(), params.iter().copied(), body);
+    for s in &problem.specs {
+        assert!(
+            run_spec(&env, s, &program).passed(),
+            "{}: reference solution fails {:?}\n{program}",
+            spec.id(),
+            s.name
+        );
+    }
+}
+
+#[test]
+fn checkout_reference_solution_passes() {
+    let spec = load_scenario("checkout.rbspec");
+    let (env, _) = spec.build();
+    let item = class_of(&env, "Item");
+    let order = class_of(&env, "Order");
+    // Item.reserve(arg0); Order.create!({item: arg0})
+    let body = seq([
+        call(cls(item), "reserve", [var("arg0")]),
+        call(cls(order), "create!", [hash([("item", var("arg0"))])]),
+    ]);
+    assert_reference_passes(&spec, &["arg0"], body);
+}
+
+#[test]
+fn messaging_reference_solution_passes() {
+    let spec = load_scenario("messaging.rbspec");
+    let (env, _) = spec.build();
+    let quota = class_of(&env, "Quota");
+    let message = class_of(&env, "Message");
+    // if Quota.exists?({user: arg0}) then Message.create!(…); true else false
+    let body = if_(
+        call(cls(quota), "exists?", [hash([("user", var("arg0"))])]),
+        seq([
+            call(
+                cls(message),
+                "create!",
+                [hash([("recipient", var("arg1"))])],
+            ),
+            true_(),
+        ]),
+        false_(),
+    );
+    assert_reference_passes(&spec, &["arg0", "arg1"], body);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full synthesis; release-profile test")]
+fn scenarios_solve_end_to_end() {
+    for name in ["checkout.rbspec", "messaging.rbspec"] {
+        let spec = load_scenario(name);
+        let (env, problem) = spec.build();
+        let opts = spec.lowered.options.clone();
+        let result = Synthesizer::new(env, problem, opts)
+            .run()
+            .unwrap_or_else(|e| panic!("{name} must solve: {e}"));
+        // The synthesized program must itself pass every spec.
+        let (env2, problem2) = spec.build();
+        for s in &problem2.specs {
+            assert!(
+                run_spec(&env2, s, &result.program).passed(),
+                "{name}: synthesized program fails {:?}",
+                s.name
+            );
+        }
+    }
+}
+
+// ── exit-code fixtures ──────────────────────────────────────────────────
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures")).join(name)
+}
+
+#[test]
+fn parse_error_fixture_fails_to_load() {
+    let err = rbsyn_front::load_file(&fixture("parse_error.rbspec"))
+        .err()
+        .expect("parse_error.rbspec must not load");
+    assert!(
+        err.contains("error:"),
+        "diagnostic must be rendered with location: {err}"
+    );
+}
+
+#[test]
+fn no_solution_fixture_maps_to_exit_5() {
+    let spec = rbsyn_front::load_file(&fixture("no_solution.rbspec")).expect("loads");
+    let (env, problem) = spec.build();
+    let opts = spec.lowered.options.clone();
+    assert!(
+        opts.timeout.is_none(),
+        "timeout_secs: 0 must mean no deadline"
+    );
+    let err = match Synthesizer::new(env, problem, opts).run() {
+        Ok(_) => panic!("unsatisfiable asserts must not solve"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, SynthError::NoSolution { .. }), "{err}");
+    assert_eq!(exit::for_error(&err), exit::NO_SOLUTION);
+}
+
+#[test]
+fn timeout_fixture_maps_to_exit_4() {
+    let spec = rbsyn_front::load_file(&fixture("timeout.rbspec")).expect("loads");
+    let (env, problem) = spec.build();
+    let opts = spec.lowered.options.clone();
+    assert_eq!(
+        opts.timeout.map(|t| t.as_secs()),
+        Some(1),
+        "fixture pins a 1-second deadline"
+    );
+    let err = match Synthesizer::new(env, problem, opts).run() {
+        Ok(_) => panic!("unsatisfiable asserts must not solve"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, SynthError::Timeout), "{err}");
+    assert_eq!(exit::for_error(&err), exit::TIMEOUT);
+}
