@@ -1,0 +1,658 @@
+//! Reduced-ordered binary decision diagrams (ROBDDs) for the guard pool.
+//!
+//! The guard pool's per-spec pass/fail bitvectors are truth tables in
+//! disguise; this crate gives them a *canonical* form. A [`Bdd`] manager
+//! hash-conses decision nodes over a fixed variable order into a unique
+//! table, so two boolean functions are semantically equal **iff** they
+//! intern to the same [`NodeId`] — that single property is what turns
+//! "have we seen a guard with these semantics before?" into a pointer
+//! compare, and "does some spec satisfy `P ∧ ¬T`?" into an is-false check
+//! on an [`Bdd::and`]/[`Bdd::not`] result.
+//!
+//! The implementation is the textbook reduced-ordered construction
+//! (Bryant 1986; `mk` + memoized `apply`/`ite`/`restrict`), with:
+//!
+//! * a **canonical negation** — `not` is memoized and produces the unique
+//!   reduced diagram of `¬f`, so double negation is literally the
+//!   identity map (`bdd.not(bdd.not(f)) == f`). Complement edges were
+//!   considered and rejected: they halve node counts but double every
+//!   invariant, and the guard workload is query-bound, not space-bound;
+//! * **deterministic model enumeration** — [`Bdd::models`] walks the
+//!   diagram lexicographically (variable 0 first, `false` before `true`),
+//!   so enumeration order is a pure function of the function itself, never
+//!   of construction history. [`IndexDomain`] builds on that to encode
+//!   *spec-index sets* over `⌈log₂ n⌉` variables with variable 0 as the
+//!   most significant bit, making lexicographic model order coincide with
+//!   ascending spec index — the order every covering query must preserve;
+//! * a bridge to the workspace's DPLL solver: [`Bdd::from_formula`]
+//!   compiles an [`rbsyn_sat::Formula`] to a node, so `rbsyn-sat` acts as
+//!   the BDD's independent satisfiability oracle (the property tests
+//!   cross-check `is_false` against [`rbsyn_sat::is_satisfiable`]).
+//!
+//! No `unsafe`, no crates.io dependencies, no interior mutability: the
+//! manager is a plain `&mut` value, which is exactly what the per-problem
+//! [`GuardPool`](../rbsyn_core/guards/struct.GuardPool.html) wants — BDD
+//! state lives and dies with the problem, and sharing across threads never
+//! happens by construction.
+
+use rbsyn_lang::FxBuild;
+use rbsyn_sat::Formula;
+use std::collections::HashMap;
+
+/// A handle to a node in one [`Bdd`] manager. Handles from different
+/// managers are unrelated; mixing them is a logic error (caught by the
+/// range asserts in debug builds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+/// The constant-false terminal.
+pub const FALSE: NodeId = NodeId(0);
+/// The constant-true terminal.
+pub const TRUE: NodeId = NodeId(1);
+
+impl NodeId {
+    /// Raw index (diagnostics; dense per manager).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+/// One decision node: branch on `var`, follow `lo` when false, `hi` when
+/// true. Terminals carry `var == u32::MAX` so the "top variable" of any
+/// pair of nodes is a plain `min`.
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// Binary connectives served by the shared apply memo.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A reduced-ordered BDD manager (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use rbsyn_bdd::{Bdd, FALSE, TRUE};
+/// let mut bdd = Bdd::new();
+/// let x = bdd.var(0);
+/// let y = bdd.var(1);
+/// // x ∧ ¬x is canonically false; x ∨ y is satisfiable.
+/// let nx = bdd.not(x);
+/// assert_eq!(bdd.and(x, nx), FALSE);
+/// let xy = bdd.or(x, y);
+/// assert_ne!(xy, FALSE);
+/// // Canonicity: same function, same node — however it was built.
+/// let yx = bdd.or(y, x);
+/// assert_eq!(xy, yx);
+/// // Model enumeration over 2 variables, lexicographic: 01, 10, 11.
+/// assert_eq!(bdd.models(xy, 2), vec![vec![false, true], vec![true, false], vec![true, true]]);
+/// # let _ = TRUE;
+/// ```
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeId, NodeId), NodeId, FxBuild>,
+    apply_memo: HashMap<(Op, NodeId, NodeId), NodeId, FxBuild>,
+    not_memo: HashMap<NodeId, NodeId, FxBuild>,
+    ite_memo: HashMap<(NodeId, NodeId, NodeId), NodeId, FxBuild>,
+    restrict_memo: HashMap<(NodeId, u32, bool), NodeId, FxBuild>,
+}
+
+impl Default for Bdd {
+    fn default() -> Bdd {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// A manager holding only the two terminals.
+    pub fn new() -> Bdd {
+        let terminal = |id| Node {
+            var: u32::MAX,
+            lo: id,
+            hi: id,
+        };
+        Bdd {
+            nodes: vec![terminal(FALSE), terminal(TRUE)],
+            unique: HashMap::default(),
+            apply_memo: HashMap::default(),
+            not_memo: HashMap::default(),
+            ite_memo: HashMap::default(),
+            restrict_memo: HashMap::default(),
+        }
+    }
+
+    /// Total allocated nodes, terminals included — the `bdd_nodes`
+    /// telemetry counter.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var_of(&self, f: NodeId) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn node(&self, f: NodeId) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// The unique reduced node for `(var, lo, hi)`: redundant tests
+    /// collapse to the child, structurally equal nodes share an id. Every
+    /// constructor funnels through here, which is the whole canonicity
+    /// argument.
+    fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            var < self.var_of(lo).min(self.var_of(hi)),
+            "children must test strictly later variables"
+        );
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("BDD node space exhausted"));
+            self.nodes.push(Node { var, lo, hi });
+            id
+        })
+    }
+
+    /// The single-variable function `vᵢ`.
+    pub fn var(&mut self, v: u32) -> NodeId {
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// The single-variable function `¬vᵢ`.
+    pub fn nvar(&mut self, v: u32) -> NodeId {
+        self.mk(v, TRUE, FALSE)
+    }
+
+    /// Canonical negation `¬f` (memoized; an involution by construction).
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        match f {
+            FALSE => return TRUE,
+            TRUE => return FALSE,
+            _ => {}
+        }
+        if let Some(&r) = self.not_memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_memo.insert(f, r);
+        self.not_memo.insert(r, f);
+        r
+    }
+
+    /// `f ∧ g`.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.apply(Op::And, f, g)
+    }
+
+    /// `f ∨ g`.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// `f ⊕ g`.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// `f ∧ ¬g` — the covering queries' workhorse ("does `f` reach any
+    /// index outside `g`?").
+    pub fn diff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Does `f ⇒ g` hold for every assignment? (`f ∧ ¬g` is false.)
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    fn apply(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
+        // Terminal rules first: they keep the memo small and the common
+        // short-circuits allocation-free.
+        match (op, f, g) {
+            (Op::And, FALSE, _) | (Op::And, _, FALSE) => return FALSE,
+            (Op::And, TRUE, x) | (Op::And, x, TRUE) => return x,
+            (Op::Or, TRUE, _) | (Op::Or, _, TRUE) => return TRUE,
+            (Op::Or, FALSE, x) | (Op::Or, x, FALSE) => return x,
+            (Op::Xor, FALSE, x) | (Op::Xor, x, FALSE) => return x,
+            (Op::Xor, TRUE, x) | (Op::Xor, x, TRUE) => return self.not(x),
+            _ => {}
+        }
+        if f == g {
+            return match op {
+                Op::And | Op::Or => f,
+                Op::Xor => FALSE,
+            };
+        }
+        // All three connectives commute: normalize the key.
+        let key = (op, f.min(g), f.max(g));
+        if let Some(&r) = self.apply_memo.get(&key) {
+            return r;
+        }
+        let (nf, ng) = (self.node(f), self.node(g));
+        let top = nf.var.min(ng.var);
+        let (f_lo, f_hi) = if nf.var == top {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if ng.var == top {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.apply(op, f_lo, g_lo);
+        let hi = self.apply(op, f_hi, g_hi);
+        let r = self.mk(top, lo, hi);
+        self.apply_memo.insert(key, r);
+        r
+    }
+
+    /// `if f then g else h`, the ternary normal form every other
+    /// connective factors through.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        match (f, g, h) {
+            (TRUE, g, _) => return g,
+            (FALSE, _, h) => return h,
+            (f, TRUE, FALSE) => return f,
+            (f, FALSE, TRUE) => return self.not(f),
+            _ => {}
+        }
+        if g == h {
+            return g;
+        }
+        if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+            return r;
+        }
+        let (nf, ng, nh) = (self.node(f), self.node(g), self.node(h));
+        let top = nf.var.min(ng.var).min(nh.var);
+        let split = |n: Node, id: NodeId| {
+            if n.var == top {
+                (n.lo, n.hi)
+            } else {
+                (id, id)
+            }
+        };
+        let (f_lo, f_hi) = split(nf, f);
+        let (g_lo, g_hi) = split(ng, g);
+        let (h_lo, h_hi) = split(nh, h);
+        let lo = self.ite(f_lo, g_lo, h_lo);
+        let hi = self.ite(f_hi, g_hi, h_hi);
+        let r = self.mk(top, lo, hi);
+        self.ite_memo.insert((f, g, h), r);
+        r
+    }
+
+    /// The cofactor `f[var := val]`.
+    pub fn restrict(&mut self, f: NodeId, var: u32, val: bool) -> NodeId {
+        if f.is_terminal() || self.var_of(f) > var {
+            return f;
+        }
+        if let Some(&r) = self.restrict_memo.get(&(f, var, val)) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == var {
+            if val {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict(n.lo, var, val);
+            let hi = self.restrict(n.hi, var, val);
+            self.mk(n.var, lo, hi)
+        };
+        self.restrict_memo.insert((f, var, val), r);
+        r
+    }
+
+    /// Is the function constant false? Canonicity makes unsatisfiability a
+    /// pointer compare — this *is* the SAT query of the covering path.
+    pub fn is_false(&self, f: NodeId) -> bool {
+        f == FALSE
+    }
+
+    /// Is the function constant true (valid)?
+    pub fn is_true(&self, f: NodeId) -> bool {
+        f == TRUE
+    }
+
+    /// Evaluates `f` under an assignment (index = variable; variables past
+    /// the slice end read `false`).
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            cur = if assignment.get(n.var as usize).copied().unwrap_or(false) {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+        cur == TRUE
+    }
+
+    /// Number of satisfying assignments over variables `0..nvars` (every
+    /// node's variable must be `< nvars`).
+    pub fn sat_count(&self, f: NodeId, nvars: u32) -> u128 {
+        fn go(bdd: &Bdd, f: NodeId, nvars: u32, memo: &mut HashMap<NodeId, u128, FxBuild>) -> u128 {
+            // Count below `f`, normalized to the level *just under* f's
+            // variable; terminals sit at level `nvars`.
+            if f == FALSE {
+                return 0;
+            }
+            if f == TRUE {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let n = bdd.node(f);
+            let level = |id: NodeId| bdd.var_of(id).min(nvars);
+            let lo = go(bdd, n.lo, nvars, memo) << (level(n.lo) - n.var - 1);
+            let hi = go(bdd, n.hi, nvars, memo) << (level(n.hi) - n.var - 1);
+            let c = lo + hi;
+            memo.insert(f, c);
+            c
+        }
+        assert!(
+            f.is_terminal() || self.var_of(f) < nvars,
+            "nvars must cover every variable of f"
+        );
+        let mut memo = HashMap::default();
+        let top = if f.is_terminal() {
+            nvars
+        } else {
+            self.var_of(f)
+        };
+        go(self, f, nvars, &mut memo) << top
+    }
+
+    /// All satisfying assignments over variables `0..nvars`, in
+    /// lexicographic order (variable 0 first, `false` before `true`).
+    /// Deterministic by construction: the order depends only on the
+    /// function, never on how its diagram was built.
+    pub fn models(&self, f: NodeId, nvars: u32) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::with_capacity(nvars as usize);
+        self.models_walk(f, nvars, &mut prefix, &mut out);
+        out
+    }
+
+    fn models_walk(&self, f: NodeId, nvars: u32, prefix: &mut Vec<bool>, out: &mut Vec<Vec<bool>>) {
+        if f == FALSE {
+            return;
+        }
+        if prefix.len() == nvars as usize {
+            debug_assert_eq!(f, TRUE, "variables past nvars are not allowed");
+            out.push(prefix.clone());
+            return;
+        }
+        let depth = prefix.len() as u32;
+        let (lo, hi) = if !f.is_terminal() && self.var_of(f) == depth {
+            let n = self.node(f);
+            (n.lo, n.hi)
+        } else {
+            // `f` does not test this variable: both branches continue.
+            (f, f)
+        };
+        prefix.push(false);
+        self.models_walk(lo, nvars, prefix, out);
+        prefix.pop();
+        prefix.push(true);
+        self.models_walk(hi, nvars, prefix, out);
+        prefix.pop();
+    }
+
+    /// Compiles a propositional [`Formula`] (the `rbsyn-sat` AST) to a
+    /// node. This makes the DPLL solver and the BDD two engines over one
+    /// formula type — each the other's differential test oracle.
+    pub fn from_formula(&mut self, f: &Formula) -> NodeId {
+        match f {
+            Formula::True => TRUE,
+            Formula::False => FALSE,
+            Formula::Var(v) => self.var(*v),
+            Formula::Not(x) => {
+                let x = self.from_formula(x);
+                self.not(x)
+            }
+            Formula::And(a, b) => {
+                let a = self.from_formula(a);
+                let b = self.from_formula(b);
+                self.and(a, b)
+            }
+            Formula::Or(a, b) => {
+                let a = self.from_formula(a);
+                let b = self.from_formula(b);
+                self.or(a, b)
+            }
+        }
+    }
+}
+
+/// Spec-index sets as BDDs: indices `0..n` encoded over `⌈log₂ n⌉`
+/// variables, variable 0 the **most significant** bit, so lexicographic
+/// model order (the [`Bdd::models`] order) is ascending index order.
+///
+/// # Example
+///
+/// ```
+/// use rbsyn_bdd::{Bdd, IndexDomain};
+/// let mut bdd = Bdd::new();
+/// let dom = IndexDomain::new(65); // 7 variables cover indices 0..65
+/// let set = dom.set(&mut bdd, [64u64, 3, 17]);
+/// assert_eq!(dom.indices(&bdd, set), vec![3, 17, 64]); // ascending
+/// let all = dom.set(&mut bdd, 0..65u64);
+/// let rest = bdd.diff(all, set);
+/// assert_eq!(dom.indices(&bdd, rest).len(), 62);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct IndexDomain {
+    nvars: u32,
+}
+
+impl IndexDomain {
+    /// The domain covering indices `0..n_indices`.
+    pub fn new(n_indices: usize) -> IndexDomain {
+        let mut nvars = 1;
+        while (1u64 << nvars) < n_indices as u64 {
+            nvars += 1;
+        }
+        IndexDomain { nvars }
+    }
+
+    /// Number of index variables.
+    pub fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    /// The minterm selecting exactly index `i`.
+    pub fn minterm(&self, bdd: &mut Bdd, i: u64) -> NodeId {
+        assert!(i < 1u64 << self.nvars, "index {i} out of domain");
+        // Build bottom-up (least significant variable first) so every
+        // `mk` sees children over strictly later variables.
+        let mut node = TRUE;
+        for v in (0..self.nvars).rev() {
+            let bit = (i >> (self.nvars - 1 - v)) & 1 == 1;
+            node = if bit {
+                bdd.mk(v, FALSE, node)
+            } else {
+                bdd.mk(v, node, FALSE)
+            };
+        }
+        node
+    }
+
+    /// The set `{i : i ∈ idxs}` as a disjunction of minterms.
+    pub fn set(&self, bdd: &mut Bdd, idxs: impl IntoIterator<Item = u64>) -> NodeId {
+        let mut acc = FALSE;
+        for i in idxs {
+            let m = self.minterm(bdd, i);
+            acc = bdd.or(acc, m);
+        }
+        acc
+    }
+
+    /// Decodes one assignment back to its index.
+    pub fn decode(&self, assignment: &[bool]) -> u64 {
+        assignment
+            .iter()
+            .take(self.nvars as usize)
+            .fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+    }
+
+    /// All indices in the set, ascending ([`Bdd::models`] order + the
+    /// big-endian encoding).
+    pub fn indices(&self, bdd: &Bdd, set: NodeId) -> Vec<u64> {
+        bdd.models(set, self.nvars)
+            .iter()
+            .map(|m| self.decode(m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut b = Bdd::new();
+        assert_eq!(b.node_count(), 2);
+        let x = b.var(0);
+        assert_eq!(b.var(0), x, "unique table shares nodes");
+        let nx = b.not(x);
+        assert_eq!(b.nvar(0), nx);
+        assert_eq!(b.not(nx), x, "negation is an involution");
+        assert_eq!(b.and(x, nx), FALSE);
+        assert_eq!(b.or(x, nx), TRUE);
+    }
+
+    #[test]
+    fn canonical_across_construction_orders() {
+        let mut b = Bdd::new();
+        let (x, y, z) = (b.var(0), b.var(1), b.var(2));
+        // (x ∧ y) ∨ z three different ways.
+        let xy = b.and(x, y);
+        let a = b.or(xy, z);
+        let zx = b.or(z, xy);
+        assert_eq!(a, zx);
+        // De Morgan: ¬(¬x ∨ ¬y) == x ∧ y.
+        let nx = b.not(x);
+        let ny = b.not(y);
+        let o = b.or(nx, ny);
+        let demorgan = b.not(o);
+        assert_eq!(demorgan, xy);
+    }
+
+    #[test]
+    fn ite_factors_connectives() {
+        let mut b = Bdd::new();
+        let (x, y) = (b.var(0), b.var(1));
+        let and = b.and(x, y);
+        assert_eq!(b.ite(x, y, FALSE), and);
+        let or = b.or(x, y);
+        assert_eq!(b.ite(x, TRUE, y), or);
+        let ny = b.not(y);
+        let xor = b.xor(x, y);
+        assert_eq!(b.ite(x, ny, y), xor);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut b = Bdd::new();
+        let (x, y) = (b.var(0), b.var(1));
+        let f = b.xor(x, y);
+        let ny = b.not(y);
+        assert_eq!(b.restrict(f, 0, true), ny);
+        assert_eq!(b.restrict(f, 0, false), y);
+        assert_eq!(b.restrict(f, 2, true), f, "absent variable is a no-op");
+    }
+
+    #[test]
+    fn sat_count_and_models() {
+        let mut b = Bdd::new();
+        let (x, y, z) = (b.var(0), b.var(1), b.var(2));
+        let xy = b.and(x, y);
+        let f = b.or(xy, z);
+        assert_eq!(b.sat_count(f, 3), 5);
+        let models = b.models(f, 3);
+        assert_eq!(models.len(), 5);
+        // Lexicographic: 001, 011, 100 (x∧y? no: 100 has z=0... check), …
+        let as_bits: Vec<u8> = models
+            .iter()
+            .map(|m| m.iter().fold(0u8, |a, &v| (a << 1) | u8::from(v)))
+            .collect();
+        assert_eq!(as_bits, vec![0b001, 0b011, 0b101, 0b110, 0b111]);
+        assert!(models.iter().all(|m| b.eval(f, m)));
+        assert_eq!(b.sat_count(TRUE, 3), 8);
+        assert_eq!(b.sat_count(FALSE, 3), 0);
+    }
+
+    #[test]
+    fn index_domain_roundtrips_ascending() {
+        let mut b = Bdd::new();
+        let dom = IndexDomain::new(65);
+        assert_eq!(dom.nvars(), 7);
+        let set = dom.set(&mut b, [64u64, 0, 13, 40]);
+        assert_eq!(dom.indices(&b, set), vec![0, 13, 40, 64]);
+        assert_eq!(b.sat_count(set, dom.nvars()), 4);
+        // Difference against the full domain enumerates the complement.
+        let all = dom.set(&mut b, 0..65u64);
+        let rest = b.diff(all, set);
+        let idxs = dom.indices(&b, rest);
+        assert_eq!(idxs.len(), 61);
+        assert!(!idxs.contains(&13));
+        assert!(idxs.contains(&63));
+    }
+
+    #[test]
+    fn single_index_domain() {
+        let mut b = Bdd::new();
+        let dom = IndexDomain::new(1);
+        assert_eq!(dom.nvars(), 1);
+        let s = dom.set(&mut b, [0u64]);
+        assert_eq!(dom.indices(&b, s), vec![0]);
+    }
+
+    #[test]
+    fn formula_bridge_agrees_with_dpll() {
+        use rbsyn_sat::is_satisfiable;
+        let cases = [
+            Formula::True,
+            Formula::False,
+            Formula::and(Formula::Var(0), Formula::not(Formula::Var(0))),
+            Formula::implies(
+                Formula::Var(0),
+                Formula::or(Formula::Var(0), Formula::Var(1)),
+            ),
+            Formula::and(
+                Formula::or(Formula::Var(0), Formula::Var(1)),
+                Formula::and(Formula::not(Formula::Var(0)), Formula::not(Formula::Var(1))),
+            ),
+        ];
+        for f in &cases {
+            let mut b = Bdd::new();
+            let n = b.from_formula(f);
+            assert_eq!(!b.is_false(n), is_satisfiable(f), "disagree on {f}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Microbenchmarks for the BDD-backed guard semantics (PR 8): truth-vector
+//! interning throughput, covering-query latency on a warm BDD, and the
+//! guard pool answering a 65-spec problem (one past the inline bitvector
+//! word) with BDD semantics on versus off. The pool pair is the
+//! fine-grained version of the suite-level `guard_time` target: the two
+//! modes must stay within noise of each other, because the BDD layer is a
+//! dedup cache over the same word arithmetic, not a replacement oracle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rbsyn_bdd::{Bdd, IndexDomain, FALSE};
+use rbsyn_core::engine::{Scheduler, SearchStats};
+use rbsyn_core::guards::{GuardPool, GuardQuery};
+use rbsyn_core::Options;
+use rbsyn_interp::{InterpEnv, SetupStep, Spec};
+use rbsyn_lang::builder::*;
+use rbsyn_lang::{Ty, Value};
+use rbsyn_stdlib::EnvBuilder;
+
+fn blog_env() -> (InterpEnv, rbsyn_lang::ClassId) {
+    let mut b = EnvBuilder::with_stdlib();
+    let post = b.define_model(
+        "Post",
+        &[("author", Ty::Str), ("title", Ty::Str), ("slug", Ty::Str)],
+    );
+    b.add_const(Value::Class(post));
+    (b.finish(), post)
+}
+
+/// A 65-spec problem mirroring the pool's oversized unit fixture: 32
+/// seeded specs, 33 empty ones, so a `Post.exists?`-shaped guard
+/// separates them and every bitvector spills past one word.
+fn oversized_specs(post: rbsyn_lang::ClassId) -> Vec<Spec> {
+    let mut specs = Vec::with_capacity(65);
+    for i in 0..65 {
+        let mut steps = Vec::new();
+        if i < 32 {
+            steps.push(SetupStep::Exec(call(
+                cls(post),
+                "create",
+                [hash([("author", str_("alice"))])],
+            )));
+        }
+        steps.push(SetupStep::CallTarget {
+            bind: "xr".into(),
+            args: vec![],
+        });
+        specs.push(Spec::new(
+            if i < 32 { "seeded" } else { "empty" },
+            steps,
+            vec![],
+        ));
+    }
+    specs
+}
+
+/// Deterministic pseudo-random spec subsets — 256 distinct truth vectors
+/// over a 64-index domain, the shape `Semantics::vector_set` interns.
+fn vector_corpus() -> Vec<Vec<u64>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut out = Vec::with_capacity(256);
+    for _ in 0..256 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let word = state;
+        out.push((0..64).filter(|i| word >> i & 1 == 1).collect());
+    }
+    out
+}
+
+/// Interning throughput: fold 256 distinct truth vectors into one reduced
+/// BDD from scratch. This is the cost of the first scan over a fresh
+/// covering request — every later scan hits the semantic-class map.
+fn bench_intern_throughput(c: &mut Criterion) {
+    let corpus = vector_corpus();
+    c.bench_function("guards_bdd/intern_256_vectors", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new();
+            let dom = IndexDomain::new(64);
+            let mut acc = FALSE;
+            for v in &corpus {
+                let set = dom.set(&mut bdd, v.iter().copied());
+                acc = bdd.or(acc, set);
+            }
+            black_box((acc, bdd.node_count()))
+        })
+    });
+}
+
+/// Covering-query latency on a warm BDD: the `is_false(diff(p, t)) &&
+/// is_false(diff(n, f))` shape `Semantics::decide` runs per unseen class.
+/// The operation memo is warm after the first iteration, so this measures
+/// the steady-state query the pool pays when a class key misses.
+fn bench_covering_query(c: &mut Criterion) {
+    let corpus = vector_corpus();
+    let mut bdd = Bdd::new();
+    let dom = IndexDomain::new(64);
+    let p = dom.set(&mut bdd, (0u64..32).collect::<Vec<_>>());
+    let n = dom.set(&mut bdd, (32u64..64).collect::<Vec<_>>());
+    let vectors: Vec<_> = corpus
+        .iter()
+        .map(|v| {
+            let t = dom.set(&mut bdd, v.iter().copied());
+            let f = bdd.not(t);
+            (t, f)
+        })
+        .collect();
+    c.bench_function("guards_bdd/covering_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (t, f) = vectors[i % vectors.len()];
+            i += 1;
+            let dp = bdd.diff(p, t);
+            let dn = bdd.diff(n, f);
+            black_box(bdd.is_false(dp) && bdd.is_false(dn))
+        })
+    });
+}
+
+/// The guard pool on the 65-spec problem, BDD semantics on vs off: a
+/// fresh pool answers one covering request end to end (enumeration,
+/// interpreter bits, covering scan), then re-answers it from the latched
+/// request state. The on/off pair is the head-to-head the `no-bdd` CI leg
+/// checks for determinism; here it pins the time cost of the BDD layer.
+fn bench_pool_65spec(c: &mut Criterion) {
+    let (env, post) = blog_env();
+    let specs = oversized_specs(post);
+    let pos: Vec<usize> = (0..32).collect();
+    let neg: Vec<usize> = (32..65).collect();
+    for bdd_on in [true, false] {
+        let opts = Options {
+            bdd: bdd_on,
+            ..Options::default()
+        };
+        let sched = Scheduler::sequential();
+        let q = GuardQuery {
+            env: &env,
+            name: "m".into(),
+            params: &[],
+            specs: &specs,
+            opts: &opts,
+            sched: &sched,
+        };
+        let label = if bdd_on { "on" } else { "off" };
+        c.bench_function(&format!("guards_bdd/pool_65spec_first_{label}"), |b| {
+            b.iter(|| {
+                let mut pool = GuardPool::new();
+                let mut stats = SearchStats::default();
+                black_box(
+                    pool.nth_covering_guard(&q, &pos, &neg, 0, 1, &mut stats)
+                        .expect("no deadline"),
+                )
+            })
+        });
+        let mut pool = GuardPool::new();
+        let mut stats = SearchStats::default();
+        let g = pool
+            .nth_covering_guard(&q, &pos, &neg, 0, 1, &mut stats)
+            .expect("no deadline")
+            .expect("a separating guard exists");
+        c.bench_function(&format!("guards_bdd/pool_65spec_recheck_{label}"), |b| {
+            b.iter(|| {
+                let mut stats = SearchStats::default();
+                black_box(pool.check_expr(&q, black_box(&g), &pos, &neg, &mut stats))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_intern_throughput,
+    bench_covering_query,
+    bench_pool_65spec
+);
+criterion_main!(benches);

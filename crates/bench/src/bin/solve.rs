@@ -64,6 +64,11 @@ struct Cli {
     /// escape hatch; programs must be byte-identical either way, while the
     /// effort counters legitimately shrink with pruning on).
     no_obs_equiv: bool,
+    /// `--no-bdd`: disable the BDD-backed guard semantics (A/B escape
+    /// hatch; programs *and* effort counters must be byte-identical either
+    /// way — only `guard_dedup`/`bdd_nodes` drop to zero and the guard
+    /// phase slows down).
+    no_bdd: bool,
     /// `--intra`, when given (overrides `RBSYN_INTRA`).
     intra: Option<usize>,
     /// `--strategy`, when given (overrides `RBSYN_STRATEGY`).
@@ -84,7 +89,7 @@ fn usage() -> ! {
          [--json PATH]\n       \
          solve --all [--spec-dir DIR] [--parallel N] [--intra N] [--strategy paper|cost] \
          [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--no-obs-equiv] \
-         [--json PATH]"
+         [--no-bdd] [--json PATH]"
     );
     std::process::exit(exit_codes::USAGE);
 }
@@ -98,6 +103,7 @@ fn parse_cli() -> Cli {
         timeout: None,
         no_cache: false,
         no_obs_equiv: false,
+        no_bdd: false,
         intra: None,
         strategy: None,
         spec: None,
@@ -144,6 +150,7 @@ fn parse_cli() -> Cli {
             }
             "--no-cache" => cli.no_cache = true,
             "--no-obs-equiv" => cli.no_obs_equiv = true,
+            "--no-bdd" => cli.no_bdd = true,
             "--intra" => cli.intra = Some(value("--intra").parse().unwrap_or_else(|_| usage())),
             "--strategy" => {
                 let name = value("--strategy");
@@ -229,6 +236,9 @@ fn run_one(
     if cli.no_obs_equiv {
         opts.obs_equiv = false;
     }
+    if cli.no_bdd {
+        opts.bdd = false;
+    }
     if let Some(intra) = cli.intra {
         opts.intra_parallelism = intra;
     }
@@ -259,7 +269,7 @@ fn run_one(
                      \"elapsed_secs\": {:.6}, \"generate_secs\": {:.6}, \
                      \"guard_secs\": {:.6}, \"eval_secs\": {:.6}, \
                      \"size\": {}, \"paths\": {}, \"tested\": {}, \"obs_pruned\": {}, \
-                     \"vector_hits\": {}}}\n",
+                     \"vector_hits\": {}, \"guard_dedup\": {}, \"bdd_nodes\": {}}}\n",
                     json_escape(label),
                     r.stats.elapsed.as_secs_f64(),
                     r.stats.generate_time.as_secs_f64(),
@@ -270,6 +280,8 @@ fn run_one(
                     r.stats.search.tested,
                     r.stats.search.obs_pruned,
                     r.stats.search.vector_hits,
+                    r.stats.search.guard_dedup,
+                    r.stats.search.bdd_nodes,
                 );
                 std::fs::write(path, json).expect("write --json file");
             }
@@ -388,6 +400,9 @@ fn main() {
     }
     if cli.no_obs_equiv {
         cfg.obs_equiv = false;
+    }
+    if cli.no_bdd {
+        cfg.bdd = false;
     }
     if let Some(intra) = cli.intra {
         cfg.intra = intra;

@@ -175,6 +175,13 @@ pub struct BatchStats {
     /// Guard requests answered purely from pass/fail bitvectors (solved
     /// jobs).
     pub vector_hits: u64,
+    /// Guard candidates deduplicated into an already-decided semantic
+    /// class of their covering request (solved jobs; zero with
+    /// `--no-bdd`).
+    pub guard_dedup: u64,
+    /// Guard-pool BDD high-water node counts summed over solved jobs
+    /// (zero with `--no-bdd`).
+    pub bdd_nodes: u64,
     /// Expansion lists answered from the shared memo (solved jobs).
     pub expand_hits: u64,
     /// Type-check verdicts answered from the shared memo (solved jobs).
@@ -239,6 +246,8 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
                 stats.deduped = stats.deduped.saturating_add(r.stats.search.deduped);
                 stats.obs_pruned = stats.obs_pruned.saturating_add(r.stats.search.obs_pruned);
                 stats.vector_hits = stats.vector_hits.saturating_add(r.stats.search.vector_hits);
+                stats.guard_dedup = stats.guard_dedup.saturating_add(r.stats.search.guard_dedup);
+                stats.bdd_nodes = stats.bdd_nodes.saturating_add(r.stats.search.bdd_nodes);
                 stats.expand_hits = stats.expand_hits.saturating_add(r.stats.search.expand_hits);
                 stats.type_hits = stats.type_hits.saturating_add(r.stats.search.type_hits);
                 stats.oracle_hits = stats.oracle_hits.saturating_add(r.stats.search.oracle_hits);

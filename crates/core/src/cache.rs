@@ -488,6 +488,12 @@ impl CacheHandle {
     }
 }
 
+impl crate::expand::TemplateStore for CacheHandle {
+    fn templates(&self, key: String, compute: &mut dyn FnMut() -> Vec<Expr>) -> Arc<Vec<Expr>> {
+        CacheHandle::templates(self, key, compute)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

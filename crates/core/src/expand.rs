@@ -11,37 +11,102 @@
 //! Expansion always rewrites the *leftmost* hole, mirroring the paper's
 //! deterministic implementation of the non-deterministic rules.
 
-use crate::cache::CacheHandle;
 use crate::infer::Gamma;
 use crate::options::Options;
-use rbsyn_lang::{EffectSet, Expr, Symbol, Ty, Value};
+use rbsyn_lang::{EffectSet, Expr, FxBuild, Symbol, Ty, Value};
 use rbsyn_ty::{is_subtype, ClassTable};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Source of memoized S-App/S-EffApp call-template lists.
+///
+/// Template lists are pure functions of the class table, the goal
+/// type/effect and the seed set, so *where* they are memoized is a free
+/// choice: the shared [`crate::cache::CacheHandle`] implements this for
+/// normal searches (templates shared across specs, merge attempts and
+/// batch jobs), while the guard pool substitutes a pool-local store so its
+/// single-threaded enumeration never takes a lock.
+pub trait TemplateStore {
+    /// The template list for `key`, computing it via `compute` on a miss.
+    fn templates(&self, key: String, compute: &mut dyn FnMut() -> Vec<Expr>) -> Arc<Vec<Expr>>;
+}
 
 /// One-step expander over a class table.
 ///
 /// Candidate enumeration (instantiating every library method at every
 /// model class, S-App / S-EffApp) is the hot path of the search; the
-/// resulting call templates are memoized in the [`CacheHandle`] per goal
-/// type / effect and seed set, which is sound because the template list is
-/// a pure function of the class table — and the handle's environment token
-/// fingerprints the table, so templates are shared across every search
-/// over the same library (other specs, other batch jobs) and never leak
-/// between different configurations.
+/// resulting call templates are memoized through the [`TemplateStore`] per
+/// goal type / effect and seed set, which is sound because the template
+/// list is a pure function of the class table — the shared store's
+/// environment token fingerprints the table, so templates are shared
+/// across every search over the same library (other specs, other batch
+/// jobs) and never leak between different configurations.
 pub struct Expander<'a> {
     /// Class table (with `Σ` configured).
     pub table: &'a ClassTable,
     /// Search options (guidance switches, hash-literal arity).
     pub opts: &'a Options,
-    search: &'a CacheHandle,
+    search: &'a dyn TemplateStore,
+    fill_memo: Option<&'a FillMemo>,
+}
+
+/// Memo of complete [`Expander::fill_typed`] results per goal type, for
+/// callers whose `Γ` is **fixed** for the expander's whole lifetime.
+///
+/// `fill_typed` is deterministic in `(goal, Γ, Σ, class table, options)`;
+/// when the caller guarantees everything but `goal` is constant — the
+/// guard pool's boolean stream, whose candidates contain no binders, so
+/// `Γ` is never pushed or popped during enumeration — the entire filling
+/// list (constants, variables, hash/symbol literals *and* the call
+/// templates) collapses to a pure function of the goal and can be served
+/// from this map, skipping the per-call subtype scans, seed-set
+/// stringification and memo-key formatting. Callers whose `Γ` changes
+/// between holes (phase-1 `Let` bodies) must NOT pass one.
+pub struct FillMemo(RefCell<HashMap<Ty, Arc<Vec<Expr>>, FxBuild>>);
+
+impl FillMemo {
+    /// An empty memo.
+    pub fn new() -> FillMemo {
+        FillMemo(RefCell::new(HashMap::default()))
+    }
+}
+
+impl Default for FillMemo {
+    fn default() -> FillMemo {
+        FillMemo::new()
+    }
 }
 
 impl<'a> Expander<'a> {
     /// Builds an expander memoizing through `search`.
-    pub fn new(table: &'a ClassTable, opts: &'a Options, search: &'a CacheHandle) -> Expander<'a> {
+    pub fn new(
+        table: &'a ClassTable,
+        opts: &'a Options,
+        search: &'a dyn TemplateStore,
+    ) -> Expander<'a> {
         Expander {
             table,
             opts,
             search,
+            fill_memo: None,
+        }
+    }
+
+    /// [`Expander::new`] plus a [`FillMemo`] — only sound when the
+    /// caller's `Γ` is identical across every expansion this expander
+    /// (and every other expander sharing `memo`) will perform.
+    pub fn with_fill_memo(
+        table: &'a ClassTable,
+        opts: &'a Options,
+        search: &'a dyn TemplateStore,
+        memo: &'a FillMemo,
+    ) -> Expander<'a> {
+        Expander {
+            table,
+            opts,
+            search,
+            fill_memo: Some(memo),
         }
     }
 
@@ -223,6 +288,20 @@ impl<'a> Expander<'a> {
     /// Fillings of a typed hole `□:τ` (S-Const, S-Var, symbol literals,
     /// hash literals, S-App).
     fn fill_typed(&self, goal: &Ty, gamma: &Gamma) -> Vec<Expr> {
+        if let Some(memo) = self.fill_memo {
+            if let Some(cached) = memo.0.borrow().get(goal) {
+                return cached.as_ref().clone();
+            }
+            let out = self.fill_typed_uncached(goal, gamma);
+            memo.0
+                .borrow_mut()
+                .insert(goal.clone(), Arc::new(out.clone()));
+            return out;
+        }
+        self.fill_typed_uncached(goal, gamma)
+    }
+
+    fn fill_typed_uncached(&self, goal: &Ty, gamma: &Gamma) -> Vec<Expr> {
         let typed = self.opts.guidance.types;
         let h = &self.table.hierarchy;
         let mut out: Vec<Expr> = Vec::new();
@@ -267,7 +346,7 @@ impl<'a> Expander<'a> {
         // (memoized per goal/seed set).
         let seeds = self.seeds(gamma);
         let key = format!("ret|{goal}|{}|{typed}", Self::seeds_key(&seeds));
-        let templates = self.search.templates(key, || {
+        let templates = self.search.templates(key, &mut || {
             let cands = if typed {
                 self.table.candidates_returning(goal, &seeds)
             } else {
@@ -310,7 +389,7 @@ impl<'a> Expander<'a> {
     fn fill_effect(&self, eps: &EffectSet, gamma: &Gamma) -> Vec<Expr> {
         let seeds = self.seeds(gamma);
         let key = format!("eff|{eps}|{}", Self::seeds_key(&seeds));
-        let templates = self.search.templates(key, || {
+        let templates = self.search.templates(key, &mut || {
             let mut v = vec![Expr::Lit(Value::Nil)]; // S-EffNil
             for c in self.table.candidates_writing(eps, &seeds) {
                 let callee = Expr::Call {
@@ -425,6 +504,7 @@ pub fn simplify(e: Expr) -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheHandle;
     use rbsyn_lang::builder::*;
     use rbsyn_stdlib::EnvBuilder;
 

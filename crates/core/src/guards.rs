@@ -1,4 +1,4 @@
-//! Branch-condition synthesis (§3.3) and the bitvector guard pool.
+//! Branch-condition synthesis (§3.3) and the BDD-backed guard pool.
 //!
 //! A guard for spec set `Ψ₁` against `Ψ₂` is a boolean expression that
 //! evaluates truthy under every setup in `Ψ₁` and falsy under every setup
@@ -19,12 +19,33 @@
 //! candidate, a pass/fail **bitvector** over the problem's specs — bit
 //! `i` answers "does this candidate run without error under spec `i`'s
 //! setup, and is `x_r` truthy?". One interpreter run fills both the
-//! truthy and the ok bit for a spec, and a request `(Ψ₁, Ψ₂)` is then
-//! decided by `AND`/`NOT` over `u64` words: ok∧truthy on every `Ψ₁` bit,
-//! ok∧¬truthy on every `Ψ₂` bit. Bits are filled lazily per (candidate,
-//! spec) — exactly the specs a request touches — so re-requests,
-//! reversed pairs and backtracking re-checks are pure bit arithmetic
-//! ([`SearchStats::vector_hits`]).
+//! truthy and the ok bit for a spec; bits are filled lazily per
+//! (candidate, spec) — exactly the specs a request touches — so
+//! re-requests, reversed pairs and backtracking re-checks are pure bit
+//! arithmetic ([`SearchStats::vector_hits`]). Vectors hold one `u64`
+//! word inline for ≤64-spec problems and spill to boxed words beyond
+//! that; the old `>64-spec` fallback to eager per-request searches is
+//! gone.
+//!
+//! The enumeration pipeline is **pool-local and lock-free**: candidates
+//! hash-cons into a private [`ExprArena`] and S-App templates memoize
+//! into a private [`TemplateStore`], so the stream never touches the
+//! shared search cache — it is byte-identical with and without
+//! `--no-cache`, and it pays none of the shared cache's lock (or
+//! `contention`-probe) overhead on the merge's hottest path.
+//!
+//! **Canonical semantics.** With [`Options::bdd`] (the default), a
+//! request's spec sets and every distinct evaluation vector it observes
+//! are interned into a reduced-ordered BDD over the spec-index domain
+//! ([`rbsyn_bdd`]): semantically equal candidates collapse to one
+//! canonical class per request ([`SearchStats::guard_dedup`]), each
+//! class's covering verdict is decided **once**, as two BDD-difference
+//! satisfiability queries (`Ψ₁ ∖ truthy(c) = ∅ ∧ Ψ₂ ∖ falsy(c) = ∅`),
+//! and bits of literal and negated candidates are *derived* from known
+//! semantics instead of interpreter runs. Programs and effort counters
+//! are byte-identical with `--no-bdd` — only the time differs — which
+//! the CI `no-bdd` determinism leg and the debug assertions comparing
+//! the BDD verdict against word arithmetic both enforce.
 //!
 //! [`search_guards`] (the per-request search the pool replaced on the
 //! merge path) remains for single-shot callers: it collects *several*
@@ -34,15 +55,16 @@
 //! the pool's [`GuardPool::covering_guards`] reproduces exactly that
 //! candidate order and stopping rule.
 
-use crate::cache::CacheHandle;
 use crate::engine::{Frontier, Scheduler, SearchStats};
 use crate::error::SynthError;
-use crate::expand::Expander;
-use crate::generate::{expand_compute, generate_many, GuardOracle, Oracle};
-use crate::infer::Gamma;
+use crate::expand::{simplify, Expander, FillMemo, TemplateStore};
+use crate::generate::{generate_many, GuardOracle, Oracle};
+use crate::infer::{infer_ty, Gamma};
 use crate::options::Options;
+use rbsyn_bdd::{Bdd, IndexDomain, NodeId};
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
-use rbsyn_lang::{Expr, ExprId, FxBuild, Program, Symbol, Ty, Value};
+use rbsyn_lang::{Expr, ExprArena, ExprId, FxBuild, Program, Symbol, Ty, Value};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,6 +73,13 @@ use std::time::Instant;
 /// first oracle-passing one. Each pop can test hundreds of candidates, so
 /// this stays small; the odometer only needs a handful of alternatives.
 const EXTRA_GUARD_BUDGET: u64 = 300;
+
+/// Widest strengthening-request footprint (`|Ψ₁| + |Ψ₂|`) the semantic
+/// class memo covers — the compact class key is footprint-relative, two
+/// bits per spec, packed into `u128`s. Wider requests (no merge the
+/// odometer generates comes close) still answer correctly; they just
+/// decide by word arithmetic alone.
+const MAX_SEM_FOOTPRINT: usize = 128;
 
 /// Searches for up to `k` guards satisfying `oracle`, by ascending size.
 /// `sched` carries the deadline, cancellation token and memoization handle,
@@ -139,7 +168,7 @@ pub struct GuardQuery<'a> {
     /// All specs of the problem — bit `i` of every vector refers to
     /// `specs[i]`.
     pub specs: &'a [Spec],
-    /// Search options (guard size bound, pop budget, strategy).
+    /// Search options (guard size bound, pop budget, strategy, BDD mode).
     pub opts: &'a Options,
     /// Deadline/cancellation and the run's memoization handle.
     pub sched: &'a Scheduler,
@@ -159,12 +188,108 @@ enum CheckSlot {
 /// problem's specs: `evald` marks which bits are known, `ok` whether the
 /// candidate ran to the assert without error, `truthy` whether `x_r` was
 /// truthy. One interpreter run per bit, ever; everything else is word
-/// arithmetic.
-#[derive(Clone, Copy, Default)]
-struct Bits {
-    ok: u64,
-    truthy: u64,
-    evald: u64,
+/// arithmetic. One inline word covers ≤64 specs (every Table-1 problem);
+/// larger problems spill to boxed words — same engine, no fallback.
+#[derive(Clone, Debug)]
+enum Bits {
+    One { ok: u64, truthy: u64, evald: u64 },
+    Wide(Box<WideBits>),
+}
+
+/// The spilled representation: parallel word planes.
+#[derive(Clone, Debug)]
+struct WideBits {
+    ok: Vec<u64>,
+    truthy: Vec<u64>,
+    evald: Vec<u64>,
+}
+
+impl Bits {
+    fn new(nwords: usize) -> Bits {
+        if nwords <= 1 {
+            Bits::One {
+                ok: 0,
+                truthy: 0,
+                evald: 0,
+            }
+        } else {
+            Bits::Wide(Box::new(WideBits {
+                ok: vec![0; nwords],
+                truthy: vec![0; nwords],
+                evald: vec![0; nwords],
+            }))
+        }
+    }
+
+    fn evald(&self, s: usize) -> bool {
+        match self {
+            Bits::One { evald, .. } => evald & (1u64 << s) != 0,
+            Bits::Wide(w) => w.evald[s / 64] & (1u64 << (s % 64)) != 0,
+        }
+    }
+
+    fn ok(&self, s: usize) -> bool {
+        match self {
+            Bits::One { ok, .. } => ok & (1u64 << s) != 0,
+            Bits::Wide(w) => w.ok[s / 64] & (1u64 << (s % 64)) != 0,
+        }
+    }
+
+    fn truthy(&self, s: usize) -> bool {
+        match self {
+            Bits::One { truthy, .. } => truthy & (1u64 << s) != 0,
+            Bits::Wide(w) => w.truthy[s / 64] & (1u64 << (s % 64)) != 0,
+        }
+    }
+
+    fn any_evald(&self) -> bool {
+        match self {
+            Bits::One { evald, .. } => *evald != 0,
+            Bits::Wide(w) => w.evald.iter().any(|&x| x != 0),
+        }
+    }
+
+    /// Records one spec's outcome (and marks the bit evaluated).
+    fn record(&mut self, s: usize, ok_bit: bool, truthy_bit: bool) {
+        match self {
+            Bits::One { ok, truthy, evald } => {
+                let m = 1u64 << s;
+                *evald |= m;
+                if ok_bit {
+                    *ok |= m;
+                }
+                if truthy_bit {
+                    *truthy |= m;
+                }
+            }
+            Bits::Wide(w) => {
+                let (i, m) = (s / 64, 1u64 << (s % 64));
+                w.evald[i] |= m;
+                if ok_bit {
+                    w.ok[i] |= m;
+                }
+                if truthy_bit {
+                    w.truthy[i] |= m;
+                }
+            }
+        }
+    }
+}
+
+/// How a candidate's spec bits can be *derived* from known semantics
+/// instead of an interpreter run (BDD mode only).
+///
+/// Soundness: a literal body evaluates to itself and cannot raise, so its
+/// outcome is decided by the spec's own setup health (`setup_ok`); and
+/// `!e` evaluates `e` exactly once from the same fresh setup snapshot as
+/// `e` alone — identical world trajectory, identical post-steps — so its
+/// bits are `ok(e)` and `ok(e) ∧ ¬truthy(e)`. (`e || f` is *not*
+/// derived: a write in `e` could change `f`'s world.)
+enum Derived {
+    /// Literal body with the given truthiness.
+    Lit { truthy: bool },
+    /// `!inner`, with `inner`'s already-known bits.
+    Not(Bits),
 }
 
 /// One enumerated evaluable boolean candidate: its hash-consed identity,
@@ -176,15 +301,112 @@ struct GuardCand {
     bits: Bits,
 }
 
+/// Pool-local template memo: the same pure S-App/S-EffApp lists the
+/// shared cache would compute, without its locks (or their `contention`
+/// probes) — the pool enumerates on one thread, so a `RefCell` suffices.
+#[derive(Default)]
+struct LocalTemplates(RefCell<HashMap<String, Arc<Vec<Expr>>, FxBuild>>);
+
+impl TemplateStore for LocalTemplates {
+    fn templates(&self, key: String, compute: &mut dyn FnMut() -> Vec<Expr>) -> Arc<Vec<Expr>> {
+        if let Some(v) = self.0.borrow().get(&key) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(compute());
+        self.0.borrow_mut().insert(key, Arc::clone(&v));
+        v
+    }
+}
+
+/// The pool's semantic layer: spec-index sets live as canonical nodes in
+/// a shared reduced-ordered BDD, so set inclusion — the covering check —
+/// is a pair of difference-is-unsatisfiable queries, decided once per
+/// distinct evaluation vector.
+struct Semantics {
+    bdd: Bdd,
+    dom: IndexDomain,
+}
+
+impl Semantics {
+    fn new(n_specs: usize) -> Semantics {
+        Semantics {
+            bdd: Bdd::new(),
+            dom: IndexDomain::new(n_specs.max(1)),
+        }
+    }
+
+    /// `Ψ₁ ⊆ truthy-ok(c) ∧ Ψ₂ ⊆ falsy-ok(c)` as satisfiability queries:
+    /// covered iff both BDD differences are the canonical FALSE node.
+    fn decide(&mut self, rs: &ReqSem, bits: &Bits, pos: &[usize], neg: &[usize]) -> bool {
+        let t = self.vector_set(bits, pos, neg, true);
+        let f = self.vector_set(bits, pos, neg, false);
+        let pd = self.bdd.diff(rs.p, t);
+        let nd = self.bdd.diff(rs.n, f);
+        self.bdd.is_false(pd) && self.bdd.is_false(nd)
+    }
+
+    /// The candidate's evaluated footprint specs where `x_r` ran ok and
+    /// was truthy (`want_truthy`) / falsy, as a canonical set node —
+    /// semantically equal vectors intern to the same node.
+    fn vector_set(
+        &mut self,
+        bits: &Bits,
+        pos: &[usize],
+        neg: &[usize],
+        want_truthy: bool,
+    ) -> NodeId {
+        let idxs: Vec<u64> = pos
+            .iter()
+            .chain(neg)
+            .filter(|&&s| bits.evald(s) && bits.ok(s) && bits.truthy(s) == want_truthy)
+            .map(|&s| s as u64)
+            .collect();
+        self.dom.set(&mut self.bdd, idxs)
+    }
+}
+
+/// A request's interned BDD spec sets plus its semantic-class memo: each
+/// footprint-relative evaluation pattern maps to the covering verdict the
+/// BDD decided for that class; every later candidate landing in the class
+/// is a [`SearchStats::guard_dedup`].
+struct ReqSem {
+    p: NodeId,
+    n: NodeId,
+    classes: HashMap<(u128, u128, u128), bool, FxBuild>,
+}
+
+/// The candidate's footprint-relative evaluation pattern `(evaluated,
+/// ok∧truthy, ok∧falsy)` — bit `j` is the request's `j`-th footprint
+/// spec (`pos` then `neg`). Two candidates with equal patterns are
+/// indistinguishable to this request, so they share one verdict.
+fn class_key(bits: &Bits, pos: &[usize], neg: &[usize]) -> (u128, u128, u128) {
+    let (mut e, mut t, mut f) = (0u128, 0u128, 0u128);
+    for (j, &s) in pos.iter().chain(neg).enumerate() {
+        if bits.evald(s) {
+            e |= 1 << j;
+            if bits.ok(s) {
+                if bits.truthy(s) {
+                    t |= 1 << j;
+                } else {
+                    f |= 1 << j;
+                }
+            }
+        }
+    }
+    (e, t, f)
+}
+
 /// A strengthening request's lazy scan state: how far into the shared
-/// candidate stream it has looked, the covering guards found so far, and
-/// whether its (per-request) stopping rule has latched.
+/// candidate stream it has looked, the covering guards found so far,
+/// whether its (per-request) stopping rule has latched, and its BDD-side
+/// state (spec-set nodes + semantic-class memo) when BDD mode is on.
 #[derive(Default)]
 struct ReqState {
     found: Vec<Expr>,
     next_cand: usize,
     first: Option<u64>,
     done: bool,
+    sem: Option<ReqSem>,
 }
 
 /// A strengthening request: spec indices that must be truthy / falsy.
@@ -194,8 +416,8 @@ type ReqKey = (Vec<usize>, Vec<usize>);
 ///
 /// The pool is deterministic by construction: the candidate stream is the
 /// same oracle-independent enumeration every per-request search performed
-/// (same expander, same memoized expansion lists, same frontier strategy,
-/// same dedup), so [`GuardPool::nth_covering_guard`] returns byte-identical
+/// (same expander, same template lists, same frontier strategy, same
+/// dedup), so [`GuardPool::nth_covering_guard`] returns byte-identical
 /// guards in byte-identical order — it just never re-enumerates or
 /// re-judges anything, and it is **lazy twice over**: the stream extends
 /// only as far as the deepest request needs, and a request only scans far
@@ -206,21 +428,39 @@ type ReqKey = (Vec<usize>, Vec<usize>);
 pub struct GuardPool {
     ready: bool,
     checks: Vec<CheckSlot>,
+    /// Words per bitvector plane: `⌈|specs| / 64⌉`.
+    nwords: usize,
+    /// Per-spec setup health learned from interpreter runs: `Some(true)`
+    /// once any candidate reached the assert, `Some(false)` once a
+    /// literal body — which cannot raise — still produced a setup error.
+    /// Feeds literal-bit derivation in BDD mode.
+    setup_ok: Vec<Option<bool>>,
     frontier: Option<Frontier<'static>>,
     seen: HashSet<ExprId, FxBuild>,
     gamma: Option<Gamma>,
-    gamma_fp: u128,
     pops: u64,
     exhausted: bool,
     cands: Vec<GuardCand>,
+    /// Hash-consed candidate id → index into `cands` (derivation lookup).
+    cand_idx: HashMap<ExprId, u32, FxBuild>,
     /// Per-request lazy scan state.
     reqs: HashMap<ReqKey, ReqState, FxBuild>,
     /// Bitvectors for ad-hoc expressions (the merge's quick candidates and
     /// rule-6/7 negation guesses), keyed structurally.
     extra_bits: HashMap<Expr, Bits, FxBuild>,
-    /// Throwaway memo handle for uncached runs — one per pool, so the
-    /// enumeration stream is identical with and without the shared cache.
-    local_cache: Option<CacheHandle>,
+    /// Pool-private hash-consing arena: the enumeration pipeline never
+    /// touches the shared cache, so the stream is identical with and
+    /// without it — and lock-free either way.
+    arena: ExprArena,
+    /// Pool-local template memo (see [`LocalTemplates`]).
+    templates: LocalTemplates,
+    /// Complete hole-filling lists per goal type. Sound here because the
+    /// guard stream contains no binders: the pool's `Γ` (the spec
+    /// bindings) is fixed for its whole lifetime, so `fill_typed` is a
+    /// pure function of the goal (see [`FillMemo`]).
+    fill_memo: FillMemo,
+    /// BDD semantic layer, present iff [`Options::bdd`].
+    sem: Option<Semantics>,
 }
 
 impl Default for GuardPool {
@@ -231,33 +471,28 @@ impl Default for GuardPool {
 
 impl GuardPool {
     /// An empty pool; all state (prepared checks, the enumeration
-    /// frontier) is created lazily on the first request, so merges that
-    /// never need a guard pay nothing.
+    /// frontier, the BDD) is created lazily on the first request, so
+    /// merges that never need a guard pay nothing.
     pub fn new() -> GuardPool {
         GuardPool {
             ready: false,
             checks: Vec::new(),
+            nwords: 1,
+            setup_ok: Vec::new(),
             frontier: None,
             seen: HashSet::default(),
             gamma: None,
-            gamma_fp: 0,
             pops: 0,
             exhausted: false,
             cands: Vec::new(),
+            cand_idx: HashMap::default(),
             reqs: HashMap::default(),
             extra_bits: HashMap::default(),
-            local_cache: None,
+            arena: ExprArena::new(),
+            templates: LocalTemplates::default(),
+            fill_memo: FillMemo::new(),
+            sem: None,
         }
-    }
-
-    /// The run's memoization handle, or this pool's private throwaway one.
-    fn handle(&mut self, q: &GuardQuery<'_>) -> CacheHandle {
-        if let Some(h) = q.sched.cache() {
-            return h.clone();
-        }
-        self.local_cache
-            .get_or_insert_with(CacheHandle::private)
-            .clone()
     }
 
     fn ensure_ready(&mut self, q: &GuardQuery<'_>) {
@@ -276,27 +511,24 @@ impl GuardPool {
                 Err(e) => CheckSlot::Failed(format!("spec {:?} setup failed: {e}", s.name)),
             })
             .collect();
-        let gamma = Gamma::from_params(q.params);
-        self.gamma_fp = crate::cache::gamma_fingerprint(gamma.bindings());
-        self.gamma = Some(gamma);
-        let handle = self.handle(q);
+        self.nwords = q.specs.len().div_ceil(64).max(1);
+        self.setup_ok = vec![None; q.specs.len()];
+        if q.opts.bdd {
+            self.sem = Some(Semantics::new(q.specs.len()));
+        }
+        self.gamma = Some(Gamma::from_params(q.params));
+        let root = self.arena.intern(Expr::Hole(Ty::Bool));
         let mut frontier = Frontier::new(q.opts.strategy.strategy());
-        let root = handle.intern_full(Expr::Hole(Ty::Bool));
-        frontier.push(0, 1, root.id, root.expr);
+        frontier.push(0, 1, root, Arc::clone(self.arena.get(root)));
         self.frontier = Some(frontier);
-    }
-
-    /// Specs exceed one bitvector word: fall back to the legacy
-    /// per-request search (correct, just without sharing). No Table-1
-    /// benchmark comes close; this keeps arbitrary problems working.
-    fn oversized(&self, q: &GuardQuery<'_>) -> bool {
-        q.specs.len() > 64
     }
 
     /// Advances the shared enumeration by one work-list pop, recording
     /// evaluable candidates (unjudged) and re-enqueueing partial ones —
     /// the exact loop body of the per-request search, minus S-Eff (guard
-    /// oracles never report effects, so it could never fire).
+    /// oracles never report effects, so it could never fire), run
+    /// entirely against pool-local state: expansion, simplification,
+    /// type narrowing and hash-consing never take a lock.
     fn extend_one_pop(
         &mut self,
         q: &GuardQuery<'_>,
@@ -320,83 +552,126 @@ impl GuardPool {
                 .requeue(pri, seq, item);
             return Err(SynthError::Timeout);
         }
-        let handle = self.handle(q);
-        let expander = Expander::new(&q.env.table, q.opts, &handle);
-        let gamma_fp = self.gamma_fp;
-        let expansions = {
-            let gamma = self.gamma.as_mut().expect("pool is ready");
-            handle.expansions(gamma_fp, item.id, stats, |_| {
-                expand_compute(&expander, gamma, q.env, q.opts, &handle, &item.expr)
-            })
-        };
-        for cand in expansions.iter() {
-            if !self.seen.insert(cand.id) {
+        let expander =
+            Expander::with_fill_memo(&q.env.table, q.opts, &self.templates, &self.fill_memo);
+        let gamma = self.gamma.as_mut().expect("pool is ready");
+        let subs = expander
+            .expand_first(&item.expr, gamma)
+            .expect("non-evaluable expression must have a hole");
+        stats.expanded += subs.len() as u64;
+        for sub in subs {
+            let sub = simplify(sub);
+            // Type narrowing, as in `expand_compute` — same filter, same
+            // order, pool-local interning.
+            if q.opts.guidance.types && infer_ty(&q.env.table, gamma, &sub).is_none() {
+                continue;
+            }
+            let id = self.arena.intern(sub);
+            if !self.seen.insert(id) {
                 stats.deduped += 1;
                 continue;
             }
-            if cand.evaluable {
+            let (size, evaluable) = self.arena.meta(id);
+            if evaluable {
+                self.cand_idx.insert(id, self.cands.len() as u32);
                 self.cands.push(GuardCand {
-                    expr: Arc::clone(&cand.expr),
+                    expr: Arc::clone(self.arena.get(id)),
                     pop: self.pops,
-                    bits: Bits::default(),
+                    bits: Bits::new(self.nwords),
                 });
-            } else if cand.size as usize <= q.opts.max_guard_size {
+            } else if size <= q.opts.max_guard_size {
                 self.frontier.as_mut().expect("pool is ready").push(
                     0,
-                    cand.size as usize,
-                    cand.id,
-                    Arc::clone(&cand.expr),
+                    size,
+                    id,
+                    Arc::clone(self.arena.get(id)),
                 );
             }
         }
         Ok(())
     }
 
-    /// Computes (lazily) whether candidate bits satisfy a request.
+    /// Fills any missing footprint bits of `bits` (by derivation when
+    /// possible, by interpreter run otherwise) and checks the request by
+    /// word arithmetic, short-circuiting on the first violated spec.
+    /// `filled` reports whether any bit was newly determined — the
+    /// tested/vector-hit accounting key, identical whether the bit came
+    /// from a run or a derivation.
     #[allow(clippy::too_many_arguments)]
-    fn bits_satisfy(
+    fn fill_and_check(
         checks: &[CheckSlot],
+        setup_ok: &mut [Option<bool>],
+        deriv: Option<&Derived>,
         bits: &mut Bits,
         expr: &Expr,
         q: &GuardQuery<'_>,
         pos: &[usize],
         neg: &[usize],
         stats: &mut SearchStats,
+        filled: &mut bool,
     ) -> bool {
         let mut program: Option<Program> = None;
         for (specs, want_truthy) in [(pos, true), (neg, false)] {
             for &s in specs {
-                let mask = 1u64 << s;
-                if bits.evald & mask == 0 {
+                if !bits.evald(s) {
                     let check = match &checks[s] {
                         CheckSlot::Ready(p) => p,
                         CheckSlot::Failed(_) => return false,
                     };
-                    let p = program.get_or_insert_with(|| {
-                        Program::from_parts(
-                            q.name,
-                            q.params.iter().map(|(n, _)| *n).collect(),
-                            expr.clone(),
-                        )
-                    });
-                    let started = Instant::now();
-                    let outcome = check.run(q.env, p);
-                    stats.eval_nanos = stats
-                        .eval_nanos
-                        .saturating_add(started.elapsed().as_nanos() as u64);
-                    bits.evald |= mask;
-                    match outcome {
-                        SpecOutcome::Passed { .. } => {
-                            bits.ok |= mask;
-                            bits.truthy |= mask;
+                    let mut derived = false;
+                    match deriv {
+                        Some(Derived::Lit { truthy }) => {
+                            if let Some(good) = setup_ok[s] {
+                                // A literal cannot raise: outcome is the
+                                // spec's setup health plus its own
+                                // truthiness.
+                                bits.record(s, good, good && *truthy);
+                                derived = true;
+                            }
                         }
-                        SpecOutcome::Failed { .. } => bits.ok |= mask,
-                        SpecOutcome::SetupError(_) => {}
+                        Some(Derived::Not(inner)) if inner.evald(s) => {
+                            let ok = inner.ok(s);
+                            bits.record(s, ok, ok && !inner.truthy(s));
+                            derived = true;
+                        }
+                        _ => {}
                     }
+                    if !derived {
+                        let p = program.get_or_insert_with(|| {
+                            Program::from_parts(
+                                q.name,
+                                q.params.iter().map(|(n, _)| *n).collect(),
+                                expr.clone(),
+                            )
+                        });
+                        let started = Instant::now();
+                        let outcome = check.run(q.env, p);
+                        stats.eval_nanos = stats
+                            .eval_nanos
+                            .saturating_add(started.elapsed().as_nanos() as u64);
+                        match outcome {
+                            SpecOutcome::Passed { .. } => {
+                                bits.record(s, true, true);
+                                setup_ok[s] = Some(true);
+                            }
+                            SpecOutcome::Failed { .. } => {
+                                bits.record(s, true, false);
+                                setup_ok[s] = Some(true);
+                            }
+                            SpecOutcome::SetupError(_) => {
+                                bits.record(s, false, false);
+                                // Only a literal body pins the blame on
+                                // the spec itself — any other candidate
+                                // may have raised on its own.
+                                if matches!(deriv, Some(Derived::Lit { .. })) {
+                                    setup_ok[s] = Some(false);
+                                }
+                            }
+                        }
+                    }
+                    *filled = true;
                 }
-                let ok = bits.ok & mask != 0;
-                let truthy = bits.truthy & mask != 0;
-                if !(ok && truthy == want_truthy) {
+                if !(bits.ok(s) && bits.truthy(s) == want_truthy) {
                     return false;
                 }
             }
@@ -404,27 +679,89 @@ impl GuardPool {
         true
     }
 
-    /// Does candidate `i` cover the request? Fills missing bits,
-    /// maintains the tested/vector-hit counters.
+    /// How `e`'s bits can be derived without interpreter runs (BDD mode
+    /// only — `--no-bdd` reproduces the pure-interpreter behavior).
+    fn derive_for(&self, e: &Expr) -> Option<Derived> {
+        self.sem.as_ref()?;
+        match e {
+            Expr::Lit(v) => Some(Derived::Lit { truthy: v.truthy() }),
+            Expr::Not(inner) => self.peek_bits(inner).map(Derived::Not),
+            _ => None,
+        }
+    }
+
+    /// Already-known bits of `e`, wherever they live: the ad-hoc map or
+    /// the candidate stream (via the pool arena's hash-consing).
+    fn peek_bits(&self, e: &Expr) -> Option<Bits> {
+        if let Some(b) = self.extra_bits.get(e) {
+            return Some(b.clone());
+        }
+        let id = self.arena.lookup_hashed(ExprArena::hash_of(e), e)?;
+        let i = *self.cand_idx.get(&id)?;
+        Some(self.cands[i as usize].bits.clone())
+    }
+
+    /// Does candidate `i` cover the request? Fills missing bits, maintains
+    /// the tested/vector-hit counters, and — in BDD mode — interns the
+    /// vector's semantic class so the verdict is decided once per class
+    /// (a pair of BDD satisfiability queries) and reused for every
+    /// semantically equal candidate ([`SearchStats::guard_dedup`]).
     fn cand_passes(
         &mut self,
         i: usize,
         q: &GuardQuery<'_>,
         pos: &[usize],
         neg: &[usize],
+        rsem: &mut Option<ReqSem>,
         stats: &mut SearchStats,
     ) -> bool {
-        let mut bits = self.cands[i].bits;
-        let before = bits.evald;
+        let mut bits = self.cands[i].bits.clone();
+        let fresh = !bits.any_evald();
         let expr = Arc::clone(&self.cands[i].expr);
-        let pass = Self::bits_satisfy(&self.checks, &mut bits, &expr, q, pos, neg, stats);
-        self.cands[i].bits = bits;
-        if before == 0 && bits.evald != 0 {
+        // Derivation lookups hash the candidate structurally — only worth
+        // it when some footprint bit is actually missing.
+        let complete = pos.iter().chain(neg).all(|&s| bits.evald(s));
+        let deriv = if complete {
+            None
+        } else {
+            self.derive_for(&expr)
+        };
+        let mut filled = false;
+        let pass = Self::fill_and_check(
+            &self.checks,
+            &mut self.setup_ok,
+            deriv.as_ref(),
+            &mut bits,
+            &expr,
+            q,
+            pos,
+            neg,
+            stats,
+            &mut filled,
+        );
+        if fresh && filled {
             stats.tested += 1;
-        } else if bits.evald == before {
+        } else if !filled {
             stats.vector_hits += 1;
         }
-        pass
+        let verdict = if let (Some(sem), Some(rs)) = (self.sem.as_mut(), rsem.as_mut()) {
+            let key = class_key(&bits, pos, neg);
+            if let Some(&v) = rs.classes.get(&key) {
+                stats.guard_dedup += 1;
+                debug_assert_eq!(v, pass, "class verdict must match word arithmetic");
+                v
+            } else {
+                let v = sem.decide(rs, &bits, pos, neg);
+                debug_assert_eq!(v, pass, "BDD covering must match word arithmetic");
+                rs.classes.insert(key, v);
+                stats.bdd_nodes = stats.bdd_nodes.max(sem.bdd.node_count() as u64);
+                v
+            }
+        } else {
+            pass
+        };
+        self.cands[i].bits = bits;
+        verdict
     }
 
     /// Advances one request's lazy scan over the shared stream until it
@@ -444,6 +781,17 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<(), SynthError> {
+        if let Some(sem) = self.sem.as_mut() {
+            if state.sem.is_none() && pos.len() + neg.len() <= MAX_SEM_FOOTPRINT {
+                let p = sem.dom.set(&mut sem.bdd, pos.iter().map(|&s| s as u64));
+                let n = sem.dom.set(&mut sem.bdd, neg.iter().map(|&s| s as u64));
+                state.sem = Some(ReqSem {
+                    p,
+                    n,
+                    classes: HashMap::default(),
+                });
+            }
+        }
         while state.found.len() < need && !state.done {
             let bound = state.first.map_or(q.opts.max_expansions, |f| {
                 (f + EXTRA_GUARD_BUDGET).min(q.opts.max_expansions)
@@ -469,7 +817,7 @@ impl GuardPool {
                 state.done = true;
                 break;
             }
-            if self.cand_passes(i, q, pos, neg, stats) {
+            if self.cand_passes(i, q, pos, neg, &mut state.sem, stats) {
                 if std::env::var("RBSYN_TRACE").is_ok() {
                     eprintln!(
                         "[rbsyn]   guard-pool {pos:?}/{neg:?}: passer #{} `{}` at cand {} (pop {}, stream {} cands / {} pops)",
@@ -529,7 +877,7 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<Option<Expr>, SynthError> {
-        self.prepare_request(q, pos, neg, k, stats)?;
+        self.prepare_request(q, pos, neg);
         self.with_request(pos, neg, |pool, state| {
             pool.advance_request(q, pos, neg, state, n + 1, k, stats)?;
             Ok(state.found.get(n).cloned())
@@ -547,47 +895,21 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<usize, SynthError> {
-        self.prepare_request(q, pos, neg, k, stats)?;
+        self.prepare_request(q, pos, neg);
         self.with_request(pos, neg, |pool, state| {
             pool.advance_request(q, pos, neg, state, k, k, stats)?;
             Ok(state.found.len())
         })
     }
 
-    /// Shared request entry: readiness, the suite-bug panic contract, and
-    /// the oversized-problem fallback (legacy search materialized into the
-    /// request state once).
-    fn prepare_request(
-        &mut self,
-        q: &GuardQuery<'_>,
-        pos: &[usize],
-        neg: &[usize],
-        k: usize,
-        stats: &mut SearchStats,
-    ) -> Result<(), SynthError> {
-        if self.oversized(q) {
-            let key: ReqKey = (pos.to_vec(), neg.to_vec());
-            if !self.reqs.contains_key(&key) {
-                let found = self.covering_guards_legacy(q, pos, neg, k, stats)?;
-                self.reqs.insert(
-                    key,
-                    ReqState {
-                        found,
-                        next_cand: 0,
-                        first: None,
-                        done: true,
-                    },
-                );
-            }
-            return Ok(());
-        }
+    /// Shared request entry: readiness and the suite-bug panic contract.
+    fn prepare_request(&mut self, q: &GuardQuery<'_>, pos: &[usize], neg: &[usize]) {
         self.ensure_ready(q);
         for &s in pos.iter().chain(neg) {
             if let CheckSlot::Failed(msg) = &self.checks[s] {
                 panic!("{msg}");
             }
         }
-        Ok(())
     }
 
     /// Eagerly materializes the ordered covering guards of a request, up
@@ -602,7 +924,7 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<Vec<Expr>, SynthError> {
-        self.prepare_request(q, pos, neg, k, stats)?;
+        self.prepare_request(q, pos, neg);
         self.with_request(pos, neg, |pool, state| {
             pool.advance_request(q, pos, neg, state, k, k, stats)?;
             Ok(state.found.clone())
@@ -610,9 +932,10 @@ impl GuardPool {
     }
 
     /// Checks an ad-hoc expression (quick candidate, negation guess)
-    /// against a request, through the same lazily filled bitvectors.
-    /// Unpreparable specs answer `false` (the lenient contract
-    /// `guard_holds` always had).
+    /// against a request, through the same lazily filled bitvectors — and,
+    /// in BDD mode, through bit derivation: a negation guess whose operand
+    /// already has bits never runs the interpreter. Unpreparable specs
+    /// answer `false` (the lenient contract `guard_holds` always had).
     pub fn check_expr(
         &mut self,
         q: &GuardQuery<'_>,
@@ -621,9 +944,6 @@ impl GuardPool {
         neg: &[usize],
         stats: &mut SearchStats,
     ) -> bool {
-        if self.oversized(q) {
-            return self.check_expr_legacy(q, e, pos, neg, stats);
-        }
         self.ensure_ready(q);
         // Unpreparable specs answer `false` without touching (or
         // counting) any bit — the lenient `guard_holds` contract.
@@ -634,10 +954,27 @@ impl GuardPool {
         {
             return false;
         }
-        let mut bits = self.extra_bits.get(e).copied().unwrap_or_default();
-        let before = bits.evald;
-        let pass = Self::bits_satisfy(&self.checks, &mut bits, e, q, pos, neg, stats);
-        if bits.evald == before {
+        let mut bits = self
+            .extra_bits
+            .get(e)
+            .cloned()
+            .unwrap_or_else(|| Bits::new(self.nwords));
+        let complete = pos.iter().chain(neg).all(|&s| bits.evald(s));
+        let deriv = if complete { None } else { self.derive_for(e) };
+        let mut filled = false;
+        let pass = Self::fill_and_check(
+            &self.checks,
+            &mut self.setup_ok,
+            deriv.as_ref(),
+            &mut bits,
+            e,
+            q,
+            pos,
+            neg,
+            stats,
+            &mut filled,
+        );
+        if !filled {
             // Pure word-op hit: nothing new to store — skip the AST clone
             // and re-hash (this is the merge's hottest re-check loop).
             stats.vector_hits += 1;
@@ -645,62 +982,6 @@ impl GuardPool {
             self.extra_bits.insert(e.clone(), bits);
         }
         pass
-    }
-
-    /// Legacy per-request search for problems with more than 64 specs.
-    fn covering_guards_legacy(
-        &mut self,
-        q: &GuardQuery<'_>,
-        pos: &[usize],
-        neg: &[usize],
-        k: usize,
-        stats: &mut SearchStats,
-    ) -> Result<Vec<Expr>, SynthError> {
-        let pos: Vec<&Spec> = pos.iter().map(|&i| &q.specs[i]).collect();
-        let neg: Vec<&Spec> = neg.iter().map(|&i| &q.specs[i]).collect();
-        let oracle = GuardOracle::new(q.env, &pos, &neg);
-        search_guards(
-            q.env,
-            q.name.as_str(),
-            q.params,
-            &oracle,
-            k,
-            q.opts,
-            q.sched,
-            stats,
-        )
-    }
-
-    /// Legacy direct oracle check for problems with more than 64 specs.
-    fn check_expr_legacy(
-        &mut self,
-        q: &GuardQuery<'_>,
-        e: &Expr,
-        pos: &[usize],
-        neg: &[usize],
-        stats: &mut SearchStats,
-    ) -> bool {
-        let all_preparable = pos
-            .iter()
-            .chain(neg)
-            .all(|&i| PreparedSpec::prepare(q.env, &q.specs[i]).is_ok());
-        if !all_preparable {
-            return false;
-        }
-        let pos: Vec<&Spec> = pos.iter().map(|&i| &q.specs[i]).collect();
-        let neg: Vec<&Spec> = neg.iter().map(|&i| &q.specs[i]).collect();
-        let oracle = GuardOracle::new(q.env, &pos, &neg);
-        let p = Program::from_parts(
-            q.name,
-            q.params.iter().map(|(n, _)| *n).collect(),
-            e.clone(),
-        );
-        let started = Instant::now();
-        let out = oracle.test(q.env, &p);
-        stats.eval_nanos = stats
-            .eval_nanos
-            .saturating_add(started.elapsed().as_nanos() as u64);
-        out.success
     }
 }
 
@@ -861,6 +1142,20 @@ mod tests {
         assert_eq!(negate(&true_()).compact(), "false");
     }
 
+    #[test]
+    fn wide_bits_round_trip() {
+        let mut b = Bits::new(2);
+        assert!(!b.any_evald());
+        b.record(0, true, true);
+        b.record(64, true, false);
+        b.record(100, false, false);
+        assert!(b.any_evald());
+        assert!(b.evald(0) && b.ok(0) && b.truthy(0));
+        assert!(b.evald(64) && b.ok(64) && !b.truthy(64));
+        assert!(b.evald(100) && !b.ok(100) && !b.truthy(100));
+        assert!(!b.evald(63) && !b.evald(101));
+    }
+
     /// Two specs a guard must separate: seeded world vs empty world.
     fn pool_fixture() -> (InterpEnv, Vec<Spec>) {
         let (env, post) = env_with_post();
@@ -889,7 +1184,7 @@ mod tests {
             opts: &opts,
             sched: &sched,
         };
-        // Reference: the legacy per-request search.
+        // Reference: the eager per-request search.
         let oracle = GuardOracle::new(&env, &[&specs[0]], &[&specs[1]]);
         let mut ref_stats = SearchStats::default();
         let reference = search_guards(
@@ -963,9 +1258,10 @@ mod tests {
         assert_eq!(stats.vector_hits, hits + 1);
     }
 
-    /// A 65-spec problem — one spec past the bitvector word — whose first
-    /// spec seeds a `Post` and whose last is empty. Requests over it must
-    /// take the legacy per-request fallback, not the pool.
+    /// A 65-spec problem — one spec past the inline bitvector word — whose
+    /// first 32 specs seed a `Post` and whose rest are empty. The same
+    /// unified pool engine (spilled words + BDD semantics) must answer it;
+    /// the eager per-request search is kept only as the reference.
     fn oversized_fixture() -> (InterpEnv, Vec<Spec>) {
         let (env, post) = env_with_post();
         let mut specs = Vec::with_capacity(65);
@@ -987,7 +1283,7 @@ mod tests {
     }
 
     #[test]
-    fn oversized_pool_matches_legacy_search() {
+    fn oversized_pool_matches_the_per_request_search() {
         let (env, specs) = oversized_fixture();
         assert!(specs.len() > 64, "fixture must overflow one bitvector word");
         let opts = Options::default();
@@ -1000,7 +1296,7 @@ mod tests {
             opts: &opts,
             sched: &sched,
         };
-        // Reference: the legacy per-request search on the same request.
+        // Reference: the eager per-request search on the same request.
         let oracle = GuardOracle::new(&env, &[&specs[0]], &[&specs[64]]);
         let mut ref_stats = SearchStats::default();
         let reference = search_guards(
@@ -1024,10 +1320,10 @@ mod tests {
         assert_eq!(
             pooled.iter().map(|g| g.compact()).collect::<Vec<_>>(),
             reference.iter().map(|g| g.compact()).collect::<Vec<_>>(),
-            "oversized fallback must reproduce the per-request search"
+            "the unified engine must reproduce the per-request search"
         );
-        // The fallback materializes once per request: nth/count answer from
-        // the stored list without re-searching.
+        // The request latches: nth/count answer from the stored scan
+        // without extending the stream.
         let popped = stats.popped;
         for (n, g) in pooled.iter().enumerate() {
             let nth = pool
@@ -1068,6 +1364,62 @@ mod tests {
         assert!(pool.check_expr(&q, &negate(&exists), &[64], &[0], &mut stats));
         assert!(pool.check_expr(&q, &true_(), &[0, 64], &[], &mut stats));
         assert!(!pool.check_expr(&q, &false_(), &[0, 64], &[], &mut stats));
+    }
+
+    /// The A/B gate at unit scope: `--no-bdd` must produce the same
+    /// guards and the same effort counters (`guard_dedup`/`bdd_nodes`
+    /// excepted — they are the BDD's own telemetry), on a request wide
+    /// enough to exercise the spilled-word path.
+    #[test]
+    fn bdd_and_word_covering_agree() {
+        let (env, specs) = oversized_fixture();
+        let sched = Scheduler::sequential();
+        let run = |bdd: bool| {
+            let opts = Options {
+                bdd,
+                ..Options::default()
+            };
+            let q = GuardQuery {
+                env: &env,
+                name: Symbol::intern("m"),
+                params: &[],
+                specs: &specs,
+                opts: &opts,
+                sched: &sched,
+            };
+            let mut pool = GuardPool::new();
+            let mut stats = SearchStats::default();
+            let guards = pool
+                .covering_guards(&q, &[0, 31], &[32, 64], 4, &mut stats)
+                .unwrap();
+            let texts: Vec<String> = guards.iter().map(|g| g.compact()).collect();
+            (texts, stats)
+        };
+        let (on, s_on) = run(true);
+        let (off, s_off) = run(false);
+        assert_eq!(on, off, "the BDD decider and word arithmetic agree");
+        assert!(!on.is_empty(), "a separating guard exists");
+        assert_eq!(
+            (
+                s_on.popped,
+                s_on.expanded,
+                s_on.tested,
+                s_on.deduped,
+                s_on.vector_hits
+            ),
+            (
+                s_off.popped,
+                s_off.expanded,
+                s_off.tested,
+                s_off.deduped,
+                s_off.vector_hits
+            ),
+            "effort counters are BDD-mode independent"
+        );
+        assert!(s_on.guard_dedup > 0, "semantically equal candidates dedup");
+        assert!(s_on.bdd_nodes > 0, "the vector forest is populated");
+        assert_eq!(s_off.guard_dedup, 0, "off mode never touches the BDD");
+        assert_eq!(s_off.bdd_nodes, 0);
     }
 
     #[test]

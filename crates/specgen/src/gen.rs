@@ -1421,10 +1421,11 @@ mod tests {
 
     #[test]
     fn oversized_spec_count_survives_the_pipeline() {
-        // 65 specs is one past the guard pool's bitvector word: problems
-        // this wide must still generate, print, re-load, and validate —
-        // the frontend has no 64-spec ceiling, only the pool's fast path
-        // does (it falls back to the legacy per-request search).
+        // 65 specs is one past the guard pool's inline bitvector word:
+        // problems this wide must still generate, print, re-load, and
+        // validate. Since PR 8 there is no legacy fallback to hide in —
+        // the pool spills its vectors into heap words and the same BDD
+        // engine answers every spec count.
         let mut produced = None;
         'outer: for index in 0..4 {
             for attempt in 0..80 {
@@ -1449,6 +1450,23 @@ mod tests {
         let again = gen_candidate_with(key.seed, key.index, key.attempt, Some(65))
             .expect("same key regenerates");
         assert_eq!(again.text, c.text);
+        // The oversized problem solves through the unified pool engine,
+        // and BDD semantics on/off synthesize byte-identical programs.
+        let mut programs = Vec::new();
+        for bdd in [true, false] {
+            let (env, problem) = c.loaded.build();
+            let mut opts = c.loaded.lowered.options.clone();
+            opts.timeout = None;
+            opts.bdd = bdd;
+            let res = Synthesizer::new(env, problem, opts)
+                .run()
+                .expect("oversized problem solves");
+            programs.push(res.program.body.compact());
+        }
+        assert_eq!(
+            programs[0], programs[1],
+            "bdd on/off must agree on the oversized problem"
+        );
     }
 
     #[test]
