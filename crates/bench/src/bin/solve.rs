@@ -31,6 +31,16 @@
 //! sections are byte-identical, and reports both wall-clocks. Exits
 //! nonzero on mismatch or on any unsolved benchmark.
 //!
+//! `--trace FILE` (single-benchmark and `--spec` modes only; the env
+//! fallback `RBSYN_TRACE=FILE` is ignored in batch mode) records a
+//! search-event trace and writes it as Chrome trace-event JSON — load it
+//! in Perfetto or `chrome://tracing`. `--trace-sample N` thins the
+//! per-candidate instants to every `N`-th occurrence (default 64; phase
+//! spans and counters are never sampled away). A compact self/total-time
+//! profile goes to stderr, so stdout stays byte-comparable: tracing never
+//! changes the synthesized program or the effort counters, and the CI
+//! `trace` leg diffs the two.
+//!
 //! ## Exit codes
 //!
 //! `0` solved · `1` other failure · `2` usage · `3` `.rbspec` parse/lower
@@ -45,6 +55,7 @@ use rbsyn_bench::harness::{
 use rbsyn_core::{BatchReport, Options, StrategyKind, SynthesisProblem, Synthesizer};
 use rbsyn_interp::InterpEnv;
 use rbsyn_suite::{benchmark, benchmarks_from_dir, Benchmark};
+use rbsyn_trace::{schema, Session, TraceConfig};
 use std::path::Path;
 use std::time::Duration;
 
@@ -78,15 +89,22 @@ struct Cli {
     /// `--spec-dir DIR`: with `--all`, run the file-driven corpus instead
     /// of the Rust registry.
     spec_dir: Option<String>,
+    /// `--trace FILE` (or `RBSYN_TRACE=FILE`): record a search-event trace
+    /// and write Chrome trace-event JSON here. Single-benchmark modes only.
+    trace: Option<String>,
+    /// `--trace-sample N`: record every N-th per-candidate instant
+    /// (default 64).
+    trace_sample: Option<u64>,
     json: Option<String>,
     single: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: solve <ID> [timeout_secs] [--intra N] [--strategy paper|cost]\n       \
+        "usage: solve <ID> [timeout_secs] [--intra N] [--strategy paper|cost] \
+         [--trace FILE [--trace-sample N]]\n       \
          solve --spec FILE.rbspec [--timeout SECS] [--intra N] [--strategy paper|cost] \
-         [--json PATH]\n       \
+         [--trace FILE [--trace-sample N]] [--json PATH]\n       \
          solve --all [--spec-dir DIR] [--parallel N] [--intra N] [--strategy paper|cost] \
          [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--no-obs-equiv] \
          [--no-bdd] [--json PATH]"
@@ -108,6 +126,8 @@ fn parse_cli() -> Cli {
         strategy: None,
         spec: None,
         spec_dir: None,
+        trace: None,
+        trace_sample: None,
         json: None,
         single: None,
     };
@@ -160,6 +180,15 @@ fn parse_cli() -> Cli {
                 }))
             }
             "--spec" => cli.spec = Some(value("--spec")),
+            "--trace" => cli.trace = Some(value("--trace")),
+            "--trace-sample" => {
+                let n: u64 = value("--trace-sample").parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--trace-sample must be >= 1");
+                    usage();
+                }
+                cli.trace_sample = Some(n);
+            }
             "--spec-dir" => {
                 cli.spec_dir = Some(value("--spec-dir"));
                 batch_only.push("--spec-dir");
@@ -169,6 +198,22 @@ fn parse_cli() -> Cli {
             _ if a.starts_with("--") => usage(),
             _ => positional.push(a),
         }
+    }
+    // Env fallback: RBSYN_TRACE names the output file. An explicit flag
+    // wins; batch mode ignores the env (a trace records *one* run).
+    if cli.trace.is_none() && !cli.all {
+        match std::env::var("RBSYN_TRACE") {
+            Ok(path) if !path.is_empty() => cli.trace = Some(path),
+            _ => {}
+        }
+    }
+    if cli.all && cli.trace.is_some() {
+        eprintln!("--trace records one synthesis run; use it with <ID> or --spec, not --all");
+        usage();
+    }
+    if cli.trace_sample.is_some() && cli.trace.is_none() {
+        eprintln!("--trace-sample needs --trace (or RBSYN_TRACE)");
+        usage();
     }
     if cli.spec.is_some() && (cli.all || !positional.is_empty() || !batch_only.is_empty()) {
         eprintln!("--spec runs exactly one file; it combines only with --timeout/--intra/--strategy/--json");
@@ -208,6 +253,32 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// Drains the tracing session and writes Chrome trace-event JSON to
+/// `path`, self-validating through the in-crate schema checker first (a
+/// malformed export is a bug, not a user error). The compact self/total
+/// profile goes to stderr so the stdout section stays byte-comparable
+/// with an untraced run.
+fn export_trace(session: Session, path: &str, label: &str, status: &str) {
+    let trace = session.finish();
+    let json = trace.to_chrome_json(&[("benchmark", label), ("status", status)]);
+    let summary = match schema::check_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("internal error: emitted trace fails self-validation: {e}");
+            std::process::exit(exit_codes::OTHER);
+        }
+    };
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write --trace file {path}: {e}");
+        std::process::exit(exit_codes::OTHER);
+    }
+    eprint!("{}", trace.profile().render());
+    eprintln!(
+        "trace: {} events on {} thread(s) ({} dropped) -> {path}",
+        summary.events, summary.threads, trace.dropped
+    );
+}
+
 /// Synthesizes one problem, prints the outcome (and `--json` if asked),
 /// and exits with the class-specific code. CLI flags override `base` only
 /// when actually given — a `.rbspec` file's `options do … end` (strategy,
@@ -245,7 +316,31 @@ fn run_one(
     if let Some(strategy) = cli.strategy {
         opts.strategy = strategy;
     }
-    match Synthesizer::new(env, problem, opts).run() {
+    let trace_cfg = cli
+        .trace
+        .as_ref()
+        .map(|_| TraceConfig::with_sample(cli.trace_sample.unwrap_or(64)));
+    let tracer = trace_cfg.clone().map(Session::new);
+    opts.trace = trace_cfg;
+    let mut synth = Synthesizer::new(env, problem, opts);
+    if let Some(t) = &tracer {
+        synth = synth.with_tracer(t.clone());
+    }
+    let result = synth.run();
+    if let (Some(t), Some(path)) = (tracer, cli.trace.as_deref()) {
+        let status = match &result {
+            Ok(_) => "solved",
+            Err(e) => {
+                if exit_codes::for_error(e) == exit_codes::TIMEOUT {
+                    "timeout"
+                } else {
+                    "failed"
+                }
+            }
+        };
+        export_trace(t, path, label, status);
+    }
+    match result {
         Ok(r) => {
             println!(
                 "{label} ({display}) solved in {:?} — {} candidates tested ({} obs-pruned), \
@@ -257,9 +352,10 @@ fn run_one(
                 r.stats.solution_paths
             );
             println!(
-                "phases: generate {:.2}s | guard {:.2}s | eval {:.2}s",
+                "phases: generate {:.2}s | guard {:.2}s | merge {:.2}s | eval {:.2}s",
                 r.stats.generate_time.as_secs_f64(),
                 r.stats.guard_time.as_secs_f64(),
+                r.stats.merge_time.as_secs_f64(),
                 r.stats.search.eval_nanos as f64 / 1e9,
             );
             println!("{}", r.program);
@@ -267,13 +363,14 @@ fn run_one(
                 let json = format!(
                     "{{\"id\": \"{}\", \"status\": \"solved\", \"exit_code\": 0, \
                      \"elapsed_secs\": {:.6}, \"generate_secs\": {:.6}, \
-                     \"guard_secs\": {:.6}, \"eval_secs\": {:.6}, \
+                     \"guard_secs\": {:.6}, \"merge_secs\": {:.6}, \"eval_secs\": {:.6}, \
                      \"size\": {}, \"paths\": {}, \"tested\": {}, \"obs_pruned\": {}, \
                      \"vector_hits\": {}, \"guard_dedup\": {}, \"bdd_nodes\": {}}}\n",
                     json_escape(label),
                     r.stats.elapsed.as_secs_f64(),
                     r.stats.generate_time.as_secs_f64(),
                     r.stats.guard_time.as_secs_f64(),
+                    r.stats.merge_time.as_secs_f64(),
                     r.stats.search.eval_nanos as f64 / 1e9,
                     r.stats.solution_size,
                     r.stats.solution_paths,

@@ -13,7 +13,12 @@
 //! (since PR 6) a per-run `contention` delta from the per-lock telemetry
 //! in `rbsyn_lang::contention` (all zeros unless built with
 //! `--features contention` — each run row records `contention_enabled`
-//! so a stored trajectory says which build produced it).
+//! so a stored trajectory says which build produced it). Since PR 9 the
+//! top level carries a `host` header (CPU count, OS/arch, toolchain,
+//! effective `RBSYN_INTERN_SHARDS`, contention-probes on/off) so stored
+//! trajectories say what machine and build produced their numbers, and
+//! every timing row includes the `merge` phase next to
+//! generate/guard/eval.
 //!
 //! ```text
 //! cargo run --release -p rbsyn-bench --features contention --bin trajectory -- \
@@ -96,7 +101,8 @@ fn json_report(
          \"solved\": {}, \"timeouts\": {}, \"failures\": {}, \"tested\": {},\n     \
          \"expand_hits\": {}, \"type_hits\": {}, \"oracle_hits\": {}, \"deduped\": {}, \
          \"obs_pruned\": {}, \"vector_hits\": {}, \"guard_dedup\": {}, \"bdd_nodes\": {},\n     \
-         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \"eval_time_secs\": {:.6},\n     \
+         \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \
+         \"merge_time_secs\": {:.6}, \"eval_time_secs\": {:.6},\n     \
          \"contention\": {}}}",
         spec.name,
         spec.threads,
@@ -129,6 +135,7 @@ fn json_report(
         s.bdd_nodes,
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
+        s.merge_time.as_secs_f64(),
         s.eval_time.as_secs_f64(),
         contention_json(locks, "     "),
     )
@@ -531,9 +538,34 @@ fn main() {
             }
         }
     }
+    // Host metadata header: a stored BENCH_*.json must say what machine
+    // and build produced its numbers, or the series cannot be compared
+    // across CI runners.
+    let toolchain = std::env::var("RUSTUP_TOOLCHAIN")
+        .ok()
+        .filter(|t| !t.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let shards_env = std::env::var("RBSYN_INTERN_SHARDS")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map_or_else(
+            || "null".to_owned(),
+            |v| format!("\"{}\"", rbsyn_bench::harness::json_escape(&v)),
+        );
+    let host_json = format!(
+        "{{\"cpus\": {host}, \"os\": \"{}\", \"arch\": \"{}\", \"toolchain\": \"{}\", \
+         \"intern_shards\": {}, \"intern_shards_env\": {}, \"contention_probes\": {}}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        rbsyn_bench::harness::json_escape(&toolchain),
+        rbsyn_lang::intern::global_shard_count(),
+        shards_env,
+        contention::enabled(),
+    );
     let out = format!(
         "{{\n  \"suite\": \"rbsyn 19-benchmark suite\",\n  \"benchmarks\": {},\n  \
-         \"timeout_secs\": {},\n  \"host_parallelism\": {},\n  \"programs_identical\": {},\n  \
+         \"timeout_secs\": {},\n  \"host_parallelism\": {},\n  \"host\": {},\n  \
+         \"programs_identical\": {},\n  \
          \"contention_enabled\": {},\n  \
          \"corpus\": {{\"dir\": \"{}\", \"files\": {}, \"parse_secs\": {:.6}, \
          \"lower_secs\": {:.6}, \"parse_lower_secs\": {:.6}}},\n  \
@@ -541,6 +573,7 @@ fn main() {
         base.benchmarks().len(),
         base.timeout.as_secs(),
         host,
+        host_json,
         ok,
         contention::enabled(),
         rbsyn_bench::harness::json_escape(&spec_dir),

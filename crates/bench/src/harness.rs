@@ -551,7 +551,7 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
         "batch: {} jobs on {} thread(s) — {} solved, {} timeout, {} failed; \
          {} candidates tested; cache hits {} expand / {} type / {} oracle, \
          {} deduped, {} obs-pruned, {} vector hits, {} guard-dedup ({} bdd nodes); \
-         phases generate {:.2}s | guard {:.2}s | eval {:.2}s; \
+         phases generate {:.2}s | guard {:.2}s | merge {:.2}s | eval {:.2}s; \
          wall {:.2}s, cpu {:.2}s, cpu-ratio {:.2}x\n",
         s.jobs,
         s.threads,
@@ -569,6 +569,7 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
         s.bdd_nodes,
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
+        s.merge_time.as_secs_f64(),
         s.eval_time.as_secs_f64(),
         s.wall_clock.as_secs_f64(),
         s.cpu_time.as_secs_f64(),
@@ -685,9 +686,11 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
         s.speedup()
     ));
     out.push_str(&format!(
-        "  \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \"eval_time_secs\": {:.6},\n",
+        "  \"generate_time_secs\": {:.6}, \"guard_time_secs\": {:.6}, \
+         \"merge_time_secs\": {:.6}, \"eval_time_secs\": {:.6},\n",
         s.generate_time.as_secs_f64(),
         s.guard_time.as_secs_f64(),
+        s.merge_time.as_secs_f64(),
         s.eval_time.as_secs_f64(),
     ));
     // Per-lock telemetry (process-wide counters; all zeros — and an empty
@@ -706,12 +709,15 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
         match &o.result {
             // Per-task phase timing: `generate_secs` is the phase-1
             // per-spec search time, `guard_secs` the merge-time guard
-            // covering, `eval_secs` the oracle/interpreter time across
-            // all phases — no more single lumped total.
+            // covering, `merge_secs` the rest of the merge call (rewrite
+            // rounds, odometer, validation), `eval_secs` the
+            // oracle/interpreter time across all phases — no more single
+            // lumped total.
             Ok(r) => out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"status\": \"solved\", \"exit_code\": 0, \
                  \"elapsed_secs\": {:.6}, \
-                 \"generate_secs\": {:.6}, \"guard_secs\": {:.6}, \"eval_secs\": {:.6}, \
+                 \"generate_secs\": {:.6}, \"guard_secs\": {:.6}, \
+                 \"merge_secs\": {:.6}, \"eval_secs\": {:.6}, \
                  \"size\": {}, \"paths\": {}, \"tested\": {}, \"obs_pruned\": {}, \
                  \"vector_hits\": {}, \"guard_dedup\": {}, \"bdd_nodes\": {}, \
                  \"solution\": \"{}\"}}{sep}\n",
@@ -719,6 +725,7 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
                 o.elapsed.as_secs_f64(),
                 r.stats.generate_time.as_secs_f64(),
                 r.stats.guard_time.as_secs_f64(),
+                r.stats.merge_time.as_secs_f64(),
                 r.stats.search.eval_nanos as f64 / 1e9,
                 r.stats.solution_size,
                 r.stats.solution_paths,

@@ -192,6 +192,9 @@ pub struct BatchStats {
     pub generate_time: Duration,
     /// Merge-time guard search time summed over solved jobs.
     pub guard_time: Duration,
+    /// Merge rewrite/validation time (guard search excluded) summed over
+    /// solved jobs.
+    pub merge_time: Duration,
     /// Interpreter/oracle wall time summed over solved jobs (the `eval`
     /// slice of the phase breakdown).
     pub eval_time: Duration,
@@ -253,6 +256,7 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
                 stats.oracle_hits = stats.oracle_hits.saturating_add(r.stats.search.oracle_hits);
                 stats.generate_time += r.stats.generate_time;
                 stats.guard_time += r.stats.guard_time;
+                stats.merge_time += r.stats.merge_time;
                 stats.eval_time += Duration::from_nanos(r.stats.search.eval_nanos);
             }
             Err(SynthError::Timeout) => stats.timeouts += 1,
@@ -362,6 +366,9 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
                 // Out of jobs (or a dedicated server): run queued intra
                 // tasks until every job has completed.
                 executor.drive(|| jobs_done.load(Ordering::Acquire) == jobs.len());
+                // Worker exit: hand any traced events to their session
+                // before the scoped thread disappears (no-op untraced).
+                rbsyn_trace::flush_current_thread();
             });
         }
     });

@@ -230,6 +230,10 @@ impl Executor {
         let task_shared = Arc::clone(&self.shared);
         let run = Box::new(move || {
             let out = catch_unwind(AssertUnwindSafe(f));
+            // Task boundary: drain the worker's trace buffer so pooled
+            // threads hand their events to the session that owns them
+            // before picking up work for a different run (no-op untraced).
+            rbsyn_trace::flush_current_thread();
             *task_state.result.lock().expect("task result poisoned") = Some(out);
             task_state.done.store(true, Ordering::Release);
             // Pair with the join-side check under the queue lock.

@@ -21,6 +21,7 @@
 
 use crate::cache::CacheHandle;
 use crate::engine::executor::Executor;
+use rbsyn_trace::Session;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,6 +103,20 @@ impl SearchStats {
         self.eval_nanos = self.eval_nanos.saturating_add(other.eval_nanos);
     }
 
+    /// The effort counters as named series for a trace counter sample
+    /// (the `search-stats` track of `--trace` exports).
+    pub fn counter_sample(&self) -> [(&'static str, u64); 7] {
+        [
+            ("popped", self.popped),
+            ("expanded", self.expanded),
+            ("tested", self.tested),
+            ("deduped", self.deduped),
+            ("obs_pruned", self.obs_pruned),
+            ("vector_hits", self.vector_hits),
+            ("guard_dedup", self.guard_dedup),
+        ]
+    }
+
     /// The cache-independent effort counters `(popped, expanded, tested,
     /// deduped, obs_pruned, vector_hits, guard_dedup)` — the tuple the
     /// determinism gates compare across thread counts and cache settings.
@@ -131,6 +146,7 @@ pub struct Scheduler {
     executor: Option<Arc<Executor>>,
     intra: usize,
     cancel: Option<Arc<AtomicBool>>,
+    trace: Option<Session>,
 }
 
 impl Scheduler {
@@ -144,6 +160,7 @@ impl Scheduler {
             executor: None,
             intra: 1,
             cancel: None,
+            trace: None,
         }
     }
 
@@ -171,10 +188,18 @@ impl Scheduler {
         self
     }
 
-    /// A task-local scheduler for a spawned search: same deadline, cache
-    /// and oracle width, a private cancellation token, and *no* executor
-    /// (tasks do not spawn sub-tasks — but their searches may still fan
-    /// out oracle batches at the run's width).
+    /// Attaches a tracing session; every search phase holding this
+    /// scheduler records through it. `None` (the default) keeps each
+    /// instrumentation site to a single `Option` check.
+    pub fn with_trace(mut self, trace: Option<Session>) -> Scheduler {
+        self.trace = trace;
+        self
+    }
+
+    /// A task-local scheduler for a spawned search: same deadline, cache,
+    /// oracle width and tracing session, a private cancellation token,
+    /// and *no* executor (tasks do not spawn sub-tasks — but their
+    /// searches may still fan out oracle batches at the run's width).
     pub fn for_task(&self, cancel: Arc<AtomicBool>) -> Scheduler {
         Scheduler {
             deadline: self.deadline,
@@ -182,6 +207,7 @@ impl Scheduler {
             executor: None,
             intra: self.intra,
             cancel: Some(cancel),
+            trace: self.trace.clone(),
         }
     }
 
@@ -211,6 +237,11 @@ impl Scheduler {
     /// run's width.
     pub fn oracle_width(&self) -> usize {
         self.intra.max(1)
+    }
+
+    /// The run's tracing session, when `Options::trace` is active.
+    pub fn trace(&self) -> Option<&Session> {
+        self.trace.as_ref()
     }
 
     /// Has this search been cancelled (its speculative result is no longer

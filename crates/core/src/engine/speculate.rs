@@ -41,6 +41,7 @@ use crate::options::Options;
 use rbsyn_interp::InterpEnv;
 use rbsyn_lang::contention::{self, LockSite};
 use rbsyn_lang::{Expr, ExprId, Program, Symbol, Ty};
+use rbsyn_trace::{Phase, Session};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -124,6 +125,9 @@ struct Ctx<'a> {
     opts: &'a Options,
     search: &'a CacheHandle,
     gamma_fp: u128,
+    /// The run's tracing session (workers record sampled eval spans on
+    /// their own tracks and flush at shutdown).
+    trace: Option<&'a Session>,
 }
 
 fn run_job(
@@ -182,6 +186,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
         opts: &'scope Options,
         search: &'scope CacheHandle,
         gamma_fp: u128,
+        trace: Option<&'scope Session>,
     ) -> SpeculationPool<'scope, 'env> {
         SpeculationPool {
             scope,
@@ -193,6 +198,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                 opts,
                 search,
                 gamma_fp,
+                trace,
             },
             workers,
             granted: Cell::new(0),
@@ -216,43 +222,55 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
         }
         let granted = acquire_workers(self.workers);
         self.granted.set(granted);
-        for _ in 0..granted {
+        for w in 0..granted {
             let shared = Arc::clone(&self.shared);
             let ctx = self.ctx;
-            self.scope.spawn(move || {
-                // Per-worker mutable state: a fresh root Γ is equivalent to
-                // the coordinator's (expansion is a pure function of the
-                // root bindings; see the expansion-memo contract).
-                let mut gamma = Gamma::from_params(ctx.params);
-                let mut scratch = SearchStats::default();
-                let mut state = contention::lock(LockSite::SpeculationPool, &shared.state);
-                loop {
-                    if state.shutdown {
-                        return;
-                    }
-                    if state.next < state.jobs.len() {
-                        let i = state.next;
-                        state.next += 1;
-                        let job = SpecJob {
-                            id: state.jobs[i].id,
-                            expr: Arc::clone(&state.jobs[i].expr),
-                        };
-                        drop(state);
-                        let out = run_job(&ctx, &mut gamma, &mut scratch, &job);
-                        state = contention::lock(LockSite::SpeculationPool, &shared.state);
-                        state.results[i] = Some(out);
-                        state.done += 1;
-                        if state.done == state.jobs.len() {
-                            shared.signal.notify_all();
+            let builder = std::thread::Builder::new().name(format!("speculate-{w}"));
+            builder
+                .spawn_scoped(self.scope, move || {
+                    // Per-worker mutable state: a fresh root Γ is equivalent to
+                    // the coordinator's (expansion is a pure function of the
+                    // root bindings; see the expansion-memo contract).
+                    let mut gamma = Gamma::from_params(ctx.params);
+                    let mut scratch = SearchStats::default();
+                    let mut jobs_done = 0u64;
+                    let mut state = contention::lock(LockSite::SpeculationPool, &shared.state);
+                    loop {
+                        if state.shutdown {
+                            // Drain this worker's trace buffer before the
+                            // scoped thread disappears (no-op untraced).
+                            rbsyn_trace::flush_current_thread();
+                            return;
                         }
-                    } else {
-                        state = shared
-                            .signal
-                            .wait(state)
-                            .expect("speculation pool poisoned");
+                        if state.next < state.jobs.len() {
+                            let i = state.next;
+                            state.next += 1;
+                            let job = SpecJob {
+                                id: state.jobs[i].id,
+                                expr: Arc::clone(&state.jobs[i].expr),
+                            };
+                            drop(state);
+                            let sp = ctx
+                                .trace
+                                .and_then(|t| t.sampled(jobs_done).then(|| t.span(Phase::Eval)));
+                            jobs_done += 1;
+                            let out = run_job(&ctx, &mut gamma, &mut scratch, &job);
+                            drop(sp);
+                            state = contention::lock(LockSite::SpeculationPool, &shared.state);
+                            state.results[i] = Some(out);
+                            state.done += 1;
+                            if state.done == state.jobs.len() {
+                                shared.signal.notify_all();
+                            }
+                        } else {
+                            state = shared
+                                .signal
+                                .wait(state)
+                                .expect("speculation pool poisoned");
+                        }
                     }
-                }
-            });
+                })
+                .expect("spawn speculation worker");
         }
     }
 

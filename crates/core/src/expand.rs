@@ -51,7 +51,7 @@ pub struct Expander<'a> {
     fill_memo: Option<&'a FillMemo>,
 }
 
-/// Memo of complete [`Expander::fill_typed`] results per goal type, for
+/// Memo of complete `Expander::fill_typed` results per goal type, for
 /// callers whose `Γ` is **fixed** for the expander's whole lifetime.
 ///
 /// `fill_typed` is deterministic in `(goal, Γ, Σ, class table, options)`;

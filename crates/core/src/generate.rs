@@ -30,6 +30,7 @@ use crate::infer::{infer_ty, Gamma};
 use crate::options::Options;
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
 use rbsyn_lang::{EffectPair, EffectSet, Expr, ExprId, FxBuild, Program, Symbol, Ty};
+use rbsyn_trace::{Mark, Phase};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -425,6 +426,7 @@ fn search_loop_parallel<'scope, 'env>(
         opts,
         search,
         gamma_fp,
+        sched.trace(),
     );
     search_loop(
         env,
@@ -497,6 +499,9 @@ fn search_loop(
     let mut solutions: Vec<Expr> = Vec::new();
     let mut first_solution_at: Option<u64> = None;
     let mut pops = 0u64;
+    // Hoisted once: with tracing off every instrumentation site below is
+    // a single `None` check on this copy.
+    let tracer = sched.trace();
     // Speculation window: frontier items popped ahead of consumption, with
     // their expansion lists memoized and children pre-judged by the pool.
     let mut window: std::collections::VecDeque<Pending> = std::collections::VecDeque::new();
@@ -566,7 +571,15 @@ fn search_loop(
         let mut prejudged = pending.prejudged;
         stats.popped += 1;
         pops += 1;
+        if let Some(t) = tracer {
+            if t.sampled(stats.popped - 1) {
+                t.mark(Mark::FrontierPop);
+            }
+        }
         if stats.popped.is_multiple_of(64) && sched.should_stop() {
+            if let Some(t) = tracer {
+                t.mark(Mark::DeadlineHit);
+            }
             return if solutions.is_empty() {
                 Err(SynthError::Timeout)
             } else {
@@ -590,9 +603,18 @@ fn search_loop(
         // memoized per (environment, Γ, candidate) — a guaranteed hit for
         // speculated items (the pool computed it through the same handle),
         // with the raw pre-filter count restored either way.
+        let pre_expand_hits = stats.expand_hits;
         let expansions = search.expansions(gamma_fp, item.id, stats, |_| {
             expand_compute(&expander, &mut gamma, env, opts, search, &item.expr)
         });
+        if let Some(t) = tracer {
+            if t.sampled(stats.popped - 1) {
+                t.mark(Mark::Expand);
+            }
+            if stats.expand_hits > pre_expand_hits {
+                t.mark(Mark::CacheHit);
+            }
+        }
         for (j, cand) in expansions.iter().enumerate() {
             if !seen.insert(cand.id) {
                 stats.deduped += 1;
@@ -600,6 +622,11 @@ fn search_loop(
             }
             if cand.evaluable {
                 stats.tested += 1;
+                if let Some(t) = tracer {
+                    if t.sampled(stats.tested - 1) {
+                        t.mark(Mark::OracleRun);
+                    }
+                }
                 // Fresh candidates are judged directly: within one call the
                 // dedup filter already guarantees single judgement, and
                 // storing a verdict per failing candidate was measured to
@@ -610,6 +637,8 @@ fn search_loop(
                     .as_mut()
                     .and_then(|v| v.get_mut(j).and_then(Option::take))
                     .unwrap_or_else(|| {
+                        let _ev = tracer
+                            .and_then(|t| t.sampled(stats.tested - 1).then(|| t.span(Phase::Eval)));
                         let started = Instant::now();
                         let out = oracle.test(env, &make_program(&cand.expr));
                         stats.eval_nanos = stats
@@ -653,6 +682,11 @@ fn search_loop(
                                 std::collections::hash_map::Entry::Occupied(mut o) => {
                                     if cand.size >= *o.get() {
                                         stats.obs_pruned += 1;
+                                        if let Some(t) = tracer {
+                                            if t.sampled(stats.obs_pruned - 1) {
+                                                t.mark(Mark::ObsPrune);
+                                            }
+                                        }
                                         continue;
                                     }
                                     o.insert(cand.size);

@@ -64,6 +64,7 @@ use crate::options::Options;
 use rbsyn_bdd::{Bdd, IndexDomain, NodeId};
 use rbsyn_interp::{InterpEnv, PreparedSpec, Spec, SpecOutcome};
 use rbsyn_lang::{Expr, ExprArena, ExprId, FxBuild, Program, Symbol, Ty, Value};
+use rbsyn_trace::Mark;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -818,17 +819,6 @@ impl GuardPool {
                 break;
             }
             if self.cand_passes(i, q, pos, neg, &mut state.sem, stats) {
-                if std::env::var("RBSYN_TRACE").is_ok() {
-                    eprintln!(
-                        "[rbsyn]   guard-pool {pos:?}/{neg:?}: passer #{} `{}` at cand {} (pop {}, stream {} cands / {} pops)",
-                        state.found.len(),
-                        self.cands[i].expr.compact(),
-                        i,
-                        self.cands[i].pop,
-                        self.cands.len(),
-                        self.pops,
-                    );
-                }
                 state.found.push((*self.cands[i].expr).clone());
                 if state.found.len() >= k {
                     state.done = true;
@@ -877,6 +867,9 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<Option<Expr>, SynthError> {
+        if let Some(t) = q.sched.trace() {
+            t.mark(Mark::CoveringQuery);
+        }
         self.prepare_request(q, pos, neg);
         self.with_request(pos, neg, |pool, state| {
             pool.advance_request(q, pos, neg, state, n + 1, k, stats)?;
@@ -895,6 +888,9 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<usize, SynthError> {
+        if let Some(t) = q.sched.trace() {
+            t.mark(Mark::CoveringQuery);
+        }
         self.prepare_request(q, pos, neg);
         self.with_request(pos, neg, |pool, state| {
             pool.advance_request(q, pos, neg, state, k, k, stats)?;
@@ -924,6 +920,9 @@ impl GuardPool {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<Vec<Expr>, SynthError> {
+        if let Some(t) = q.sched.trace() {
+            t.mark(Mark::CoveringQuery);
+        }
         self.prepare_request(q, pos, neg);
         self.with_request(pos, neg, |pool, state| {
             pool.advance_request(q, pos, neg, state, k, k, stats)?;

@@ -36,6 +36,7 @@ use crate::options::Options;
 use rbsyn_interp::{InterpEnv, Spec};
 use rbsyn_lang::{Expr, Program, Symbol, Ty, Value};
 use rbsyn_sat::{is_valid_implication, Formula};
+use rbsyn_trace::Phase;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -216,7 +217,9 @@ impl<'a> MergeCtx<'a> {
         idx: usize,
     ) -> Result<Option<Expr>, SynthError> {
         let started = Instant::now();
+        let span = self.sched.trace().map(|t| t.span(Phase::Guard));
         let r = self.guard_pick_inner(key, extra, idx);
+        drop(span);
         self.guard_time += started.elapsed();
         r
     }
@@ -265,6 +268,7 @@ impl<'a> MergeCtx<'a> {
     /// backtracking path calls this.
     fn combined_len(&mut self, key: &GuardKey, extra: &[Expr]) -> Result<usize, SynthError> {
         let started = Instant::now();
+        let _span = self.sched.trace().map(|t| t.span(Phase::Guard));
         let quick = self.quick_passers(key, extra);
         let q = self.guard_query();
         let total =
@@ -327,7 +331,6 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
     if tuples.is_empty() {
         return Err(SynthError::MergeFailed);
     }
-    let trace = std::env::var("RBSYN_TRACE").is_ok();
     let orders = permutations(tuples.len(), 720);
     let mut best: Option<Expr> = None;
     for order in orders {
@@ -342,14 +345,6 @@ pub fn merge_program(ctx: &mut MergeCtx<'_>, tuples: Vec<Tuple>) -> Result<Progr
             let (chain, used) = rewrite_chain(ctx, chain, &selector)?;
             let body = build_body(&chain, &mut CondEncoder::default());
             let valid = ctx.passes_all_specs(&body);
-            if trace {
-                let conds: Vec<String> = chain.iter().map(|t| t.cond.compact()).collect();
-                eprintln!(
-                    "[rbsyn] merge order {order:?} sel {:?}: conds [{}] → valid={valid}",
-                    selector.values().collect::<Vec<_>>(),
-                    conds.join(" | "),
-                );
-            }
             if valid {
                 // §4: remember the validated branch conditions. Later `⊕`
                 // orders try them (and their negations) as quick
@@ -407,11 +402,6 @@ fn rewrite_chain(
         let g = ctx.guard_pick(&key, extra, idx)?;
         if !used.iter().any(|(k, _)| *k == key) {
             used.push((key.clone(), extra.to_vec()));
-        }
-        if let Some(g) = &g {
-            if std::env::var("RBSYN_TRACE").is_ok() {
-                eprintln!("[rbsyn]   pick {key:?} idx {idx} → {}", g.compact());
-            }
         }
         Ok(g)
     };

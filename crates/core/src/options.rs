@@ -2,6 +2,7 @@
 //! size bounds and budgets.
 
 use crate::engine::StrategyKind;
+use rbsyn_trace::TraceConfig;
 use rbsyn_ty::EffectPrecision;
 use std::time::Duration;
 
@@ -143,6 +144,19 @@ pub struct Options {
     /// produces byte-identical programs and effort counters; see the
     /// [engine determinism story](crate::engine).
     pub intra_parallelism: usize,
+    /// Search-event tracing (`--trace`): `Some` activates the
+    /// [`rbsyn_trace`] session threaded through every phase — phase
+    /// spans, sampled candidate-lifecycle instants, counter samples.
+    /// `None` (the default) is zero-cost: every instrumentation site is
+    /// one `Option` check. Tracing never changes synthesized programs or
+    /// effort counters — instrumentation only *reads* engine state — and
+    /// the CI `trace` determinism leg byte-compares solve output with
+    /// tracing on vs off, same treatment as `--no-bdd`. Callers that want
+    /// the recorded events attach their own session via
+    /// [`Synthesizer::with_tracer`](crate::Synthesizer::with_tracer);
+    /// with only this field set the run traces into a private session
+    /// that is discarded (useful for determinism tests).
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for Options {
@@ -160,6 +174,7 @@ impl Default for Options {
             bdd: !std::env::var("RBSYN_NO_BDD").is_ok_and(|v| v == "1" || v == "true"),
             strategy: StrategyKind::Paper,
             intra_parallelism: 1,
+            trace: None,
         }
     }
 }
@@ -205,5 +220,6 @@ mod tests {
         assert_eq!(o.intra_parallelism, 1, "intra-parallel dispatch is opt-in");
         assert!(o.obs_equiv, "observational-equivalence pruning is on");
         assert!(o.bdd, "BDD guard semantics are on (RBSYN_NO_BDD unset)");
+        assert!(o.trace.is_none(), "tracing is opt-in (zero-cost off)");
     }
 }

@@ -28,6 +28,7 @@ use rbsyn_interp::InterpEnv;
 use rbsyn_lang::builder::true_;
 use rbsyn_lang::metrics::{program_paths, program_size};
 use rbsyn_lang::{Program, Symbol};
+use rbsyn_trace::{Mark, Phase, Session};
 use std::panic::resume_unwind;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -45,6 +46,11 @@ pub struct SynthStats {
     pub generate_time: Duration,
     /// Wall-clock spent in merge-time guard searches.
     pub guard_time: Duration,
+    /// Wall-clock spent merging per-spec solutions (Algorithm 1 rewrite
+    /// rounds, odometer backtracking, merged-program validation) — the
+    /// merge call's wall-clock *minus* [`guard_time`](Self::guard_time),
+    /// so the generate/guard/merge phases stay additive.
+    pub merge_time: Duration,
     /// AST node count of the solution (Table 1 "Meth Size").
     pub solution_size: usize,
     /// Control-flow paths through the solution (Table 1 "# Syn Paths").
@@ -97,6 +103,7 @@ pub struct Synthesizer {
     opts: Options,
     cache: Arc<SearchCache>,
     executor: Option<Arc<Executor>>,
+    tracer: Option<Session>,
 }
 
 impl Synthesizer {
@@ -135,6 +142,7 @@ impl Synthesizer {
             opts,
             cache,
             executor: None,
+            tracer: None,
         }
     }
 
@@ -145,6 +153,16 @@ impl Synthesizer {
     /// of background workers for its own duration.
     pub fn with_executor(mut self, executor: Arc<Executor>) -> Synthesizer {
         self.executor = Some(executor);
+        self
+    }
+
+    /// Attaches an externally owned tracing [`Session`] so the caller can
+    /// export the recorded events after the run (`solve --trace` does
+    /// this, then writes the Chrome JSON). Without it, a run whose
+    /// [`Options::trace`] is set records into a private session that is
+    /// discarded — same engine behaviour, no export.
+    pub fn with_tracer(mut self, tracer: Session) -> Synthesizer {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -168,6 +186,7 @@ impl Synthesizer {
             opts,
             cache,
             executor,
+            tracer,
         } = self;
         problem.validate()?;
         let env = Arc::new(env);
@@ -175,7 +194,11 @@ impl Synthesizer {
         let deadline = opts.timeout.map(|t| start + t);
         let mut stats = SynthStats::default();
 
-        let trace = std::env::var("RBSYN_TRACE").is_ok();
+        // `Options::trace` is the switch; an externally attached session
+        // (the CLI's, so it can export afterwards) takes precedence over
+        // the private one a bare `Options::trace` provisions.
+        let tracer: Option<Session> = tracer.or_else(|| opts.trace.clone().map(Session::new));
+        let _solve_span = tracer.as_ref().map(|t| t.span(Phase::Solve));
 
         // The memoization handle shared by every phase of this run: a
         // run-scoped candidate cache (reclaimed when this run ends) plus
@@ -201,7 +224,9 @@ impl Synthesizer {
         } else {
             None
         };
-        let sched = Scheduler::new(deadline, search).with_executor(exec, width);
+        let sched = Scheduler::new(deadline, search)
+            .with_executor(exec, width)
+            .with_trace(tracer.clone());
 
         // One prepared oracle per spec, shared by the per-spec searches,
         // the solution-reuse check, and merged-program validation.
@@ -226,6 +251,11 @@ impl Synthesizer {
                         let goal = problem.ret.clone();
                         let opts = opts.clone();
                         Some(executor.spawn_cancellable(cancel, move || {
+                            // The span lands on the executor thread's
+                            // track; detail = the search's goal type.
+                            let _sp = task_sched
+                                .trace()
+                                .map(|t| t.span_with(Phase::SpecSearch, Some(goal.to_string())));
                             let started = Instant::now();
                             let mut st = SearchStats::default();
                             let r = generate(
@@ -255,6 +285,7 @@ impl Synthesizer {
         for (i, spec) in problem.specs.iter().enumerate() {
             let oracle = &spec_oracles[i];
             let reuse_started = Instant::now();
+            let reuse_span = tracer.as_ref().map(|t| t.span(Phase::Eval));
             let reused = tuples.iter_mut().find(|t| {
                 let p = Program::from_parts(name_sym, param_syms.clone(), t.expr.clone());
                 match sched.cache() {
@@ -268,17 +299,15 @@ impl Synthesizer {
                     None => oracle.test(&env, &p).success,
                 }
             });
+            drop(reuse_span);
             stats.search.eval_nanos = stats
                 .search
                 .eval_nanos
                 .saturating_add(reuse_started.elapsed().as_nanos() as u64);
             if let Some(t) = reused {
-                if trace {
-                    eprintln!(
-                        "[rbsyn] spec {i} {:?}: reused `{}`",
-                        spec.name,
-                        t.expr.compact()
-                    );
+                // §4 solution reuse is the run-level memo hit.
+                if let Some(tr) = &tracer {
+                    tr.mark(Mark::CacheHit);
                 }
                 t.specs.push(i);
                 // The speculative search's result is not needed; discard
@@ -299,6 +328,9 @@ impl Synthesizer {
                     Err(panic) => resume_unwind(panic),
                 },
                 None => {
+                    let _sp = tracer
+                        .as_ref()
+                        .map(|t| t.span_with(Phase::Generate, Some(problem.ret.to_string())));
                     let started = Instant::now();
                     let r = generate(
                         &env,
@@ -315,21 +347,15 @@ impl Synthesizer {
                     r
                 }
             };
+            if let Some(t) = &tracer {
+                t.counter("search-stats", &stats.search.counter_sample());
+            }
             let expr = outcome.map_err(|e| match e {
                 SynthError::NoSolution { .. } => SynthError::NoSolution {
                     spec: spec.name.clone(),
                 },
                 other => other,
             })?;
-            if trace {
-                eprintln!(
-                    "[rbsyn] spec {i} {:?}: solved `{}` ({} tested, {:?})",
-                    spec.name,
-                    expr.compact(),
-                    stats.search.tested,
-                    start.elapsed()
-                );
-            }
             tuples.push(Tuple {
                 expr,
                 cond: true_(),
@@ -353,12 +379,41 @@ impl Synthesizer {
             known_conds: Vec::new(),
             guards: crate::guards::GuardPool::new(),
         };
+        let merge_started = Instant::now();
+        let merge_span = tracer.as_ref().map(|t| t.span(Phase::Merge));
         let program = merge_program(&mut ctx, tuples)?;
+        drop(merge_span);
         stats.guard_time = ctx.guard_time;
+        // Guard covering runs *inside* the merge call; subtracting it
+        // keeps the generate/guard/merge report additive.
+        stats.merge_time = merge_started.elapsed().saturating_sub(ctx.guard_time);
 
         stats.elapsed = start.elapsed();
         stats.solution_size = program_size(&program);
         stats.solution_paths = program_paths(&program);
+        if let Some(t) = &tracer {
+            // Final counter sample, the contention registry (all-zero and
+            // skipped unless the `contention` feature is on), and the
+            // synthetic per-phase totals track — the guarantee that every
+            // phase appears as a span even when live sampling saw none of
+            // its work.
+            t.counter("search-stats", &stats.search.counter_sample());
+            if rbsyn_lang::contention::enabled() {
+                let sites = rbsyn_lang::contention::snapshot();
+                let waits: Vec<(&'static str, u64)> =
+                    sites.iter().map(|s| (s.name, s.wait_nanos)).collect();
+                t.counter("lock-wait-nanos", &waits);
+            }
+            t.phase_totals(
+                "phase-totals",
+                &[
+                    (Phase::Generate, stats.generate_time.as_nanos() as u64),
+                    (Phase::Guard, stats.guard_time.as_nanos() as u64),
+                    (Phase::Merge, stats.merge_time.as_nanos() as u64),
+                    (Phase::Eval, stats.search.eval_nanos),
+                ],
+            );
+        }
         Ok(SynthResult { program, stats })
     }
 }

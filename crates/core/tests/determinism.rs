@@ -212,6 +212,85 @@ proptest! {
 }
 
 #[test]
+fn tracing_is_invisible_at_any_width() {
+    // The `--trace` invariant: instrumentation only *reads* engine state,
+    // so tracing on vs off must synthesize byte-identical programs with
+    // identical effort counters — sequentially and at `--intra 4`, where
+    // speculation workers and task threads record on their own tracks.
+    // The full-benchmark version of this gate is the CI `trace`
+    // determinism leg (it diffs `solve` stdout and `--json` output).
+    let run = |intra: usize, trace: bool| {
+        let (env, problem) = branching_problem();
+        let opts = Options {
+            intra_parallelism: intra,
+            trace: trace.then(|| rbsyn_trace::TraceConfig::with_sample(1)),
+            ..Options::default()
+        };
+        Synthesizer::new(env, problem, opts).run().unwrap()
+    };
+    for intra in [1, 4] {
+        let off = run(intra, false);
+        let on = run(intra, true);
+        assert_eq!(
+            off.program.to_string(),
+            on.program.to_string(),
+            "tracing must not change the program (intra {intra})"
+        );
+        assert_eq!(
+            off.stats.search.effort(),
+            on.stats.search.effort(),
+            "tracing must not change effort counters (intra {intra})"
+        );
+        assert_eq!(off.stats.tuples, on.stats.tuples);
+        assert_eq!(off.stats.solution_size, on.stats.solution_size);
+        assert_eq!(off.stats.solution_paths, on.stats.solution_paths);
+    }
+}
+
+#[test]
+fn attached_tracer_records_the_run_without_changing_it() {
+    // The CLI path: an externally attached session records real events
+    // (phase spans, marks, a counter track) while the result stays
+    // byte-identical to an untraced run.
+    let baseline = {
+        let (env, problem) = branching_problem();
+        Synthesizer::new(env, problem, Options::default())
+            .run()
+            .unwrap()
+    };
+    let session = rbsyn_trace::Session::new(rbsyn_trace::TraceConfig::with_sample(1));
+    let traced = {
+        let (env, problem) = branching_problem();
+        let opts = Options {
+            trace: Some(rbsyn_trace::TraceConfig::with_sample(1)),
+            ..Options::default()
+        };
+        Synthesizer::new(env, problem, opts)
+            .with_tracer(session.clone())
+            .run()
+            .unwrap()
+    };
+    assert_eq!(baseline.program.to_string(), traced.program.to_string());
+    assert_eq!(baseline.stats.search.effort(), traced.stats.search.effort());
+    let trace = session.finish();
+    let json = trace.to_chrome_json(&[]);
+    let summary = rbsyn_trace::schema::check_chrome_trace(&json)
+        .expect("engine-emitted traces satisfy the schema");
+    for span in ["solve", "generate", "guard", "eval", "merge"] {
+        assert!(
+            summary.span_names.contains(span),
+            "missing span {span:?} in {:?}",
+            summary.span_names
+        );
+    }
+    assert!(
+        summary.counter_tracks.contains("search-stats"),
+        "missing counter track in {:?}",
+        summary.counter_tracks
+    );
+}
+
+#[test]
 fn caching_is_invisible_at_any_width() {
     let run = |intra: usize, cache: bool| {
         let (env, problem) = branching_problem();

@@ -314,6 +314,13 @@ fn global() -> &'static SymbolTable {
     })
 }
 
+/// The effective stripe count of the process-wide symbol table (after the
+/// `RBSYN_INTERN_SHARDS` clamp-and-round) — host metadata for benchmark
+/// reports. Forces table initialization on first call.
+pub fn global_shard_count() -> usize {
+    global().shard_count()
+}
+
 impl Symbol {
     /// Interns `s`, returning its stable handle.
     pub fn intern(s: &str) -> Symbol {
