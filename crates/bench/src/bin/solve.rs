@@ -31,6 +31,21 @@
 //! sections are byte-identical, and reports both wall-clocks. Exits
 //! nonzero on mismatch or on any unsolved benchmark.
 //!
+//! `--snapshot FILE` (batch mode) loads a warm template-memo snapshot
+//! before the run and saves the (possibly extended) memo back after it —
+//! crash-safely, via temp-file + atomic rename. A missing, truncated or
+//! corrupted snapshot degrades to a cold cache with a stderr warning and
+//! never changes the synthesized programs; warm-vs-cold shows up only in
+//! the diagnostic `template_hits`/`template_misses` counters (warm runs
+//! report zero misses).
+//!
+//! `--global-deadline SECS` (batch mode) arms admission control: once the
+//! queue cannot plausibly finish within the remaining global budget
+//! (median solve time × remaining waves), the tail of the queue is *shed*
+//! (exit code 6) instead of dragging every job into a timeout.
+//! `--global-deadline 0` sheds everything — useful for exercising the
+//! shed path deterministically.
+//!
 //! `--trace FILE` (single-benchmark and `--spec` modes only; the env
 //! fallback `RBSYN_TRACE=FILE` is ignored in batch mode) records a
 //! search-event trace and writes it as Chrome trace-event JSON — load it
@@ -43,20 +58,29 @@
 //!
 //! ## Exit codes
 //!
-//! `0` solved · `1` other failure · `2` usage · `3` `.rbspec` parse/lower
-//! error · `4` timeout · `5` search exhausted with no solution. Batch runs
-//! exit with the dominant failing class (timeout > no-solution > other);
-//! the same codes appear as `"exit_code"` in `--json` output.
+//! `0` solved · `1` other failure (including panics contained by the
+//! supervisor) · `2` usage · `3` `.rbspec` parse/lower error · `4` timeout
+//! (including watchdog kills) · `5` search exhausted with no solution ·
+//! `6` shed by admission control. Batch runs exit with the dominant
+//! failing class (timeout > no-solution > shed > other); the same codes
+//! appear as `"exit_code"` in `--json` output.
 
 use rbsyn_bench::harness::{
     batch_stats_json, exit_codes, format_batch_solutions, format_batch_stats,
-    format_contention_report, json_escape, run_suite_on, Config,
+    format_contention_report, json_escape, run_suite_with, Config,
 };
-use rbsyn_core::{BatchReport, Options, StrategyKind, SynthesisProblem, Synthesizer};
+use rbsyn_core::snapshot::{load_snapshot_contained, save_snapshot};
+use rbsyn_core::{
+    BatchPolicy, BatchReport, Options, SearchCache, StrategyKind, SynthError, SynthesisProblem,
+    Synthesizer,
+};
 use rbsyn_interp::InterpEnv;
+use rbsyn_lang::persist::atomic_write;
 use rbsyn_suite::{benchmark, benchmarks_from_dir, Benchmark};
 use rbsyn_trace::{schema, Session, TraceConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Cli {
@@ -95,6 +119,13 @@ struct Cli {
     /// `--trace-sample N`: record every N-th per-candidate instant
     /// (default 64).
     trace_sample: Option<u64>,
+    /// `--snapshot FILE` (batch mode): load a warm template-memo snapshot
+    /// before the run, save the extended memo back after it. Corruption
+    /// degrades to a cold cache with a warning.
+    snapshot: Option<String>,
+    /// `--global-deadline SECS` (batch mode): admission-control budget for
+    /// the whole batch; jobs that cannot fit are shed (exit code 6).
+    global_deadline: Option<Duration>,
     json: Option<String>,
     single: Option<String>,
 }
@@ -107,7 +138,7 @@ fn usage() -> ! {
          [--trace FILE [--trace-sample N]] [--json PATH]\n       \
          solve --all [--spec-dir DIR] [--parallel N] [--intra N] [--strategy paper|cost] \
          [--ids S1,S2,..] [--timeout SECS] [--compare] [--no-cache] [--no-obs-equiv] \
-         [--no-bdd] [--json PATH]"
+         [--no-bdd] [--snapshot FILE] [--global-deadline SECS] [--json PATH]"
     );
     std::process::exit(exit_codes::USAGE);
 }
@@ -128,6 +159,8 @@ fn parse_cli() -> Cli {
         spec_dir: None,
         trace: None,
         trace_sample: None,
+        snapshot: None,
+        global_deadline: None,
         json: None,
         single: None,
     };
@@ -193,6 +226,18 @@ fn parse_cli() -> Cli {
                 cli.spec_dir = Some(value("--spec-dir"));
                 batch_only.push("--spec-dir");
             }
+            "--snapshot" => {
+                cli.snapshot = Some(value("--snapshot"));
+                batch_only.push("--snapshot");
+            }
+            "--global-deadline" => {
+                cli.global_deadline = Some(Duration::from_secs(
+                    value("--global-deadline")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                ));
+                batch_only.push("--global-deadline");
+            }
             "--json" => cli.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
@@ -213,6 +258,14 @@ fn parse_cli() -> Cli {
     }
     if cli.trace_sample.is_some() && cli.trace.is_none() {
         eprintln!("--trace-sample needs --trace (or RBSYN_TRACE)");
+        usage();
+    }
+    if cli.compare && (cli.snapshot.is_some() || cli.global_deadline.is_some()) {
+        // A warm cache carried from the baseline into the parallel run, or
+        // wall-clock load shedding, would make the two deterministic
+        // sections legitimately diverge — the byte-compare would be
+        // meaningless.
+        eprintln!("--snapshot/--global-deadline do not combine with --compare");
         usage();
     }
     if cli.spec.is_some() && (cli.all || !positional.is_empty() || !batch_only.is_empty()) {
@@ -268,7 +321,7 @@ fn export_trace(session: Session, path: &str, label: &str, status: &str) {
             std::process::exit(exit_codes::OTHER);
         }
     };
-    if let Err(e) = std::fs::write(path, &json) {
+    if let Err(e) = atomic_write(Path::new(path), json.as_bytes()) {
         eprintln!("cannot write --trace file {path}: {e}");
         std::process::exit(exit_codes::OTHER);
     }
@@ -326,7 +379,11 @@ fn run_one(
     if let Some(t) = &tracer {
         synth = synth.with_tracer(t.clone());
     }
-    let result = synth.run();
+    // Supervision boundary: a panic anywhere inside the search must
+    // surface as a reportable `Internal` failure (exit code 1) with the
+    // trace still exported — not a process abort.
+    let result = catch_unwind(AssertUnwindSafe(|| synth.run()))
+        .unwrap_or_else(|panic| Err(SynthError::from_panic(&*panic)));
     if let (Some(t), Some(path)) = (tracer, cli.trace.as_deref()) {
         let status = match &result {
             Ok(_) => "solved",
@@ -380,7 +437,7 @@ fn run_one(
                     r.stats.search.guard_dedup,
                     r.stats.search.bdd_nodes,
                 );
-                std::fs::write(path, json).expect("write --json file");
+                atomic_write(Path::new(path), json.as_bytes()).expect("write --json file");
             }
             std::process::exit(exit_codes::OK);
         }
@@ -401,7 +458,7 @@ fn run_one(
                     json_escape(label),
                     json_escape(&e.to_string()),
                 );
-                std::fs::write(path, json).expect("write --json file");
+                atomic_write(Path::new(path), json.as_bytes()).expect("write --json file");
             }
             std::process::exit(code);
         }
@@ -509,8 +566,24 @@ fn main() {
     }
 
     let benchmarks = batch_benchmarks(&cli, &cfg);
+    // Batch-shared template cache, warmed from `--snapshot` when one is
+    // given and loadable. Any corruption (bad checksum, truncation, bad
+    // version…) degrades to a cold cache with a warning — it must never
+    // abort the run or change the synthesized programs.
+    let snapshot_cache = cli.snapshot.as_ref().map(|path| {
+        let cache = Arc::new(SearchCache::new());
+        match load_snapshot_contained(Path::new(path), &cache) {
+            Ok(n) => eprintln!("snapshot: warmed {n} template entries from {path}"),
+            Err(e) => eprintln!("snapshot: cannot load {path} ({e}); starting cold"),
+        }
+        cache
+    });
+    let policy = BatchPolicy {
+        global_deadline: cli.global_deadline,
+        cache: snapshot_cache.clone(),
+    };
     let run = |cfg: &Config, threads: usize| -> BatchReport {
-        run_suite_on(benchmarks.clone(), cfg, threads)
+        run_suite_with(benchmarks.clone(), cfg, threads, &policy)
     };
     if cli.compare {
         // Baseline: one thread, no intra tasks — the reference pipeline.
@@ -546,7 +619,8 @@ fn main() {
         );
         print!("{a}");
         if let Some(path) = &cli.json {
-            std::fs::write(path, batch_stats_json(&par)).expect("write --json file");
+            atomic_write(Path::new(path), batch_stats_json(&par).as_bytes())
+                .expect("write --json file");
         }
         std::process::exit(exit_codes::for_batch(&seq));
     }
@@ -562,8 +636,21 @@ fn main() {
             format_contention_report(&rbsyn_lang::contention::snapshot())
         );
     }
+    if let (Some(path), Some(cache)) = (&cli.snapshot, &snapshot_cache) {
+        // Persist the (possibly extended) template memo for the next run —
+        // atomically, so a crash mid-save leaves the previous snapshot
+        // intact rather than a truncated file.
+        match save_snapshot(cache, Path::new(path)) {
+            Ok(()) => {
+                let (hits, misses) = cache.template_counters();
+                eprintln!("snapshot: saved template memo to {path} (hits {hits}, misses {misses})");
+            }
+            Err(e) => eprintln!("snapshot: cannot save {path}: {e}"),
+        }
+    }
     if let Some(path) = &cli.json {
-        std::fs::write(path, batch_stats_json(&report)).expect("write --json file");
+        atomic_write(Path::new(path), batch_stats_json(&report).as_bytes())
+            .expect("write --json file");
     }
     std::process::exit(exit_codes::for_batch(&report));
 }

@@ -74,7 +74,11 @@ fn main() {
         print!("{}", format_batch_solutions(&report));
         eprint!("{}", format_batch_stats(&report));
         if let Some(path) = &json {
-            std::fs::write(path, batch_stats_json(&report)).expect("write --json file");
+            rbsyn_lang::persist::atomic_write(
+                std::path::Path::new(path),
+                batch_stats_json(&report).as_bytes(),
+            )
+            .expect("write --json file");
             eprintln!("stats written to {path}");
         }
         std::process::exit(if report.stats.solved == report.stats.jobs {
@@ -116,7 +120,8 @@ fn main() {
             ));
         }
         out.push_str("  ]\n}\n");
-        std::fs::write(path, out).expect("write --json file");
+        rbsyn_lang::persist::atomic_write(std::path::Path::new(path), out.as_bytes())
+            .expect("write --json file");
         eprintln!("stats written to {path}");
     }
 }

@@ -585,7 +585,8 @@ fn main() {
     );
     match &json {
         Some(path) => {
-            std::fs::write(path, &out).expect("write --json file");
+            rbsyn_lang::persist::atomic_write(std::path::Path::new(path), out.as_bytes())
+                .expect("write --json file");
             eprintln!("trajectory written to {path}");
         }
         None => print!("{out}"),
@@ -597,7 +598,8 @@ fn main() {
             "{{\n  \"contention\": {}\n}}\n",
             contention_json(&contention::snapshot(), "  ")
         );
-        std::fs::write(path, &report).expect("write --contention-json file");
+        rbsyn_lang::persist::atomic_write(std::path::Path::new(path), report.as_bytes())
+            .expect("write --contention-json file");
         eprintln!("contention report written to {path}");
     }
     std::process::exit(if ok { 0 } else { 1 });

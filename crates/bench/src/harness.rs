@@ -1,7 +1,8 @@
 //! Benchmark execution and table/figure assembly.
 
 use rbsyn_core::{
-    run_batch, BatchJob, BatchReport, Guidance, Options, StrategyKind, SynthError, Synthesizer,
+    run_batch_with, BatchJob, BatchPolicy, BatchReport, Guidance, Options, StrategyKind,
+    SynthError, Synthesizer,
 };
 use rbsyn_lang::contention::{self, SiteReport};
 use rbsyn_suite::{all_benchmarks, Benchmark};
@@ -487,6 +488,18 @@ pub fn run_suite(cfg: &Config, threads: usize) -> BatchReport {
 /// for file-driven corpora (`solve --spec-dir`), where the benchmarks come
 /// from `.rbspec` files instead of the Rust registry.
 pub fn run_suite_on(benchmarks: Vec<Benchmark>, cfg: &Config, threads: usize) -> BatchReport {
+    run_suite_with(benchmarks, cfg, threads, &BatchPolicy::default())
+}
+
+/// Like [`run_suite_on`] with an explicit [`BatchPolicy`] — the entry
+/// point for `solve --snapshot` (batch-shared warm template cache) and
+/// `solve --global-deadline` (admission-control load shedding).
+pub fn run_suite_with(
+    benchmarks: Vec<Benchmark>,
+    cfg: &Config,
+    threads: usize,
+    policy: &BatchPolicy,
+) -> BatchReport {
     let jobs = suite_jobs(
         benchmarks,
         Guidance::both(),
@@ -494,13 +507,15 @@ pub fn run_suite_on(benchmarks: Vec<Benchmark>, cfg: &Config, threads: usize) ->
         cfg.timeout,
         cfg,
     );
-    run_batch(&jobs, threads)
+    run_batch_with(&jobs, threads, policy)
 }
 
 /// Process exit codes for synthesis outcomes — re-exported from
 /// [`rbsyn_core::exit`] so `solve`, `speccheck` and `specgen` share one
-/// contract: `0` solved, `1` other failure, `2` usage error, `3` spec
-/// parse/lower error, `4` timeout, `5` search exhausted without a program.
+/// contract: `0` solved, `1` other failure (including contained panics),
+/// `2` usage error, `3` spec parse/lower error, `4` timeout (including
+/// watchdog kills), `5` search exhausted without a program, `6` shed by
+/// admission control.
 pub use rbsyn_core::exit as exit_codes;
 
 /// Renders a batch report's *deterministic* section: one line per job with
@@ -548,7 +563,8 @@ pub fn format_batch_programs(report: &BatchReport) -> String {
 pub fn format_batch_stats(report: &BatchReport) -> String {
     let s = &report.stats;
     format!(
-        "batch: {} jobs on {} thread(s) — {} solved, {} timeout, {} failed; \
+        "batch: {} jobs on {} thread(s) — {} solved, {} timeout, {} failed \
+         ({} panicked), {} shed; \
          {} candidates tested; cache hits {} expand / {} type / {} oracle, \
          {} deduped, {} obs-pruned, {} vector hits, {} guard-dedup ({} bdd nodes); \
          phases generate {:.2}s | guard {:.2}s | merge {:.2}s | eval {:.2}s; \
@@ -558,6 +574,8 @@ pub fn format_batch_stats(report: &BatchReport) -> String {
         s.solved,
         s.timeouts,
         s.failures,
+        s.panics,
+        s.shed,
         s.tested,
         s.expand_hits,
         s.type_hits,
@@ -651,8 +669,17 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
     let s = &report.stats;
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"jobs\": {}, \"threads\": {}, \"solved\": {}, \"timeouts\": {}, \"failures\": {},\n",
-        s.jobs, s.threads, s.solved, s.timeouts, s.failures
+        "  \"jobs\": {}, \"threads\": {}, \"solved\": {}, \"timeouts\": {}, \"failures\": {}, \
+         \"panics\": {}, \"shed\": {},\n",
+        s.jobs, s.threads, s.solved, s.timeouts, s.failures, s.panics, s.shed
+    ));
+    // Template-memo traffic of the batch-shared cache (`--snapshot`):
+    // diagnostics only, never part of the deterministic effort counters. A
+    // warm start shows zero misses; a cold start shows one miss per
+    // distinct template key.
+    out.push_str(&format!(
+        "  \"template_hits\": {}, \"template_misses\": {},\n",
+        s.template_hits, s.template_misses
     ));
     out.push_str(&format!(
         "  \"exit_code\": {},\n",
@@ -740,7 +767,11 @@ pub fn batch_stats_json(report: &BatchReport) -> String {
                 "    {{\"id\": \"{}\", \"status\": \"{}\", \"exit_code\": {}, \
                  \"elapsed_secs\": {:.6}, \"error\": \"{}\"}}{sep}\n",
                 json_escape(&o.id),
-                if o.timed_out() { "timeout" } else { "failed" },
+                match exit_codes::for_error(e) {
+                    exit_codes::TIMEOUT => "timeout",
+                    exit_codes::SHED => "shed",
+                    _ => "failed",
+                },
                 exit_codes::for_error(e),
                 o.elapsed.as_secs_f64(),
                 json_escape(&e.to_string()),

@@ -27,10 +27,24 @@
 //!   intra tasks follow the engine's speculative-join protocol, so the
 //!   output is **byte-identical** no matter the thread count or the
 //!   `--intra` width;
-//! * a panicking job is caught and reported as that job's failure; it never
-//!   poisons its siblings;
+//! * a panicking job is caught and reported as that job's failure
+//!   ([`SynthError::Internal`], exit code 1); it never poisons its
+//!   siblings. Containment is layered: the job body is wrapped in
+//!   `catch_unwind` inside [`BatchJob::run_on`], the whole claim/run/store
+//!   iteration of each scoped worker is wrapped again (so even a panic in
+//!   the driver's own bookkeeping converts to a per-job failure), and the
+//!   final slot collection recovers poisoned locks and backfills missing
+//!   outcomes instead of aborting the process;
 //! * each job's deadline comes from its own [`Options::timeout`], so one
-//!   problem exhausting its budget cannot starve another.
+//!   problem exhausting its budget cannot starve another;
+//! * a [`BatchPolicy::global_deadline`] adds whole-batch admission
+//!   control: before a job starts, the projected completion time of the
+//!   remaining queue (median completed-job duration × remaining depth,
+//!   divided across the job-runner threads) is checked against the
+//!   remaining budget, and jobs that cannot fit are *shed* —
+//!   [`SynthError::Shed`], exit code 6 — instead of started, so an
+//!   overloaded batch degrades predictably rather than blowing through
+//!   its budget.
 //!
 //! The experiment harness (`rbsyn-bench`) layers Table 1 / suite reporting
 //! on top of this; the driver itself is suite-agnostic.
@@ -99,6 +113,7 @@ impl BatchJob {
     ) -> BatchOutcome {
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
+            rbsyn_lang::failpoint::hit("batch::claim");
             let (env, problem) = (self.build)();
             let mut synth =
                 Synthesizer::with_cache(env, problem, self.options.clone(), Arc::clone(cache));
@@ -107,20 +122,108 @@ impl BatchJob {
             }
             synth.run()
         }))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic".to_owned());
-            Err(SynthError::BadProblem(format!("job panicked: {msg}")))
-        });
+        .unwrap_or_else(|panic| Err(SynthError::from_panic(&*panic)));
         BatchOutcome {
             id: self.id.clone(),
             result,
             elapsed: started.elapsed(),
         }
     }
+}
+
+/// Batch-wide execution policy: everything [`run_batch_with`] applies on
+/// top of the per-job [`Options`].
+#[derive(Clone, Default)]
+pub struct BatchPolicy {
+    /// Whole-batch wall-clock budget for admission control. Before a job
+    /// starts, its projected queue-completion time (median completed-job
+    /// duration × remaining queue depth, divided across job threads) is
+    /// checked against what is left of this budget; jobs that cannot fit
+    /// — or that would start after the budget has already elapsed — are
+    /// shed with [`SynthError::Shed`] instead of started. `None` (the
+    /// default) admits everything.
+    pub global_deadline: Option<Duration>,
+    /// The shared cache to run against, letting callers pre-warm it from
+    /// a snapshot ([`crate::snapshot`]) or inspect it afterwards. `None`
+    /// (the default) provisions a fresh cache per batch.
+    pub cache: Option<Arc<SearchCache>>,
+}
+
+/// The shed-or-admit gate of [`BatchPolicy::global_deadline`]. Completed
+/// job durations feed the median; the mutex is plain (not a telemetry
+/// site) and poison-recovering like every other lock in the pipeline.
+struct AdmissionGate {
+    start: Instant,
+    budget: Option<Duration>,
+    threads: usize,
+    total: usize,
+    durations: Mutex<Vec<Duration>>,
+}
+
+impl AdmissionGate {
+    fn new(budget: Option<Duration>, threads: usize, total: usize) -> AdmissionGate {
+        AdmissionGate {
+            start: Instant::now(),
+            budget,
+            threads: threads.max(1),
+            total,
+            durations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// May the job at queue position `index` start now?
+    fn admit(&self, index: usize) -> bool {
+        let Some(budget) = self.budget else {
+            return true;
+        };
+        let remaining_budget = match budget.checked_sub(self.start.elapsed()) {
+            Some(r) => r,
+            None => return false, // budget already spent: shed
+        };
+        let durations = self.durations.lock().unwrap_or_else(|p| p.into_inner());
+        if durations.is_empty() {
+            // No evidence yet: admit, and let the first completions size
+            // the median.
+            return true;
+        }
+        let mut sorted = durations.clone();
+        drop(durations);
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        // Jobs not yet finished with this one at the queue head, spread
+        // across the job-runner threads (ceiling division).
+        let remaining_depth = self.total.saturating_sub(index).max(1);
+        let waves = remaining_depth.div_ceil(self.threads) as u32;
+        median.saturating_mul(waves) <= remaining_budget
+    }
+
+    fn record(&self, elapsed: Duration) {
+        self.durations
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(elapsed);
+    }
+}
+
+/// Runs one admitted-or-shed job: the gate decides, then the job runs
+/// through [`BatchJob::run_on`] and its duration feeds the gate's median.
+fn run_gated(
+    job: &BatchJob,
+    index: usize,
+    gate: &AdmissionGate,
+    cache: &Arc<SearchCache>,
+    executor: Option<&Arc<Executor>>,
+) -> BatchOutcome {
+    if !gate.admit(index) {
+        return BatchOutcome {
+            id: job.id.clone(),
+            result: Err(SynthError::Shed),
+            elapsed: Duration::ZERO,
+        };
+    }
+    let outcome = job.run_on(cache, executor);
+    gate.record(outcome.elapsed);
+    outcome
 }
 
 /// The result of one batch job.
@@ -156,8 +259,22 @@ pub struct BatchStats {
     pub solved: usize,
     /// Jobs that hit their deadline.
     pub timeouts: usize,
-    /// Jobs that failed for any other reason.
+    /// Jobs that failed for any other reason (including contained
+    /// panics).
     pub failures: usize,
+    /// Jobs whose panic was contained at the job boundary
+    /// ([`SynthError::Internal`]); a subset of `failures`.
+    pub panics: usize,
+    /// Jobs refused by the [`BatchPolicy::global_deadline`] admission
+    /// gate.
+    pub shed: usize,
+    /// Template-memo requests the shared cache answered from its memo
+    /// (diagnostics; varies with cache state by design — a snapshot-warmed
+    /// cache answers everything from here).
+    pub template_hits: u64,
+    /// Template-memo requests the shared cache had to compute fresh
+    /// (zero when a snapshot of an identical batch pre-warmed the cache).
+    pub template_misses: u64,
     /// Candidates tested across all jobs (solved jobs report their search
     /// counters; failed jobs contribute nothing — their stats die with the
     /// error).
@@ -228,11 +345,19 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
-fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> BatchReport {
+fn aggregate(
+    outcomes: Vec<BatchOutcome>,
+    wall: Duration,
+    threads: usize,
+    cache: &SearchCache,
+) -> BatchReport {
+    let (template_hits, template_misses) = cache.template_counters();
     let mut stats = BatchStats {
         jobs: outcomes.len(),
         wall_clock: wall,
         threads,
+        template_hits,
+        template_misses,
         ..BatchStats::default()
     };
     for o in &outcomes {
@@ -260,6 +385,11 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
                 stats.eval_time += Duration::from_nanos(r.stats.search.eval_nanos);
             }
             Err(SynthError::Timeout) => stats.timeouts += 1,
+            Err(SynthError::Shed) => stats.shed += 1,
+            Err(SynthError::Internal(_)) => {
+                stats.failures += 1;
+                stats.panics += 1;
+            }
             Err(_) => stats.failures += 1,
         }
     }
@@ -309,6 +439,13 @@ fn aggregate(outcomes: Vec<BatchOutcome>, wall: Duration, threads: usize) -> Bat
 /// assert_eq!(report.outcomes[0].id, "a"); // submission order, always
 /// ```
 pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
+    run_batch_with(jobs, threads, &BatchPolicy::default())
+}
+
+/// [`run_batch`] with an explicit [`BatchPolicy`]: a whole-batch
+/// admission-control deadline and/or a caller-provided shared cache (the
+/// snapshot-warmed path of `solve --snapshot`).
+pub fn run_batch_with(jobs: &[BatchJob], threads: usize, policy: &BatchPolicy) -> BatchReport {
     let threads = match threads {
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
@@ -326,14 +463,23 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
     // One cache for the whole batch: jobs over identical environments
     // reuse each other's memoized search work (sound and deterministic —
     // see the module docs). Jobs that opt out via `Options::cache = false`
-    // simply ignore it.
-    let cache = Arc::new(SearchCache::new());
+    // simply ignore it. The policy may supply a pre-warmed cache
+    // (snapshot restore) instead of a fresh one.
+    let cache = policy
+        .cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(SearchCache::new()));
+    let gate = AdmissionGate::new(policy.global_deadline, threads, jobs.len());
 
     let started = Instant::now();
     if pool <= 1 {
         // Sequential fast path: same loop, no thread machinery.
-        let outcomes: Vec<BatchOutcome> = jobs.iter().map(|j| j.run_shared(&cache)).collect();
-        return aggregate(outcomes, started.elapsed(), 1);
+        let outcomes: Vec<BatchOutcome> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| run_gated(j, i, &gate, &cache, None))
+            .collect();
+        return aggregate(outcomes, started.elapsed(), 1, &cache);
     }
 
     // One executor for the whole batch; its serving threads are the scoped
@@ -350,6 +496,7 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
             let jobs_done = &jobs_done;
             let slots = &slots;
             let cache = &cache;
+            let gate = &gate;
             scope.spawn(move || {
                 // The first `threads` pool members claim whole jobs; the
                 // rest go straight to serving intra-problem tasks.
@@ -357,7 +504,19 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        let outcome = job.run_on(cache, Some(executor));
+                        // Second containment layer: `run_gated` already
+                        // catches panics inside the job body, but a panic
+                        // in the driver's own bookkeeping around it must
+                        // also convert to a per-job failure — an unwinding
+                        // scoped thread would abort the whole batch.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            run_gated(job, i, gate, cache, Some(executor))
+                        }))
+                        .unwrap_or_else(|panic| BatchOutcome {
+                            id: job.id.clone(),
+                            result: Err(SynthError::from_panic(&*panic)),
+                            elapsed: Duration::ZERO,
+                        });
                         *contention::lock(LockSite::BatchSlot, &slots[i]) = Some(outcome);
                         jobs_done.fetch_add(1, Ordering::Release);
                         executor.poke();
@@ -372,15 +531,25 @@ pub fn run_batch(jobs: &[BatchJob], threads: usize) -> BatchReport {
             });
         }
     });
+    // Third containment layer: recover poisoned slot locks and backfill
+    // any slot a dying worker left empty, so the batch always reports
+    // exactly one outcome per job instead of aborting.
     let outcomes: Vec<BatchOutcome> = slots
         .into_iter()
-        .map(|s| {
+        .enumerate()
+        .map(|(i, s)| {
             s.into_inner()
-                .expect("batch slot poisoned")
-                .expect("worker exited without filling its claimed slot")
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| BatchOutcome {
+                    id: jobs[i].id.clone(),
+                    result: Err(SynthError::Internal(
+                        "worker exited without filling its claimed slot".to_owned(),
+                    )),
+                    elapsed: Duration::ZERO,
+                })
         })
         .collect();
-    aggregate(outcomes, started.elapsed(), pool)
+    aggregate(outcomes, started.elapsed(), pool, &cache)
 }
 
 #[cfg(test)]
@@ -542,11 +711,108 @@ mod tests {
         let report = run_batch(&jobs, 2);
         assert!(report.outcomes[0].solved());
         match &report.outcomes[1].result {
-            Err(SynthError::BadProblem(msg)) => {
+            Err(SynthError::Internal(msg)) => {
                 assert!(msg.contains("panicked"), "unexpected message {msg:?}")
             }
             other => panic!("expected contained panic, got {other:?}"),
         }
+        assert_eq!(report.stats.panics, 1);
+        assert_eq!(report.stats.failures, 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_abort_siblings_or_change_them() {
+        // Regression for the scoped-thread unwind hole: a panicking job in
+        // the middle of the queue must not abort the pool, and every other
+        // job's program must be byte-identical to a clean batch's.
+        let mk = |with_boom: bool| -> Vec<BatchJob> {
+            let mut jobs: Vec<BatchJob> = (0..5)
+                .map(|i| trivial_job(&format!("j{i}"), None))
+                .collect();
+            if with_boom {
+                jobs.insert(
+                    2,
+                    BatchJob::new("boom", || panic!("chaos"), Options::default()),
+                );
+            }
+            jobs
+        };
+        let clean = run_batch(&mk(false), 3);
+        let chaotic = run_batch(&mk(true), 3);
+        assert_eq!(chaotic.stats.jobs, 6);
+        assert_eq!(chaotic.stats.panics, 1);
+        let programs = |r: &BatchReport| -> Vec<(String, String)> {
+            r.outcomes
+                .iter()
+                .filter_map(|o| {
+                    o.result
+                        .as_ref()
+                        .ok()
+                        .map(|s| (o.id.clone(), s.program.to_string()))
+                })
+                .collect()
+        };
+        assert_eq!(
+            programs(&clean),
+            programs(&chaotic),
+            "unaffected jobs must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn zero_global_deadline_sheds_everything() {
+        let jobs: Vec<BatchJob> = (0..3)
+            .map(|i| trivial_job(&format!("j{i}"), None))
+            .collect();
+        let policy = BatchPolicy {
+            global_deadline: Some(Duration::ZERO),
+            ..BatchPolicy::default()
+        };
+        let report = run_batch_with(&jobs, 1, &policy);
+        assert_eq!(report.stats.shed, 3);
+        assert_eq!(report.stats.solved, 0);
+        for o in &report.outcomes {
+            assert!(matches!(o.result, Err(SynthError::Shed)), "{:?}", o.result);
+        }
+        assert_eq!(crate::exit::for_batch(&report), crate::exit::SHED);
+    }
+
+    #[test]
+    fn generous_global_deadline_admits_everything() {
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|i| trivial_job(&format!("j{i}"), None))
+            .collect();
+        let policy = BatchPolicy {
+            global_deadline: Some(Duration::from_secs(3600)),
+            ..BatchPolicy::default()
+        };
+        let report = run_batch_with(&jobs, 2, &policy);
+        assert_eq!(report.stats.shed, 0);
+        assert_eq!(report.stats.solved, 4);
+    }
+
+    #[test]
+    fn policy_cache_is_used_and_counts_template_traffic() {
+        let cache = Arc::new(SearchCache::new());
+        let policy = BatchPolicy {
+            cache: Some(Arc::clone(&cache)),
+            ..BatchPolicy::default()
+        };
+        let jobs = vec![trivial_job("a", None)];
+        let cold = run_batch_with(&jobs, 1, &policy);
+        let (_, cold_misses) = cache.template_counters();
+        assert_eq!(
+            cold.stats.template_misses, cold_misses,
+            "stats mirror the cache's counters"
+        );
+        assert!(cold_misses > 0, "a cold cache computes templates");
+        // Second batch over the warm cache: all template traffic hits.
+        let warm = run_batch_with(&jobs, 1, &policy);
+        assert_eq!(
+            warm.stats.template_misses, cold_misses,
+            "warm run adds no new misses"
+        );
+        assert!(warm.stats.template_hits > cold.stats.template_hits);
     }
 
     #[test]

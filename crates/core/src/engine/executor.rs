@@ -58,11 +58,13 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pops the front task, if any.
+    /// Pops the front task, if any. Poisoned locks are recovered (see
+    /// CONCURRENCY.md): the queue is valid at rest, and the panicking
+    /// task's entry was already removed before its body ran.
     fn pop_any(&self) -> Option<Queued> {
         self.queue
             .lock()
-            .expect("executor queue poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .pop_front()
     }
 
@@ -127,13 +129,17 @@ impl<T> TaskHandle<T> {
                     .state
                     .result
                     .lock()
-                    .expect("task result poisoned")
+                    .unwrap_or_else(|p| p.into_inner())
                     .take()
                     .expect("completed task must hold a result");
             }
             // The completing thread takes the queue lock before notifying,
             // so this check-then-wait cannot miss the wakeup.
-            q = self.shared.signal.wait(q).expect("executor queue poisoned");
+            q = self
+                .shared
+                .signal
+                .wait(q)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 }
@@ -189,7 +195,7 @@ impl Executor {
                             let _ = shared
                                 .signal
                                 .wait_timeout(q, Duration::from_millis(50))
-                                .expect("executor queue poisoned");
+                                .unwrap_or_else(|p| p.into_inner());
                         }
                     }
                 }
@@ -219,6 +225,7 @@ impl Executor {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        rbsyn_lang::failpoint::hit("executor::spawn");
         let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(TaskState {
             result: Mutex::new(None),
@@ -234,7 +241,7 @@ impl Executor {
             // threads hand their events to the session that owns them
             // before picking up work for a different run (no-op untraced).
             rbsyn_trace::flush_current_thread();
-            *task_state.result.lock().expect("task result poisoned") = Some(out);
+            *task_state.result.lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
             task_state.done.store(true, Ordering::Release);
             // Pair with the join-side check under the queue lock.
             let _guard = contention::lock(LockSite::ExecutorQueue, &task_shared.queue);
@@ -243,7 +250,7 @@ impl Executor {
         self.shared
             .queue
             .lock()
-            .expect("executor queue poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .push_back(Queued { seq, run });
         self.shared.signal.notify_all();
         TaskHandle {
@@ -273,7 +280,7 @@ impl Executor {
                             .shared
                             .signal
                             .wait_timeout(q, Duration::from_millis(20))
-                            .expect("executor queue poisoned");
+                            .unwrap_or_else(|p| p.into_inner());
                     }
                 }
             }

@@ -35,9 +35,11 @@ pub mod frontier;
 pub mod scheduler;
 pub mod speculate;
 pub mod strategy;
+pub mod watchdog;
 
 pub use executor::{Executor, TaskHandle};
 pub use frontier::{Frontier, FrontierItem};
 pub use scheduler::{Scheduler, SearchStats};
 pub use speculate::{SpecJob, SpeculationPool};
 pub use strategy::{CostWeighted, PaperOrder, Priority, SearchStrategy, StrategyKind};
+pub use watchdog::Watchdog;

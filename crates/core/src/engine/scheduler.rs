@@ -146,6 +146,7 @@ pub struct Scheduler {
     executor: Option<Arc<Executor>>,
     intra: usize,
     cancel: Option<Arc<AtomicBool>>,
+    kill: Option<Arc<AtomicBool>>,
     trace: Option<Session>,
 }
 
@@ -160,6 +161,7 @@ impl Scheduler {
             executor: None,
             intra: 1,
             cancel: None,
+            kill: None,
             trace: None,
         }
     }
@@ -196,6 +198,16 @@ impl Scheduler {
         self
     }
 
+    /// Attaches a watchdog kill flag (see
+    /// [`Watchdog`](super::Watchdog)): once set, [`should_stop`]
+    /// reports `true` regardless of the cooperative deadline.
+    ///
+    /// [`should_stop`]: Scheduler::should_stop
+    pub fn with_kill(mut self, kill: Arc<AtomicBool>) -> Scheduler {
+        self.kill = Some(kill);
+        self
+    }
+
     /// A task-local scheduler for a spawned search: same deadline, cache,
     /// oracle width and tracing session, a private cancellation token,
     /// and *no* executor (tasks do not spawn sub-tasks — but their
@@ -207,6 +219,7 @@ impl Scheduler {
             executor: None,
             intra: self.intra,
             cancel: Some(cancel),
+            kill: self.kill.clone(),
             trace: self.trace.clone(),
         }
     }
@@ -253,9 +266,17 @@ impl Scheduler {
     }
 
     /// Deadline-or-cancellation poll, called by the work-list loop at its
-    /// check cadence.
+    /// check cadence. Also honours the watchdog kill flag, which only
+    /// ever fires *after* the cooperative deadline.
     pub fn should_stop(&self) -> bool {
         if self.cancelled() {
+            return true;
+        }
+        if self
+            .kill
+            .as_ref()
+            .is_some_and(|k| k.load(Ordering::Relaxed))
+        {
             return true;
         }
         match self.deadline {

@@ -263,10 +263,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                                 shared.signal.notify_all();
                             }
                         } else {
-                            state = shared
-                                .signal
-                                .wait(state)
-                                .expect("speculation pool poisoned");
+                            state = shared.signal.wait(state).unwrap_or_else(|p| p.into_inner());
                         }
                     }
                 })
@@ -325,7 +322,7 @@ impl<'scope, 'env> SpeculationPool<'scope, 'env> {
                 .shared
                 .signal
                 .wait(state)
-                .expect("speculation pool poisoned");
+                .unwrap_or_else(|p| p.into_inner());
         }
         state.jobs = Vec::new();
         state

@@ -19,6 +19,29 @@ pub enum SynthError {
     GuardNotFound,
     /// The problem is malformed (no specs, bad arity, …).
     BadProblem(String),
+    /// The synthesizer itself failed — a panic inside the search,
+    /// contained at the job boundary and converted to a per-job error so
+    /// one faulty job can never abort its batch (see
+    /// [`crate::batch::run_batch`]).
+    Internal(String),
+    /// The batch's admission-control gate refused to start this job: the
+    /// projected completion time of the remaining queue exceeded the
+    /// global deadline, so the job was shed instead of started (see
+    /// [`crate::batch::BatchPolicy`]).
+    Shed,
+}
+
+impl SynthError {
+    /// Converts a caught panic payload into [`SynthError::Internal`],
+    /// preserving `&str`/`String` messages (the common cases).
+    pub fn from_panic(panic: &(dyn std::any::Any + Send)) -> SynthError {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic".to_owned());
+        SynthError::Internal(format!("job panicked: {msg}"))
+    }
 }
 
 impl fmt::Display for SynthError {
@@ -34,6 +57,8 @@ impl fmt::Display for SynthError {
             SynthError::MergeFailed => write!(f, "no merged program passes all specs"),
             SynthError::GuardNotFound => write!(f, "no branch condition distinguishes the specs"),
             SynthError::BadProblem(msg) => write!(f, "malformed synthesis problem: {msg}"),
+            SynthError::Internal(msg) => write!(f, "internal error: {msg}"),
+            SynthError::Shed => write!(f, "shed by admission control (global deadline)"),
         }
     }
 }

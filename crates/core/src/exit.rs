@@ -1,7 +1,9 @@
 //! Process exit codes for synthesis outcomes, shared by `solve`,
 //! `speccheck` and `specgen` so scripts and CI can tell failure classes
-//! apart: `0` solved, `1` other failure, `2` usage error, `3` spec
-//! parse/lower error, `4` timeout, `5` search exhausted without a program.
+//! apart: `0` solved, `1` other failure (including contained panics), `2`
+//! usage error, `3` spec parse/lower error, `4` timeout (per-job deadline
+//! or watchdog kill), `5` search exhausted without a program, `6` job(s)
+//! shed by batch admission control.
 
 use crate::batch::BatchReport;
 use crate::error::SynthError;
@@ -19,6 +21,10 @@ pub const TIMEOUT: i32 = 4;
 /// The bounded search space was exhausted with no solution (no
 /// per-spec solution, merge failure, or missing guard).
 pub const NO_SOLUTION: i32 = 5;
+/// One or more jobs were refused by batch admission control: queue
+/// depth × median solve time exceeded the global deadline, so the batch
+/// shed load instead of blowing its budget.
+pub const SHED: i32 = 6;
 
 /// The exit code for one synthesis error.
 pub fn for_error(e: &SynthError) -> i32 {
@@ -27,13 +33,14 @@ pub fn for_error(e: &SynthError) -> i32 {
         SynthError::NoSolution { .. } | SynthError::MergeFailed | SynthError::GuardNotFound => {
             NO_SOLUTION
         }
-        SynthError::BadProblem(_) => OTHER,
+        SynthError::BadProblem(_) | SynthError::Internal(_) => OTHER,
+        SynthError::Shed => SHED,
     }
 }
 
 /// The exit code for a whole batch: `OK` when every job solved, else
 /// the most specific failing class (timeout before no-solution before
-/// other), so CI logs name the dominant failure.
+/// shed before other), so CI logs name the dominant failure.
 pub fn for_batch(report: &BatchReport) -> i32 {
     let codes: Vec<i32> = report
         .outcomes
@@ -46,6 +53,8 @@ pub fn for_batch(report: &BatchReport) -> i32 {
         TIMEOUT
     } else if codes.contains(&NO_SOLUTION) {
         NO_SOLUTION
+    } else if codes.contains(&SHED) {
+        SHED
     } else {
         OTHER
     }

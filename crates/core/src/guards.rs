@@ -96,6 +96,7 @@ pub fn search_guards(
     sched: &Scheduler,
     stats: &mut SearchStats,
 ) -> Result<Vec<Expr>, SynthError> {
+    rbsyn_lang::failpoint::hit("guards::cover");
     match generate_many(
         env,
         method_name,

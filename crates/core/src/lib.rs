@@ -45,9 +45,12 @@ pub mod guards;
 pub mod infer;
 pub mod merge;
 pub mod options;
+pub mod snapshot;
 pub mod synthesizer;
 
-pub use batch::{run_batch, BatchJob, BatchOutcome, BatchReport, BatchStats};
+pub use batch::{
+    run_batch, run_batch_with, BatchJob, BatchOutcome, BatchPolicy, BatchReport, BatchStats,
+};
 pub use cache::{CacheHandle, EnvToken, ExpandItem, OracleToken, SearchCache};
 pub use engine::{Executor, Scheduler, SearchStats, SearchStrategy, StrategyKind};
 pub use error::SynthError;

@@ -144,6 +144,16 @@ pub struct Options {
     /// produces byte-identical programs and effort counters; see the
     /// [engine determinism story](crate::engine).
     pub intra_parallelism: usize,
+    /// Watchdog grace factor: a run that overruns `timeout × grace` is
+    /// hard-cancelled by a [`Watchdog`](crate::engine::Watchdog) thread
+    /// (kill flag checked by the scheduler *and* on the interpreter's
+    /// fuel counter), surfacing as the same
+    /// [`SynthError::Timeout`](crate::SynthError::Timeout) a cooperative
+    /// stop produces. Values below 1.0 are clamped to 1.0, so the hard
+    /// deadline never precedes the cooperative one and determinism gates
+    /// are unaffected. `None` disables the watchdog; it is also inert
+    /// when `timeout` is `None`.
+    pub watchdog_grace: Option<f64>,
     /// Search-event tracing (`--trace`): `Some` activates the
     /// [`rbsyn_trace`] session threaded through every phase — phase
     /// spans, sampled candidate-lifecycle instants, counter samples.
@@ -174,6 +184,7 @@ impl Default for Options {
             bdd: !std::env::var("RBSYN_NO_BDD").is_ok_and(|v| v == "1" || v == "true"),
             strategy: StrategyKind::Paper,
             intra_parallelism: 1,
+            watchdog_grace: Some(4.0),
             trace: None,
         }
     }

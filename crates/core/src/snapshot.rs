@@ -1,0 +1,760 @@
+//! Crash-safe persistence for the shared template memo: a versioned,
+//! checksummed binary snapshot of [`SearchCache::export_templates`].
+//!
+//! The template memo (S-App / S-EffApp enumeration lists) is the one part
+//! of the [`SearchCache`] worth keeping across processes: it is small, a
+//! pure function of content-derived keys ([`EnvToken`](crate::cache::EnvToken) bits are stable
+//! across runs), and expensive to recompute. A snapshot lets `solve
+//! --snapshot FILE` start every batch warm: identical environments answer
+//! all template requests from the memo (`template_misses` stays zero)
+//! while programs and effort counters stay byte-identical — memoized
+//! values are pure functions of their keys, so warmth can never change a
+//! result, only the time to find it.
+//!
+//! **Failure model** (see ARCHITECTURE.md):
+//!
+//! * *writes* go through [`rbsyn_lang::persist::atomic_write`] — full
+//!   temp file + `rename`, so a crash mid-save leaves either the old
+//!   snapshot or none, never a torn one;
+//! * *reads* never panic and never partially populate the cache: the
+//!   whole byte stream is length-prefix- and bounds-checked, guarded by a
+//!   magic/version header and a trailing 128-bit checksum, decoded into a
+//!   staging vector with a recursion-depth limit, and only seeded into
+//!   the cache after the last byte has validated. Any corruption — a
+//!   truncated file, a flipped byte, a hostile input from the fuzzer —
+//!   surfaces as [`SnapshotError`] and the caller degrades to a cold
+//!   cache with a warning.
+//!
+//! The format is self-contained (no external serialization deps):
+//! little-endian integers, length-prefixed strings, tagged unions
+//! mirroring [`Expr`]/[`Value`]/[`Ty`]/[`Effect`]. Entries are exported
+//! sorted by `(env, key)`, so snapshot bytes are canonical for a given
+//! cache content. Interned [`Symbol`]s travel as strings and are
+//! re-interned on load; [`ClassId`]s keep their dense index *and* name so
+//! a decoded id is exactly what [`EnvToken`](crate::cache::EnvToken)-matched environments expect.
+//! Template entries whose expressions cannot round-trip (runtime-only
+//! [`Value::Obj`] references — never produced by template enumeration)
+//! are skipped at save time rather than failing the snapshot.
+
+use crate::cache::SearchCache;
+use rbsyn_lang::{hash128, ClassId, Effect, EffectSet, Expr, FiniteHash, HashField, Symbol, Ty};
+use rbsyn_lang::{persist, Value};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic prefix identifying a template snapshot file.
+const MAGIC: &[u8; 8] = b"RBSNAP\r\n";
+/// Format version; bump on any encoding change. A mismatch degrades to a
+/// cold cache, never a misparse.
+const VERSION: u32 = 1;
+/// Recursion-depth ceiling for decoding expressions and types, so a
+/// hostile snapshot cannot overflow the stack.
+const MAX_DEPTH: usize = 256;
+
+/// Why a snapshot failed to load. Every variant is a *degrade to cold
+/// cache* signal, never a panic.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes are not a valid snapshot (bad magic, version mismatch,
+    /// checksum failure, truncation, malformed encoding, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot read failed: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+// ---------------------------------------------------------------- encode
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+/// Raised (as a value, not a panic) when an expression contains a
+/// runtime-only construct the format does not carry.
+struct Unencodable;
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn sym(&mut self, s: Symbol) {
+        self.str(s.as_str());
+    }
+    fn class(&mut self, c: ClassId) {
+        self.u32(c.idx);
+        self.sym(c.name);
+    }
+
+    fn value(&mut self, v: &Value) -> Result<(), Unencodable> {
+        match v {
+            Value::Nil => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Str(s) => {
+                self.u8(3);
+                self.str(s);
+            }
+            Value::Sym(s) => {
+                self.u8(4);
+                self.sym(*s);
+            }
+            Value::Hash(entries) => {
+                self.u8(5);
+                self.u32(entries.len() as u32);
+                for (k, val) in entries {
+                    self.value(k)?;
+                    self.value(val)?;
+                }
+            }
+            Value::Array(items) => {
+                self.u8(6);
+                self.u32(items.len() as u32);
+                for item in items {
+                    self.value(item)?;
+                }
+            }
+            Value::Class(c) => {
+                self.u8(7);
+                self.class(*c);
+            }
+            // Heap references only exist relative to a live `World`.
+            Value::Obj(_) => return Err(Unencodable),
+        }
+        Ok(())
+    }
+
+    fn ty(&mut self, t: &Ty) {
+        match t {
+            Ty::Nil => self.u8(0),
+            Ty::Bool => self.u8(1),
+            Ty::Int => self.u8(2),
+            Ty::Str => self.u8(3),
+            Ty::Sym => self.u8(4),
+            Ty::SymLit(s) => {
+                self.u8(5);
+                self.sym(*s);
+            }
+            Ty::Instance(c) => {
+                self.u8(6);
+                self.class(*c);
+            }
+            Ty::SingletonClass(c) => {
+                self.u8(7);
+                self.class(*c);
+            }
+            Ty::FiniteHash(fh) => {
+                self.u8(8);
+                self.u32(fh.fields.len() as u32);
+                for f in &fh.fields {
+                    self.sym(f.key);
+                    self.ty(&f.ty);
+                    self.u8(f.optional as u8);
+                }
+            }
+            Ty::Array(elem) => {
+                self.u8(9);
+                self.ty(elem);
+            }
+            Ty::Union(parts) => {
+                self.u8(10);
+                self.u32(parts.len() as u32);
+                for p in parts {
+                    self.ty(p);
+                }
+            }
+            Ty::Obj => self.u8(11),
+            Ty::Err => self.u8(12),
+        }
+    }
+
+    fn effects(&mut self, es: &EffectSet) {
+        let atoms = es.atoms();
+        self.u32(atoms.len() as u32);
+        for e in atoms {
+            match e {
+                Effect::Star => self.u8(0),
+                Effect::ClassStar(c) => {
+                    self.u8(1);
+                    self.class(*c);
+                }
+                Effect::Region(c, r) => {
+                    self.u8(2);
+                    self.class(*c);
+                    self.sym(*r);
+                }
+                Effect::SelfStar => self.u8(3),
+                Effect::SelfRegion(r) => {
+                    self.u8(4);
+                    self.sym(*r);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), Unencodable> {
+        match e {
+            Expr::Lit(v) => {
+                self.u8(0);
+                self.value(v)?;
+            }
+            Expr::Var(s) => {
+                self.u8(1);
+                self.sym(*s);
+            }
+            Expr::Seq(es) => {
+                self.u8(2);
+                self.u32(es.len() as u32);
+                for sub in es {
+                    self.expr(sub)?;
+                }
+            }
+            Expr::Call { recv, meth, args } => {
+                self.u8(3);
+                self.expr(recv)?;
+                self.sym(*meth);
+                self.u32(args.len() as u32);
+                for a in args {
+                    self.expr(a)?;
+                }
+            }
+            Expr::If { cond, then, els } => {
+                self.u8(4);
+                self.expr(cond)?;
+                self.expr(then)?;
+                self.expr(els)?;
+            }
+            Expr::Let { var, val, body } => {
+                self.u8(5);
+                self.sym(*var);
+                self.expr(val)?;
+                self.expr(body)?;
+            }
+            Expr::HashLit(entries) => {
+                self.u8(6);
+                self.u32(entries.len() as u32);
+                for (k, sub) in entries {
+                    self.sym(*k);
+                    self.expr(sub)?;
+                }
+            }
+            Expr::Not(b) => {
+                self.u8(7);
+                self.expr(b)?;
+            }
+            Expr::Or(a, b) => {
+                self.u8(8);
+                self.expr(a)?;
+                self.expr(b)?;
+            }
+            Expr::Hole(t) => {
+                self.u8(9);
+                self.ty(t);
+            }
+            Expr::EffHole(es) => {
+                self.u8(10);
+                self.effects(es);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("unexpected end of snapshot"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A length-prefixed count of items each at least `min_item_bytes`
+    /// wide, capped against the remaining input so hostile counts cannot
+    /// trigger huge allocations.
+    fn count(&mut self, min_item_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_item_bytes.max(1)) > remaining {
+            return Err(corrupt("count exceeds remaining input"));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.count(1)?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| corrupt("invalid utf-8 string"))
+    }
+    fn sym(&mut self) -> Result<Symbol, SnapshotError> {
+        Ok(Symbol::intern(&self.str()?))
+    }
+    fn class(&mut self) -> Result<ClassId, SnapshotError> {
+        let idx = self.u32()?;
+        let name = self.sym()?;
+        Ok(ClassId::new(idx, name))
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, SnapshotError> {
+        if depth > MAX_DEPTH {
+            return Err(corrupt("value nesting exceeds depth limit"));
+        }
+        Ok(match self.u8()? {
+            0 => Value::Nil,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::str(&self.str()?),
+            4 => Value::Sym(self.sym()?),
+            5 => {
+                let n = self.count(2)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.value(depth + 1)?;
+                    let v = self.value(depth + 1)?;
+                    entries.push((k, v));
+                }
+                Value::Hash(entries)
+            }
+            6 => {
+                let n = self.count(1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Value::Array(items)
+            }
+            7 => Value::Class(self.class()?),
+            t => return Err(corrupt(format!("unknown value tag {t}"))),
+        })
+    }
+
+    fn ty(&mut self, depth: usize) -> Result<Ty, SnapshotError> {
+        if depth > MAX_DEPTH {
+            return Err(corrupt("type nesting exceeds depth limit"));
+        }
+        Ok(match self.u8()? {
+            0 => Ty::Nil,
+            1 => Ty::Bool,
+            2 => Ty::Int,
+            3 => Ty::Str,
+            4 => Ty::Sym,
+            5 => Ty::SymLit(self.sym()?),
+            6 => Ty::Instance(self.class()?),
+            7 => Ty::SingletonClass(self.class()?),
+            8 => {
+                let n = self.count(6)?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = self.sym()?;
+                    let ty = self.ty(depth + 1)?;
+                    let optional = self.u8()? != 0;
+                    fields.push(HashField { key, ty, optional });
+                }
+                Ty::FiniteHash(FiniteHash::new(fields))
+            }
+            9 => Ty::Array(Box::new(self.ty(depth + 1)?)),
+            10 => {
+                let n = self.count(1)?;
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(self.ty(depth + 1)?);
+                }
+                Ty::Union(parts)
+            }
+            11 => Ty::Obj,
+            12 => Ty::Err,
+            t => return Err(corrupt(format!("unknown type tag {t}"))),
+        })
+    }
+
+    fn effects(&mut self) -> Result<EffectSet, SnapshotError> {
+        let n = self.count(1)?;
+        let mut atoms = Vec::with_capacity(n);
+        for _ in 0..n {
+            atoms.push(match self.u8()? {
+                0 => Effect::Star,
+                1 => Effect::ClassStar(self.class()?),
+                2 => {
+                    let c = self.class()?;
+                    let r = self.sym()?;
+                    Effect::Region(c, r)
+                }
+                3 => Effect::SelfStar,
+                4 => Effect::SelfRegion(self.sym()?),
+                t => return Err(corrupt(format!("unknown effect tag {t}"))),
+            });
+        }
+        Ok(EffectSet::from_atoms(atoms))
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, SnapshotError> {
+        if depth > MAX_DEPTH {
+            return Err(corrupt("expression nesting exceeds depth limit"));
+        }
+        Ok(match self.u8()? {
+            0 => Expr::Lit(self.value(depth + 1)?),
+            1 => Expr::Var(self.sym()?),
+            2 => {
+                let n = self.count(1)?;
+                let mut es = Vec::with_capacity(n);
+                for _ in 0..n {
+                    es.push(self.expr(depth + 1)?);
+                }
+                Expr::Seq(es)
+            }
+            3 => {
+                let recv = Box::new(self.expr(depth + 1)?);
+                let meth = self.sym()?;
+                let n = self.count(1)?;
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(self.expr(depth + 1)?);
+                }
+                Expr::Call { recv, meth, args }
+            }
+            4 => Expr::If {
+                cond: Box::new(self.expr(depth + 1)?),
+                then: Box::new(self.expr(depth + 1)?),
+                els: Box::new(self.expr(depth + 1)?),
+            },
+            5 => {
+                let var = self.sym()?;
+                let val = Box::new(self.expr(depth + 1)?);
+                let body = Box::new(self.expr(depth + 1)?);
+                Expr::Let { var, val, body }
+            }
+            6 => {
+                let n = self.count(5)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.sym()?;
+                    let e = self.expr(depth + 1)?;
+                    entries.push((k, e));
+                }
+                Expr::HashLit(entries)
+            }
+            7 => Expr::Not(Box::new(self.expr(depth + 1)?)),
+            8 => Expr::Or(
+                Box::new(self.expr(depth + 1)?),
+                Box::new(self.expr(depth + 1)?),
+            ),
+            9 => Expr::Hole(self.ty(depth + 1)?),
+            10 => Expr::EffHole(self.effects()?),
+            t => return Err(corrupt(format!("unknown expression tag {t}"))),
+        })
+    }
+}
+
+// ------------------------------------------------------------------ api
+
+fn checksum(payload: &[u8]) -> u128 {
+    hash128("rbsyn.snapshot", &payload)
+}
+
+/// Serializes the cache's template memo into snapshot bytes (header +
+/// sorted entries + trailing checksum). Entries containing runtime-only
+/// values are skipped, never fatal.
+pub fn snapshot_to_bytes(cache: &SearchCache) -> Vec<u8> {
+    let rows = cache.export_templates();
+    let mut enc = Enc {
+        buf: Vec::with_capacity(1024),
+    };
+    enc.buf.extend_from_slice(MAGIC);
+    enc.u32(VERSION);
+    let count_at = enc.buf.len();
+    enc.u64(0); // patched below with the count of entries actually kept
+    let mut kept: u64 = 0;
+    for (env, key, exprs) in rows {
+        let mark = enc.buf.len();
+        enc.u128(env);
+        enc.str(&key);
+        enc.u32(exprs.len() as u32);
+        let ok = exprs.iter().try_for_each(|e| enc.expr(e));
+        if ok.is_err() {
+            enc.buf.truncate(mark); // drop the half-written entry
+            continue;
+        }
+        kept += 1;
+    }
+    enc.buf[count_at..count_at + 8].copy_from_slice(&kept.to_le_bytes());
+    let sum = checksum(&enc.buf);
+    enc.u128(sum);
+    enc.buf
+}
+
+/// Decodes snapshot bytes and seeds the cache's template memo.
+/// All-or-nothing: every entry is decoded into a staging vector before
+/// anything touches the cache, so a failure anywhere leaves the cache
+/// exactly as it was (cold, if it was fresh). Returns the number of
+/// entries seeded.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] on any malformed input; this function never
+/// panics on hostile bytes (the snapshot fuzzer's contract).
+pub fn restore_from_bytes(bytes: &[u8], cache: &SearchCache) -> Result<usize, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 16 {
+        return Err(corrupt("shorter than header + checksum"));
+    }
+    let (payload, sum_bytes) = bytes.split_at(bytes.len() - 16);
+    let stored = u128::from_le_bytes(sum_bytes.try_into().unwrap());
+    if checksum(payload) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut dec = Dec {
+        bytes: payload,
+        pos: 0,
+    };
+    if dec.take(MAGIC.len())? != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = dec.u32()?;
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "version {version} (this build reads {VERSION})"
+        )));
+    }
+    let count = dec.u64()?;
+    let mut staged: Vec<(u128, String, Vec<Expr>)> = Vec::new();
+    for _ in 0..count {
+        let env = dec.u128()?;
+        let key = dec.str()?;
+        let n = dec.count(1)?;
+        let mut exprs = Vec::with_capacity(n);
+        for _ in 0..n {
+            exprs.push(dec.expr(0)?);
+        }
+        staged.push((env, key, exprs));
+    }
+    if dec.pos != payload.len() {
+        return Err(corrupt("trailing bytes after last entry"));
+    }
+    let seeded = staged.len();
+    for (env, key, exprs) in staged {
+        cache.seed_template(env, key, exprs);
+    }
+    Ok(seeded)
+}
+
+/// Writes a snapshot of the cache's template memo via temp-file +
+/// atomic rename ([`persist::atomic_write`]): a crash mid-save can never
+/// leave a torn file.
+pub fn save_snapshot(cache: &SearchCache, path: &Path) -> std::io::Result<()> {
+    persist::atomic_write(path, &snapshot_to_bytes(cache))
+}
+
+/// Loads a snapshot into a (typically fresh) cache. IO failures and
+/// corruption both surface as [`SnapshotError`] — the caller's contract
+/// is to warn and continue cold, never to abort. The `cache::load`
+/// failpoint injects errors/panics here under the chaos suite.
+pub fn load_snapshot(path: &Path, cache: &SearchCache) -> Result<usize, SnapshotError> {
+    if let Some(e) = rbsyn_lang::failpoint::io_error("cache::load") {
+        return Err(SnapshotError::Io(e));
+    }
+    let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+    restore_from_bytes(&bytes, cache)
+}
+
+/// [`load_snapshot`] with the panic containment the loader itself
+/// promises: even a bug (or injected fault) inside decoding degrades to
+/// an error, not a process abort. Used by `solve --snapshot` and the
+/// snapshot fuzzer.
+pub fn load_snapshot_contained(
+    path: &Path,
+    cache: &Arc<SearchCache>,
+) -> Result<usize, SnapshotError> {
+    let cache = Arc::clone(cache);
+    let path = path.to_path_buf();
+    std::panic::catch_unwind(move || load_snapshot(&path, &cache)).unwrap_or_else(|panic| {
+        match crate::SynthError::from_panic(&*panic) {
+            crate::SynthError::Internal(msg) => Err(corrupt(msg)),
+            _ => Err(corrupt("panic during snapshot load")),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsyn_lang::builder::*;
+
+    fn seeded_cache() -> SearchCache {
+        let cache = SearchCache::new();
+        cache.seed_template(
+            7,
+            "goal=Bool".into(),
+            vec![
+                call(var("x"), "empty?", []),
+                Expr::If {
+                    cond: Box::new(call(var("x"), "==", [int(0)])),
+                    then: Box::new(true_()),
+                    els: Box::new(Expr::Hole(Ty::Bool)),
+                },
+            ],
+        );
+        cache.seed_template(
+            7,
+            "goal=Int".into(),
+            vec![Expr::EffHole(EffectSet::star()), int(42), str_("s")],
+        );
+        cache.seed_template(9, "goal=Bool".into(), vec![hash([("k", int(1))])]);
+        cache
+    }
+
+    #[test]
+    fn round_trip_preserves_every_entry() {
+        let cache = seeded_cache();
+        let bytes = snapshot_to_bytes(&cache);
+        let fresh = SearchCache::new();
+        let n = restore_from_bytes(&bytes, &fresh).expect("round trip");
+        assert_eq!(n, 3);
+        assert_eq!(fresh.template_entries(), 3);
+        assert_eq!(fresh.export_templates(), cache.export_templates());
+    }
+
+    #[test]
+    fn snapshot_bytes_are_canonical() {
+        // Same content, different insertion order → same bytes.
+        let a = seeded_cache();
+        let b = SearchCache::new();
+        for (env, key, exprs) in a.export_templates().into_iter().rev() {
+            b.seed_template(env, key, Arc::unwrap_or_clone(exprs));
+        }
+        assert_eq!(snapshot_to_bytes(&a), snapshot_to_bytes(&b));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_harmless() {
+        let bytes = snapshot_to_bytes(&seeded_cache());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let fresh = SearchCache::new();
+            match restore_from_bytes(&bad, &fresh) {
+                // The checksum makes any flip detectable.
+                Err(SnapshotError::Corrupt(_)) => {
+                    assert_eq!(fresh.template_entries(), 0, "failed load must stay cold");
+                }
+                Err(SnapshotError::Io(_)) => unreachable!("no io in byte restore"),
+                Ok(_) => panic!("flip at byte {i} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let bytes = snapshot_to_bytes(&seeded_cache());
+        for len in 0..bytes.len() {
+            let fresh = SearchCache::new();
+            assert!(
+                restore_from_bytes(&bytes[..len], &fresh).is_err(),
+                "truncation to {len} bytes must fail"
+            );
+            assert_eq!(fresh.template_entries(), 0);
+        }
+    }
+
+    #[test]
+    fn save_and_load_through_files() {
+        let dir = std::env::temp_dir().join(format!("rbsyn-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("templates.snap");
+        let cache = seeded_cache();
+        save_snapshot(&cache, &path).expect("save");
+        let fresh = SearchCache::new();
+        assert_eq!(load_snapshot(&path, &fresh).expect("load"), 3);
+        assert_eq!(fresh.export_templates(), cache.export_templates());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let fresh = SearchCache::new();
+        let r = load_snapshot(Path::new("/nonexistent/rbsyn.snap"), &fresh);
+        assert!(matches!(r, Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Hand-build a payload whose expression nests `Not` beyond the
+        // depth limit, with a valid header and checksum.
+        let mut enc = Enc { buf: Vec::new() };
+        enc.buf.extend_from_slice(MAGIC);
+        enc.u32(VERSION);
+        enc.u64(1);
+        enc.u128(1); // env
+        enc.str("k");
+        enc.u32(1); // one expr
+        for _ in 0..(MAX_DEPTH + 8) {
+            enc.u8(7); // Not(
+        }
+        enc.u8(0); // Lit(
+        enc.u8(0); // Nil
+        let sum = checksum(&enc.buf);
+        enc.u128(sum);
+        let fresh = SearchCache::new();
+        match restore_from_bytes(&enc.buf, &fresh) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("depth"), "{msg}"),
+            other => panic!("expected depth rejection, got {other:?}"),
+        }
+    }
+}

@@ -18,7 +18,7 @@
 //! to guard searches; see [`crate::merge`]).
 
 use crate::cache::{CacheHandle, SearchCache};
-use crate::engine::{Executor, Scheduler, SearchStats, TaskHandle};
+use crate::engine::{Executor, Scheduler, SearchStats, TaskHandle, Watchdog};
 use crate::error::SynthError;
 use crate::generate::{generate, GenerateOutcome, Oracle, SpecOracle};
 use crate::goal::SynthesisProblem;
@@ -29,7 +29,6 @@ use rbsyn_lang::builder::true_;
 use rbsyn_lang::metrics::{program_paths, program_size};
 use rbsyn_lang::{Program, Symbol};
 use rbsyn_trace::{Mark, Phase, Session};
-use std::panic::resume_unwind;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -181,7 +180,7 @@ impl Synthesizer {
     /// passes every spec.
     pub fn run(self) -> Result<SynthResult, SynthError> {
         let Synthesizer {
-            env,
+            mut env,
             problem,
             opts,
             cache,
@@ -189,6 +188,16 @@ impl Synthesizer {
             tracer,
         } = self;
         problem.validate()?;
+        // Hard-cancellation backstop for runs stuck past the cooperative
+        // deadline (see [`Watchdog`]). Held for the whole run; dropping it
+        // on any exit path disarms the timer.
+        let watchdog = match (opts.timeout, opts.watchdog_grace) {
+            (Some(budget), Some(grace)) => Some(Watchdog::arm(budget, grace)),
+            _ => None,
+        };
+        if let Some(dog) = &watchdog {
+            env.set_interrupt(dog.kill_flag());
+        }
         let env = Arc::new(env);
         let start = Instant::now();
         let deadline = opts.timeout.map(|t| start + t);
@@ -224,9 +233,13 @@ impl Synthesizer {
         } else {
             None
         };
-        let sched = Scheduler::new(deadline, search)
+        let mut sched = Scheduler::new(deadline, search)
             .with_executor(exec, width)
             .with_trace(tracer.clone());
+        if let Some(dog) = &watchdog {
+            sched = sched.with_kill(dog.kill_flag());
+        }
+        let sched = sched;
 
         // One prepared oracle per spec, shared by the per-spec searches,
         // the solution-reuse check, and merged-program validation.
@@ -325,7 +338,10 @@ impl Synthesizer {
                         stats.generate_time += elapsed;
                         r
                     }
-                    Err(panic) => resume_unwind(panic),
+                    // A panic inside a speculative search is contained
+                    // here instead of re-raised: the job fails with
+                    // `Internal` (exit 1) and sibling jobs keep running.
+                    Err(panic) => Err(SynthError::from_panic(&*panic)),
                 },
                 None => {
                     let _sp = tracer

@@ -48,6 +48,12 @@ impl Locals {
 /// guards against pathological interactions.
 const DEFAULT_FUEL: u64 = 1_000_000;
 
+/// How many evaluation steps pass between watchdog-interrupt checks. A
+/// power of two so the check is a mask, not a division; small enough that
+/// a hard-cancelled evaluation dies within microseconds of the flag, large
+/// enough that un-watched runs pay one branch per step and nothing else.
+pub const INTERRUPT_CHECK_STRIDE: u64 = 1024;
+
 /// A single-run evaluator over a [`WorldState`].
 pub struct Evaluator<'a> {
     /// Environment (annotations + natives).
@@ -90,6 +96,15 @@ impl<'a> Evaluator<'a> {
             return Err(RuntimeError::FuelExhausted);
         }
         self.fuel -= 1;
+        // Watchdog hook on the eval hot path: a run whose hard deadline
+        // passed is aborted mid-candidate, not just between candidates.
+        if self.fuel & (INTERRUPT_CHECK_STRIDE - 1) == 0 {
+            if let Some(flag) = self.env.interrupt_flag() {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(RuntimeError::Interrupted);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -101,6 +116,7 @@ impl<'a> Evaluator<'a> {
     /// reported as a [`RuntimeError`]; the search treats erroring candidates
     /// as rejected.
     pub fn eval(&mut self, locals: &mut Locals, e: &Expr) -> Result<Value, RuntimeError> {
+        rbsyn_lang::failpoint::hit("interp::eval");
         self.burn()?;
         match e {
             Expr::Lit(v) => Ok(v.clone()),
@@ -253,6 +269,29 @@ mod tests {
             ev.eval(&mut locals, &var("missing")),
             Err(RuntimeError::UnboundVar(_))
         ));
+    }
+
+    #[test]
+    fn interrupt_flag_aborts_a_running_eval() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut env = plain_env();
+        let flag = Arc::new(AtomicBool::new(true));
+        env.set_interrupt(Arc::clone(&flag));
+        let mut state = WorldState::fresh(&env);
+        // A long sequence guarantees the evaluator crosses at least one
+        // stride boundary before finishing.
+        let steps: Vec<_> = (0..2 * INTERRUPT_CHECK_STRIDE).map(|_| int(1)).collect();
+        let e = seq(steps);
+        let mut ev = Evaluator::new(&env, &mut state);
+        assert_eq!(
+            ev.eval(&mut Locals::new(), &e),
+            Err(RuntimeError::Interrupted),
+            "a set flag kills the eval at a stride check"
+        );
+        // Unset flag: the same program completes with fuel to spare.
+        flag.store(false, Ordering::Relaxed);
+        let mut ev = Evaluator::new(&env, &mut state);
+        assert_eq!(ev.eval(&mut Locals::new(), &e).unwrap(), Value::Int(1));
     }
 
     #[test]

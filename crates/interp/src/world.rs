@@ -6,6 +6,7 @@ use rbsyn_db::{Database, RowId, TableId};
 use rbsyn_lang::{unordered_obs_fold, ClassId, ObjRef, ObsHasher, Symbol, Value};
 use rbsyn_ty::{ClassTable, MethodKind};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// Implementation of a native (library) method.
@@ -33,6 +34,11 @@ pub struct InterpEnv {
     models: HashMap<ClassId, TableId>,
     /// Database template cloned into every fresh [`WorldState`].
     pub db_template: Database,
+    /// Watchdog kill flag: when set, evaluators over this environment
+    /// abort with [`RuntimeError::Interrupted`] at their next stride
+    /// check (see [`crate::eval::Evaluator`]). `None` (the default) costs
+    /// nothing on the eval path beyond the stride branch.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl InterpEnv {
@@ -43,7 +49,21 @@ impl InterpEnv {
             natives: HashMap::new(),
             models: HashMap::new(),
             db_template,
+            interrupt: None,
         }
+    }
+
+    /// Attaches a watchdog kill flag: evaluation under this environment
+    /// aborts with [`RuntimeError::Interrupted`] soon after the flag is
+    /// set, even mid-candidate. The synthesizer installs the run's
+    /// watchdog flag here before sharing the environment with its tasks.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// The installed watchdog kill flag, if any.
+    pub fn interrupt_flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.interrupt.as_ref()
     }
 
     /// Registers the body of a method; the annotation must be registered

@@ -206,46 +206,57 @@ fn held<G>(site: LockSite, guard: G) -> Held<G> {
 
 /// Shared (read) acquisition of an instrumented [`RwLock`].
 ///
-/// # Panics
-///
-/// Panics when the lock is poisoned (a prior holder panicked) — poisoning
-/// is unrecoverable everywhere these sites are used.
+/// Poisoned locks are recovered, not propagated: every structure behind
+/// these sites is valid at rest (inserts either complete or don't), so a
+/// panic elsewhere at worst loses one in-flight memo entry — always safe
+/// to recompute. See CONCURRENCY.md's lock-poisoning policy.
 #[inline(always)]
 pub fn read<T>(site: LockSite, lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     #[cfg(feature = "contention")]
     {
-        if let Ok(g) = lock.try_read() {
-            bump(site, false, 0);
-            return g;
+        match lock.try_read() {
+            Ok(g) => {
+                bump(site, false, 0);
+                return g;
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                bump(site, false, 0);
+                return p.into_inner();
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {}
         }
         let t0 = std::time::Instant::now();
-        let g = lock.read().expect("lock poisoned");
+        let g = lock.read().unwrap_or_else(|p| p.into_inner());
         bump(site, true, t0.elapsed().as_nanos() as u64);
         g
     }
     #[cfg(not(feature = "contention"))]
     {
         let _ = site;
-        lock.read().expect("lock poisoned")
+        lock.read().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 /// Exclusive (write) acquisition of an instrumented [`RwLock`]; the
-/// returned [`Held`] guard also records hold time.
-///
-/// # Panics
-///
-/// Panics when the lock is poisoned.
+/// returned [`Held`] guard also records hold time. Poisoned locks are
+/// recovered (see [`read`]).
 #[inline(always)]
 pub fn write<T>(site: LockSite, lock: &RwLock<T>) -> Held<RwLockWriteGuard<'_, T>> {
     #[cfg(feature = "contention")]
     {
-        if let Ok(g) = lock.try_write() {
-            bump(site, false, 0);
-            return held(site, g);
+        match lock.try_write() {
+            Ok(g) => {
+                bump(site, false, 0);
+                return held(site, g);
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                bump(site, false, 0);
+                return held(site, p.into_inner());
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {}
         }
         let t0 = std::time::Instant::now();
-        let g = lock.write().expect("lock poisoned");
+        let g = lock.write().unwrap_or_else(|p| p.into_inner());
         bump(site, true, t0.elapsed().as_nanos() as u64);
         held(site, g)
     }
@@ -253,7 +264,7 @@ pub fn write<T>(site: LockSite, lock: &RwLock<T>) -> Held<RwLockWriteGuard<'_, T
     {
         let _ = site;
         Held {
-            guard: lock.write().expect("lock poisoned"),
+            guard: lock.write().unwrap_or_else(|p| p.into_inner()),
         }
     }
 }
@@ -261,28 +272,32 @@ pub fn write<T>(site: LockSite, lock: &RwLock<T>) -> Held<RwLockWriteGuard<'_, T
 /// Acquisition of an instrumented [`Mutex`], returning the *plain* guard —
 /// for sites whose guard must feed a [`std::sync::Condvar`] (hold time is
 /// not recorded there; waiting on the condvar releases the lock, so a
-/// wrapper would misreport idle parking as holding).
-///
-/// # Panics
-///
-/// Panics when the mutex is poisoned.
+/// wrapper would misreport idle parking as holding). Poisoned locks are
+/// recovered (see [`read`]).
 #[inline(always)]
 pub fn lock<T>(site: LockSite, mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     #[cfg(feature = "contention")]
     {
-        if let Ok(g) = mutex.try_lock() {
-            bump(site, false, 0);
-            return g;
+        match mutex.try_lock() {
+            Ok(g) => {
+                bump(site, false, 0);
+                return g;
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                bump(site, false, 0);
+                return p.into_inner();
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {}
         }
         let t0 = std::time::Instant::now();
-        let g = mutex.lock().expect("lock poisoned");
+        let g = mutex.lock().unwrap_or_else(|p| p.into_inner());
         bump(site, true, t0.elapsed().as_nanos() as u64);
         g
     }
     #[cfg(not(feature = "contention"))]
     {
         let _ = site;
-        mutex.lock().expect("lock poisoned")
+        mutex.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -307,6 +322,25 @@ mod tests {
         assert_eq!(*read(LockSite::CacheTypes, &rw), 2);
         let m = Mutex::new(3);
         assert_eq!(*lock(LockSite::ExecutorQueue, &m), 3);
+    }
+
+    #[test]
+    fn poisoned_locks_are_recovered() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(7));
+        let rw = Arc::new(RwLock::new(8));
+        let (m2, rw2) = (Arc::clone(&m), Arc::clone(&rw));
+        let _ = std::thread::spawn(move || {
+            let _mg = m2.lock().expect("not yet poisoned");
+            let _wg = rw2.write().expect("not yet poisoned");
+            panic!("poison both on purpose");
+        })
+        .join();
+        assert!(m.is_poisoned() && rw.is_poisoned());
+        assert_eq!(*lock(LockSite::ExecutorQueue, &m), 7);
+        assert_eq!(*read(LockSite::CacheTypes, &rw), 8);
+        *write(LockSite::CacheTypes, &rw) = 9;
+        assert_eq!(*read(LockSite::CacheTypes, &rw), 9);
     }
 
     #[test]

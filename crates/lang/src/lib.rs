@@ -41,9 +41,11 @@ pub mod ast;
 pub mod builder;
 pub mod contention;
 pub mod effects;
+pub mod failpoint;
 pub mod intern;
 pub mod metrics;
 pub mod obs;
+pub mod persist;
 pub mod types;
 pub mod value;
 
@@ -51,5 +53,5 @@ pub use ast::{Expr, Program};
 pub use effects::{Effect, EffectPair, EffectSet};
 pub use intern::{hash128, ExprArena, ExprId, FxBuild, FxHasher, Symbol, SymbolTable};
 pub use obs::{unordered_obs_fold, ObsHasher};
-pub use types::{FiniteHash, Ty};
+pub use types::{FiniteHash, HashField, Ty};
 pub use value::{ClassId, ObjRef, Value};

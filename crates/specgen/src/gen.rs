@@ -1328,7 +1328,8 @@ pub fn write_corpus(dir: &Path, seed: u64, count: usize, verbose: bool) -> Resul
     for index in 0..count {
         let c = generate_problem(seed, index)?;
         let path = dir.join(format!("gen{index:04}.rbspec"));
-        std::fs::write(&path, &c.text).map_err(|e| format!("{}: {e}", path.display()))?;
+        rbsyn_lang::persist::atomic_write(&path, c.text.as_bytes())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         if verbose && (index + 1) % 25 == 0 {
             eprintln!("  specgen: {}/{count} problems written", index + 1);
         }
@@ -1337,7 +1338,7 @@ pub fn write_corpus(dir: &Path, seed: u64, count: usize, verbose: bool) -> Resul
         "# specgen corpus manifest — regenerate with `specgen --regen`.\n\
          version 1\nseed {seed}\ncount {count}\n"
     );
-    std::fs::write(dir.join("MANIFEST.txt"), manifest)
+    rbsyn_lang::persist::atomic_write(&dir.join("MANIFEST.txt"), manifest.as_bytes())
         .map_err(|e| format!("{}: {e}", dir.display()))?;
     Ok(())
 }

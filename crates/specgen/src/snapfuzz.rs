@@ -1,0 +1,168 @@
+//! Snapshot fuzzing: mutate serialized template-memo snapshots and check
+//! the restore path is total — [`restore_from_bytes`] must never panic,
+//! and a rejected mutant must leave the target cache completely cold
+//! (the restore is all-or-nothing, so a half-decoded snapshot can never
+//! leak entries into a live cache).
+//!
+//! This is the persistence-side twin of the frontend fuzzer
+//! ([`crate::fuzz`]): same deterministic seeded mutations, same totality
+//! contract, applied to the binary format of `rbsyn_core::snapshot`
+//! instead of `.rbspec` text. Driven by `specgen --fuzz N --target
+//! snapshot`.
+
+use crate::fuzz::FuzzReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbsyn_core::snapshot::{restore_from_bytes, snapshot_to_bytes};
+use rbsyn_core::SearchCache;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A base snapshot with structural variety: several environments, keys
+/// of different lengths, and expressions exercising every encoder tag
+/// (literals, variables, calls, branches, lets, hashes, sequences,
+/// boolean operators and both hole kinds would be overkill — holes never
+/// appear in memoized templates, so the base sticks to what production
+/// snapshots contain).
+fn base_snapshot() -> Vec<u8> {
+    use rbsyn_lang::builder::*;
+    let cache = SearchCache::new();
+    cache.seed_template(
+        7,
+        "consts".to_owned(),
+        vec![nil(), true_(), int(42), str_("closed"), sym("state")],
+    );
+    cache.seed_template(7, "vars".to_owned(), vec![var("arg0"), var("t0")]);
+    cache.seed_template(
+        7,
+        "calls".to_owned(),
+        vec![
+            call(var("user"), "name", []),
+            call(var("Issue"), "find_by", [hash([("title", var("arg0"))])]),
+        ],
+    );
+    cache.seed_template(
+        99,
+        "branchy".to_owned(),
+        vec![if_(
+            not(var("c")),
+            seq([int(1), int(2)]),
+            let_("x", or(var("a"), var("b")), var("x")),
+        )],
+    );
+    cache.seed_template(u128::MAX, "edge-env".to_owned(), vec![int(i64::MIN)]);
+    snapshot_to_bytes(&cache)
+}
+
+/// Applies 1–3 random byte-level mutations: flip, insert, delete a short
+/// range, truncate, or duplicate a short range.
+fn mutate(rng: &mut StdRng, base: &[u8]) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    let ops = 1 + rng.gen_range(0..3u32);
+    for _ in 0..ops {
+        if bytes.is_empty() {
+            bytes.push(0);
+        }
+        match rng.gen_range(0..5u32) {
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= rng.gen_range(1..256u32) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.insert(i, rng.gen_range(0..256u32) as u8);
+            }
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                let n = (1 + rng.gen_range(0..16usize)).min(bytes.len() - i);
+                bytes.drain(i..i + n);
+            }
+            3 => {
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.truncate(i);
+            }
+            _ => {
+                let i = rng.gen_range(0..bytes.len());
+                let n = (1 + rng.gen_range(0..16usize)).min(bytes.len() - i);
+                let dup: Vec<u8> = bytes[i..i + n].to_vec();
+                bytes.splice(i..i, dup);
+            }
+        }
+    }
+    bytes
+}
+
+/// Restores one mutant into a fresh cache under `catch_unwind` and
+/// checks the contract. `Ok(true)` = accepted (the mutant happened to be
+/// a valid snapshot), `Ok(false)` = rejected with the cache still cold,
+/// `Err` = contract violation.
+fn check_one(bytes: &[u8]) -> Result<bool, String> {
+    let cache = SearchCache::new();
+    match catch_unwind(AssertUnwindSafe(|| restore_from_bytes(bytes, &cache))) {
+        Ok(Ok(_)) => Ok(true),
+        Ok(Err(_)) => {
+            if cache.export_templates().is_empty() {
+                Ok(false)
+            } else {
+                Err("rejected snapshot leaked entries into the cache".to_owned())
+            }
+        }
+        Err(_) => Err("snapshot restore panicked".to_owned()),
+    }
+}
+
+/// Fuzzes the snapshot decoder for `iterations` mutants derived from
+/// `seed`. Deterministic for a fixed `(seed, iterations)`.
+pub fn run_snapshot_fuzz(seed: u64, iterations: usize) -> FuzzReport {
+    // Panics are expected to be *absent*; keep the default hook quiet so
+    // a violating iteration doesn't spew a backtrace per mutant.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let base = base_snapshot();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x736e_6170); // "snap"
+    let mut report = FuzzReport {
+        iterations,
+        accepted: 0,
+        rejected: 0,
+        failures: Vec::new(),
+    };
+    for i in 0..iterations {
+        let mutant = mutate(&mut rng, &base);
+        match check_one(&mutant) {
+            Ok(true) => report.accepted += 1,
+            Ok(false) => report.rejected += 1,
+            Err(why) => {
+                let prefix: Vec<u8> = mutant.iter().copied().take(48).collect();
+                report
+                    .failures
+                    .push(format!("iteration {i}: {why}\n  bytes: {prefix:02x?}…"));
+            }
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_base_is_accepted() {
+        assert_eq!(check_one(&base_snapshot()), Ok(true));
+    }
+
+    #[test]
+    fn short_snapshot_fuzz_run_is_clean_and_deterministic() {
+        let a = run_snapshot_fuzz(42, 300);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+        assert_eq!(a.accepted + a.rejected, 300);
+        // A checksummed format rejects essentially every mutant; if the
+        // fuzzer somehow accepted a majority, it stopped mutating.
+        assert!(a.rejected > a.accepted, "mutations must mostly be rejected");
+        let b = run_snapshot_fuzz(42, 300);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+    }
+}
